@@ -1,0 +1,1 @@
+bench/main.ml: Array Experiments Fmt List String Sys Timing

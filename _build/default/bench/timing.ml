@@ -1,0 +1,154 @@
+(* Bechamel micro- and macro-benchmarks.  One Test.make per reproduced
+   table/figure (scaled-down inputs so each measured run stays in the
+   millisecond range), plus micro-benchmarks of the solver's moving parts. *)
+
+open Bechamel
+open Toolkit
+
+let seed = 20020815
+
+(* Scaled-down experiment bodies: same code paths as the full tables, with
+   smaller problem sizes and a reduced GA so Bechamel can repeat them. *)
+
+let small_ga =
+  {
+    Tiling_ga.Engine.default_params with
+    Tiling_ga.Engine.min_generations = 4;
+    max_generations = 6;
+    population = 10;
+  }
+
+let small_opts =
+  {
+    Tiling_core.Tiler.ga = small_ga;
+    seed;
+    sample_points = Some 32;
+    restarts = 1;
+    domains = 1;
+  }
+
+let build name n = (Tiling_kernels.Kernels.find name).Tiling_kernels.Kernels.build n
+
+let bench_table2 =
+  Test.make ~name:"table2 (scaled: T2D_200 tile search)"
+    (Staged.stage (fun () ->
+         ignore
+           (Tiling_core.Tiler.optimize ~opts:small_opts (build "T2D" 200)
+              Tiling_cache.Config.dm8k)))
+
+let bench_fig8 =
+  Test.make ~name:"fig8 (scaled: MM_100 tile search, 8KB)"
+    (Staged.stage (fun () ->
+         ignore
+           (Tiling_core.Tiler.optimize ~opts:small_opts (build "MM" 100)
+              Tiling_cache.Config.dm8k)))
+
+let bench_fig9 =
+  Test.make ~name:"fig9 (scaled: MM_100 tile search, 32KB)"
+    (Staged.stage (fun () ->
+         ignore
+           (Tiling_core.Tiler.optimize ~opts:small_opts (build "MM" 100)
+              Tiling_cache.Config.dm32k)))
+
+let bench_table3 =
+  Test.make ~name:"table3 (scaled: VPENTA2 padding search)"
+    (Staged.stage (fun () ->
+         let popts =
+           {
+             Tiling_core.Padder.ga = small_ga;
+             seed;
+             sample_points = Some 32;
+             max_intra = 8;
+             max_inter = 8;
+             restarts = 1;
+           }
+         in
+         ignore
+           (Tiling_core.Padder.optimize ~opts:popts (build "VPENTA2" 128)
+              Tiling_cache.Config.dm8k)))
+
+let bench_table4 =
+  Test.make ~name:"table4 (scaled: classify one sampled kernel)"
+    (Staged.stage (fun () ->
+         let e = Tiling_cme.Engine.create (build "T3DIKJ" 100) Tiling_cache.Config.dm8k in
+         ignore (Tiling_cme.Estimator.sample ~seed e)))
+
+(* Micro-benchmarks of the solver substrate. *)
+
+let bench_simulator =
+  let nest = build "MM" 20 in
+  Test.make ~name:"simulator: MM_20 full trace (32k accesses)"
+    (Staged.stage (fun () ->
+         ignore (Tiling_trace.Run.simulate nest Tiling_cache.Config.dm8k)))
+
+let bench_classify =
+  let nest = Tiling_ir.Transform.tile (build "MM" 500) [| 40; 8; 64 |] in
+  let engine = Tiling_cme.Engine.create nest Tiling_cache.Config.dm8k in
+  let rng = Tiling_util.Prng.create ~seed in
+  let points =
+    Array.init 64 (fun _ -> Tiling_ir.Nest.random_point nest rng)
+  in
+  let i = ref 0 in
+  Test.make ~name:"CME classify: one access (tiled MM_500)"
+    (Staged.stage (fun () ->
+         let p = points.(!i land 63) in
+         incr i;
+         ignore (Tiling_cme.Engine.classify engine p (!i land 3))))
+
+let bench_residue =
+  Test.make ~name:"residue image: 3 generators mod 8192"
+    (Staged.stage (fun () ->
+         let open Tiling_util.Residue_set in
+         let s = singleton 8192 0 in
+         let s = sum_progression s ~step:8 ~count:64 in
+         let s = sum_progression s ~step:4000 ~count:50 in
+         ignore (sum_progression s ~step:160 ~count:12)))
+
+let bench_path =
+  let nest = Tiling_ir.Transform.tile (build "MM" 500) [| 40; 8; 64 |] in
+  Test.make ~name:"path decomposition: far reuse pair"
+    (Staged.stage (fun () ->
+         ignore
+           (Tiling_cme.Path.between nest ~src:[| 1; 1; 1; 3; 2; 10 |]
+              ~dst:[| 41; 9; 65; 42; 12; 70 |])))
+
+let bench_ga_generation =
+  let encoding = Tiling_ga.Encoding.make [| 500; 500; 500 |] in
+  Test.make ~name:"GA: full run on a cheap objective"
+    (Staged.stage (fun () ->
+         let rng = Tiling_util.Prng.create ~seed in
+         ignore
+           (Tiling_ga.Engine.run ~params:small_ga ~encoding
+              ~objective:(fun v ->
+                Float.of_int (abs (v.(0) - 40) + abs (v.(1) - 8) + abs (v.(2) - 64)))
+              ~rng ())))
+
+let bench_trace_gen =
+  let nest = build "T2D" 100 in
+  Test.make ~name:"trace generation: T2D_100 (20k events)"
+    (Staged.stage (fun () -> Tiling_trace.Gen.iter nest (fun _ -> ())))
+
+let all_tests =
+  [
+    bench_table2; bench_fig8; bench_fig9; bench_table3; bench_table4;
+    bench_simulator; bench_classify; bench_residue; bench_path;
+    bench_ga_generation; bench_trace_gen;
+  ]
+
+let run () =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~kde:(Some 100) () in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let results = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Fmt.pr "%-48s %12.1f ns/run@." name est
+          | _ -> Fmt.pr "%-48s (no estimate)@." name)
+        results)
+    all_tests

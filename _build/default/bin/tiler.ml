@@ -1,0 +1,344 @@
+(* tiler — command-line driver for the CME+GA loop-tiling library.
+
+   Subcommands:
+     list        kernels and their paper sizes
+     show        pretty-print a kernel (optionally tiled)
+     simulate    trace-driven cache simulation (ground truth)
+     analyze     CME miss-ratio estimate (sampled or exact, --per-ref)
+     equations   CME census (regions / equation counts)
+     tile        GA tile-size search
+     pad         GA padding search
+     pad-tile    padding then tiling (table 3 pipeline)
+     joint       one GA over padding and tiles (the paper's future work)
+     order       loop order searched together with tile sizes
+     codegen     emit the (tiled) nest as C or Fortran
+     baselines   compare search and analytic baselines on one kernel *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Common arguments                                                     *)
+
+let kernel_arg =
+  let doc = "Kernel name (see $(b,tiler list))." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"KERNEL" ~doc)
+
+let size_arg =
+  let doc = "Problem size N (defaults to the kernel's first paper size)." in
+  Arg.(value & opt (some int) None & info [ "n"; "size" ] ~docv:"N" ~doc)
+
+let cache_size_arg =
+  let doc = "Cache size in bytes (default 8192)." in
+  Arg.(value & opt int 8192 & info [ "cache" ] ~docv:"BYTES" ~doc)
+
+let line_arg =
+  let doc = "Line size in bytes (default 32)." in
+  Arg.(value & opt int 32 & info [ "line" ] ~docv:"BYTES" ~doc)
+
+let assoc_arg =
+  let doc = "Associativity (default 1 = direct-mapped)." in
+  Arg.(value & opt int 1 & info [ "assoc" ] ~docv:"WAYS" ~doc)
+
+let seed_arg =
+  let doc = "Random seed for sampling and the GA." in
+  Arg.(value & opt int 20020815 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let tiles_arg =
+  let doc = "Tile sizes, comma separated (e.g. 32,8,64)." in
+  Arg.(value & opt (some (list int)) None & info [ "tiles" ] ~docv:"T1,..,Tk" ~doc)
+
+let exact_arg =
+  let doc = "Visit every iteration point instead of sampling (slow)." in
+  Arg.(value & flag & info [ "exact" ] ~doc)
+
+let build_kernel name size =
+  match Tiling_kernels.Kernels.find name with
+  | spec ->
+      let n = match size with Some n -> n | None -> List.hd spec.sizes in
+      Ok (spec, n, spec.build n)
+  | exception Not_found ->
+      Error (`Msg (Printf.sprintf "unknown kernel %S (try `tiler list')" name))
+
+let build_cache size line assoc =
+  match Tiling_cache.Config.make ~size ~line ~assoc () with
+  | c -> Ok c
+  | exception Invalid_argument m -> Error (`Msg m)
+
+let with_setup name size csize line assoc f =
+  match build_kernel name size with
+  | Error (`Msg m) -> `Error (false, m)
+  | Ok (spec, n, nest) -> (
+      match build_cache csize line assoc with
+      | Error (`Msg m) -> `Error (false, m)
+      | Ok cache ->
+          f spec n nest cache;
+          `Ok ())
+
+let apply_tiles nest = function
+  | None -> nest
+  | Some tiles -> Tiling_ir.Transform.tile nest (Array.of_list tiles)
+
+(* ------------------------------------------------------------------ *)
+(* Commands                                                             *)
+
+let list_cmd =
+  let run () =
+    Fmt.pr "%-9s %-5s %-22s %s@." "KERNEL" "LOOPS" "SIZES" "DESCRIPTION";
+    List.iter
+      (fun (s : Tiling_kernels.Kernels.spec) ->
+        Fmt.pr "%-9s %-5d %-22s %s@." s.name s.loops
+          (String.concat "," (List.map string_of_int s.sizes))
+          s.description)
+      Tiling_kernels.Kernels.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the paper's kernels")
+    Term.(const run $ const ())
+
+let show_cmd =
+  let run name size tiles =
+    match build_kernel name size with
+    | Error (`Msg m) -> `Error (false, m)
+    | Ok (_, _, nest) ->
+        Fmt.pr "%a" Tiling_ir.Nest.pp (apply_tiles nest tiles);
+        `Ok ()
+  in
+  Cmd.v (Cmd.info "show" ~doc:"Pretty-print a kernel as pseudo-Fortran")
+    Term.(ret (const run $ kernel_arg $ size_arg $ tiles_arg))
+
+let simulate_cmd =
+  let run name size csize line assoc tiles =
+    with_setup name size csize line assoc (fun _ n nest cache ->
+        let nest = apply_tiles nest tiles in
+        let report = Tiling_trace.Run.simulate nest cache in
+        Fmt.pr "%s n=%d on %a:@.%a@." name n Tiling_cache.Config.pp cache
+          Tiling_trace.Run.pp_report report)
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Replay the kernel's trace through the cache simulator")
+    Term.(
+      ret
+        (const run $ kernel_arg $ size_arg $ cache_size_arg $ line_arg
+       $ assoc_arg $ tiles_arg))
+
+let analyze_cmd =
+  let per_ref_arg =
+    let doc = "Also print per-reference miss ratios." in
+    Arg.(value & flag & info [ "per-ref" ] ~doc)
+  in
+  let run name size csize line assoc tiles exact seed per_ref =
+    with_setup name size csize line assoc (fun _ n nest cache ->
+        let nest = apply_tiles nest tiles in
+        let engine = Tiling_cme.Engine.create nest cache in
+        let report =
+          if exact then Tiling_cme.Estimator.exact engine
+          else Tiling_cme.Estimator.sample ~seed engine
+        in
+        Fmt.pr "%s n=%d on %a:@.%a@." name n Tiling_cache.Config.pp cache
+          Tiling_cme.Estimator.pp report;
+        Fmt.pr "estimated AMAT: %.1f cycles (1-cycle hits, 100-cycle memory)@."
+          (Tiling_cache.Amat.amat
+             ~miss_ratio:report.Tiling_cme.Estimator.miss_ratio.Tiling_util.Stats.center
+             ());
+        if per_ref then
+          Fmt.pr "%a" (Tiling_cme.Estimator.pp_per_ref nest) report)
+  in
+  Cmd.v (Cmd.info "analyze" ~doc:"Estimate miss ratios with the CME solver")
+    Term.(
+      ret
+        (const run $ kernel_arg $ size_arg $ cache_size_arg $ line_arg
+       $ assoc_arg $ tiles_arg $ exact_arg $ seed_arg $ per_ref_arg))
+
+let equations_cmd =
+  let run name size csize line assoc tiles =
+    with_setup name size csize line assoc (fun _ n nest cache ->
+        let nest = apply_tiles nest tiles in
+        let s = Tiling_cme.Equations.summarize nest ~line:cache.Tiling_cache.Config.line in
+        Fmt.pr "%s n=%d: %a@." name n Tiling_cme.Equations.pp s)
+  in
+  Cmd.v (Cmd.info "equations" ~doc:"Count CME convex regions and equations")
+    Term.(
+      ret
+        (const run $ kernel_arg $ size_arg $ cache_size_arg $ line_arg
+       $ assoc_arg $ tiles_arg))
+
+let tile_cmd =
+  let domains_arg =
+    let doc = "Evaluate each GA generation in parallel over this many OCaml domains." in
+    Arg.(value & opt int 1 & info [ "domains"; "j" ] ~docv:"N" ~doc)
+  in
+  let run name size csize line assoc seed domains =
+    with_setup name size csize line assoc (fun _ n nest cache ->
+        let opts = { Tiling_core.Tiler.default_opts with seed; domains } in
+        let o = Tiling_core.Tiler.optimize ~opts nest cache in
+        Fmt.pr "%s n=%d on %a:@.%a@." name n Tiling_cache.Config.pp cache
+          Tiling_core.Tiler.pp_outcome o)
+  in
+  Cmd.v (Cmd.info "tile" ~doc:"Search near-optimal tile sizes with the GA")
+    Term.(
+      ret
+        (const run $ kernel_arg $ size_arg $ cache_size_arg $ line_arg
+       $ assoc_arg $ seed_arg $ domains_arg))
+
+let pad_cmd =
+  let run name size csize line assoc seed =
+    with_setup name size csize line assoc (fun _ n nest cache ->
+        let opts = { Tiling_core.Padder.default_opts with seed } in
+        let o = Tiling_core.Padder.optimize ~opts nest cache in
+        Fmt.pr "%s n=%d on %a:@.%a@." name n Tiling_cache.Config.pp cache
+          Tiling_core.Padder.pp_outcome o)
+  in
+  Cmd.v (Cmd.info "pad" ~doc:"Search near-optimal padding with the GA")
+    Term.(
+      ret
+        (const run $ kernel_arg $ size_arg $ cache_size_arg $ line_arg
+       $ assoc_arg $ seed_arg))
+
+let pad_tile_cmd =
+  let run name size csize line assoc seed =
+    with_setup name size csize line assoc (fun _ n nest cache ->
+        let topts = { Tiling_core.Tiler.default_opts with seed } in
+        let popts = { Tiling_core.Padder.default_opts with seed } in
+        let o = Tiling_core.Optimizer.pad_then_tile ~topts ~popts nest cache in
+        Fmt.pr "%s n=%d on %a:@.%a@." name n Tiling_cache.Config.pp cache
+          Tiling_core.Optimizer.pp_combined o)
+  in
+  Cmd.v
+    (Cmd.info "pad-tile" ~doc:"Padding then tiling (the table 3 pipeline)")
+    Term.(
+      ret
+        (const run $ kernel_arg $ size_arg $ cache_size_arg $ line_arg
+       $ assoc_arg $ seed_arg))
+
+let trace_cmd =
+  let limit_arg =
+    let doc = "Maximum number of events to print (default 1000; 0 = all)." in
+    Arg.(value & opt int 1000 & info [ "limit" ] ~docv:"N" ~doc)
+  in
+  let run name size tiles limit =
+    match build_kernel name size with
+    | Error (`Msg m) -> `Error (false, m)
+    | Ok (_, _, nest) ->
+        let nest = apply_tiles nest tiles in
+        let printed = ref 0 in
+        (try
+           Tiling_trace.Gen.iter nest (fun ev ->
+               if limit > 0 && !printed >= limit then raise Exit;
+               incr printed;
+               (* dineroIV-style label: r/w address (hex) *)
+               Printf.printf "%c 0x%x\n"
+                 (match ev.Tiling_trace.Gen.access with
+                 | Tiling_ir.Nest.Read -> 'r'
+                 | Tiling_ir.Nest.Write -> 'w')
+                 ev.Tiling_trace.Gen.addr)
+         with Exit -> ());
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Dump the (tiled) nest's address trace (dinero-style r/w lines)")
+    Term.(ret (const run $ kernel_arg $ size_arg $ tiles_arg $ limit_arg))
+
+let codegen_cmd =
+  let lang_arg =
+    let doc = "Output language: c or fortran." in
+    Cmdliner.Arg.(value & opt string "c" & info [ "lang" ] ~docv:"LANG" ~doc)
+  in
+  let run name size tiles lang =
+    match build_kernel name size with
+    | Error (`Msg m) -> `Error (false, m)
+    | Ok (_, _, nest) -> (
+        let nest = apply_tiles nest tiles in
+        match String.lowercase_ascii lang with
+        | "c" ->
+            print_string (Tiling_codegen.C_gen.emit_function nest);
+            `Ok ()
+        | "fortran" | "f" | "f77" ->
+            print_string (Tiling_codegen.Fortran_gen.emit_subroutine nest);
+            `Ok ()
+        | other -> `Error (false, Printf.sprintf "unknown language %S" other))
+  in
+  Cmd.v
+    (Cmd.info "codegen" ~doc:"Emit the (tiled) nest as C or Fortran source")
+    Term.(ret (const run $ kernel_arg $ size_arg $ tiles_arg $ lang_arg))
+
+let order_cmd =
+  let run name size csize line assoc seed =
+    with_setup name size csize line assoc (fun _ n nest cache ->
+        let opts = { Tiling_core.Tiler.default_opts with seed } in
+        let o = Tiling_core.Tiler.optimize_with_order ~opts nest cache in
+        Fmt.pr "%s n=%d on %a:@.%a@." name n Tiling_cache.Config.pp cache
+          Tiling_core.Tiler.pp_order_outcome o)
+  in
+  Cmd.v
+    (Cmd.info "order"
+       ~doc:"Search loop order and tile sizes together (extension)")
+    Term.(
+      ret
+        (const run $ kernel_arg $ size_arg $ cache_size_arg $ line_arg
+       $ assoc_arg $ seed_arg))
+
+let joint_cmd =
+  let run name size csize line assoc seed =
+    with_setup name size csize line assoc (fun _ n nest cache ->
+        let topts = { Tiling_core.Tiler.default_opts with seed } in
+        let popts = { Tiling_core.Padder.default_opts with seed } in
+        let o = Tiling_core.Optimizer.pad_and_tile ~topts ~popts nest cache in
+        Fmt.pr "%s n=%d on %a:@.%a@." name n Tiling_cache.Config.pp cache
+          Tiling_core.Optimizer.pp_joint o)
+  in
+  Cmd.v
+    (Cmd.info "joint"
+       ~doc:"Search padding and tiling in a single GA (the paper's future work)")
+    Term.(
+      ret
+        (const run $ kernel_arg $ size_arg $ cache_size_arg $ line_arg
+       $ assoc_arg $ seed_arg))
+
+let baselines_cmd =
+  let run name size csize line assoc seed =
+    with_setup name size csize line assoc (fun _ n nest cache ->
+        let sample = Tiling_core.Sample.create ~seed nest in
+        let eval tiles = Tiling_core.Tiler.objective_on sample nest cache tiles in
+        let show label tiles obj =
+          Fmt.pr "%-18s tiles=[%a] objective=%g@." label
+            Fmt.(array ~sep:(any ",") int)
+            tiles obj
+        in
+        Fmt.pr "%s n=%d on %a (objective: replacement misses in the sample)@."
+          name n Tiling_cache.Config.pp cache;
+        let opts = { Tiling_core.Tiler.default_opts with seed } in
+        let ga = Tiling_core.Tiler.optimize ~opts nest cache in
+        show "GA (paper)" ga.Tiling_core.Tiler.tiles
+          ga.Tiling_core.Tiler.ga.Tiling_ga.Engine.best_objective;
+        let r = Tiling_baselines.Search.random ~evals:450 ~seed sample nest cache in
+        show "random-450" r.Tiling_baselines.Search.tiles r.Tiling_baselines.Search.objective;
+        let h = Tiling_baselines.Search.hill_climb ~evals:450 ~seed sample nest cache in
+        show "hill-climb-450" h.Tiling_baselines.Search.tiles h.Tiling_baselines.Search.objective;
+        let lrw = Tiling_baselines.Analytic.lrw nest cache in
+        show "LRW (ESS)" lrw (eval lrw);
+        let cm = Tiling_baselines.Analytic.coleman_mckinley nest cache in
+        show "Coleman-McKinley" cm (eval cm);
+        let sm = Tiling_baselines.Analytic.sarkar_megiddo nest cache in
+        show "Sarkar-Megiddo" sm (eval sm);
+        let untiled = Tiling_ir.Transform.tile_spans nest in
+        show "untiled" untiled (eval untiled))
+  in
+  Cmd.v
+    (Cmd.info "baselines" ~doc:"Compare tile-selection baselines on a kernel")
+    Term.(
+      ret
+        (const run $ kernel_arg $ size_arg $ cache_size_arg $ line_arg
+       $ assoc_arg $ seed_arg))
+
+let () =
+  let doc = "near-optimal loop tiling by cache miss equations and a GA" in
+  let info = Cmd.info "tiler" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            list_cmd; show_cmd; simulate_cmd; analyze_cmd; equations_cmd;
+            tile_cmd; pad_cmd; pad_tile_cmd; joint_cmd; order_cmd;
+            codegen_cmd; trace_cmd; baselines_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/landscape.ml: Array Fmt String Tiling_baselines Tiling_cache Tiling_core Tiling_kernels

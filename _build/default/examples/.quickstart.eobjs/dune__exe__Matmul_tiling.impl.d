@@ -1,0 +1,1 @@
+examples/matmul_tiling.ml: Array Fmt List String Tiling_baselines Tiling_cache Tiling_core Tiling_ga Tiling_ir Tiling_kernels

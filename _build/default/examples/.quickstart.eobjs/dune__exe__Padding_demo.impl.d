@@ -1,0 +1,1 @@
+examples/padding_demo.ml: Fmt List Tiling_cache Tiling_cme Tiling_core Tiling_ir Tiling_kernels Tiling_util

@@ -1,0 +1,1 @@
+examples/padding_demo.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array_decl Dsl Fmt Nest Tiling_cache Tiling_cme Tiling_core Tiling_ga Tiling_ir Tiling_util Transform

@@ -1,0 +1,1 @@
+examples/transpose_tuning.ml: Array Fmt List Printf String Tiling_cache Tiling_cme Tiling_core Tiling_ga Tiling_ir Tiling_kernels Tiling_trace Tiling_util

@@ -1,0 +1,1 @@
+examples/transpose_tuning.mli:

@@ -1,0 +1,66 @@
+(* Visualising the objective the GA searches: the replacement-miss count of
+   MM as a function of the two inner tile sizes (the outer loop untiled), as
+   an ASCII heat map.  The ruggedness on display — conflict-miss cliffs cut
+   across the smooth capacity valley — is why closed-form selectors
+   misjudge tiles and why the paper reaches for a genetic algorithm.
+
+   Run with:  dune exec examples/landscape.exe *)
+
+let () =
+  let n = 500 in
+  let nest = Tiling_kernels.Kernels.mm n in
+  let cache = Tiling_cache.Config.dm8k in
+  let sample = Tiling_core.Sample.create ~seed:7 nest in
+  let accesses = float_of_int (4 * Tiling_core.Sample.size sample) in
+  let steps = 24 in
+  let axis = Array.init steps (fun i -> 1 + (i * (128 - 1) / (steps - 1))) in
+  Fmt.pr
+    "MM n=%d, %a: replacement ratio for tiles [%d, Tj, Tk], Tj/Tk in [1,128]@.@."
+    n Tiling_cache.Config.pp cache n;
+  let shades = [| ' '; '.'; ':'; '-'; '='; '+'; '*'; '#'; '%'; '@' |] in
+  let grid =
+    Array.map
+      (fun tj ->
+        Array.map
+          (fun tk ->
+            Tiling_core.Tiler.objective_on sample nest cache [| n; tj; tk |]
+            /. accesses)
+          axis)
+      axis
+  in
+  let vmax = Array.fold_left (fun m row -> Array.fold_left max m row) 0. grid in
+  Fmt.pr "        Tk ->  %s@."
+    (String.concat ""
+       (Array.to_list (Array.map (fun t -> if t mod 32 < 6 then "|" else " ") axis)));
+  Array.iteri
+    (fun j row ->
+      let cells =
+        String.concat ""
+          (Array.to_list
+             (Array.map
+                (fun v ->
+                  let idx =
+                    int_of_float (v /. (vmax +. 1e-9) *. 9.99)
+                  in
+                  String.make 1 shades.(idx))
+                row))
+      in
+      Fmt.pr "Tj=%4d        %s@." axis.(j) cells)
+    grid;
+  Fmt.pr "@.(darker = more replacement misses; max %.1f%%)@." (100. *. vmax);
+
+  (* Where do the selectors land on this surface? *)
+  let show label tiles =
+    let v =
+      Tiling_core.Tiler.objective_on sample nest cache tiles /. accesses
+    in
+    Fmt.pr "%-20s [%s] -> %.2f%%@." label
+      (String.concat "," (Array.to_list (Array.map string_of_int tiles)))
+      (100. *. v)
+  in
+  show "untiled" [| n; n; n |];
+  show "LRW" (Tiling_baselines.Analytic.lrw nest cache);
+  show "Coleman-McKinley" (Tiling_baselines.Analytic.coleman_mckinley nest cache);
+  show "Sarkar-Megiddo" (Tiling_baselines.Analytic.sarkar_megiddo nest cache);
+  let ga = Tiling_core.Tiler.optimize ~opts:{ Tiling_core.Tiler.default_opts with seed = 7 } nest cache in
+  show "GA+CME" ga.Tiling_core.Tiler.tiles

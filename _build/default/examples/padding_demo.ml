@@ -1,0 +1,40 @@
+(* Removing conflict misses that tiling cannot touch: the VPENTA story
+   (table 3 of the paper).  All eight VPENTA planes are 128 x 128 doubles,
+   so consecutive arrays sit exactly a multiple of the cache size apart and
+   every a(i,j) .. y(i,j) access of an iteration lands in the same set.
+   Tiling does not change addresses, so only padding can fix this.
+
+   Run with:  dune exec examples/padding_demo.exe *)
+
+let pct r = 100. *. r.Tiling_cme.Estimator.replacement_ratio.Tiling_util.Stats.center
+
+let () =
+  let cache = Tiling_cache.Config.dm8k in
+  List.iter
+    (fun name ->
+      let spec = Tiling_kernels.Kernels.find name in
+      let nest = spec.build 128 in
+      Fmt.pr "=== %s (n=128) on %a ===@." name Tiling_cache.Config.pp cache;
+
+      (* Tiling alone: stuck. *)
+      let t = Tiling_core.Tiler.optimize nest cache in
+      Fmt.pr "  tiling alone:    %5.1f%% -> %5.1f%% replacement@."
+        (pct t.Tiling_core.Tiler.before)
+        (pct t.Tiling_core.Tiler.after);
+
+      (* Padding, then padding + tiling: the paper's sequential pipeline. *)
+      let c = Tiling_core.Optimizer.pad_then_tile nest cache in
+      Fmt.pr "  padding:         %5.1f%% -> %5.1f%% replacement@."
+        (pct c.Tiling_core.Optimizer.original)
+        (pct c.Tiling_core.Optimizer.padded);
+      Fmt.pr "  padding + tiling:         -> %5.1f%% replacement@."
+        (pct c.Tiling_core.Optimizer.padded_tiled);
+      Fmt.pr "  chosen padding: intra=[%a] elements, inter=[%a] bytes@."
+        Fmt.(array ~sep:(any ",") int)
+        c.Tiling_core.Optimizer.padding.Tiling_ir.Transform.intra
+        Fmt.(array ~sep:(any ",") int)
+        c.Tiling_core.Optimizer.padding.Tiling_ir.Transform.inter;
+      Fmt.pr "  tiles after padding: [%a]@.@."
+        Fmt.(array ~sep:(any ",") int)
+        c.Tiling_core.Optimizer.tiles)
+    [ "VPENTA1"; "VPENTA2" ]

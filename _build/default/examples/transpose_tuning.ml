@@ -1,0 +1,54 @@
+(* Tuning a 2D matrix transposition and watching the GA converge, then
+   validating the CME prediction against the trace-driven simulator on a
+   size small enough to simulate exactly.
+
+   Run with:  dune exec examples/transpose_tuning.exe *)
+
+let () =
+  (* Part 1: watch the GA generations on T2D n=2000 (table 2's kernel). *)
+  let nest = Tiling_kernels.Kernels.t2d 2000 in
+  let cache = Tiling_cache.Config.dm8k in
+  Fmt.pr "=== GA progress on T2D n=2000, %a ===@." Tiling_cache.Config.pp cache;
+  let sample = Tiling_core.Sample.create ~seed:7 nest in
+  let encoding =
+    Tiling_ga.Encoding.make (Tiling_ir.Transform.tile_spans nest)
+  in
+  let objective tiles = Tiling_core.Tiler.objective_on sample nest cache tiles in
+  let rng = Tiling_util.Prng.create ~seed:7 in
+  let result =
+    Tiling_ga.Engine.run
+      ~on_generation:(fun s ->
+        Fmt.pr "  generation %2d: best %3.0f misses, population average %6.1f@."
+          s.Tiling_ga.Engine.generation s.Tiling_ga.Engine.best
+          s.Tiling_ga.Engine.average)
+      ~encoding ~objective ~rng ()
+  in
+  let tiles = Tiling_ga.Encoding.decode encoding result.Tiling_ga.Engine.best_genes in
+  Fmt.pr "  best tiles [%a], %s after %d generations@.@."
+    Fmt.(array ~sep:(any ",") int)
+    tiles
+    (if result.Tiling_ga.Engine.converged then "converged" else "stopped")
+    result.Tiling_ga.Engine.generations;
+
+  (* Part 2: validate the model against ground truth on T2D n=256 with a
+     1 KB cache (same ratio of problem to cache, small enough to simulate
+     every access). *)
+  Fmt.pr "=== CME vs simulator, T2D n=256, 1KB DM ===@.";
+  let nest = Tiling_kernels.Kernels.t2d 256 in
+  let cache = Tiling_cache.Config.make ~size:1024 ~line:32 () in
+  let check label nest =
+    let sim = Tiling_trace.Run.simulate nest cache in
+    let engine = Tiling_cme.Engine.create nest cache in
+    let est = Tiling_cme.Estimator.exact engine in
+    Fmt.pr "  %-12s simulator: %5.2f%% replacement | CME: %5.2f%%@." label
+      (100. *. Tiling_cache.Sim.replacement_ratio sim.Tiling_trace.Run.total)
+      (100. *. est.Tiling_cme.Estimator.replacement_ratio.Tiling_util.Stats.center)
+  in
+  check "untiled" nest;
+  List.iter
+    (fun tiles ->
+      check
+        (Printf.sprintf "tiles %s"
+           (String.concat "x" (List.map string_of_int (Array.to_list tiles))))
+        (Tiling_ir.Transform.tile nest tiles))
+    [ [| 32; 4 |]; [| 64; 8 |]; [| 17; 9 |] ]

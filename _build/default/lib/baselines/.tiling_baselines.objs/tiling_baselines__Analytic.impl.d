@@ -1,0 +1,1 @@
+lib/baselines/analytic.ml: Affine Array Array_decl List Nest Tiling_cache Tiling_ir Tiling_util Transform

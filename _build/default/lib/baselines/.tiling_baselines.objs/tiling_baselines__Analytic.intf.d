@@ -1,0 +1,1 @@
+lib/baselines/analytic.mli: Tiling_cache Tiling_ir

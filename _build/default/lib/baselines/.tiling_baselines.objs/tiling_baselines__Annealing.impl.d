@@ -1,0 +1,1 @@
+lib/baselines/annealing.ml: Array Float Hashtbl Intmath List Prng Search Tiling_core Tiling_ir Tiling_util Transform

@@ -1,0 +1,1 @@
+lib/baselines/annealing.mli: Search Tiling_cache Tiling_core Tiling_ir

@@ -1,0 +1,1 @@
+lib/baselines/search.ml: Array Hashtbl List Tiling_core Tiling_ir Tiling_util Transform

@@ -1,0 +1,1 @@
+lib/baselines/search.mli: Tiling_cache Tiling_core Tiling_ir

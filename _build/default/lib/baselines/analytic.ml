@@ -1,0 +1,168 @@
+open Tiling_ir
+
+let footprint_lines ~line form ~elem tiles =
+  (* Merge per-dimension strides in increasing order: a dimension whose
+     stride does not exceed the extent accumulated so far densifies the
+     footprint; a larger stride multiplies the number of disjoint chunks. *)
+  let dims =
+    Array.to_list (Array.mapi (fun l t -> (abs (Affine.coeff form l), t)) tiles)
+  in
+  let dims =
+    List.sort compare (List.filter (fun (c, t) -> c > 0 && t > 1) dims)
+  in
+  let extent, chunks =
+    List.fold_left
+      (fun (extent, chunks) (c, t) ->
+        if c <= extent then (extent + (c * (t - 1)), chunks)
+        else (extent, chunks * t))
+      (elem, 1) dims
+  in
+  chunks * Tiling_util.Intmath.ceil_div (extent + line - 1) line
+
+let euclid_heights ~cache_elems ~column =
+  assert (cache_elems > 0 && column > 0);
+  let rec go acc a b = if b = 0 then List.rev acc else go (b :: acc) b (a mod b) in
+  let seq = go [] cache_elems (column mod cache_elems) in
+  List.filter (fun h -> h > 0) (column :: seq)
+
+(* The loops a baseline may tile: original unit-step Range loops.  The two
+   innermost ones carry the inner kernel in all the evaluated nests. *)
+let innermost_two (nest : Nest.t) =
+  let d = Nest.depth nest in
+  if d < 2 then invalid_arg "baseline: nest depth < 2";
+  (d - 2, d - 1)
+
+(* The reference with the largest per-iteration footprint owns the tile
+   shape decisions (its array's column length drives self-interference). *)
+let dominant_column (nest : Nest.t) =
+  let best = ref 0 in
+  Array.iter
+    (fun (r : Nest.reference) ->
+      let col = r.Nest.array.Array_decl.layout.(0) in
+      if col > !best then best := col)
+    nest.Nest.refs;
+  max 1 !best
+
+let untiled_vector nest = Transform.tile_spans nest
+
+let clamp_tile spans l t = Tiling_util.Intmath.clamp ~lo:1 ~hi:spans.(l) t
+
+let lrw (nest : Nest.t) (cache : Tiling_cache.Config.t) =
+  let spans = untiled_vector nest in
+  let elem = 8 in
+  let cache_elems = cache.Tiling_cache.Config.size / elem in
+  let column = dominant_column nest in
+  let limit = int_of_float (sqrt (float_of_int cache_elems)) in
+  let side =
+    List.fold_left
+      (fun acc h -> if h <= limit && h > acc then h else acc)
+      1
+      (euclid_heights ~cache_elems ~column)
+  in
+  let l1, l2 = innermost_two nest in
+  let tiles = Array.copy spans in
+  tiles.(l1) <- clamp_tile spans l1 side;
+  tiles.(l2) <- clamp_tile spans l2 side;
+  tiles
+
+let coleman_mckinley (nest : Nest.t) (cache : Tiling_cache.Config.t) =
+  let spans = untiled_vector nest in
+  let line = cache.Tiling_cache.Config.line in
+  let cache_bytes = cache.Tiling_cache.Config.size in
+  let elem = 8 in
+  let cache_elems = cache_bytes / elem in
+  let column = dominant_column nest in
+  let l1, l2 = innermost_two nest in
+  let forms = Array.map (fun r -> Nest.address_form nest r) nest.Nest.refs in
+  let working_set tiles =
+    Array.fold_left
+      (fun acc form -> acc + (line * footprint_lines ~line form ~elem tiles))
+      0 forms
+  in
+  let eval h w =
+    let tiles = Array.copy spans in
+    tiles.(l1) <- clamp_tile spans l1 w;
+    tiles.(l2) <- clamp_tile spans l2 h;
+    let ws = working_set tiles in
+    if ws > cache_bytes then None
+    else begin
+      (* Cross-interference estimate: how much of the cache the other
+         footprints occupy, scaled against the tile's own payoff. *)
+      let ci = float_of_int ws /. float_of_int cache_bytes in
+      Some (float_of_int (tiles.(l1) * tiles.(l2)) *. (1.2 -. ci), tiles)
+    end
+  in
+  let best = ref (1., Array.copy spans) in
+  let found = ref false in
+  List.iter
+    (fun h ->
+      if h >= 1 && h <= spans.(l2) then begin
+        (* Grow the width while the working set fits. *)
+        let w = ref 1 in
+        let cont = ref true in
+        while !cont && !w <= spans.(l1) do
+          (match eval h !w with
+          | Some (score, tiles) ->
+              if (not !found) || score > fst !best then begin
+                best := (score, tiles);
+                found := true
+              end
+          | None -> cont := false);
+          w := !w * 2
+        done
+      end)
+    (euclid_heights ~cache_elems ~column);
+  if !found then snd !best
+  else begin
+    (* Nothing fits: fall back to a single line's worth of elements. *)
+    let tiles = Array.copy spans in
+    tiles.(l1) <- clamp_tile spans l1 (line / elem);
+    tiles.(l2) <- clamp_tile spans l2 (line / elem);
+    tiles
+  end
+
+let sarkar_megiddo (nest : Nest.t) (cache : Tiling_cache.Config.t) =
+  let spans = untiled_vector nest in
+  let line = cache.Tiling_cache.Config.line in
+  let cache_lines = cache.Tiling_cache.Config.size / line in
+  let elem = 8 in
+  let d = Array.length spans in
+  let forms = Array.map (fun r -> Nest.address_form nest r) nest.Nest.refs in
+  let cost tiles =
+    let lines =
+      Array.fold_left
+        (fun acc form -> acc + footprint_lines ~line form ~elem tiles)
+        0 forms
+    in
+    if lines > cache_lines then None
+    else begin
+      let iterations = Array.fold_left ( * ) 1 tiles in
+      Some (float_of_int lines /. float_of_int iterations)
+    end
+  in
+  let lattice span =
+    let xs = ref [] in
+    let v = ref 1 in
+    while !v < span do
+      xs := !v :: !xs;
+      v := max (!v + 1) (!v * 5 / 4)
+    done;
+    List.sort_uniq compare (span :: !xs)
+  in
+  let best = ref (infinity, Array.map (fun _ -> 1) spans) in
+  let current = Array.make d 1 in
+  let rec go l =
+    if l = d then begin
+      match cost current with
+      | Some c when c < fst !best -> best := (c, Array.copy current)
+      | _ -> ()
+    end
+    else
+      List.iter
+        (fun t ->
+          current.(l) <- t;
+          go (l + 1))
+        (lattice spans.(l))
+  in
+  go 0;
+  snd !best

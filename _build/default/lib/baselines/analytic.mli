@@ -1,0 +1,38 @@
+(** Analytic tile-size selection algorithms from the related work
+    (section 5 of the paper), reimplemented as comparison baselines.
+
+    These algorithms pick tile sizes from closed-form reasoning about the
+    cache — no search over a locality model.  They run in micro- to
+    milliseconds but only model capacity (and, for ESS/TSS, one array's
+    self-interference), which is exactly the gap the paper's GA+CME
+    approach closes.
+
+    All three return a full tile vector for the nest (untiled dimensions
+    get their full span). *)
+
+val footprint_lines :
+  line:int -> Tiling_ir.Affine.t -> elem:int -> int array -> int
+(** [footprint_lines ~line form ~elem tiles] estimates the number of
+    distinct memory lines one reference touches during one tile execution,
+    by merging per-dimension strides in increasing order (the standard
+    footprint model of Coleman & McKinley and Sarkar & Megiddo). *)
+
+val euclid_heights : cache_elems:int -> column:int -> int list
+(** The Euclidean remainder sequence of (cache size, column size), in
+    elements: the canonical non-self-conflicting column heights used by
+    ESS and TSS. *)
+
+val lrw : Tiling_ir.Nest.t -> Tiling_cache.Config.t -> int array
+(** Lam-Rothberg-Wolf ESS: the largest non-conflicting *square* tile
+    (side from {!euclid_heights}, at most [sqrt cache]), applied to the
+    two innermost loops. *)
+
+val coleman_mckinley : Tiling_ir.Nest.t -> Tiling_cache.Config.t -> int array
+(** Coleman-McKinley TSS: rectangular tiles with heights from
+    {!euclid_heights}; picks the largest-area rectangle whose working set
+    fits the cache, penalised by a cross-interference estimate. *)
+
+val sarkar_megiddo : Tiling_ir.Nest.t -> Tiling_cache.Config.t -> int array
+(** Sarkar-Megiddo: minimises an analytic memory-cost-per-iteration model
+    (total footprint lines / iterations per tile) subject to the working
+    set fitting the cache, over a bounded lattice of tile vectors. *)

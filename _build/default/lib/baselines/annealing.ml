@@ -1,0 +1,139 @@
+open Tiling_ir
+open Tiling_util
+
+type params = { evals : int; initial_temp : float; cooling : float }
+
+let default_params = { evals = 750; initial_temp = -1.; cooling = 0.995 }
+
+let neighbour rng spans t =
+  let d = Array.length t in
+  let t' = Array.copy t in
+  let l = Prng.int rng d in
+  (if Prng.bernoulli rng ~p:0.1 then
+     (* occasional uniform restart of one coordinate *)
+     t'.(l) <- 1 + Prng.int rng spans.(l)
+   else begin
+     let step =
+       match Prng.int rng 4 with
+       | 0 -> 1
+       | 1 -> -1
+       | 2 -> max 1 (t.(l) / 4)
+       | _ -> -max 1 (t.(l) / 4)
+     in
+     t'.(l) <- Intmath.clamp ~lo:1 ~hi:spans.(l) (t.(l) + step)
+   end);
+  t'
+
+let simulated_annealing ?(params = default_params) ~seed sample nest cache =
+  let spans = Transform.tile_spans nest in
+  let rng = Prng.create ~seed in
+  let calls = ref 0 in
+  let memo = Hashtbl.create 512 in
+  let eval t =
+    let key = Array.to_list t in
+    match Hashtbl.find_opt memo key with
+    | Some v -> v
+    | None ->
+        incr calls;
+        let v = Tiling_core.Tiler.objective_on sample nest cache t in
+        Hashtbl.replace memo key v;
+        v
+  in
+  let current = ref (Array.map (fun s -> 1 + Prng.int rng s) spans) in
+  let current_obj = ref (eval !current) in
+  let best = ref (Array.copy !current) and best_obj = ref !current_obj in
+  let temp =
+    ref
+      (if params.initial_temp > 0. then params.initial_temp
+       else Float.max 1. (!current_obj /. 2.))
+  in
+  while !calls < params.evals do
+    let cand = neighbour rng spans !current in
+    let obj = eval cand in
+    let accept =
+      obj <= !current_obj
+      || Prng.float rng < exp (-.(obj -. !current_obj) /. Float.max 1e-9 !temp)
+    in
+    if accept then begin
+      current := cand;
+      current_obj := obj;
+      if obj < !best_obj then begin
+        best_obj := obj;
+        best := Array.copy cand
+      end
+    end;
+    temp := !temp *. params.cooling
+  done;
+  { Search.tiles = !best; objective = !best_obj; evaluations = !calls }
+
+type tabu_params = { tabu_evals : int; tenure : int }
+
+let default_tabu_params = { tabu_evals = 750; tenure = 12 }
+
+let tabu ?(params = default_tabu_params) ~seed sample nest cache =
+  let spans = Transform.tile_spans nest in
+  let d = Array.length spans in
+  let rng = Prng.create ~seed in
+  let calls = ref 0 in
+  let memo = Hashtbl.create 512 in
+  let eval t =
+    let key = Array.to_list t in
+    match Hashtbl.find_opt memo key with
+    | Some v -> v
+    | None ->
+        incr calls;
+        let v = Tiling_core.Tiler.objective_on sample nest cache t in
+        Hashtbl.replace memo key v;
+        v
+  in
+  let tabu_until : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let iter = ref 0 in
+  let current = ref (Array.map (fun s -> 1 + Prng.int rng s) spans) in
+  let best = ref (Array.copy !current) and best_obj = ref (eval !current) in
+  (* The memo makes revisited neighbourhoods free, so bound the number of
+     iterations as well as the number of fresh evaluations: a deterministic
+     walk cycling inside memoised territory must still terminate. *)
+  while !calls < params.tabu_evals && !iter < 4 * params.tabu_evals do
+    incr iter;
+    (* All (dimension, value) moves in the +/-1 / +/-25% neighbourhood. *)
+    let moves =
+      List.concat
+        (List.init d (fun l ->
+             List.filter_map
+               (fun dlt ->
+                 let v = Intmath.clamp ~lo:1 ~hi:spans.(l) (!current.(l) + dlt) in
+                 if v = !current.(l) then None else Some (l, v))
+               [ -1; 1; -max 1 (!current.(l) / 4); max 1 (!current.(l) / 4) ]))
+    in
+    let scored =
+      List.filter_map
+        (fun (l, v) ->
+          if !calls >= params.tabu_evals then None
+          else begin
+            let t = Array.copy !current in
+            t.(l) <- v;
+            let obj = eval t in
+            let is_tabu =
+              match Hashtbl.find_opt tabu_until (l, v) with
+              | Some until -> !iter < until
+              | None -> false
+            in
+            (* aspiration: a tabu move that beats the best is admissible *)
+            if is_tabu && obj >= !best_obj then None else Some (obj, l, v, t)
+          end)
+        moves
+    in
+    match List.sort compare scored with
+    | [] ->
+        (* fully tabu neighbourhood: random restart *)
+        current := Array.map (fun s -> 1 + Prng.int rng s) spans
+    | (obj, l, _v, t) :: _ ->
+        (* forbid undoing this move for [tenure] iterations *)
+        Hashtbl.replace tabu_until (l, !current.(l)) (!iter + params.tenure);
+        current := t;
+        if obj < !best_obj then begin
+          best_obj := obj;
+          best := Array.copy t
+        end
+  done;
+  { Search.tiles = !best; objective = !best_obj; evaluations = !calls }

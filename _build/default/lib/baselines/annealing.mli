@@ -1,0 +1,44 @@
+(** Simulated annealing and tabu search over tile vectors.
+
+    Section 3.1 of the paper surveys global optimisers for the nonlinear
+    integer program: "simulated annealing and genetic algorithms have been
+    used for years with very good results", while "tabu search obtains
+    promising theoretical results, but only partial implementations have
+    been reported".  Both are implemented here on exactly the GA's
+    objective, so the three stochastic searches can be compared eval for
+    eval. *)
+
+type params = {
+  evals : int;          (** objective budget (the GA uses 450-750) *)
+  initial_temp : float; (** in objective units; default scales from the start *)
+  cooling : float;      (** geometric factor per step, e.g. 0.995 *)
+}
+
+val default_params : params
+
+val simulated_annealing :
+  ?params:params ->
+  seed:int ->
+  Tiling_core.Sample.t ->
+  Tiling_ir.Nest.t ->
+  Tiling_cache.Config.t ->
+  Search.result
+(** Metropolis acceptance over a random-neighbour walk (one tile moved by
+    +/-1 or +/-25 %, occasionally resampled uniformly). *)
+
+type tabu_params = {
+  tabu_evals : int;
+  tenure : int;  (** iterations a reversed move stays forbidden *)
+}
+
+val default_tabu_params : tabu_params
+
+val tabu :
+  ?params:tabu_params ->
+  seed:int ->
+  Tiling_core.Sample.t ->
+  Tiling_ir.Nest.t ->
+  Tiling_cache.Config.t ->
+  Search.result
+(** Best-admissible-neighbour descent with a recency-based tabu list over
+    (dimension, new value) moves and aspiration by best-so-far. *)

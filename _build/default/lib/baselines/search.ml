@@ -1,0 +1,120 @@
+open Tiling_ir
+
+type result = { tiles : int array; objective : float; evaluations : int }
+
+let make_eval sample nest cache =
+  let memo : (int list, float) Hashtbl.t = Hashtbl.create 512 in
+  let calls = ref 0 in
+  let eval tiles =
+    let key = Array.to_list tiles in
+    match Hashtbl.find_opt memo key with
+    | Some v -> v
+    | None ->
+        incr calls;
+        let v = Tiling_core.Tiler.objective_on sample nest cache tiles in
+        Hashtbl.replace memo key v;
+        v
+  in
+  (eval, calls)
+
+let candidates_per_dim ~per_dim span =
+  if span <= per_dim then List.init span (fun i -> i + 1)
+  else begin
+    (* Even lattice including the extremes. *)
+    let xs = List.init per_dim (fun i -> 1 + (i * (span - 1) / (per_dim - 1))) in
+    List.sort_uniq compare xs
+  end
+
+let exhaustive ?(per_dim = 32) sample nest cache =
+  let spans = Transform.tile_spans nest in
+  let eval, calls = make_eval sample nest cache in
+  let dims = Array.map (candidates_per_dim ~per_dim) spans in
+  let d = Array.length spans in
+  let best = ref (Array.map (fun s -> s) spans) in
+  let best_obj = ref (eval !best) in
+  let current = Array.make d 1 in
+  let rec go l =
+    if l = d then begin
+      let o = eval current in
+      if o < !best_obj then begin
+        best_obj := o;
+        best := Array.copy current
+      end
+    end
+    else
+      List.iter
+        (fun t ->
+          current.(l) <- t;
+          go (l + 1))
+        dims.(l)
+  in
+  go 0;
+  { tiles = !best; objective = !best_obj; evaluations = !calls }
+
+let random ~evals ~seed sample nest cache =
+  let spans = Transform.tile_spans nest in
+  let eval, calls = make_eval sample nest cache in
+  let rng = Tiling_util.Prng.create ~seed in
+  let best = ref (Array.copy spans) in
+  let best_obj = ref (eval !best) in
+  while !calls < evals do
+    let t = Array.map (fun s -> 1 + Tiling_util.Prng.int rng s) spans in
+    let o = eval t in
+    if o < !best_obj then begin
+      best_obj := o;
+      best := t
+    end
+  done;
+  { tiles = !best; objective = !best_obj; evaluations = !calls }
+
+let hill_climb ~evals ~seed sample nest cache =
+  let spans = Transform.tile_spans nest in
+  let eval, calls = make_eval sample nest cache in
+  let rng = Tiling_util.Prng.create ~seed in
+  let d = Array.length spans in
+  let best = ref (Array.copy spans) in
+  let best_obj = ref (eval !best) in
+  let neighbours t =
+    List.concat
+      (List.init d (fun l ->
+           List.filter_map
+             (fun dlt ->
+               let v = Tiling_util.Intmath.clamp ~lo:1 ~hi:spans.(l) (t.(l) + dlt) in
+               if v = t.(l) then None
+               else begin
+                 let t' = Array.copy t in
+                 t'.(l) <- v;
+                 Some t'
+               end)
+             [ -1; 1; -(max 1 (t.(l) / 4)); max 1 (t.(l) / 4) ]))
+  in
+  (* Memoised re-visits are free, so also bound the number of restarts to
+     guarantee termination. *)
+  let starts = ref 0 in
+  while !calls < evals && !starts < 4 * evals do
+    incr starts;
+    (* One multi-start descent. *)
+    let here = ref (Array.map (fun s -> 1 + Tiling_util.Prng.int rng s) spans) in
+    let here_obj = ref (eval !here) in
+    let improved = ref true in
+    while !improved && !calls < evals do
+      improved := false;
+      let cands = neighbours !here in
+      List.iter
+        (fun t ->
+          if !calls < evals then begin
+            let o = eval t in
+            if o < !here_obj then begin
+              here_obj := o;
+              here := t;
+              improved := true
+            end
+          end)
+        cands
+    done;
+    if !here_obj < !best_obj then begin
+      best_obj := !here_obj;
+      best := !here
+    end
+  done;
+  { tiles = !best; objective = !best_obj; evaluations = !calls }

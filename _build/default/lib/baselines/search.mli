@@ -1,0 +1,44 @@
+(** Search baselines for tile-size selection.
+
+    All searches optimise exactly the same objective as the genetic
+    algorithm — {!Tiling_core.Tiler.objective_on} over a shared sample — so
+    comparisons isolate the *search strategy* (section 5 of the paper
+    explains why the authors could not compare against other published
+    selectors on an equal footing; sharing the objective is how we can). *)
+
+type result = {
+  tiles : int array;
+  objective : float;   (** replacement misses over the common sample *)
+  evaluations : int;   (** objective calls spent *)
+}
+
+val exhaustive :
+  ?per_dim:int ->
+  Tiling_core.Sample.t ->
+  Tiling_ir.Nest.t ->
+  Tiling_cache.Config.t ->
+  result
+(** Grid enumeration of the tile space.  [per_dim] (default 32) bounds the
+    values tried per dimension: all of [1..span] when the span is small,
+    otherwise an even lattice including 1 and the full span.  With small
+    spans this is the true optimum (the paper's "optimal" reference). *)
+
+val random :
+  evals:int ->
+  seed:int ->
+  Tiling_core.Sample.t ->
+  Tiling_ir.Nest.t ->
+  Tiling_cache.Config.t ->
+  result
+(** Uniform random tile vectors, best kept. *)
+
+val hill_climb :
+  evals:int ->
+  seed:int ->
+  Tiling_core.Sample.t ->
+  Tiling_ir.Nest.t ->
+  Tiling_cache.Config.t ->
+  result
+(** Multi-start steepest-descent: from random starts, repeatedly move to
+    the best of the (+/- 1, +/- 25 %) per-dimension neighbours until no
+    neighbour improves or the budget runs out. *)

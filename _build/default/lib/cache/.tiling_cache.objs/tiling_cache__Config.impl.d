@@ -1,0 +1,1 @@
+lib/cache/config.ml: Fmt Printf Tiling_util

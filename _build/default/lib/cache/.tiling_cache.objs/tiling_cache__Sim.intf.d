@@ -1,0 +1,1 @@
+lib/cache/sim.mli: Config

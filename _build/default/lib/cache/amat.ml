@@ -1,0 +1,24 @@
+type latencies = { hit : float; memory : float }
+
+let default_latencies = { hit = 1.; memory = 100. }
+
+let amat ?(lat = default_latencies) ~miss_ratio () =
+  assert (miss_ratio >= 0. && miss_ratio <= 1.);
+  lat.hit +. (miss_ratio *. lat.memory)
+
+let speedup ?(lat = default_latencies) ~before ~after () =
+  amat ~lat ~miss_ratio:before () /. amat ~lat ~miss_ratio:after ()
+
+let amat_hierarchy lats ~miss_ratios =
+  if lats = [] || List.length lats <> List.length miss_ratios then
+    invalid_arg "amat_hierarchy: level mismatch";
+  (* AMAT = hit_0 + sum_i global_miss_i * (hit_{i+1} or memory). *)
+  let rec go lats ratios =
+    match (lats, ratios) with
+    | [ last ], [ m ] -> m *. last.memory
+    | l :: (next :: _ as lrest), m :: mrest ->
+        ignore l;
+        (m *. next.hit) +. go lrest mrest
+    | _ -> assert false
+  in
+  (List.hd lats).hit +. go lats miss_ratios

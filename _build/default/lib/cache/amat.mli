@@ -1,0 +1,28 @@
+(** Average memory access time: turning miss ratios into estimated cycles.
+
+    The paper motivates tiling with the latency gap between hierarchy
+    levels (1–2 cycles for L1, ~100 for memory).  This model converts the
+    analysis' miss ratios into the standard AMAT figure so before/after
+    comparisons can be stated in cycles and projected speedups. *)
+
+type latencies = {
+  hit : float;     (** cycles on a hit at this level *)
+  memory : float;  (** cycles to serve a miss from the next level down *)
+}
+
+val default_latencies : latencies
+(** The introduction's numbers: 1-cycle hits, 100-cycle memory. *)
+
+val amat : ?lat:latencies -> miss_ratio:float -> unit -> float
+(** [amat ~miss_ratio ()] = [hit + miss_ratio * memory]. *)
+
+val speedup :
+  ?lat:latencies -> before:float -> after:float -> unit -> float
+(** Memory-time speedup implied by reducing the miss ratio from [before]
+    to [after] (both in [\[0,1\]]). *)
+
+val amat_hierarchy : latencies list -> miss_ratios:float list -> float
+(** Multi-level AMAT: [lat_i.hit] is level [i]'s hit time and
+    [miss_ratios] are *global* miss ratios (misses at level [i] over all
+    accesses); the last level's [memory] latency closes the recursion.
+    Lists must have equal non-zero length. *)

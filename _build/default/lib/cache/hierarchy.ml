@@ -1,0 +1,21 @@
+type t = { sims : Sim.t array }
+
+let create configs =
+  if configs = [] then invalid_arg "Hierarchy.create: no levels";
+  { sims = Array.of_list (List.map (fun c -> Sim.create c) configs) }
+
+let access t ~ref_id ~addr =
+  let missed = ref 0 in
+  (try
+     Array.iter
+       (fun sim ->
+         let before = (Sim.total sim).Sim.misses in
+         Sim.access sim ~ref_id ~addr;
+         if (Sim.total sim).Sim.misses = before then raise Exit else incr missed)
+       t.sims
+   with Exit -> ());
+  !missed
+
+let level_counts t = Array.map Sim.total t.sims
+
+let reset t = Array.iter Sim.reset t.sims

@@ -1,0 +1,30 @@
+(** Multi-level cache hierarchies.
+
+    The paper's introduction motivates tiling by the growing gap between
+    hierarchy levels; its evaluation analyses one level at a time.  This
+    module simulates a whole hierarchy (an access that misses level [i] is
+    forwarded to level [i+1]), so the single-level CME analyses can be
+    checked against a realistic memory system.
+
+    For LRU caches with equal line sizes, the misses of level [i+1] under
+    the *filtered* stream it actually receives closely track the misses of
+    the *full* stream run against level [i+1] alone (the LRU stack
+    property; exact for fully-associative levels, near-exact for
+    set-associative ones).  That is what justifies analysing each level
+    independently with CMEs — and it is asserted by the test suite. *)
+
+type t
+
+val create : Config.t list -> t
+(** [create configs] builds a hierarchy, first level first.  The list must
+    be non-empty. *)
+
+val access : t -> ref_id:int -> addr:int -> int
+(** Simulates one access; returns the number of levels missed (0 = L1 hit,
+    [List.length configs] = missed everywhere). *)
+
+val level_counts : t -> Sim.counts array
+(** Per-level totals.  Level [i]'s [accesses] counts only the requests that
+    reached it (i.e. level [i-1] misses). *)
+
+val reset : t -> unit

@@ -1,0 +1,110 @@
+type counts = { accesses : int; misses : int; compulsory : int }
+
+let replacement c = c.misses - c.compulsory
+
+let miss_ratio c =
+  if c.accesses = 0 then 0. else float_of_int c.misses /. float_of_int c.accesses
+
+let replacement_ratio c =
+  if c.accesses = 0 then 0. else float_of_int (replacement c) /. float_of_int c.accesses
+
+type t = {
+  config : Config.t;
+  tags : int array;
+      (* [sets * assoc] line numbers, most-recently-used first within each
+         set; -1 = invalid. *)
+  dirty : bool array;           (* parallel to [tags] *)
+  seen : (int, unit) Hashtbl.t; (* memory lines ever brought in *)
+  mutable wb : int;             (* dirty evictions *)
+  mutable acc : int array;      (* per-ref accesses *)
+  mutable mis : int array;      (* per-ref misses *)
+  mutable cmp : int array;      (* per-ref compulsory misses *)
+}
+
+let create ?(num_refs = 8) config =
+  {
+    config;
+    tags = Array.make (config.Config.sets * config.Config.assoc) (-1);
+    dirty = Array.make (config.Config.sets * config.Config.assoc) false;
+    seen = Hashtbl.create 65536;
+    wb = 0;
+    acc = Array.make num_refs 0;
+    mis = Array.make num_refs 0;
+    cmp = Array.make num_refs 0;
+  }
+
+let ensure t ref_id =
+  let n = Array.length t.acc in
+  if ref_id >= n then begin
+    let n' = max (ref_id + 1) (2 * n) in
+    let grow a = Array.append a (Array.make (n' - n) 0) in
+    t.acc <- grow t.acc;
+    t.mis <- grow t.mis;
+    t.cmp <- grow t.cmp
+  end
+
+let access ?(write = false) t ~ref_id ~addr =
+  ensure t ref_id;
+  let cfg = t.config in
+  let line = Config.line_of cfg addr in
+  let set = Config.set_of_line cfg line in
+  let a = cfg.Config.assoc in
+  let base = set * a in
+  t.acc.(ref_id) <- t.acc.(ref_id) + 1;
+  (* Find the line among the set's ways (MRU-first order). *)
+  let way = ref (-1) in
+  (try
+     for w = 0 to a - 1 do
+       if t.tags.(base + w) = line then begin
+         way := w;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  if !way >= 0 then begin
+    (* Hit: move to front, merging the dirty bit. *)
+    let w = !way in
+    let was_dirty = t.dirty.(base + w) in
+    for k = w downto 1 do
+      t.tags.(base + k) <- t.tags.(base + k - 1);
+      t.dirty.(base + k) <- t.dirty.(base + k - 1)
+    done;
+    t.tags.(base) <- line;
+    t.dirty.(base) <- was_dirty || write
+  end
+  else begin
+    t.mis.(ref_id) <- t.mis.(ref_id) + 1;
+    if not (Hashtbl.mem t.seen line) then begin
+      Hashtbl.replace t.seen line ();
+      t.cmp.(ref_id) <- t.cmp.(ref_id) + 1
+    end;
+    (* Insert at MRU, evicting the LRU way (write back if dirty). *)
+    if t.tags.(base + a - 1) >= 0 && t.dirty.(base + a - 1) then t.wb <- t.wb + 1;
+    for k = a - 1 downto 1 do
+      t.tags.(base + k) <- t.tags.(base + k - 1);
+      t.dirty.(base + k) <- t.dirty.(base + k - 1)
+    done;
+    t.tags.(base) <- line;
+    t.dirty.(base) <- write
+  end
+
+let sum a = Array.fold_left ( + ) 0 a
+
+let total t = { accesses = sum t.acc; misses = sum t.mis; compulsory = sum t.cmp }
+
+let per_ref t =
+  Array.init (Array.length t.acc) (fun i ->
+      { accesses = t.acc.(i); misses = t.mis.(i); compulsory = t.cmp.(i) })
+
+let lines_touched t = Hashtbl.length t.seen
+
+let writebacks t = t.wb
+
+let reset t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.dirty 0 (Array.length t.dirty) false;
+  t.wb <- 0;
+  Hashtbl.reset t.seen;
+  Array.fill t.acc 0 (Array.length t.acc) 0;
+  Array.fill t.mis 0 (Array.length t.mis) 0;
+  Array.fill t.cmp 0 (Array.length t.cmp) 0

@@ -1,0 +1,47 @@
+(** Trace-driven cache simulator with miss classification.
+
+    The simulator is the ground-truth oracle of this reproduction: it
+    replays a byte-address trace through an LRU set-associative cache and
+    classifies every miss as *compulsory* (first touch of the memory line in
+    the whole execution) or *replacement* (the line was cached before and
+    has been evicted) — the paper's capacity + conflict misses.  Counts are
+    kept per reference so kernels' per-reference behaviour can be compared
+    with the CME predictions. *)
+
+type counts = { accesses : int; misses : int; compulsory : int }
+
+val replacement : counts -> int
+(** Misses that are not compulsory. *)
+
+val miss_ratio : counts -> float
+(** Misses over accesses (0 when there are no accesses). *)
+
+val replacement_ratio : counts -> float
+(** Replacement misses over accesses, the paper's headline metric. *)
+
+type t
+(** Mutable simulator state. *)
+
+val writebacks : t -> int
+(** Dirty lines evicted so far (write-back, write-allocate policy): the
+    store traffic a real memory system would see below this level. *)
+
+val create : ?num_refs:int -> Config.t -> t
+(** [create config] starts with a cold cache and empty history.
+    [num_refs] sizes the per-reference counters (grown on demand). *)
+
+val access : ?write:bool -> t -> ref_id:int -> addr:int -> unit
+(** Simulate one access of [addr] issued by reference [ref_id] (>= 0).
+    [write] (default false) marks the line dirty for write-back
+    accounting; hit/miss behaviour is identical for loads and stores
+    (write-allocate). *)
+
+val total : t -> counts
+val per_ref : t -> counts array
+
+val lines_touched : t -> int
+(** Number of distinct memory lines seen so far (= total compulsory
+    misses). *)
+
+val reset : t -> unit
+(** Cold cache, zero counters, empty first-touch history. *)

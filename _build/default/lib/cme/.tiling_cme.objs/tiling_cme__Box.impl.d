@@ -1,0 +1,1 @@
+lib/cme/box.ml: Array Fmt List Tiling_ir

@@ -1,0 +1,1 @@
+lib/cme/box.mli: Fmt Tiling_ir

@@ -1,0 +1,1 @@
+lib/cme/engine.ml: Affine Array Box Fun Hashtbl Intmath List Logs Nest Path Residue_set Tiling_cache Tiling_ir Tiling_reuse Tiling_util

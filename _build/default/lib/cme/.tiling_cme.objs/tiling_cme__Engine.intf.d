@@ -1,0 +1,1 @@
+lib/cme/engine.mli: Tiling_cache Tiling_ir Tiling_reuse

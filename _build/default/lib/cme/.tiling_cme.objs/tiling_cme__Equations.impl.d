@@ -1,0 +1,1 @@
+lib/cme/equations.ml: Array Fmt List Path Tiling_ir Tiling_reuse

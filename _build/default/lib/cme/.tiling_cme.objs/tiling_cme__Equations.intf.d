@@ -1,0 +1,1 @@
+lib/cme/equations.mli: Fmt Tiling_ir

@@ -1,0 +1,1 @@
+lib/cme/estimator.ml: Array Engine Fmt Prng Stats Tiling_ir Tiling_util

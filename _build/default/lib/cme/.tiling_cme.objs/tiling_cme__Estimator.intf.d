@@ -1,0 +1,1 @@
+lib/cme/estimator.mli: Engine Fmt Tiling_ir Tiling_util

@@ -1,0 +1,1 @@
+lib/cme/path.ml: Array Box Fun List Nest Option Tiling_ir Tiling_util

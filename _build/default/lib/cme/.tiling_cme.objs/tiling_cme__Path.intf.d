@@ -1,0 +1,1 @@
+lib/cme/path.mli: Box Tiling_ir

@@ -1,0 +1,1 @@
+lib/cme/symbolic.ml: Affine Array Box Engine List Nest Path Polyhedron Tiling_cache Tiling_ir Tiling_polyhedra Tiling_util

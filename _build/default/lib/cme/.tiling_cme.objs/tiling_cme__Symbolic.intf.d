@@ -1,0 +1,1 @@
+lib/cme/symbolic.mli: Tiling_cache Tiling_ir Tiling_polyhedra

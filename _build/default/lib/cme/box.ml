@@ -1,0 +1,61 @@
+type entry = { targets : (int * int) list; count : int }
+
+type t = { origin : int array; entries : entry list }
+
+let points t = List.fold_left (fun acc e -> acc * e.count) 1 t.entries
+
+let point_at t ts =
+  let p = Array.copy t.origin in
+  List.iteri
+    (fun i e ->
+      List.iter (fun (var, inc) -> p.(var) <- p.(var) + (inc * ts.(i))) e.targets)
+    t.entries;
+  p
+
+let iter_points t f =
+  let entries = Array.of_list t.entries in
+  let n = Array.length entries in
+  let ts = Array.make n 0 in
+  let rec go i =
+    if i = n then f (point_at t ts)
+    else
+      for v = 0 to entries.(i).count - 1 do
+        ts.(i) <- v;
+        go (i + 1)
+      done
+  in
+  go 0
+
+let eval_form f box =
+  let const = Tiling_ir.Affine.eval f box.origin in
+  let gens =
+    List.filter_map
+      (fun e ->
+        let step =
+          List.fold_left
+            (fun acc (var, inc) -> acc + (Tiling_ir.Affine.coeff f var * inc))
+            0 e.targets
+        in
+        if step = 0 || e.count = 1 then None else Some (step, e.count))
+      box.entries
+  in
+  (const, gens)
+
+let value_range const gens =
+  List.fold_left
+    (fun (mn, mx) (step, count) ->
+      let span = step * (count - 1) in
+      if span >= 0 then (mn, mx + span) else (mn + span, mx))
+    (const, const) gens
+
+let pp ppf t =
+  Fmt.pf ppf "box{origin=%a; %a}"
+    Fmt.(array ~sep:(any ",") int)
+    t.origin
+    Fmt.(
+      list ~sep:(any "; ")
+        (fun ppf e ->
+          pf ppf "%a x%d"
+            (list ~sep:(any "+") (fun ppf (v, i) -> pf ppf "%d*v%d" i v))
+            e.targets e.count))
+    t.entries

@@ -1,0 +1,42 @@
+(** Constant-shape integer boxes over a nest's loop variables.
+
+    A box describes a set of iteration points as an affine lattice product:
+    every point is [origin + sum_e inc_e * t_e] with [t_e in [0, count_e)],
+    where each entry [e] increments one or more variables (a tile-control
+    variable and its element variable move together, which is how the
+    coupling [i in [ii, ii + T - 1]] is linearised).  Boxes are the convex
+    regions of section 2.4: the path slicer emits one box per region.
+
+    Evaluating an affine address function over a box yields a constant plus
+    one generator (step, count) per entry — the exact input shape of the
+    replacement-polyhedra engine. *)
+
+type entry = {
+  targets : (int * int) list;  (** (variable, per-step increment) pairs *)
+  count : int;                 (** number of lattice steps, >= 1 *)
+}
+
+type t = {
+  origin : int array;  (** value of every variable at [t = 0] *)
+  entries : entry list;
+}
+
+val points : t -> int
+(** Number of points ([product of counts]). *)
+
+val point_at : t -> int array -> int array
+(** [point_at box ts] materialises the point for entry coordinates [ts]
+    (mostly for tests). *)
+
+val iter_points : t -> (int array -> unit) -> unit
+(** Enumerates all points (tests only; exponential). *)
+
+val eval_form : Tiling_ir.Affine.t -> t -> int * (int * int) list
+(** [eval_form f box] is [(const, generators)]: the image of [f] over the
+    box is [{ const + sum (step_g * t_g) }] with independent
+    [t_g in [0, count_g)].  Zero-step generators are dropped. *)
+
+val value_range : int -> (int * int) list -> int * int
+(** [value_range const gens] is the (min, max) of the image. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,25 @@
+type summary = {
+  regions : int;
+  references : int;
+  reuse_vectors : int;
+  compulsory_equations : int;
+  replacement_equations : int;
+}
+
+let summarize nest ~line =
+  let regions = List.length (Path.full_space nest) in
+  let reuse = Tiling_reuse.Vectors.of_nest nest ~line in
+  let references = Array.length nest.Tiling_ir.Nest.refs in
+  let reuse_vectors = Array.fold_left (fun acc l -> acc + List.length l) 0 reuse in
+  {
+    regions;
+    references;
+    reuse_vectors;
+    compulsory_equations = reuse_vectors * regions;
+    replacement_equations = reuse_vectors * references * regions * regions;
+  }
+
+let pp ppf s =
+  Fmt.pf ppf "regions=%d refs=%d reuse=%d compulsory_eqs=%d replacement_eqs=%d"
+    s.regions s.references s.reuse_vectors s.compulsory_equations
+    s.replacement_equations

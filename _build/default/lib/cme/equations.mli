@@ -1,0 +1,21 @@
+(** Symbolic census of the Cache Miss Equations of a nest.
+
+    The point solver never materialises the equations, but their number
+    drives the paper's complexity discussion (section 2.4): with [n] convex
+    regions, compulsory equations multiply by [n] and replacement equations
+    by [n^2].  This module reports those counts so the effect of tiling on
+    the equation system is observable and testable. *)
+
+type summary = {
+  regions : int;               (** convex regions of the iteration space *)
+  references : int;
+  reuse_vectors : int;         (** total over all references *)
+  compulsory_equations : int;  (** one per reference, reuse vector and region *)
+  replacement_equations : int;
+      (** one per reference, reuse vector, interfering reference and region
+          pair *)
+}
+
+val summarize : Tiling_ir.Nest.t -> line:int -> summary
+
+val pp : summary Fmt.t

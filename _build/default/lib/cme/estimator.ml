@@ -1,0 +1,136 @@
+open Tiling_util
+
+type ref_counts = { r_accesses : int; r_misses : int; r_compulsory : int }
+
+type report = {
+  points : int;
+  accesses : int;
+  misses : int;
+  compulsory : int;
+  per_ref : ref_counts array;
+  miss_ratio : Stats.interval;
+  replacement_ratio : Stats.interval;
+  fallbacks : int;
+}
+
+let replacement r = r.misses - r.compulsory
+
+let default_confidence = 0.9
+let default_width = 0.1
+
+let default_points () =
+  Stats.required_sample_size ~width:default_width ~confidence:default_confidence
+
+let report_of ~confidence ~points ~accesses ~misses ~compulsory ~per_ref
+    ~fallbacks =
+  {
+    points;
+    accesses;
+    misses;
+    compulsory;
+    per_ref;
+    miss_ratio = Stats.proportion_interval ~hits:misses ~n:accesses ~confidence;
+    replacement_ratio =
+      Stats.proportion_interval ~hits:(misses - compulsory) ~n:accesses ~confidence;
+    fallbacks;
+  }
+
+(* Per-reference accumulators: (accesses, misses, compulsory) triples. *)
+type acc = { mutable a : int; mutable m : int; mutable c : int }
+
+let make_accs engine =
+  Array.init
+    (Array.length (Engine.nest engine).Tiling_ir.Nest.refs)
+    (fun _ -> { a = 0; m = 0; c = 0 })
+
+let classify_point engine point accs =
+  Array.iteri
+    (fun r acc ->
+      acc.a <- acc.a + 1;
+      match Engine.classify engine point r with
+      | Engine.Hit -> ()
+      | Engine.Replacement_miss -> acc.m <- acc.m + 1
+      | Engine.Compulsory_miss ->
+          acc.m <- acc.m + 1;
+          acc.c <- acc.c + 1)
+    accs
+
+let totals accs =
+  let misses = Array.fold_left (fun s x -> s + x.m) 0 accs in
+  let compulsory = Array.fold_left (fun s x -> s + x.c) 0 accs in
+  let per_ref =
+    Array.map (fun x -> { r_accesses = x.a; r_misses = x.m; r_compulsory = x.c }) accs
+  in
+  (misses, compulsory, per_ref)
+
+let exact engine =
+  let nest = Engine.nest engine in
+  let nrefs = Array.length nest.Tiling_ir.Nest.refs in
+  let accs = make_accs engine in
+  let points = ref 0 in
+  let f0 = Engine.fallback_count engine in
+  Tiling_ir.Nest.iter_points nest (fun point ->
+      incr points;
+      classify_point engine point accs);
+  let misses, compulsory, per_ref = totals accs in
+  report_of ~confidence:1.0e-9 ~points:!points ~accesses:(!points * nrefs)
+    ~misses ~compulsory ~per_ref
+    ~fallbacks:(Engine.fallback_count engine - f0)
+  |> fun r ->
+  (* An exact count has a degenerate interval. *)
+  {
+    r with
+    miss_ratio = { r.miss_ratio with half_width = 0.; confidence = 1.0 };
+    replacement_ratio = { r.replacement_ratio with half_width = 0.; confidence = 1.0 };
+  }
+
+let sample_at engine pts =
+  let nest = Engine.nest engine in
+  let nrefs = Array.length nest.Tiling_ir.Nest.refs in
+  let accs = make_accs engine in
+  let f0 = Engine.fallback_count engine in
+  Array.iter (fun point -> classify_point engine point accs) pts;
+  let points = Array.length pts in
+  let misses, compulsory, per_ref = totals accs in
+  report_of ~confidence:default_confidence ~points ~accesses:(points * nrefs)
+    ~misses ~compulsory ~per_ref
+    ~fallbacks:(Engine.fallback_count engine - f0)
+
+let sample ?(width = default_width) ?(confidence = default_confidence) ~seed engine =
+  let n = Stats.required_sample_size ~width ~confidence in
+  let rng = Prng.create ~seed in
+  let nest = Engine.nest engine in
+  let pts = Array.init n (fun _ -> Tiling_ir.Nest.random_point nest rng) in
+  let r = sample_at engine pts in
+  {
+    r with
+    miss_ratio = { r.miss_ratio with confidence };
+    replacement_ratio = { r.replacement_ratio with confidence };
+  }
+
+let pp ppf r =
+  Fmt.pf ppf
+    "points=%d accesses=%d miss=%.2f%%(±%.2f) repl=%.2f%%(±%.2f) compulsory=%d fallbacks=%d"
+    r.points r.accesses
+    (100. *. r.miss_ratio.Stats.center)
+    (100. *. r.miss_ratio.Stats.half_width)
+    (100. *. r.replacement_ratio.Stats.center)
+    (100. *. r.replacement_ratio.Stats.half_width)
+    r.compulsory r.fallbacks
+
+let pp_per_ref nest ppf r =
+  Array.iteri
+    (fun i (c : ref_counts) ->
+      let rf = (nest.Tiling_ir.Nest.refs).(i) in
+      let pct num den =
+        if den = 0 then 0. else 100. *. float_of_int num /. float_of_int den
+      in
+      Fmt.pf ppf "  ref %d %-5s %-8s miss %5.1f%% repl %5.1f%% (of %d)@." i
+        (match rf.Tiling_ir.Nest.access with
+        | Tiling_ir.Nest.Read -> "load"
+        | Tiling_ir.Nest.Write -> "store")
+        rf.Tiling_ir.Nest.array.Tiling_ir.Array_decl.name
+        (pct c.r_misses c.r_accesses)
+        (pct (c.r_misses - c.r_compulsory) c.r_accesses)
+        c.r_accesses)
+    r.per_ref

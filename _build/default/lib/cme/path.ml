@@ -1,0 +1,198 @@
+open Tiling_ir
+
+let lattice_top ~lo ~hi ~step = lo + ((hi - lo) / step * step)
+
+(* During construction a box variant is an (origin, entries) pair; free
+   tiled dimensions fork the variant list into full-tile and partial-tile
+   regions. *)
+type variant = { origin : int array; entries : Box.entry list }
+
+let finish v = { Box.origin = v.origin; entries = List.rev v.entries }
+
+let add_entry v targets count =
+  if count <= 0 then None
+  else if count = 1 then Some v
+  else Some { v with entries = { Box.targets; count } :: v.entries }
+
+let set_origin v var value =
+  let origin = Array.copy v.origin in
+  origin.(var) <- value;
+  { v with origin }
+
+(* Extend every variant with the free dimension [l] covering its full
+   range.  Tile_ctrl dims are handled together with their element dim;
+   Tile_elem dims with a free ctrl are skipped here (covered at the ctrl).
+   [fixed] tells whether a dimension's value is already pinned by the
+   variant's origin. *)
+let rec add_free_dims (nest : Nest.t) ~fixed l variants =
+  let d = Nest.depth nest in
+  if l >= d then variants
+  else
+    let next = add_free_dims nest ~fixed (l + 1) in
+    match nest.loops.(l).shape with
+    | _ when fixed.(l) -> next variants
+    | Nest.Range { lo; hi; step } ->
+        let count = Tiling_util.Intmath.range_count ~lo ~hi ~step in
+        next
+          (List.filter_map
+             (fun v -> add_entry (set_origin v l lo) [ (l, step) ] count)
+             variants)
+    | Nest.Tile_ctrl { lo; hi; tile } ->
+        (* Find the matching element loop. *)
+        let elem = ref (-1) in
+        Array.iteri
+          (fun e (loop : Nest.loop) ->
+            match loop.shape with
+            | Nest.Tile_elem t when t.ctrl = l -> elem := e
+            | _ -> ())
+          nest.loops;
+        let el = !elem in
+        assert (el >= 0);
+        fixed.(el) <- true;
+        let span = hi - lo + 1 in
+        let ntiles = Tiling_util.Intmath.ceil_div span tile in
+        let rem = span - ((ntiles - 1) * tile) in
+        let full_tiles = if rem = tile then ntiles else ntiles - 1 in
+        let variants' =
+          List.concat_map
+            (fun v ->
+              let full =
+                if full_tiles = 0 then None
+                else
+                  let v = set_origin (set_origin v l lo) el lo in
+                  Option.bind
+                    (add_entry v [ (l, tile); (el, tile) ] full_tiles)
+                    (fun v -> add_entry v [ (el, 1) ] tile)
+              in
+              let partial =
+                if rem = tile then None
+                else
+                  let start = lo + ((ntiles - 1) * tile) in
+                  let v = set_origin (set_origin v l start) el start in
+                  add_entry v [ (el, 1) ] rem
+              in
+              List.filter_map Fun.id [ full; partial ])
+            variants
+        in
+        let result = next variants' in
+        fixed.(el) <- false;
+        result
+    | Nest.Tile_elem { ctrl; tile; hi } ->
+        if not fixed.(ctrl) then next variants (* covered at the ctrl dim *)
+        else
+          next
+            (List.filter_map
+               (fun v ->
+                 let base = v.origin.(ctrl) in
+                 let top = min (base + tile - 1) hi in
+                 add_entry (set_origin v l base) [ (l, 1) ] (top - base + 1))
+               variants)
+
+(* Boxes with dims [< level] pinned to [prefix], dim [level] ranging over
+   the lattice interval [iv_lo, iv_hi] (inclusive, on-step), dims beyond
+   free.  [iv_lo] must be lattice-aligned for the dim. *)
+let boxes_with_bounded_dim (nest : Nest.t) ~prefix ~level ~iv_lo ~iv_hi =
+  let d = Nest.depth nest in
+  if iv_hi < iv_lo then []
+  else begin
+    let fixed = Array.init d (fun l -> l < level) in
+    let origin = Array.make d 0 in
+    Array.blit prefix 0 origin 0 level;
+    let base = { origin; entries = [] } in
+    let variants =
+      match nest.loops.(level).shape with
+      | Nest.Range { lo = _; hi = _; step } ->
+          fixed.(level) <- true;
+          let count = Tiling_util.Intmath.range_count ~lo:iv_lo ~hi:iv_hi ~step in
+          Option.to_list (add_entry (set_origin base level iv_lo) [ (level, step) ] count)
+      | Nest.Tile_elem _ ->
+          fixed.(level) <- true;
+          let count = iv_hi - iv_lo + 1 in
+          Option.to_list (add_entry (set_origin base level iv_lo) [ (level, 1) ] count)
+      | Nest.Tile_ctrl { lo; hi; tile } ->
+          fixed.(level) <- true;
+          (* Locate the element dim; tiles in the interval split into full
+             tiles and (possibly) the loop's final partial tile. *)
+          let elem = ref (-1) in
+          Array.iteri
+            (fun e (loop : Nest.loop) ->
+              match loop.shape with
+              | Nest.Tile_elem t when t.ctrl = level -> elem := e
+              | _ -> ())
+            nest.loops;
+          let el = !elem in
+          assert (el >= 0);
+          fixed.(el) <- true;
+          let span = hi - lo + 1 in
+          let rem = span mod tile in
+          let partial_start = if rem = 0 then max_int else lo + (span - rem) in
+          let full_hi = min iv_hi (partial_start - tile) in
+          let full =
+            if full_hi < iv_lo then None
+            else
+              let count = ((full_hi - iv_lo) / tile) + 1 in
+              let v = set_origin (set_origin base level iv_lo) el iv_lo in
+              Option.bind
+                (add_entry v [ (level, tile); (el, tile) ] count)
+                (fun v -> add_entry v [ (el, 1) ] tile)
+          in
+          let partial =
+            if partial_start < iv_lo || partial_start > iv_hi then None
+            else
+              let v = set_origin (set_origin base level partial_start) el partial_start in
+              add_entry v [ (el, 1) ] rem
+          in
+          List.filter_map Fun.id [ full; partial ]
+    in
+    List.map finish (add_free_dims nest ~fixed 0 variants)
+  end
+
+let dim_step (nest : Nest.t) l =
+  match nest.loops.(l).shape with
+  | Nest.Range { step; _ } -> step
+  | Nest.Tile_ctrl { tile; _ } -> tile
+  | Nest.Tile_elem _ -> 1
+
+let dim_bounds_at (nest : Nest.t) point l =
+  let lo, hi, step = Nest.bounds_at nest point l in
+  (lo, lattice_top ~lo ~hi ~step, step)
+
+let between (nest : Nest.t) ~src ~dst =
+  let d = Nest.depth nest in
+  let cmp = Nest.lex_compare src dst in
+  assert (cmp <= 0);
+  if cmp = 0 then []
+  else begin
+    let m =
+      let rec first l = if src.(l) <> dst.(l) then l else first (l + 1) in
+      first 0
+    in
+    let acc = ref [] in
+    let push bs = acc := bs :: !acc in
+    (* Middle band: common prefix, dim m strictly between. *)
+    let step_m = dim_step nest m in
+    push
+      (boxes_with_bounded_dim nest ~prefix:src ~level:m ~iv_lo:(src.(m) + step_m)
+         ~iv_hi:(dst.(m) - step_m));
+    (* Left slices: extend src's prefix, dim j above src.(j). *)
+    for j = m + 1 to d - 1 do
+      let _, top, step = dim_bounds_at nest src j in
+      push
+        (boxes_with_bounded_dim nest ~prefix:src ~level:j ~iv_lo:(src.(j) + step)
+           ~iv_hi:top)
+    done;
+    (* Right slices: extend dst's prefix, dim j below dst.(j). *)
+    for j = m + 1 to d - 1 do
+      let lo, _, step = dim_bounds_at nest dst j in
+      push
+        (boxes_with_bounded_dim nest ~prefix:dst ~level:j ~iv_lo:lo
+           ~iv_hi:(dst.(j) - step))
+    done;
+    List.concat (List.rev !acc)
+  end
+
+let full_space (nest : Nest.t) =
+  let d = Nest.depth nest in
+  let fixed = Array.make d false in
+  let base = { origin = Array.make d 0; entries = [] } in
+  List.map finish (add_free_dims nest ~fixed 0 [ base ])

@@ -1,0 +1,17 @@
+(** Decomposition of reuse paths into constant-shape boxes.
+
+    Given a source and a destination iteration point, [between] covers every
+    iteration point that executes strictly between them with disjoint
+    {!Box.t} values.  The decomposition is the classic prefix splitting of a
+    lexicographic interval (at most [2*depth - 1] slices); on tiled nests
+    each slice additionally splits per tiled dimension into full-tile and
+    partial-tile variants — these are exactly the multiple convex regions of
+    section 2.4 of the paper. *)
+
+val between : Tiling_ir.Nest.t -> src:int array -> dst:int array -> Box.t list
+(** Points [p] with [src < p < dst] in execution (lexicographic) order.
+    Requires [src <= dst]; both must be valid iteration points.  Returns
+    disjoint non-empty boxes. *)
+
+val full_space : Tiling_ir.Nest.t -> Box.t list
+(** The whole iteration space as boxes (one per convex region). *)

@@ -1,0 +1,1 @@
+lib/codegen/c_gen.ml: Affine Array Array_decl Buffer Int64 List Nest Printf String Tiling_ir

@@ -1,0 +1,1 @@
+lib/codegen/c_gen.mli: Tiling_ir

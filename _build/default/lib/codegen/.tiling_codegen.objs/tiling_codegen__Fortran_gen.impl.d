@@ -1,0 +1,1 @@
+lib/codegen/fortran_gen.ml: Affine Array Array_decl Buffer List Nest Printf String Tiling_ir

@@ -1,0 +1,1 @@
+lib/codegen/fortran_gen.mli: Tiling_ir

@@ -1,0 +1,146 @@
+open Tiling_ir
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c | _ -> '_')
+    (String.lowercase_ascii name)
+
+(* Byte-offset expression of an affine form over the loop variables. *)
+let affine_expr ~names (f : Affine.t) =
+  let buf = Buffer.create 64 in
+  let first = ref true in
+  let term s =
+    if !first then first := false else Buffer.add_string buf " + ";
+    Buffer.add_string buf s
+  in
+  Array.iteri
+    (fun l c ->
+      if c <> 0 then
+        term
+          (if c = 1 then Printf.sprintf "(%s)" names.(l)
+           else Printf.sprintf "%d*(%s)" c names.(l)))
+    f.Affine.coeffs;
+  if f.Affine.const <> 0 || !first then term (string_of_int f.Affine.const);
+  Buffer.contents buf
+
+let elem_type = function
+  | 8 -> "double"
+  | 4 -> "float"
+  | n -> Printf.sprintf "char /* %d-byte elements */" n
+
+let access_expr ~names nest (r : Nest.reference) =
+  let f = Nest.address_form nest r in
+  Printf.sprintf "*(%s *)(mem + %s)"
+    (elem_type r.Nest.array.Array_decl.elem_size)
+    (affine_expr ~names f)
+
+let indent out n = Buffer.add_string out (String.make (2 * n) ' ')
+
+let emit_loops out ~names (nest : Nest.t) ~body =
+  let d = Nest.depth nest in
+  Array.iteri
+    (fun l (loop : Nest.loop) ->
+      indent out (l + 1);
+      (match loop.Nest.shape with
+      | Nest.Range { lo; hi; step } ->
+          Buffer.add_string out
+            (Printf.sprintf "for (long %s = %d; %s <= %d; %s += %d) {\n"
+               loop.Nest.var lo loop.Nest.var hi loop.Nest.var step)
+      | Nest.Tile_ctrl { lo; hi; tile } ->
+          Buffer.add_string out
+            (Printf.sprintf "for (long %s = %d; %s <= %d; %s += %d) {\n"
+               loop.Nest.var lo loop.Nest.var hi loop.Nest.var tile)
+      | Nest.Tile_elem { ctrl; tile; hi } ->
+          let cv = names.(ctrl) in
+          Buffer.add_string out
+            (Printf.sprintf
+               "for (long %s = %s; %s <= (%s + %d < %d ? %s + %d : %d); %s++) {\n"
+               loop.Nest.var cv loop.Nest.var cv (tile - 1) hi cv (tile - 1) hi
+               loop.Nest.var)))
+    nest.Nest.loops;
+  body (d + 1);
+  for l = d - 1 downto 0 do
+    indent out (l + 1);
+    Buffer.add_string out "}\n"
+  done
+
+let total_bytes (nest : Nest.t) =
+  List.fold_left
+    (fun acc (a : Array_decl.t) ->
+      max acc (a.Array_decl.base + Array_decl.footprint a))
+    0 nest.Nest.arrays
+
+let emit_function ?name (nest : Nest.t) =
+  let fname = match name with Some n -> n | None -> sanitize nest.Nest.name in
+  let names = Nest.var_names nest in
+  let out = Buffer.create 4096 in
+  Buffer.add_string out
+    (Printf.sprintf
+       "/* Generated from loop nest %s.\n\
+       \   Arrays (byte offsets into mem, %d bytes total):\n" nest.Nest.name
+       (total_bytes nest));
+  List.iter
+    (fun (a : Array_decl.t) ->
+      Buffer.add_string out
+        (Printf.sprintf "     %-8s at %8d, layout [%s], %dB elements\n"
+           a.Array_decl.name a.Array_decl.base
+           (String.concat ","
+              (Array.to_list (Array.map string_of_int a.Array_decl.layout)))
+           a.Array_decl.elem_size))
+    nest.Nest.arrays;
+  Buffer.add_string out "*/\n";
+  Buffer.add_string out (Printf.sprintf "void %s(char *mem)\n{\n" fname);
+  Buffer.add_string out "  double acc = 0.0;\n";
+  emit_loops out ~names nest ~body:(fun depth ->
+      Array.iter
+        (fun (r : Nest.reference) ->
+          indent out depth;
+          let e = access_expr ~names nest r in
+          (match r.Nest.access with
+          | Nest.Read -> Buffer.add_string out (Printf.sprintf "acc += %s;\n" e)
+          | Nest.Write -> Buffer.add_string out (Printf.sprintf "%s = acc;\n" e)))
+        nest.Nest.refs);
+  Buffer.add_string out "  (void)acc;\n}\n";
+  Buffer.contents out
+
+let fnv_offset = 0xCBF29CE484222325L
+let fnv_prime = 0x100000001B3L
+
+let hash_step h v =
+  Int64.mul (Int64.logxor h (Int64.of_int v)) fnv_prime
+
+let access_stream_hash (nest : Nest.t) =
+  let forms = Array.map (Nest.address_form nest) nest.Nest.refs in
+  let h = ref fnv_offset in
+  Nest.iter_points nest (fun p ->
+      Array.iteri
+        (fun r form ->
+          h := hash_step !h r;
+          h := hash_step !h (Affine.eval form p))
+        forms);
+  !h
+
+let emit_trace_program (nest : Nest.t) =
+  let names = Nest.var_names nest in
+  let out = Buffer.create 4096 in
+  Buffer.add_string out "#include <stdio.h>\n#include <stdint.h>\n\n";
+  Buffer.add_string out
+    "/* Prints the FNV-1a hash of the (reference, byte address) access\n\
+    \   stream in execution order; must match\n\
+    \   Tiling_codegen.C_gen.access_stream_hash. */\n";
+  Buffer.add_string out "int main(void)\n{\n";
+  Buffer.add_string out "  uint64_t h = 0xCBF29CE484222325ULL;\n";
+  emit_loops out ~names nest ~body:(fun depth ->
+      Array.iter
+        (fun (r : Nest.reference) ->
+          let f = Nest.address_form nest r in
+          indent out depth;
+          Buffer.add_string out
+            (Printf.sprintf
+               "h = (h ^ (uint64_t)%d) * 0x100000001B3ULL; h = (h ^ (uint64_t)(%s)) * 0x100000001B3ULL;\n"
+               r.Nest.ref_id (affine_expr ~names f)))
+        nest.Nest.refs);
+  Buffer.add_string out "  printf(\"%llu\\n\", (unsigned long long)h);\n";
+  Buffer.add_string out "  return 0;\n}\n";
+  Buffer.contents out

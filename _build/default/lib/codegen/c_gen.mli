@@ -1,0 +1,29 @@
+(** C code generation for (possibly tiled, possibly padded) loop nests.
+
+    The emitted function reproduces the nest's memory behaviour exactly:
+    arrays live in one flat allocation at the same byte offsets the analysis
+    used (so padding decisions carry over verbatim), loops follow the
+    shapes — including the [min] upper bounds of tile element loops — and
+    the body performs one read or write per reference in program order.
+
+    Two flavours:
+    - {!emit_function}: a library-style function over a caller-provided
+      buffer, the thing a compiler pass would splice in;
+    - {!emit_trace_program}: a standalone program that walks the nest and
+      prints a hash of the (reference, element-offset) access stream; the
+      test suite compiles it with the system C compiler and checks the hash
+      against {!Tiling_trace.Gen}, closing the loop between the analysis
+      and real compiled code. *)
+
+val emit_function : ?name:string -> Tiling_ir.Nest.t -> string
+(** [emit_function nest] is a self-contained C translation unit defining
+    [void <name>(double *mem)] (default name: the nest's name, lowercased
+    and sanitised). *)
+
+val emit_trace_program : Tiling_ir.Nest.t -> string
+(** A complete C program whose [main] prints the decimal FNV-1a hash of the
+    access stream [(ref_id, byte_address)] in execution order. *)
+
+val access_stream_hash : Tiling_ir.Nest.t -> int64
+(** The same hash computed by {!Tiling_trace.Gen} — what the emitted
+    program must print. *)

@@ -1,0 +1,105 @@
+open Tiling_ir
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> c | _ -> 'x')
+    (String.lowercase_ascii name)
+
+(* 1-based Fortran subscript of one array dimension. *)
+let subscript_expr ~names (f : Affine.t) =
+  let buf = Buffer.create 32 in
+  let first = ref true in
+  let term s =
+    if !first then first := false else Buffer.add_string buf " + ";
+    Buffer.add_string buf s
+  in
+  Array.iteri
+    (fun l c ->
+      if c <> 0 then
+        term
+          (if c = 1 then names.(l) else Printf.sprintf "%d*%s" c names.(l)))
+    f.Affine.coeffs;
+  let const = f.Affine.const + 1 in
+  if const <> 0 || !first then term (string_of_int const);
+  Buffer.contents buf
+
+let type_of elem = if elem = 4 then "real" else "double precision"
+
+let emit_subroutine ?name (nest : Nest.t) =
+  let fname = match name with Some n -> n | None -> sanitize nest.Nest.name in
+  let names = Nest.var_names nest in
+  let out = Buffer.create 4096 in
+  let line s = Buffer.add_string out ("      " ^ s ^ "\n") in
+  line (Printf.sprintf "subroutine %s(acc)" fname);
+  line "double precision acc";
+  (* Declarations with layout dimensions. *)
+  List.iter
+    (fun (a : Array_decl.t) ->
+      line
+        (Printf.sprintf "%s %s(%s)"
+           (type_of a.Array_decl.elem_size)
+           a.Array_decl.name
+           (String.concat ","
+              (Array.to_list (Array.map string_of_int a.Array_decl.layout)))))
+    nest.Nest.arrays;
+  (* COMMON block in placement (base address) order with explicit gap
+     fillers; declaration order above is irrelevant. *)
+  let by_base =
+    List.sort
+      (fun (a : Array_decl.t) (b : Array_decl.t) ->
+        compare a.Array_decl.base b.Array_decl.base)
+      nest.Nest.arrays
+  in
+  let commons = Buffer.create 128 in
+  let next = ref 0 in
+  let pads = ref [] in
+  List.iteri
+    (fun i (a : Array_decl.t) ->
+      if a.Array_decl.base > !next then begin
+        let gap = a.Array_decl.base - !next in
+        let padname = Printf.sprintf "pad%d" i in
+        pads := Printf.sprintf "integer*1 %s(%d)" padname gap :: !pads;
+        Buffer.add_string commons (Printf.sprintf "%s, " padname)
+      end;
+      Buffer.add_string commons a.Array_decl.name;
+      if i < List.length by_base - 1 then Buffer.add_string commons ", ";
+      next := a.Array_decl.base + Array_decl.footprint a)
+    by_base;
+  List.iter line (List.rev !pads);
+  line (Printf.sprintf "common /mem/ %s" (Buffer.contents commons));
+  (* Loop variables. *)
+  line
+    (Printf.sprintf "integer %s"
+       (String.concat ", " (Array.to_list names)));
+  (* Loops. *)
+  Array.iter
+    (fun (loop : Nest.loop) ->
+      match loop.Nest.shape with
+      | Nest.Range { lo; hi; step } ->
+          if step = 1 then line (Printf.sprintf "do %s = %d, %d" loop.Nest.var lo hi)
+          else line (Printf.sprintf "do %s = %d, %d, %d" loop.Nest.var lo hi step)
+      | Nest.Tile_ctrl { lo; hi; tile } ->
+          line (Printf.sprintf "do %s = %d, %d, %d" loop.Nest.var lo hi tile)
+      | Nest.Tile_elem { ctrl; tile; hi } ->
+          let cv = names.(ctrl) in
+          line
+            (Printf.sprintf "do %s = %s, min(%s + %d, %d)" loop.Nest.var cv cv
+               (tile - 1) hi))
+    nest.Nest.loops;
+  (* Body. *)
+  Array.iter
+    (fun (r : Nest.reference) ->
+      let subs =
+        String.concat ", "
+          (Array.to_list (Array.map (fun f -> subscript_expr ~names f) r.Nest.idx))
+      in
+      let ref_str = Printf.sprintf "%s(%s)" r.Nest.array.Array_decl.name subs in
+      match r.Nest.access with
+      | Nest.Read -> line (Printf.sprintf "acc = acc + %s" ref_str)
+      | Nest.Write -> line (Printf.sprintf "%s = acc" ref_str))
+    nest.Nest.refs;
+  Array.iter (fun _ -> line "enddo") nest.Nest.loops;
+  line "return";
+  line "end";
+  Buffer.contents out

@@ -1,0 +1,13 @@
+(** Fortran 77 code generation for (possibly tiled, padded) loop nests.
+
+    Arrays are declared with their *layout* dimensions (so intra-array
+    padding shows up as an enlarged leading dimension) and laid out in a
+    single COMMON block in placement order, with explicit filler arrays for
+    inter-array padding gaps — the classic way Fortran programmers
+    controlled relative placement, and exactly the memory image the
+    analysis assumed. *)
+
+val emit_subroutine : ?name:string -> Tiling_ir.Nest.t -> string
+(** A complete SUBROUTINE (fixed-form, 72-column-safe bodies are not
+    guaranteed for very deep nests; modern compilers accept
+    [-ffixed-line-length-none]). *)

@@ -1,0 +1,1 @@
+lib/core/optimizer.ml: Array Array_decl Fmt Hashtbl List Nest Padder Sample Tiler Tiling_cme Tiling_ga Tiling_ir Tiling_util Transform

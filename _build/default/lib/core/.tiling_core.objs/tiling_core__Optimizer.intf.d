@@ -1,0 +1,1 @@
+lib/core/optimizer.mli: Fmt Padder Tiler Tiling_cache Tiling_cme Tiling_ga Tiling_ir

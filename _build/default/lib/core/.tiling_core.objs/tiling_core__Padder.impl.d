@@ -1,0 +1,1 @@
+lib/core/padder.ml: Array Array_decl Fmt Fun Hashtbl List Nest Sample Tiling_cme Tiling_ga Tiling_ir Tiling_util Transform

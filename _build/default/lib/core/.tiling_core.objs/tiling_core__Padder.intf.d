@@ -1,0 +1,1 @@
+lib/core/padder.mli: Fmt Tiling_cache Tiling_cme Tiling_ga Tiling_ir

@@ -1,0 +1,1 @@
+lib/core/sample.ml: Array Nest Tiling_cme Tiling_ir Tiling_util

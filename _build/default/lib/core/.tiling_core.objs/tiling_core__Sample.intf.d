@@ -1,0 +1,1 @@
+lib/core/sample.mli: Tiling_ir

@@ -1,0 +1,1 @@
+lib/core/tiler.ml: Array Fmt Fun Hashtbl List Logs Mutex Nest Sample String Tiling_cme Tiling_ga Tiling_ir Tiling_util Transform

@@ -1,0 +1,1 @@
+lib/core/tiler.mli: Fmt Sample Tiling_cache Tiling_cme Tiling_ga Tiling_ir

@@ -1,0 +1,131 @@
+type combined = {
+  padding : Tiling_ir.Transform.padding;
+  tiles : int array;
+  original : Tiling_cme.Estimator.report;
+  padded : Tiling_cme.Estimator.report;
+  padded_tiled : Tiling_cme.Estimator.report;
+}
+
+let pad_then_tile ?(topts = Tiler.default_opts) ?(popts = Padder.default_opts)
+    nest cache =
+  let pad_outcome = Padder.optimize ~opts:popts nest cache in
+  let padding = pad_outcome.Padder.padding in
+  let tile_outcome =
+    Padder.with_padding nest padding (fun () ->
+        Tiler.optimize ~opts:topts nest cache)
+  in
+  {
+    padding;
+    tiles = tile_outcome.Tiler.tiles;
+    original = pad_outcome.Padder.before;
+    padded = pad_outcome.Padder.after;
+    padded_tiled = tile_outcome.Tiler.after;
+  }
+
+type joint = {
+  padding : Tiling_ir.Transform.padding;
+  tiles : int array;
+  original : Tiling_cme.Estimator.report;
+  optimized : Tiling_cme.Estimator.report;
+  ga : Tiling_ga.Engine.result;
+}
+
+let pad_and_tile ?(topts = Tiler.default_opts) ?(popts = Padder.default_opts)
+    nest cache =
+  let open Tiling_ir in
+  let narrays = List.length nest.Nest.arrays in
+  let k = Nest.depth nest in
+  let sample = Sample.create ?n:topts.Tiler.sample_points ~seed:topts.Tiler.seed nest in
+  let spans = Transform.tile_spans nest in
+  (* Chromosomes: k tile sizes, then (intra, inter) per array. *)
+  let uppers =
+    Array.init
+      (k + (2 * narrays))
+      (fun i ->
+        if i < k then spans.(i)
+        else if (i - k) land 1 = 0 then popts.Padder.max_intra + 1
+        else popts.Padder.max_inter + 1)
+  in
+  let elem_sizes =
+    Array.of_list
+      (List.map (fun (a : Array_decl.t) -> a.Array_decl.elem_size) nest.Nest.arrays)
+  in
+  let split values =
+    let tiles = Array.sub values 0 k in
+    let inter = Array.make narrays 0 and intra = Array.make narrays 0 in
+    for a = 0 to narrays - 1 do
+      intra.(a) <- values.(k + (2 * a)) - 1;
+      inter.(a) <- (values.(k + (2 * a) + 1) - 1) * elem_sizes.(a)
+    done;
+    (tiles, { Transform.inter; intra })
+  in
+  let evaluate tiles =
+    let tiled = Transform.tile nest tiles in
+    let engine = Tiling_cme.Engine.create tiled cache in
+    Tiling_cme.Estimator.sample_at engine (Sample.embed sample ~tiles)
+  in
+  let memo : (int list, float) Hashtbl.t = Hashtbl.create 1024 in
+  let objective values =
+    let key = Array.to_list values in
+    match Hashtbl.find_opt memo key with
+    | Some v -> v
+    | None ->
+        let tiles, padding = split values in
+        let v =
+          Padder.with_padding nest padding (fun () ->
+              float_of_int (Tiling_cme.Estimator.replacement (evaluate tiles)))
+        in
+        Hashtbl.replace memo key v;
+        v
+  in
+  let encoding = Tiling_ga.Encoding.make uppers in
+  let runs =
+    List.init
+      (max 1 topts.Tiler.restarts)
+      (fun r ->
+        let rng =
+          Tiling_util.Prng.create
+            ~seed:(topts.Tiler.seed lxor 0x71F lxor (r * 0x5DEECE66))
+        in
+        Tiling_ga.Engine.run ~params:topts.Tiler.ga ~encoding ~objective ~rng ())
+  in
+  let ga =
+    List.fold_left
+      (fun acc (run : Tiling_ga.Engine.result) ->
+        if run.Tiling_ga.Engine.best_objective < acc.Tiling_ga.Engine.best_objective
+        then run
+        else acc)
+      (List.hd runs) (List.tl runs)
+  in
+  let tiles, padding =
+    split (Tiling_ga.Encoding.decode encoding ga.Tiling_ga.Engine.best_genes)
+  in
+  let original =
+    let engine = Tiling_cme.Engine.create nest cache in
+    Tiling_cme.Estimator.sample_at engine (Sample.points sample)
+  in
+  let optimized = Padder.with_padding nest padding (fun () -> evaluate tiles) in
+  { padding; tiles; original; optimized; ga }
+
+let pp_joint ppf j =
+  Fmt.pf ppf
+    "joint search: tiles=[%a] intra=[%a] inter=[%a]@ original:  %a@ optimized: %a"
+    Fmt.(array ~sep:(any ",") int)
+    j.tiles
+    Fmt.(array ~sep:(any ",") int)
+    j.padding.Tiling_ir.Transform.intra
+    Fmt.(array ~sep:(any ",") int)
+    j.padding.Tiling_ir.Transform.inter Tiling_cme.Estimator.pp j.original
+    Tiling_cme.Estimator.pp j.optimized
+
+let pp_combined ppf (c : combined) =
+  Fmt.pf ppf
+    "padding intra=[%a] inter=[%a], tiles=[%a]@ original:     %a@ padded:       \
+     %a@ padded+tiled: %a"
+    Fmt.(array ~sep:(any ",") int)
+    c.padding.Tiling_ir.Transform.intra
+    Fmt.(array ~sep:(any ",") int)
+    c.padding.Tiling_ir.Transform.inter
+    Fmt.(array ~sep:(any ",") int)
+    c.tiles Tiling_cme.Estimator.pp c.original Tiling_cme.Estimator.pp c.padded
+    Tiling_cme.Estimator.pp c.padded_tiled

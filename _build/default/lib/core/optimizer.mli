@@ -1,0 +1,41 @@
+(** Combined transformations: the paper's padding-then-tiling pipeline
+    (table 3): padding parameters are searched first on the original nest,
+    then tile sizes are searched on the padded layout. *)
+
+type combined = {
+  padding : Tiling_ir.Transform.padding;
+  tiles : int array;
+  original : Tiling_cme.Estimator.report;      (** no padding, no tiling *)
+  padded : Tiling_cme.Estimator.report;        (** padding only *)
+  padded_tiled : Tiling_cme.Estimator.report;  (** padding then tiling *)
+}
+
+val pad_then_tile :
+  ?topts:Tiler.opts ->
+  ?popts:Padder.opts ->
+  Tiling_ir.Nest.t ->
+  Tiling_cache.Config.t ->
+  combined
+(** The nest's arrays are restored to their canonical placement on
+    return. *)
+
+type joint = {
+  padding : Tiling_ir.Transform.padding;
+  tiles : int array;
+  original : Tiling_cme.Estimator.report;
+  optimized : Tiling_cme.Estimator.report;  (** padding and tiling together *)
+  ga : Tiling_ga.Engine.result;
+}
+
+val pad_and_tile :
+  ?topts:Tiler.opts -> ?popts:Padder.opts -> Tiling_ir.Nest.t ->
+  Tiling_cache.Config.t -> joint
+(** The paper's stated future work (section 4.3): search padding and tile
+    parameters *in a single step* — one chromosome holds the tile vector
+    and all padding amounts, so the GA can exploit their interaction.  GA
+    parameters and search spaces are taken from [topts] / [popts]
+    respectively ([popts]'s sample/seed settings are ignored; [topts]'s are
+    used).  Arrays are restored to canonical placement on return. *)
+
+val pp_combined : combined Fmt.t
+val pp_joint : joint Fmt.t

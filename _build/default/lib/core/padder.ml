@@ -1,0 +1,108 @@
+open Tiling_ir
+
+type opts = {
+  ga : Tiling_ga.Engine.params;
+  seed : int;
+  sample_points : int option;
+  max_intra : int;
+  max_inter : int;
+  restarts : int;
+}
+
+let default_opts =
+  {
+    ga = Tiling_ga.Engine.default_params;
+    seed = 20020815;
+    sample_points = None;
+    max_intra = 16;
+    max_inter = 16;
+    restarts = 3;
+  }
+
+type outcome = {
+  padding : Transform.padding;
+  before : Tiling_cme.Estimator.report;
+  after : Tiling_cme.Estimator.report;
+  ga : Tiling_ga.Engine.result;
+  distinct_candidates : int;
+}
+
+let with_padding nest pad f =
+  Transform.apply_padding nest pad;
+  Fun.protect ~finally:(fun () -> Transform.clear_padding nest) f
+
+let optimize ?(opts = default_opts) ?tiles nest cache =
+  let narrays = List.length nest.Nest.arrays in
+  let sample = Sample.create ?n:opts.sample_points ~seed:opts.seed nest in
+  let eval_current () =
+    (* Address forms are rebuilt here, so the arrays' current layout and
+       bases are what gets analysed. *)
+    match tiles with
+    | None ->
+        let engine = Tiling_cme.Engine.create nest cache in
+        Tiling_cme.Estimator.sample_at engine (Sample.points sample)
+    | Some tiles ->
+        let tiled = Transform.tile nest tiles in
+        let engine = Tiling_cme.Engine.create tiled cache in
+        Tiling_cme.Estimator.sample_at engine (Sample.embed sample ~tiles)
+  in
+  let pad_of_values values =
+    let inter = Array.make narrays 0 and intra = Array.make narrays 0 in
+    let elem_sizes =
+      Array.of_list
+        (List.map (fun (a : Array_decl.t) -> a.Array_decl.elem_size) nest.Nest.arrays)
+    in
+    for k = 0 to narrays - 1 do
+      intra.(k) <- values.(2 * k) - 1;
+      inter.(k) <- (values.((2 * k) + 1) - 1) * elem_sizes.(k)
+    done;
+    { Transform.inter; intra }
+  in
+  (* One (intra, inter) variable pair per array. *)
+  let uppers =
+    Array.init (2 * narrays) (fun i ->
+        if i land 1 = 0 then opts.max_intra + 1 else opts.max_inter + 1)
+  in
+  let encoding = Tiling_ga.Encoding.make uppers in
+  let memo : (int list, float) Hashtbl.t = Hashtbl.create 512 in
+  let objective values =
+    let key = Array.to_list values in
+    match Hashtbl.find_opt memo key with
+    | Some v -> v
+    | None ->
+        let pad = pad_of_values values in
+        let v =
+          with_padding nest pad (fun () ->
+              float_of_int (Tiling_cme.Estimator.replacement (eval_current ())))
+        in
+        Hashtbl.replace memo key v;
+        v
+  in
+  let before = eval_current () in
+  let runs =
+    List.init (max 1 opts.restarts) (fun r ->
+        let rng = Tiling_util.Prng.create ~seed:(opts.seed lxor 0x9AD lxor (r * 0x5DEECE66)) in
+        Tiling_ga.Engine.run ~params:opts.ga ~encoding ~objective ~rng ())
+  in
+  let ga =
+    List.fold_left
+      (fun acc (run : Tiling_ga.Engine.result) ->
+        if run.Tiling_ga.Engine.best_objective
+           < acc.Tiling_ga.Engine.best_objective
+        then run
+        else acc)
+      (List.hd runs) (List.tl runs)
+  in
+  let padding =
+    pad_of_values (Tiling_ga.Encoding.decode encoding ga.Tiling_ga.Engine.best_genes)
+  in
+  let after = with_padding nest padding eval_current in
+  { padding; before; after; ga; distinct_candidates = Hashtbl.length memo }
+
+let pp_outcome ppf o =
+  Fmt.pf ppf "padding: intra=[%a] inter=[%a]@ before: %a@ after: %a"
+    Fmt.(array ~sep:(any ",") int)
+    o.padding.Transform.intra
+    Fmt.(array ~sep:(any ",") int)
+    o.padding.Transform.inter Tiling_cme.Estimator.pp o.before
+    Tiling_cme.Estimator.pp o.after

@@ -1,0 +1,47 @@
+(** Near-optimal padding (section 4.3, after Vera/González/Llosa [28]).
+
+    For kernels whose post-tiling misses are conflict-dominated (ADD, BTRIX,
+    VPENTA, ADI in the paper), tiling alone cannot help: the conflicts come
+    from the data layout.  Padding parameters — extra elements on each
+    array's leading dimension (intra) and gaps between consecutive arrays
+    (inter) — are introduced into the CMEs and searched with the same
+    genetic algorithm as tile sizes. *)
+
+type opts = {
+  ga : Tiling_ga.Engine.params;
+  seed : int;
+  sample_points : int option;
+  max_intra : int;  (** max extra elements on the leading dimension *)
+  max_inter : int;  (** max gap elements before each array *)
+  restarts : int;   (** independent GA runs, best kept *)
+}
+
+val default_opts : opts
+(** GA parameters as in the paper; padding spaces of 16 elements each. *)
+
+type outcome = {
+  padding : Tiling_ir.Transform.padding;
+  before : Tiling_cme.Estimator.report;  (** unpadded *)
+  after : Tiling_cme.Estimator.report;   (** best padding applied *)
+  ga : Tiling_ga.Engine.result;
+  distinct_candidates : int;
+}
+
+val with_padding :
+  Tiling_ir.Nest.t -> Tiling_ir.Transform.padding -> (unit -> 'a) -> 'a
+(** [with_padding nest pad f] runs [f] with the padding applied to the
+    nest's arrays and always restores the canonical (packed, unpadded)
+    placement afterwards. *)
+
+val optimize :
+  ?opts:opts ->
+  ?tiles:int array ->
+  Tiling_ir.Nest.t ->
+  Tiling_cache.Config.t ->
+  outcome
+(** [optimize nest cache] searches padding for the untiled nest ([tiles]
+    evaluates every candidate under that fixed tiling instead).  The nest's
+    arrays are left in their canonical unpadded placement on return; use
+    {!with_padding} to apply the winner. *)
+
+val pp_outcome : outcome Fmt.t

@@ -1,0 +1,34 @@
+open Tiling_ir
+
+type t = { nest : Nest.t; points : int array array; los : int array }
+
+let create ?n ~seed nest =
+  let n = match n with Some n -> n | None -> Tiling_cme.Estimator.default_points () in
+  let rng = Tiling_util.Prng.create ~seed in
+  let los =
+    Array.map
+      (fun (l : Nest.loop) ->
+        match l.shape with
+        | Nest.Range { lo; _ } -> lo
+        | _ -> invalid_arg "Sample.create: nest must be untiled")
+      nest.Nest.loops
+  in
+  let points = Array.init n (fun _ -> Nest.random_point nest rng) in
+  { nest; points; los }
+
+let points t = t.points
+
+let size t = Array.length t.points
+
+let embed t ~tiles =
+  let d = Nest.depth t.nest in
+  assert (Array.length tiles = d);
+  Array.map
+    (fun p ->
+      let q = Array.make (2 * d) 0 in
+      for l = 0 to d - 1 do
+        q.(l) <- t.los.(l) + ((p.(l) - t.los.(l)) / tiles.(l) * tiles.(l));
+        q.(d + l) <- p.(l)
+      done;
+      q)
+    t.points

@@ -1,0 +1,24 @@
+(** Common-random-number sampling across candidate tilings.
+
+    The genetic algorithm compares hundreds of candidate tile vectors.  To
+    make their objective values directly comparable (and the search
+    deterministic), one set of iteration points is drawn once from the
+    *original* nest; for each candidate it is embedded into the tiled
+    space — tiling is a bijection on iteration points, so the embedded
+    sample is exactly as uniform as the original one. *)
+
+type t
+
+val create : ?n:int -> seed:int -> Tiling_ir.Nest.t -> t
+(** [create ~seed nest] draws [n] points (default: the paper's 164) from
+    the original, untiled nest. *)
+
+val points : t -> int array array
+(** The sample in original coordinates. *)
+
+val size : t -> int
+
+val embed : t -> tiles:int array -> int array array
+(** The sample in the coordinates of [Transform.tile nest tiles]: control
+    coordinates first (the tile containing each original value), then the
+    original values. *)

@@ -1,0 +1,243 @@
+open Tiling_ir
+
+let log_src = Logs.Src.create "tiling.core" ~doc:"GA tile/padding search"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type opts = {
+  ga : Tiling_ga.Engine.params;
+  seed : int;
+  sample_points : int option;
+  restarts : int;
+  domains : int;
+}
+
+let default_opts =
+  {
+    ga = Tiling_ga.Engine.default_params;
+    seed = 20020815;
+    sample_points = None;
+    restarts = 3;
+    domains = 1;
+  }
+
+type outcome = {
+  tiles : int array;
+  before : Tiling_cme.Estimator.report;
+  after : Tiling_cme.Estimator.report;
+  ga : Tiling_ga.Engine.result;
+  distinct_candidates : int;
+}
+
+let report_for sample nest cache tiles =
+  let tiled = Transform.tile nest tiles in
+  let engine = Tiling_cme.Engine.create tiled cache in
+  Tiling_cme.Estimator.sample_at engine (Sample.embed sample ~tiles)
+
+let objective_on sample nest cache tiles =
+  let r = report_for sample nest cache tiles in
+  float_of_int (Tiling_cme.Estimator.replacement r)
+
+let optimize ?(opts = default_opts) nest cache =
+  let sample = Sample.create ?n:opts.sample_points ~seed:opts.seed nest in
+  let uppers = Transform.tile_spans nest in
+  let encoding = Tiling_ga.Encoding.make uppers in
+  (* The GA revisits individuals; cache the expensive objective per tile
+     vector.  Tile evaluation never mutates shared state (tiling builds a
+     fresh nest; padding is not involved), so whole generations can be
+     scored in parallel over domains, with the memo behind a mutex. *)
+  let memo : (int list, float) Hashtbl.t = Hashtbl.create 512 in
+  let memo_lock = Mutex.create () in
+  let lookup key = Mutex.protect memo_lock (fun () -> Hashtbl.find_opt memo key) in
+  let store key v = Mutex.protect memo_lock (fun () -> Hashtbl.replace memo key v) in
+  let objective tiles =
+    let key = Array.to_list tiles in
+    match lookup key with
+    | Some v -> v
+    | None ->
+        let v = objective_on sample nest cache tiles in
+        store key v;
+        v
+  in
+  let evaluate_all =
+    if opts.domains <= 1 then None
+    else
+      Some
+        (fun decoded ->
+          Tiling_util.Par.map ~domains:opts.domains objective decoded)
+  in
+  (* Independent GA restarts (objective cache shared): our exact
+     conflict-aware objective is rougher than the paper's, so a single
+     population occasionally converges into a poor basin.  Keep the best
+     run. *)
+  let runs =
+    List.init (max 1 opts.restarts) (fun r ->
+        let rng = Tiling_util.Prng.create ~seed:(opts.seed lxor 0x6A5 lxor (r * 0x5DEECE66)) in
+        Tiling_ga.Engine.run ?evaluate_all ~params:opts.ga ~encoding ~objective
+          ~rng ())
+  in
+  let ga =
+    List.fold_left
+      (fun acc (run : Tiling_ga.Engine.result) ->
+        if run.Tiling_ga.Engine.best_objective
+           < acc.Tiling_ga.Engine.best_objective
+        then run
+        else acc)
+      (List.hd runs) (List.tl runs)
+  in
+  let tiles = Tiling_ga.Encoding.decode encoding ga.Tiling_ga.Engine.best_genes in
+  Log.info (fun m ->
+      m "%s: GA chose tiles [%s] after %d evaluations (%d distinct), best %g"
+        nest.Nest.name
+        (String.concat "," (Array.to_list (Array.map string_of_int tiles)))
+        ga.Tiling_ga.Engine.evaluations (Hashtbl.length memo)
+        ga.Tiling_ga.Engine.best_objective);
+  let before =
+    let engine = Tiling_cme.Engine.create nest cache in
+    Tiling_cme.Estimator.sample_at engine (Sample.points sample)
+  in
+  let after = report_for sample nest cache tiles in
+  { tiles; before; after; ga; distinct_candidates = Hashtbl.length memo }
+
+let pp_outcome ppf o =
+  Fmt.pf ppf
+    "tiles=[%a]@ before: %a@ after: %a@ ga: %d generations, %d evaluations \
+     (%d distinct)%s"
+    Fmt.(array ~sep:(any ",") int)
+    o.tiles Tiling_cme.Estimator.pp o.before Tiling_cme.Estimator.pp o.after
+    o.ga.Tiling_ga.Engine.generations o.ga.Tiling_ga.Engine.evaluations
+    o.distinct_candidates
+    (if o.ga.Tiling_ga.Engine.converged then ", converged" else "")
+
+(* ------------------------------------------------------------------ *)
+(* Extension: loop order x tile sizes.                                  *)
+
+type order_outcome = {
+  order : int array;
+  otiles : int array;
+  obefore : Tiling_cme.Estimator.report;
+  oafter : Tiling_cme.Estimator.report;
+  oga : Tiling_ga.Engine.result;
+}
+
+let factorial n =
+  let rec go acc n = if n <= 1 then acc else go (acc * n) (n - 1) in
+  go 1 n
+
+(* The [i]-th permutation of [0 .. d-1] in Lehmer-code order. *)
+let permutation_of_index d i =
+  let avail = ref (List.init d Fun.id) in
+  let perm = Array.make d 0 in
+  let rem = ref i in
+  for p = 0 to d - 1 do
+    let f = factorial (d - 1 - p) in
+    let k = !rem / f in
+    rem := !rem mod f;
+    perm.(p) <- List.nth !avail k;
+    avail := List.filteri (fun j _ -> j <> k) !avail
+  done;
+  perm
+
+let optimize_with_order ?(opts = default_opts) nest cache =
+  let d = Tiling_ir.Nest.depth nest in
+  let sample = Sample.create ?n:opts.sample_points ~seed:opts.seed nest in
+  let spans = Transform.tile_spans nest in
+  let nperms = factorial d in
+  (* Permuted nests and their samples are built once per permutation. *)
+  let permuted = Hashtbl.create nperms in
+  let nest_for idx =
+    match Hashtbl.find_opt permuted idx with
+    | Some v -> v
+    | None ->
+        let perm = permutation_of_index d idx in
+        let pnest = Transform.interchange nest perm in
+        (* the sample's points, reordered to the permuted loop order *)
+        let pts =
+          Array.map
+            (fun p -> Array.init d (fun i -> p.(perm.(i))))
+            (Sample.points sample)
+        in
+        let v = (perm, pnest, pts) in
+        Hashtbl.replace permuted idx v;
+        v
+  in
+  let embed_tiled pnest pts tiles =
+    let los =
+      Array.map
+        (fun (l : Tiling_ir.Nest.loop) ->
+          match l.Tiling_ir.Nest.shape with
+          | Tiling_ir.Nest.Range { lo; _ } -> lo
+          | _ -> assert false)
+        pnest.Tiling_ir.Nest.loops
+    in
+    Array.map
+      (fun p ->
+        let q = Array.make (2 * d) 0 in
+        for l = 0 to d - 1 do
+          q.(l) <- los.(l) + ((p.(l) - los.(l)) / tiles.(l) * tiles.(l));
+          q.(d + l) <- p.(l)
+        done;
+        q)
+      pts
+  in
+  (* Chromosomes: permutation index, then d tile sizes (permuted order,
+     conservatively bounded by the largest span). *)
+  let max_span = Array.fold_left max 1 spans in
+  let uppers = Array.append [| nperms |] (Array.make d max_span) in
+  let encoding = Tiling_ga.Encoding.make uppers in
+  let memo : (int list, float) Hashtbl.t = Hashtbl.create 1024 in
+  let evaluate idx tiles =
+    let _, pnest, pts = nest_for idx in
+    let pspans = Transform.tile_spans pnest in
+    let tiles = Array.mapi (fun l t -> min t pspans.(l)) tiles in
+    let tiled = Transform.tile pnest tiles in
+    let engine = Tiling_cme.Engine.create tiled cache in
+    Tiling_cme.Estimator.sample_at engine (embed_tiled pnest pts tiles)
+  in
+  let objective values =
+    let key = Array.to_list values in
+    match Hashtbl.find_opt memo key with
+    | Some v -> v
+    | None ->
+        let idx = values.(0) - 1 in
+        let tiles = Array.sub values 1 d in
+        let v =
+          float_of_int (Tiling_cme.Estimator.replacement (evaluate idx tiles))
+        in
+        Hashtbl.replace memo key v;
+        v
+  in
+  let runs =
+    List.init (max 1 opts.restarts) (fun r ->
+        let rng =
+          Tiling_util.Prng.create
+            ~seed:(opts.seed lxor 0x2E7 lxor (r * 0x5DEECE66))
+        in
+        Tiling_ga.Engine.run ~params:opts.ga ~encoding ~objective ~rng ())
+  in
+  let ga =
+    List.fold_left
+      (fun acc (run : Tiling_ga.Engine.result) ->
+        if run.Tiling_ga.Engine.best_objective < acc.Tiling_ga.Engine.best_objective
+        then run
+        else acc)
+      (List.hd runs) (List.tl runs)
+  in
+  let values = Tiling_ga.Encoding.decode encoding ga.Tiling_ga.Engine.best_genes in
+  let idx = values.(0) - 1 in
+  let perm, pnest, _ = nest_for idx in
+  let pspans = Transform.tile_spans pnest in
+  let otiles = Array.mapi (fun l t -> min t pspans.(l)) (Array.sub values 1 d) in
+  let obefore =
+    let engine = Tiling_cme.Engine.create nest cache in
+    Tiling_cme.Estimator.sample_at engine (Sample.points sample)
+  in
+  let oafter = evaluate idx otiles in
+  { order = perm; otiles; obefore; oafter; oga = ga }
+
+let pp_order_outcome ppf o =
+  Fmt.pf ppf "order=[%a] tiles=[%a]@ before: %a@ after: %a"
+    Fmt.(array ~sep:(any ",") int)
+    o.order
+    Fmt.(array ~sep:(any ",") int)
+    o.otiles Tiling_cme.Estimator.pp o.obefore Tiling_cme.Estimator.pp o.oafter

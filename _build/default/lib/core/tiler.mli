@@ -1,0 +1,67 @@
+(** Near-optimal loop tiling: the paper's headline algorithm (section 3).
+
+    The tile-size vector [T_1 .. T_k], [1 <= T_i <= U_i], is searched with
+    the genetic algorithm of section 3.3; each candidate's objective is the
+    number of replacement misses in the common iteration-point sample, as
+    predicted by the CME solver on the tiled nest.  Compulsory misses are
+    invariant under tiling, so minimising replacement misses minimises all
+    misses the transformation can affect. *)
+
+type opts = {
+  ga : Tiling_ga.Engine.params;
+  seed : int;             (** drives sampling and all GA randomness *)
+  sample_points : int option;
+      (** sample size; [None] = the paper's 164-point rule *)
+  restarts : int;
+      (** independent GA runs (best kept); 1 reproduces the paper's single
+          run, the default 3 makes results robust to unlucky initial
+          populations *)
+  domains : int;
+      (** OCaml domains used to score each GA generation in parallel
+          (candidate evaluations are independent); 1 = sequential.  The
+          search result is identical for any value. *)
+}
+
+val default_opts : opts
+
+type outcome = {
+  tiles : int array;              (** best tile vector found *)
+  before : Tiling_cme.Estimator.report;  (** original nest on the sample *)
+  after : Tiling_cme.Estimator.report;   (** tiled nest on the same sample *)
+  ga : Tiling_ga.Engine.result;   (** the best of the restarted runs *)
+  distinct_candidates : int;      (** distinct tile vectors evaluated *)
+}
+
+val objective_on :
+  Sample.t -> Tiling_ir.Nest.t -> Tiling_cache.Config.t -> int array -> float
+(** [objective_on sample nest cache tiles] is the replacement-miss count of
+    [Transform.tile nest tiles] over the embedded sample — the GA's raw
+    objective, exposed for baselines so every search method optimises the
+    identical function. *)
+
+val optimize :
+  ?opts:opts -> Tiling_ir.Nest.t -> Tiling_cache.Config.t -> outcome
+(** [optimize nest cache] runs the full pipeline on an untiled nest:
+    sample, GA search, and before/after reports on the common sample. *)
+
+val pp_outcome : outcome Fmt.t
+
+(** {2 Extension: searching the loop order together with tile sizes}
+
+    The paper fixes the loop order and searches tile sizes; since
+    interchange is legal on these rectangular nests, the GA can also pick
+    the permutation.  One extra chromosome encodes the Lehmer index of the
+    loop order; the tile chromosome is interpreted in the permuted order. *)
+
+type order_outcome = {
+  order : int array;   (** new position [p] holds original loop [order.(p)] *)
+  otiles : int array;  (** tile sizes, one per loop of the permuted nest *)
+  obefore : Tiling_cme.Estimator.report;  (** original nest, original order *)
+  oafter : Tiling_cme.Estimator.report;   (** permuted and tiled *)
+  oga : Tiling_ga.Engine.result;
+}
+
+val optimize_with_order :
+  ?opts:opts -> Tiling_ir.Nest.t -> Tiling_cache.Config.t -> order_outcome
+
+val pp_order_outcome : order_outcome Fmt.t

@@ -1,0 +1,1 @@
+lib/ga/encoding.ml: Array Intmath Prng Tiling_util

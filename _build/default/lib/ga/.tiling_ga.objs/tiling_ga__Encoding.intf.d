@@ -1,0 +1,1 @@
+lib/ga/encoding.mli: Tiling_util

@@ -1,0 +1,1 @@
+lib/ga/engine.ml: Array Encoding Float Fun List Option Prng Tiling_util

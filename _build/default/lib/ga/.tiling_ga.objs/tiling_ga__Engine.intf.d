@@ -1,0 +1,1 @@
+lib/ga/engine.mli: Encoding Tiling_util

@@ -1,0 +1,45 @@
+(** The paper's chromosome encoding (section 3.3).
+
+    An individual is a sequence of chromosomes, one per decision variable
+    (tile size, padding amount, ...).  A chromosome for a variable ranging
+    over [\[1, u\]] is a string of genes over the alphabet {00, 01, 10, 11}
+    (i.e. base-4 digits): its bit width is [k = ceil (log2 u)], rounded up
+    to the next even number so it splits into whole genes.  The chromosome's
+    integer value [x in [0, 2^k - 1]] maps to the variable value by
+    equation (2) of the paper:
+
+    [g x = (x * (u - 1)) / (2^k - 1) + 1]  (integer division)
+
+    Every value in [\[1, u\]] has at least one representation. *)
+
+type t = private {
+  uppers : int array;       (** upper bound [u] of each variable *)
+  bits : int array;         (** bit width [k] of each chromosome (even) *)
+  gene_offsets : int array; (** first gene index of each chromosome *)
+  total_genes : int;        (** genes in a whole individual *)
+}
+
+val make : int array -> t
+(** [make uppers] lays out one chromosome per variable.  Variables with
+    [u = 1] still get one gene (their decoded value is always 1). *)
+
+val bits_for : int -> int
+(** [bits_for u] is [ceil (log2 u)] rounded up to even (minimum 2). *)
+
+val decode_value : bits:int -> upper:int -> int -> int
+(** Equation (2): chromosome integer value to variable value. *)
+
+val encode_value : bits:int -> upper:int -> int -> int
+(** A chromosome value that decodes to the given variable value (the
+    smallest one).  Inverse of {!decode_value} up to the many-to-one
+    mapping. *)
+
+val decode : t -> int array -> int array
+(** [decode t genes] maps a whole individual (base-4 gene array, most
+    significant gene first within each chromosome) to variable values. *)
+
+val encode : t -> int array -> int array
+(** [encode t values] builds a gene array representing the values. *)
+
+val random_genes : t -> Tiling_util.Prng.t -> int array
+(** A uniformly random individual. *)

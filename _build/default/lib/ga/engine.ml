@@ -1,0 +1,197 @@
+open Tiling_util
+
+type params = {
+  population : int;
+  crossover_p : float;
+  mutation_p : float;
+  min_generations : int;
+  max_generations : int;
+  convergence_threshold : float;
+  elitism : bool;
+}
+
+let default_params =
+  {
+    population = 30;
+    crossover_p = 0.9;
+    mutation_p = 0.001;
+    min_generations = 15;
+    max_generations = 25;
+    convergence_threshold = 0.02;
+    elitism = true;
+  }
+
+type generation_stats = { generation : int; best : float; average : float }
+
+type result = {
+  best_genes : int array;
+  best_objective : float;
+  generations : int;
+  evaluations : int;
+  converged : bool;
+  history : generation_stats list;
+}
+
+(* Remainder stochastic selection without replacement (Goldberg): each
+   individual first receives [floor expected] copies deterministically,
+   then at most one extra copy with probability [frac expected], visiting
+   individuals in random order until the new population is full. *)
+let select rng pop fitness n =
+  let total = Array.fold_left ( +. ) 0. fitness in
+  let chosen = ref [] in
+  let count = ref 0 in
+  if total <= 0. then
+    (* Degenerate generation (all individuals equally fit): uniform draw. *)
+    while !count < n do
+      chosen := pop.(Prng.int rng (Array.length pop)) :: !chosen;
+      incr count
+    done
+  else begin
+    let expected =
+      Array.map (fun f -> float_of_int n *. f /. total) fitness
+    in
+    Array.iteri
+      (fun i e ->
+        for _ = 1 to int_of_float e do
+          if !count < n then begin
+            chosen := pop.(i) :: !chosen;
+            incr count
+          end
+        done)
+      expected;
+    let order = Array.init (Array.length pop) Fun.id in
+    Prng.shuffle rng order;
+    (* Fractional passes: without replacement within a pass. *)
+    while !count < n do
+      Array.iter
+        (fun i ->
+          if !count < n then begin
+            let frac = expected.(i) -. Float.of_int (int_of_float expected.(i)) in
+            if Prng.bernoulli rng ~p:frac then begin
+              chosen := pop.(i) :: !chosen;
+              incr count
+            end
+          end)
+        order;
+      (* Guard against pathological all-integer expectations. *)
+      if !count < n && Array.for_all (fun e -> Float.rem e 1. = 0.) expected
+      then begin
+        chosen := pop.(Prng.int rng (Array.length pop)) :: !chosen;
+        incr count
+      end
+    done
+  end;
+  Array.of_list !chosen
+
+let crossover rng p a b =
+  if Array.length a <= 1 || not (Prng.bernoulli rng ~p) then
+    (Array.copy a, Array.copy b)
+  else begin
+    let site = 1 + Prng.int rng (Array.length a - 1) in
+    let child x y = Array.init (Array.length a) (fun i -> if i < site then x.(i) else y.(i)) in
+    (child a b, child b a)
+  end
+
+let mutate rng p genes =
+  (* Mutation flips individual bits of the 2-bit genes. *)
+  Array.iteri
+    (fun i g ->
+      let g = if Prng.bernoulli rng ~p then g lxor 1 else g in
+      let g = if Prng.bernoulli rng ~p then g lxor 2 else g in
+      genes.(i) <- g)
+    genes
+
+let run ?(params = default_params) ?on_generation ?evaluate_all ~encoding
+    ~objective ~rng () =
+  let n = params.population in
+  assert (n >= 2);
+  let evaluations = ref 0 in
+  let eval_population pop =
+    evaluations := !evaluations + Array.length pop;
+    let decoded = Array.map (Encoding.decode encoding) pop in
+    match evaluate_all with
+    | Some f -> f decoded
+    | None -> Array.map objective decoded
+  in
+  let pop = ref (Array.init n (fun _ -> Encoding.random_genes encoding rng)) in
+  let best_genes = ref (Array.copy !pop.(0)) in
+  let best_obj = ref infinity in
+  let history = ref [] in
+  let generations = ref 0 in
+  let converged = ref false in
+  let step gen =
+    let objs = eval_population !pop in
+    let best_i = ref 0 in
+    Array.iteri (fun i o -> if o < objs.(!best_i) then best_i := i) objs;
+    if objs.(!best_i) < !best_obj then begin
+      best_obj := objs.(!best_i);
+      best_genes := Array.copy !pop.(!best_i)
+    end;
+    let avg = Array.fold_left ( +. ) 0. objs /. float_of_int n in
+    let stats = { generation = gen; best = objs.(!best_i); average = avg } in
+    history := stats :: !history;
+    Option.iter (fun f -> f stats) on_generation;
+    (* Fitness for minimisation: distance below the generation's worst,
+       then Goldberg's linear scaling so the best individual receives about
+       [c_mult] times the average selection pressure throughout the run
+       (raw [worst - obj] is dominated by outliers early and collapses
+       diversity late). *)
+    let worst = Array.fold_left max neg_infinity objs in
+    let raw = Array.map (fun o -> worst -. o) objs in
+    let fitness =
+      let favg = Array.fold_left ( +. ) 0. raw /. float_of_int n in
+      let fmax = Array.fold_left max neg_infinity raw in
+      let fmin = Array.fold_left min infinity raw in
+      let c_mult = 2.0 in
+      if fmax <= favg || favg <= 0. then raw
+      else begin
+        let a, b =
+          if fmin > ((c_mult *. favg) -. fmax) /. (c_mult -. 1.) then
+            ( (c_mult -. 1.) *. favg /. (fmax -. favg),
+              favg *. (fmax -. (c_mult *. favg)) /. (fmax -. favg) )
+          else (favg /. (favg -. fmin), -.fmin *. favg /. (favg -. fmin))
+        in
+        Array.map (fun f -> Float.max 0. ((a *. f) +. b)) raw
+      end
+    in
+    let selected = select rng !pop fitness n in
+    let next = Array.make n [||] in
+    let i = ref 0 in
+    while !i < n - 1 do
+      let c1, c2 = crossover rng params.crossover_p selected.(!i) selected.(!i + 1) in
+      next.(!i) <- c1;
+      next.(!i + 1) <- c2;
+      i := !i + 2
+    done;
+    if !i < n then next.(!i) <- Array.copy selected.(!i);
+    Array.iter (mutate rng params.mutation_p) next;
+    (* Optional elitism: re-insert the best individual seen so far in place
+       of a random slot, guarding against losing the optimum to crossover
+       or mutation. *)
+    if params.elitism && !best_obj < infinity then
+      next.(Prng.int rng n) <- Array.copy !best_genes;
+    pop := next;
+    (* Convergence: best within threshold of the population average. *)
+    avg > 0. && (avg -. stats.best) /. avg <= params.convergence_threshold
+    || avg = 0.
+  in
+  (* Figure 7: run min_generations unconditionally, then up to
+     max_generations while not converged. *)
+  let rec loop gen =
+    if gen > params.max_generations then ()
+    else begin
+      let conv = step gen in
+      generations := gen;
+      if gen >= params.min_generations && conv then converged := true
+      else loop (gen + 1)
+    end
+  in
+  loop 1;
+  {
+    best_genes = !best_genes;
+    best_objective = !best_obj;
+    generations = !generations;
+    evaluations = !evaluations;
+    converged = !converged;
+    history = List.rev !history;
+  }

@@ -1,0 +1,60 @@
+(** The paper's genetic algorithm (sections 3.2–3.3, figures 4–7).
+
+    A population of gene arrays evolves by *remainder stochastic selection
+    without replacement*, single-point crossover and per-bit mutation.  The
+    objective is minimised (it is a number of replacement misses); selection
+    fitness is [worst - objective] within the current generation.
+
+    Termination follows figure 7: always run [min_generations]; between
+    [min_generations] and [max_generations], stop as soon as the population
+    has converged — the best individual's objective is within
+    [convergence_threshold] (relative) of the population average. *)
+
+type params = {
+  population : int;              (** paper: 30 *)
+  crossover_p : float;           (** paper: 0.9 *)
+  mutation_p : float;            (** paper: 0.001, applied per bit *)
+  min_generations : int;         (** paper: 15 *)
+  max_generations : int;         (** paper: 25 *)
+  convergence_threshold : float; (** paper: 0.02 *)
+  elitism : bool;
+      (** re-insert the best-ever individual each generation; an addition
+          over the paper's description that protects against losing the
+          incumbent (ablated in the benches) *)
+}
+
+val default_params : params
+(** The paper's values, plus elitism. *)
+
+type generation_stats = {
+  generation : int;
+  best : float;     (** lowest objective in the generation *)
+  average : float;  (** population average objective *)
+}
+
+type result = {
+  best_genes : int array;
+  best_objective : float;   (** best ever seen, not just final generation *)
+  generations : int;        (** generations actually run *)
+  evaluations : int;        (** objective calls (after caching, if any) *)
+  converged : bool;         (** stopped by the convergence test *)
+  history : generation_stats list;  (** oldest first *)
+}
+
+val run :
+  ?params:params ->
+  ?on_generation:(generation_stats -> unit) ->
+  ?evaluate_all:(int array array -> float array) ->
+  encoding:Encoding.t ->
+  objective:(int array -> float) ->
+  rng:Tiling_util.Prng.t ->
+  unit ->
+  result
+(** [run ~encoding ~objective ~rng ()] evolves a random initial population.
+    [objective] receives *decoded variable values* and must be
+    deterministic (memoise externally if it is expensive).
+
+    [evaluate_all], when given, scores a whole generation of decoded
+    individuals at once (e.g. in parallel over domains); it must agree
+    with [objective] value-for-value — the engine itself never mixes the
+    two within a generation, but [objective] remains the reference. *)

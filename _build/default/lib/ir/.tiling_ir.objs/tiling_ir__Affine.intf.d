@@ -1,0 +1,1 @@
+lib/ir/affine.mli: Fmt

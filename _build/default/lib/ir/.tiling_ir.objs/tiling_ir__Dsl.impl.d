@@ -1,0 +1,1 @@
+lib/ir/dsl.ml: Affine Array Array_decl List Nest Printf String

@@ -1,0 +1,1 @@
+lib/ir/dsl.mli: Array_decl Nest

@@ -1,0 +1,1 @@
+lib/ir/nest.ml: Affine Array Array_decl Fmt List Printf String Tiling_util

@@ -1,0 +1,1 @@
+lib/ir/nest.mli: Affine Array_decl Fmt Tiling_util

@@ -1,0 +1,1 @@
+lib/ir/transform.ml: Affine Array Array_decl Hashtbl List Nest Printf

@@ -1,0 +1,39 @@
+(** Dense affine forms over the loop variables of a nest.
+
+    An affine form represents [const + sum_l coeffs.(l) * i_l] where [i_l]
+    is the value of loop variable [l] (outermost first).  Subscript
+    expressions, flattened address functions and reuse-distance computations
+    are all affine forms. *)
+
+type t = { const : int; coeffs : int array }
+
+val const : depth:int -> int -> t
+val var : depth:int -> int -> t
+(** [var ~depth l] is the form [i_l]. *)
+
+val make : const:int -> int array -> t
+val depth : t -> int
+val eval : t -> int array -> int
+(** [eval f point] substitutes the loop values.  [point] must have length
+    [depth f]. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : int -> t -> t
+val shift : t -> int -> t
+(** [shift f c] adds [c] to the constant term. *)
+
+val is_const : t -> bool
+val equal : t -> t -> bool
+
+val coeff : t -> int -> int
+
+val extend : t -> new_depth:int -> remap:(int -> int) -> t
+(** [extend f ~new_depth ~remap] re-expresses [f] in a nest of depth
+    [new_depth], sending old variable [l] to new variable [remap l]. *)
+
+val range_over : t -> lo:int array -> hi:int array -> int * int
+(** [range_over f ~lo ~hi] is the (min, max) of [f] over the box
+    [prod_l \[lo_l, hi_l\]] (attained at box corners). *)
+
+val pp : names:string array -> t Fmt.t

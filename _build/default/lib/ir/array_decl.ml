@@ -1,0 +1,47 @@
+type t = {
+  name : string;
+  extents : int array;
+  mutable layout : int array;
+  elem_size : int;
+  mutable base : int;
+}
+
+let create ?(elem_size = 8) name extents =
+  assert (Array.length extents > 0);
+  Array.iter (fun e -> assert (e >= 1)) extents;
+  assert (elem_size >= 1);
+  { name; extents; layout = Array.copy extents; elem_size; base = 0 }
+
+let rank t = Array.length t.extents
+
+let strides t =
+  let d = rank t in
+  let s = Array.make d t.elem_size in
+  for k = 1 to d - 1 do
+    s.(k) <- s.(k - 1) * t.layout.(k - 1)
+  done;
+  s
+
+let footprint t = Array.fold_left ( * ) t.elem_size t.layout
+
+let set_base t base = t.base <- base
+
+let set_layout t layout =
+  assert (Array.length layout = rank t);
+  Array.iteri (fun k l -> assert (l >= t.extents.(k))) layout;
+  t.layout <- Array.copy layout
+
+let reset_padding t = t.layout <- Array.copy t.extents
+
+let place ?(gap = fun _ -> 0) arrays =
+  let next = ref 0 in
+  List.iter
+    (fun a ->
+      a.base <- !next + gap a;
+      next := a.base + footprint a)
+    arrays
+
+let pp ppf t =
+  Fmt.pf ppf "%s(%a)@%d" t.name
+    Fmt.(array ~sep:(any ",") int)
+    t.extents t.base

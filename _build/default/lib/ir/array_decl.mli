@@ -1,0 +1,45 @@
+(** Array declarations: logical extents, memory layout and base addresses.
+
+    Arrays are laid out Fortran-style (column-major): the first dimension is
+    contiguous.  Padding is expressed by a [layout] that may exceed the
+    logical [extents] (intra-array padding of the leading dimensions) and by
+    shifting [base] (inter-array padding).  The address model is byte-exact:
+    element [(s_0, ..., s_{d-1})] (0-based subscripts) of array [a] lives at
+    [a.base + elem_size * sum_k s_k * prod_{j<k} layout_j]. *)
+
+type t = private {
+  name : string;
+  extents : int array;        (** logical extent of each dimension, >= 1 *)
+  mutable layout : int array; (** allocated extent of each dimension, >= extents *)
+  elem_size : int;            (** bytes per element, e.g. 8 for REAL*8 *)
+  mutable base : int;         (** byte address of element (0, ..., 0) *)
+}
+
+val create : ?elem_size:int -> string -> int array -> t
+(** [create name extents] declares an array with [layout = extents] and
+    [base = 0] (bases are assigned later by {!place}).  Default [elem_size]
+    is 8 (double-precision REAL). *)
+
+val rank : t -> int
+
+val strides : t -> int array
+(** Byte stride of each dimension under the current layout. *)
+
+val footprint : t -> int
+(** Allocated size in bytes under the current layout. *)
+
+val set_base : t -> int -> unit
+
+val set_layout : t -> int array -> unit
+(** Replaces the layout; each entry must be at least the logical extent. *)
+
+val reset_padding : t -> unit
+(** Restores [layout = extents] (bases are left untouched). *)
+
+val place : ?gap:(t -> int) -> t list -> unit
+(** [place arrays] assigns consecutive base addresses in list order, each
+    array starting right after the previous one's footprint plus
+    [gap a] bytes (default 0).  This mimics Fortran static allocation, which
+    is what makes cross-interference patterns deterministic. *)
+
+val pp : t Fmt.t

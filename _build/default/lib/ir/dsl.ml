@@ -1,0 +1,78 @@
+type ix = { vars : (string * int) list; const : int }
+(* Sparse affine form over named variables, 1-based as written in source. *)
+
+let v name = { vars = [ (name, 1) ]; const = 0 }
+let i n = { vars = []; const = n }
+
+let merge a b =
+  List.fold_left
+    (fun acc (name, c) ->
+      match List.assoc_opt name acc with
+      | None -> (name, c) :: acc
+      | Some c0 -> (name, c0 + c) :: List.remove_assoc name acc)
+    a b
+
+let ( +! ) a b = { vars = merge a.vars b.vars; const = a.const + b.const }
+
+let ( *! ) k a =
+  { vars = List.map (fun (n, c) -> (n, k * c)) a.vars; const = k * a.const }
+
+let ( -! ) a b = a +! (-1 *! b)
+
+type stmt = { array : Array_decl.t; subs : ix list; access : Nest.access }
+
+let load array subs = { array; subs; access = Nest.Read }
+let store array subs = { array; subs; access = Nest.Write }
+
+let nest ~name ~loops ?(steps = []) ?arrays ~body () =
+  let d = List.length loops in
+  let names = Array.of_list (List.map (fun (n, _, _) -> n) loops) in
+  let index_of var =
+    let rec find l = function
+      | [] -> invalid_arg (Printf.sprintf "%s: unknown loop variable %s" name var)
+      | n :: rest -> if String.equal n var then l else find (l + 1) rest
+    in
+    find 0 (Array.to_list names)
+  in
+  let to_affine ix =
+    let coeffs = Array.make d 0 in
+    List.iter
+      (fun (var, c) ->
+        let l = index_of var in
+        coeffs.(l) <- coeffs.(l) + c)
+      ix.vars;
+    (* 1-based source index to 0-based stored subscript. *)
+    Affine.make ~const:(ix.const - 1) coeffs
+  in
+  let loop_arr =
+    Array.of_list
+      (List.map
+         (fun (var, lo, hi) ->
+           let step =
+             match List.assoc_opt var steps with Some s -> s | None -> 1
+           in
+           { Nest.var; shape = Nest.Range { lo; hi; step } })
+         loops)
+  in
+  let refs =
+    Array.of_list
+      (List.map
+         (fun s -> (s.array, Array.of_list (List.map to_affine s.subs), s.access))
+         body)
+  in
+  let arrays =
+    match arrays with
+    | Some arrays ->
+        List.iter
+          (fun s ->
+            if not (List.memq s.array arrays) then
+              invalid_arg (name ^ ": referenced array not in ~arrays"))
+          body;
+        arrays
+    | None ->
+        List.rev
+          (List.fold_left
+             (fun acc s -> if List.memq s.array acc then acc else s.array :: acc)
+             [] body)
+  in
+  Nest.make ~name ~loops:loop_arr ~refs ~arrays

@@ -1,0 +1,58 @@
+(** Concise builders for Fortran-style kernels.
+
+    Index expressions are written 1-based, as in Fortran source; the builder
+    shifts them to the 0-based subscripts the IR stores.  Example (matrix
+    multiply):
+
+    {[
+      let a = Array_decl.create "a" [| n; n |] in
+      let b = Array_decl.create "b" [| n; n |] in
+      let c = Array_decl.create "c" [| n; n |] in
+      Array_decl.place [ a; b; c ];
+      Dsl.(
+        nest ~name:"MM"
+          ~loops:[ ("i", 1, n); ("j", 1, n); ("k", 1, n) ]
+          ~body:
+            [
+              load a [ v "i"; v "j" ];
+              load b [ v "i"; v "k" ];
+              load c [ v "k"; v "j" ];
+              store a [ v "i"; v "j" ];
+            ])
+    ]} *)
+
+type ix
+(** A 1-based index expression. *)
+
+val v : string -> ix
+(** A loop variable by name. *)
+
+val i : int -> ix
+(** An integer literal. *)
+
+val ( +! ) : ix -> ix -> ix
+val ( -! ) : ix -> ix -> ix
+val ( *! ) : int -> ix -> ix
+(** Scalar multiple: [3 * v "i"]. *)
+
+type stmt
+(** One array reference of the loop body. *)
+
+val load : Array_decl.t -> ix list -> stmt
+val store : Array_decl.t -> ix list -> stmt
+
+val nest :
+  name:string ->
+  loops:(string * int * int) list ->
+  ?steps:(string * int) list ->
+  ?arrays:Array_decl.t list ->
+  body:stmt list ->
+  unit ->
+  Nest.t
+(** Builds and validates the nest.  [loops] lists [(var, lo, hi)] outermost
+    first; [steps] optionally overrides the default unit step.  The nest's
+    arrays default to those referenced by the body, in order of first use;
+    pass [arrays] to also own co-allocated arrays the body never touches
+    (their placement still shapes the address space, e.g. padding moves
+    them). @raise Invalid_argument on unknown variables or rank
+    mismatches. *)

@@ -1,0 +1,201 @@
+type shape =
+  | Range of { lo : int; hi : int; step : int }
+  | Tile_ctrl of { lo : int; hi : int; tile : int }
+  | Tile_elem of { ctrl : int; tile : int; hi : int }
+
+type loop = { var : string; shape : shape }
+
+type access = Read | Write
+
+type reference = {
+  ref_id : int;
+  array : Array_decl.t;
+  idx : Affine.t array;
+  access : access;
+}
+
+type t = {
+  name : string;
+  loops : loop array;
+  refs : reference array;
+  arrays : Array_decl.t list;
+}
+
+let depth t = Array.length t.loops
+
+let var_names t = Array.map (fun l -> l.var) t.loops
+
+let validate name loops refs =
+  let d = Array.length loops in
+  if d = 0 then invalid_arg (name ^ ": empty nest");
+  let names = Array.map (fun l -> l.var) loops in
+  Array.iteri
+    (fun i v ->
+      for j = i + 1 to d - 1 do
+        if String.equal v names.(j) then
+          invalid_arg (Printf.sprintf "%s: duplicate loop variable %s" name v)
+      done)
+    names;
+  Array.iteri
+    (fun l loop ->
+      match loop.shape with
+      | Range { lo; hi; step } ->
+          if step <= 0 || hi < lo then
+            invalid_arg (Printf.sprintf "%s: loop %s has empty range" name loop.var)
+      | Tile_ctrl { lo; hi; tile } ->
+          if tile <= 0 || hi < lo then
+            invalid_arg (Printf.sprintf "%s: bad tile loop %s" name loop.var)
+      | Tile_elem { ctrl; tile; hi = _ } ->
+          if ctrl < 0 || ctrl >= l then
+            invalid_arg (Printf.sprintf "%s: %s references bad ctrl loop" name loop.var);
+          (match loops.(ctrl).shape with
+          | Tile_ctrl c when c.tile = tile -> ()
+          | _ -> invalid_arg (Printf.sprintf "%s: %s ctrl mismatch" name loop.var)))
+    loops;
+  Array.iter
+    (fun (arr, idx, _) ->
+      if Array.length idx <> Array_decl.rank arr then
+        invalid_arg (Printf.sprintf "%s: subscript rank mismatch on %s" name arr.Array_decl.name);
+      Array.iter (fun f -> if Affine.depth f <> d then invalid_arg (name ^ ": subscript depth")) idx)
+    refs
+
+let make ~name ~loops ~refs ~arrays =
+  validate name loops refs;
+  let refs =
+    Array.mapi (fun i (array, idx, access) -> { ref_id = i; array; idx; access }) refs
+  in
+  { name; loops; refs; arrays }
+
+let bounds_at t point l =
+  match t.loops.(l).shape with
+  | Range { lo; hi; step } -> (lo, hi, step)
+  | Tile_ctrl { lo; hi; tile } -> (lo, hi, tile)
+  | Tile_elem { ctrl; tile; hi } ->
+      let base = point.(ctrl) in
+      (base, min (base + tile - 1) hi, 1)
+
+let mem_point t point =
+  Array.length point = depth t
+  && begin
+       let ok = ref true in
+       for l = 0 to depth t - 1 do
+         let lo, hi, step = bounds_at t point l in
+         let v = point.(l) in
+         if v < lo || v > hi || (v - lo) mod step <> 0 then ok := false
+       done;
+       !ok
+     end
+
+let lex_compare a b =
+  let n = Array.length a in
+  assert (Array.length b = n);
+  let rec loop l =
+    if l = n then 0
+    else
+      let c = compare a.(l) b.(l) in
+      if c <> 0 then c else loop (l + 1)
+  in
+  loop 0
+
+let trip_count t =
+  (* Tile pairs partition the original span, so a (ctrl, elem) pair
+     contributes exactly the original trip count regardless of divisibility. *)
+  let total = ref 1 in
+  Array.iter
+    (fun loop ->
+      match loop.shape with
+      | Range { lo; hi; step } -> total := !total * Tiling_util.Intmath.range_count ~lo ~hi ~step
+      | Tile_ctrl _ -> ()
+      | Tile_elem { ctrl; tile = _; hi } ->
+          (match t.loops.(ctrl).shape with
+          | Tile_ctrl { lo; hi = chi; tile = _ } ->
+              (* elem covers [ctrl, min(ctrl+T-1, hi)]; summed over ctrl values
+                 this is [lo, min(hi, chi-part)]; in well-formed tilings the
+                 ctrl hi equals the elem hi. *)
+              ignore chi;
+              total := !total * (hi - lo + 1)
+          | _ -> assert false))
+    t.loops;
+  !total
+
+let iter_points t f =
+  let d = depth t in
+  let point = Array.make d 0 in
+  let rec go l =
+    if l = d then f point
+    else begin
+      let lo, hi, step = bounds_at t point l in
+      let v = ref lo in
+      while !v <= hi do
+        point.(l) <- !v;
+        go (l + 1);
+        v := !v + step
+      done
+    end
+  in
+  go 0
+
+let random_point t rng =
+  let d = depth t in
+  let point = Array.make d 0 in
+  for l = 0 to d - 1 do
+    match t.loops.(l).shape with
+    | Range { lo; hi; step } ->
+        let n = Tiling_util.Intmath.range_count ~lo ~hi ~step in
+        point.(l) <- lo + (step * Tiling_util.Prng.int rng n)
+    | Tile_ctrl _ -> () (* set below, jointly with the matching elem loop *)
+    | Tile_elem { ctrl; tile; hi } ->
+        (* Sample the original loop value uniformly and derive the tile it
+           falls into: this keeps the joint (ctrl, elem) pair uniform over
+           the original span even when the last tile is partial. *)
+        (match t.loops.(ctrl).shape with
+        | Tile_ctrl { lo; hi = _; tile = _ } ->
+            let v = Tiling_util.Prng.int_in rng ~lo ~hi in
+            point.(ctrl) <- lo + ((v - lo) / tile * tile);
+            point.(l) <- v
+        | _ -> assert false)
+  done;
+  point
+
+let address_form t r =
+  let d = depth t in
+  let strides = Array_decl.strides r.array in
+  let acc = ref (Affine.const ~depth:d r.array.Array_decl.base) in
+  Array.iteri
+    (fun k f -> acc := Affine.add !acc (Affine.scale strides.(k) f))
+    r.idx;
+  !acc
+
+let touched_bytes t =
+  List.fold_left (fun acc a -> acc + Array_decl.footprint a) 0 t.arrays
+
+let pp ppf t =
+  let names = var_names t in
+  let indent l = String.make (2 * l) ' ' in
+  Fmt.pf ppf "! nest %s@." t.name;
+  Array.iteri
+    (fun l loop ->
+      match loop.shape with
+      | Range { lo; hi; step } ->
+          if step = 1 then Fmt.pf ppf "%sdo %s = %d, %d@." (indent l) loop.var lo hi
+          else Fmt.pf ppf "%sdo %s = %d, %d, %d@." (indent l) loop.var lo hi step
+      | Tile_ctrl { lo; hi; tile } ->
+          Fmt.pf ppf "%sdo %s = %d, %d, %d@." (indent l) loop.var lo hi tile
+      | Tile_elem { ctrl; tile; hi } ->
+          Fmt.pf ppf "%sdo %s = %s, min(%s+%d, %d)@." (indent l) loop.var
+            t.loops.(ctrl).var t.loops.(ctrl).var (tile - 1) hi)
+    t.loops;
+  let d = depth t in
+  Array.iter
+    (fun r ->
+      Fmt.pf ppf "%s%s %s(%a)@." (indent d)
+        (match r.access with Read -> "load " | Write -> "store")
+        r.array.Array_decl.name
+        Fmt.(array ~sep:(any ", ") (fun ppf f -> Affine.pp ~names ppf (Affine.shift f 1)))
+        r.idx)
+    t.refs;
+  Array.iteri
+    (fun l loop ->
+      ignore loop;
+      Fmt.pf ppf "%senddo@." (indent (d - 1 - l)))
+    t.loops

@@ -1,0 +1,87 @@
+(** Perfectly nested affine loop nests.
+
+    A nest is an ordered sequence of loops (outermost first) and a body that
+    is a straight-line sequence of array references executed once per
+    iteration point, in program order.  Loop bounds are restricted to the
+    three shapes the paper's framework needs:
+
+    - [Range]: constant bounds with a positive step (original loops);
+    - [Tile_ctrl]: a tile-controlling loop stepping by the tile size;
+    - [Tile_elem]: the matching element loop
+      [do i = ii, min (ii + tile - 1, hi)].
+
+    Iteration points are integer vectors holding the value of every loop
+    variable, outermost first; execution order is exactly lexicographic
+    order on these vectors because all steps are positive. *)
+
+type shape =
+  | Range of { lo : int; hi : int; step : int }
+  | Tile_ctrl of { lo : int; hi : int; tile : int }
+  | Tile_elem of { ctrl : int; tile : int; hi : int }
+      (** [ctrl] is the index of the matching [Tile_ctrl] loop. *)
+
+type loop = { var : string; shape : shape }
+
+type access = Read | Write
+
+type reference = {
+  ref_id : int;  (** position in the body; program order within an iteration *)
+  array : Array_decl.t;
+  idx : Affine.t array;  (** 0-based subscript per array dimension *)
+  access : access;
+}
+
+type t = private {
+  name : string;
+  loops : loop array;
+  refs : reference array;
+  arrays : Array_decl.t list;
+}
+
+val make :
+  name:string ->
+  loops:loop array ->
+  refs:(Array_decl.t * Affine.t array * access) array ->
+  arrays:Array_decl.t list ->
+  t
+(** Validates shapes (bounds non-empty, [Tile_elem.ctrl] well-formed,
+    subscript depth/rank agreement) and numbers the references. *)
+
+val depth : t -> int
+val var_names : t -> string array
+
+val bounds_at : t -> int array -> int -> int * int * int
+(** [bounds_at nest point l] is [(lo, hi, step)] of loop [l] when the outer
+    loops take the values in [point] (entries at positions >= l are
+    ignored). *)
+
+val mem_point : t -> int array -> bool
+(** Whether the vector is an iteration point of the nest (each coordinate
+    within bounds and on-step). *)
+
+val lex_compare : int array -> int array -> int
+(** Lexicographic (= execution) order on points. *)
+
+val trip_count : t -> int
+(** Total number of iteration points.  Tiled loop pairs contribute the span
+    of the original loop, by construction of {!Transform.tile}. *)
+
+val iter_points : t -> (int array -> unit) -> unit
+(** Enumerates all iteration points in execution order.  The same array is
+    reused between callbacks; copy it if you keep it. *)
+
+val random_point : t -> Tiling_util.Prng.t -> int array
+(** A uniformly distributed iteration point.  Uniformity over tiled pairs is
+    obtained by sampling the original loop value and deriving the tile
+    coordinate. *)
+
+val address_form : t -> reference -> Affine.t
+(** Flattened byte-address function of a reference under the *current*
+    layout and base of its array: an affine form over the nest's loop
+    variables.  Recompute after padding changes. *)
+
+val touched_bytes : t -> int
+(** Total allocated bytes of all arrays (footprint of the data set). *)
+
+val pp : t Fmt.t
+(** Fortran-flavoured pretty printer (for docs, examples and debugging). *)

@@ -1,0 +1,131 @@
+let remap_refs refs ~new_depth ~remap =
+  Array.map
+    (fun (r : Nest.reference) ->
+      (r.Nest.array, Array.map (fun f -> Affine.extend f ~new_depth ~remap) r.Nest.idx,
+       r.Nest.access))
+    refs
+
+let strip_mine (nest : Nest.t) ~loop ~tile =
+  let d = Nest.depth nest in
+  if loop < 0 || loop >= d then invalid_arg "strip_mine: bad loop index";
+  let lo, hi =
+    match nest.loops.(loop).shape with
+    | Nest.Range { lo; hi; step = 1 } -> (lo, hi)
+    | _ -> invalid_arg "strip_mine: loop must be a unit-step Range"
+  in
+  if tile < 1 || tile > hi - lo + 1 then invalid_arg "strip_mine: bad tile size";
+  let shift_ctrl c = if c >= loop then c + 1 else c in
+  let reshape (l : Nest.loop) =
+    match l.shape with
+    | Nest.Tile_elem t -> { l with shape = Nest.Tile_elem { t with ctrl = shift_ctrl t.ctrl } }
+    | Nest.Range _ | Nest.Tile_ctrl _ -> l
+  in
+  let old_loop = nest.loops.(loop) in
+  let ctrl =
+    { Nest.var = old_loop.var ^ old_loop.var; shape = Nest.Tile_ctrl { lo; hi; tile } }
+  in
+  let elem = { old_loop with shape = Nest.Tile_elem { ctrl = loop; tile; hi } } in
+  let loops =
+    Array.concat
+      [ Array.map reshape (Array.sub nest.loops 0 loop);
+        [| ctrl; elem |];
+        Array.map reshape (Array.sub nest.loops (loop + 1) (d - loop - 1)) ]
+  in
+  let remap l = if l >= loop then l + 1 else l in
+  Nest.make ~name:nest.name ~loops
+    ~refs:(remap_refs nest.refs ~new_depth:(d + 1) ~remap)
+    ~arrays:nest.arrays
+
+let interchange (nest : Nest.t) perm =
+  let d = Nest.depth nest in
+  if Array.length perm <> d then invalid_arg "interchange: bad permutation length";
+  let inv = Array.make d (-1) in
+  Array.iteri
+    (fun p l ->
+      if l < 0 || l >= d || inv.(l) <> -1 then invalid_arg "interchange: not a permutation";
+      inv.(l) <- p)
+    perm;
+  let loops =
+    Array.map
+      (fun l ->
+        let loop = nest.loops.(l) in
+        match loop.Nest.shape with
+        | Nest.Tile_elem t ->
+            let ctrl = inv.(t.ctrl) in
+            if ctrl >= inv.(l) then
+              invalid_arg "interchange: element loop moved before its control loop";
+            { loop with Nest.shape = Nest.Tile_elem { t with ctrl } }
+        | Nest.Range _ | Nest.Tile_ctrl _ -> loop)
+      perm
+  in
+  Nest.make ~name:nest.name ~loops
+    ~refs:(remap_refs nest.refs ~new_depth:d ~remap:(fun l -> inv.(l)))
+    ~arrays:nest.arrays
+
+let tile_spans (nest : Nest.t) =
+  Array.map
+    (fun (l : Nest.loop) ->
+      match l.Nest.shape with
+      | Nest.Range { lo; hi; step = 1 } -> hi - lo + 1
+      | _ -> invalid_arg "tile: nest must consist of unit-step Range loops")
+    nest.loops
+
+let tile (nest : Nest.t) tiles =
+  let d = Nest.depth nest in
+  if Array.length tiles <> d then invalid_arg "tile: bad tile vector length";
+  let spans = tile_spans nest in
+  Array.iteri
+    (fun l t ->
+      if t < 1 || t > spans.(l) then
+        invalid_arg
+          (Printf.sprintf "tile: tile %d for loop %d out of [1, %d]" t l spans.(l)))
+    tiles;
+  let ctrl_loops =
+    Array.mapi
+      (fun l (loop : Nest.loop) ->
+        match loop.shape with
+        | Nest.Range { lo; hi; step = _ } ->
+            { Nest.var = loop.var ^ loop.var;
+              shape = Nest.Tile_ctrl { lo; hi; tile = tiles.(l) } }
+        | _ -> assert false)
+      nest.loops
+  in
+  let elem_loops =
+    Array.mapi
+      (fun l (loop : Nest.loop) ->
+        match loop.shape with
+        | Nest.Range { lo = _; hi; step = _ } ->
+            { loop with Nest.shape = Nest.Tile_elem { ctrl = l; tile = tiles.(l); hi } }
+        | _ -> assert false)
+      nest.loops
+  in
+  let loops = Array.append ctrl_loops elem_loops in
+  Nest.make
+    ~name:(nest.name ^ "_tiled")
+    ~loops
+    ~refs:(remap_refs nest.refs ~new_depth:(2 * d) ~remap:(fun l -> d + l))
+    ~arrays:nest.arrays
+
+type padding = { inter : int array; intra : int array }
+
+let no_padding (nest : Nest.t) =
+  let n = List.length nest.arrays in
+  { inter = Array.make n 0; intra = Array.make n 0 }
+
+let apply_padding (nest : Nest.t) pad =
+  let n = List.length nest.arrays in
+  if Array.length pad.inter <> n || Array.length pad.intra <> n then
+    invalid_arg "apply_padding: wrong arity";
+  List.iteri
+    (fun k (a : Array_decl.t) ->
+      let layout = Array.copy a.Array_decl.extents in
+      layout.(0) <- layout.(0) + pad.intra.(k);
+      Array_decl.set_layout a layout)
+    nest.arrays;
+  let gaps = Hashtbl.create n in
+  List.iteri (fun k (a : Array_decl.t) -> Hashtbl.replace gaps a.Array_decl.name pad.inter.(k)) nest.arrays;
+  Array_decl.place ~gap:(fun a -> Hashtbl.find gaps a.Array_decl.name) nest.arrays
+
+let clear_padding (nest : Nest.t) =
+  List.iter Array_decl.reset_padding nest.arrays;
+  Array_decl.place nest.arrays

@@ -1,0 +1,48 @@
+(** Loop transformations: strip-mining, interchange, tiling, padding.
+
+    Tiling here is the paper's transformation (figure 3): every original
+    loop [i_l] with constant bounds [\[lo_l, hi_l\]] and tile size [T_l]
+    becomes a control loop [ii_l] (outermost block, stepping by [T_l])
+    followed by the element loops
+    [do i_l = ii_l, min (ii_l + T_l - 1, hi_l)].  Choosing
+    [T_l = hi_l - lo_l + 1] leaves loop [l] effectively untiled (a single
+    tile).  Tiling preserves the set of iteration points, hence compulsory
+    misses; only the traversal order changes. *)
+
+val strip_mine : Nest.t -> loop:int -> tile:int -> Nest.t
+(** [strip_mine nest ~loop ~tile] splits one [Range] loop (unit step) into a
+    [Tile_ctrl]/[Tile_elem] pair at the same position.  Subscripts are
+    rewritten for the deeper nest. *)
+
+val interchange : Nest.t -> int array -> Nest.t
+(** [interchange nest perm] reorders loops so that new position [p] holds
+    old loop [perm.(p)].  [perm] must be a permutation, must keep every
+    [Tile_elem] after its [Tile_ctrl], and must not reorder loops in a way
+    that changes the set of iteration points (shapes only depend on their
+    own ctrl, which the previous condition guarantees). *)
+
+val tile : Nest.t -> int array -> Nest.t
+(** [tile nest tiles] applies the full tiling of the paper: all control
+    loops first (in original loop order), then all element loops.
+    [tiles.(l)] must lie in [\[1, span_l\]]; every loop of [nest] must be a
+    unit-step [Range].  [tile nest] on an already-tiled nest is rejected. *)
+
+val tile_spans : Nest.t -> int array
+(** [tile_spans nest] is the search-space upper bound [U_l] for each loop:
+    the trip count of each (unit-step [Range]) loop. *)
+
+type padding = { inter : int array; intra : int array }
+(** Padding parameters: [inter.(k)] extra bytes inserted before the [k]-th
+    array (in [nest.arrays] order); [intra.(k)] extra elements added to the
+    leading dimension of the [k]-th array. *)
+
+val no_padding : Nest.t -> padding
+
+val apply_padding : Nest.t -> padding -> unit
+(** Mutates the arrays' layout and bases: leading dimensions grow by
+    [intra], then bases are re-assigned consecutively with the [inter]
+    gaps.  Call {!clear_padding} to restore the canonical placement. *)
+
+val clear_padding : Nest.t -> unit
+(** Resets layouts to the logical extents and re-places arrays with no
+    gaps. *)

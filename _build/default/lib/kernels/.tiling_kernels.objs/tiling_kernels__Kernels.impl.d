@@ -1,0 +1,1 @@
+lib/kernels/kernels.ml: Array_decl Dsl List Nest String Tiling_ir

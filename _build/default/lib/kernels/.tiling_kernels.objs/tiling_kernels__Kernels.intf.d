@@ -1,0 +1,1 @@
+lib/kernels/kernels.mli: Tiling_ir

@@ -1,0 +1,1 @@
+lib/kernels/random_kernel.ml: Array Array_decl Dsl Fun List Printf Tiling_ir Tiling_util

@@ -1,0 +1,1 @@
+lib/kernels/random_kernel.mli: Tiling_ir

@@ -1,0 +1,363 @@
+open Tiling_ir
+
+let arr = Array_decl.create
+
+(* ------------------------------------------------------------------ *)
+(* Transpositions                                                       *)
+
+let t2d n =
+  let a = arr "a" [| n; n |] and b = arr "b" [| n; n |] in
+  Array_decl.place [ a; b ];
+  Dsl.(
+    nest ~name:"T2D"
+      ~loops:[ ("i", 1, n); ("j", 1, n) ]
+      ~body:[ load b [ v "i"; v "j" ]; store a [ v "j"; v "i" ] ]
+      ())
+
+let t3djik n =
+  let a = arr "a" [| n; n; n |] and b = arr "b" [| n; n; n |] in
+  Array_decl.place [ a; b ];
+  Dsl.(
+    nest ~name:"T3DJIK"
+      ~loops:[ ("j", 1, n); ("i", 1, n); ("k", 1, n) ]
+      ~body:[ load b [ v "j"; v "i"; v "k" ]; store a [ v "k"; v "j"; v "i" ] ]
+      ())
+
+let t3dikj n =
+  (* Same store as T3DJIK but the source is read as b(i,k,j): with the
+     (j,i,k) loop order the source sweeps with a middle-dimension stride,
+     whose line footprint fits the cache — mostly compulsory misses before
+     tiling (table 2: 34.6 % total, 7.0 % replacement). *)
+  let a = arr "a" [| n; n; n |] and b = arr "b" [| n; n; n |] in
+  Array_decl.place [ a; b ];
+  Dsl.(
+    nest ~name:"T3DIKJ"
+      ~loops:[ ("j", 1, n); ("i", 1, n); ("k", 1, n) ]
+      ~body:[ load b [ v "i"; v "k"; v "j" ]; store a [ v "k"; v "j"; v "i" ] ]
+      ())
+
+(* ------------------------------------------------------------------ *)
+(* Stencils and dense algebra                                           *)
+
+let jacobi3d n =
+  (* 7-point Jacobi relaxation in Fortran order (unit-stride innermost).
+     The k +/- 1 neighbours carry whole-plane reuse distances, so before
+     tiling they miss; tiling i and j shrinks the live working set to a
+     few tile-wide plane strips and recovers that reuse. *)
+  let a = arr "a" [| n; n; n |] and b = arr "b" [| n; n; n |] in
+  Array_decl.place [ a; b ];
+  let m = n - 1 in
+  Dsl.(
+    nest ~name:"JACOBI3D"
+      ~loops:[ ("k", 2, m); ("j", 2, m); ("i", 2, m) ]
+      ~body:
+        [
+          load b [ v "i" -! i 1; v "j"; v "k" ];
+          load b [ v "i" +! i 1; v "j"; v "k" ];
+          load b [ v "i"; v "j" -! i 1; v "k" ];
+          load b [ v "i"; v "j" +! i 1; v "k" ];
+          load b [ v "i"; v "j"; v "k" -! i 1 ];
+          load b [ v "i"; v "j"; v "k" +! i 1 ];
+          store a [ v "i"; v "j"; v "k" ];
+        ]
+      ())
+
+let matmul n =
+  (* Table 1 lists MATMUL as matrix-by-vector multiplication in a 3-deep
+     nest: an outer repetition loop around the classic two-deep kernel. *)
+  let y = arr "y" [| n |] and m = arr "m" [| n; n |] and x = arr "x" [| n |] in
+  Array_decl.place [ y; m; x ];
+  Dsl.(
+    nest ~name:"MATMUL"
+      ~loops:[ ("r", 1, 4); ("i", 1, n); ("k", 1, n) ]
+      ~body:
+        [
+          load y [ v "i" ];
+          load m [ v "i"; v "k" ];
+          load x [ v "k" ];
+          store y [ v "i" ];
+        ]
+      ())
+
+let mm n =
+  (* Figure 1 of the paper. *)
+  let a = arr "a" [| n; n |] and b = arr "b" [| n; n |] and c = arr "c" [| n; n |] in
+  Array_decl.place [ a; b; c ];
+  Dsl.(
+    nest ~name:"MM"
+      ~loops:[ ("i", 1, n); ("j", 1, n); ("k", 1, n) ]
+      ~body:
+        [
+          load a [ v "i"; v "j" ];
+          load b [ v "i"; v "k" ];
+          load c [ v "k"; v "j" ];
+          store a [ v "i"; v "j" ];
+        ]
+      ())
+
+let adi n =
+  (* Livermore loop 8 flavour: 2D ADI integration.  Six planes are read
+     with a cross-column stencil on za; at large n the combined column
+     working set exceeds the cache and the cross-column reuse turns into
+     capacity misses (the paper sees 26 % replacement at n = 1000+). *)
+  let za = arr "za" [| n; n |] and zr = arr "zr" [| n; n |] in
+  let zu = arr "zu" [| n; n |] and zv = arr "zv" [| n; n |] in
+  let zz = arr "zz" [| n; n |] and zb = arr "zb" [| n; n |] in
+  Array_decl.place [ za; zr; zu; zv; zz; zb ];
+  let m = n - 1 in
+  Dsl.(
+    nest ~name:"ADI"
+      ~loops:[ ("k", 2, m); ("j", 2, m) ]
+      ~body:
+        [
+          load za [ v "j" +! i 1; v "k" ];
+          load zr [ v "j"; v "k" ];
+          load za [ v "j" -! i 1; v "k" ];
+          load zu [ v "j"; v "k" ];
+          load za [ v "j"; v "k" +! i 1 ];
+          load zv [ v "j"; v "k" ];
+          load za [ v "j"; v "k" -! i 1 ];
+          load zz [ v "j"; v "k" ];
+          store zb [ v "j"; v "k" ];
+        ]
+      ())
+
+(* ------------------------------------------------------------------ *)
+(* NAS kernels: conflict-dominated layouts                              *)
+
+let add n =
+  (* NAS BT "add": u += rhs over a 4-deep (m, i, j, k) sweep of
+     5 x n x n x n solution arrays.  The two arrays have identical shapes,
+     so with packed placement their elements collide in the cache when the
+     plane size is a multiple of the cache size. *)
+  let u = arr "u" [| 5; n; n; n |] and rhs = arr "rhs" [| 5; n; n; n |] in
+  Array_decl.place [ u; rhs ];
+  Dsl.(
+    nest ~name:"ADD"
+      ~loops:[ ("k", 1, n); ("j", 1, n); ("i", 1, n); ("m", 1, 5) ]
+      ~body:
+        [
+          load u [ v "m"; v "i"; v "j"; v "k" ];
+          load rhs [ v "m"; v "i"; v "j"; v "k" ];
+          store u [ v "m"; v "i"; v "j"; v "k" ];
+        ]
+      ())
+
+let btrix n =
+  (* NAS BTRIX, backward block sweep: the 5 x 5 block structure is folded
+     into the leading dimensions; the j-plane stride is a power of two
+     (n = 128 in NASKER), so successive k accesses conflict. *)
+  let s = arr "s" [| n; n; 5 |] and a = arr "a" [| n; n; 5 |] in
+  let b = arr "b" [| n; n; 5 |] in
+  Array_decl.place [ s; a; b ];
+  let m = n - 1 in
+  Dsl.(
+    nest ~name:"BTRIX"
+      ~loops:[ ("m", 1, 5); ("j", 1, n); ("k", 1, m) ]
+      ~body:
+        [
+          load s [ v "j"; v "k" +! i 1; v "m" ];
+          load a [ v "j"; v "k"; v "m" ];
+          load b [ v "j"; v "k"; v "m" ];
+          load s [ v "j"; v "k"; v "m" ];
+          store s [ v "j"; v "k"; v "m" ];
+        ]
+      ())
+
+let vpenta_arrays n =
+  (* NASKER VPENTA: many same-shape (n x n, n = 128) planes; packed
+     placement puts all of them a multiple of the cache size apart, the
+     canonical cross-interference pathology. *)
+  let names = [ "a"; "b"; "c"; "d"; "e"; "f"; "x"; "y" ] in
+  let arrays = List.map (fun nm -> arr nm [| n; n |]) names in
+  Array_decl.place arrays;
+  arrays
+
+let vpenta1 n =
+  match vpenta_arrays n with
+  | [ a; b; c; d; e; f; x; _y ] as arrays ->
+      Dsl.(
+        nest ~name:"VPENTA1" ~arrays
+          ~loops:[ ("j", 1, n); ("i", 3, n - 2) ]
+          ~body:
+            [
+              load a [ v "i"; v "j" ];
+              load b [ v "i"; v "j" ];
+              load c [ v "i"; v "j" ];
+              load d [ v "i"; v "j" ];
+              load e [ v "i"; v "j" ];
+              load f [ v "i"; v "j" ];
+              store x [ v "i"; v "j" ];
+            ]
+          ())
+  | _ -> assert false
+
+let vpenta2 n =
+  match vpenta_arrays n with
+  | [ _a; _b; _c; d; e; f; x; y ] as arrays ->
+      Dsl.(
+        nest ~name:"VPENTA2" ~arrays
+          ~loops:[ ("j", 1, n); ("i", 1, n - 2) ]
+          ~body:
+            [
+              load f [ v "i"; v "j" ];
+              load d [ v "i"; v "j" ];
+              load x [ v "i" +! i 1; v "j" ];
+              load e [ v "i"; v "j" ];
+              load x [ v "i" +! i 2; v "j" ];
+              store y [ v "i"; v "j" ];
+            ]
+          ())
+  | _ -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* BIHAR FFT stand-ins: butterfly passes over power-of-two planes.      *)
+
+let butterfly ~name ~half_stride n =
+  (* One radix-2 pass over an n x n plane of complex pairs, repeated by an
+     outer pass loop: reads two strided halves, writes a packed result.
+     [half_stride] distinguishes the forward (gather) and backward
+     (scatter) directions of the transform. *)
+  let x = arr "x" [| n; n |] and y = arr "y" [| n; n |] in
+  Array_decl.place [ x; y ];
+  let half = n / 2 in
+  Dsl.(
+    let gather =
+      [
+        load x [ (2 *! v "k") -! i 1; v "j" ];
+        load x [ 2 *! v "k"; v "j" ];
+        store y [ v "k"; v "j" ];
+        store y [ v "k" +! i half; v "j" ];
+      ]
+    and scatter =
+      [
+        load x [ v "k"; v "j" ];
+        load x [ v "k" +! i half; v "j" ];
+        store y [ (2 *! v "k") -! i 1; v "j" ];
+        store y [ 2 *! v "k"; v "j" ];
+      ]
+    in
+    nest ~name
+      ~loops:[ ("p", 1, 4); ("j", 1, n); ("k", 1, half) ]
+      ~body:(if half_stride then gather else scatter)
+      ())
+
+let radix4 ~name ~forward n =
+  (* A radix-4 flavoured pass: quarter-plane strides instead of halves,
+     standing in for the general-radix real transforms (DRADBG / DRADFG). *)
+  let c = arr "c" [| n; n |] and ch = arr "ch" [| n; n |] in
+  Array_decl.place [ c; ch ];
+  let q = n / 4 in
+  Dsl.(
+    let fwd =
+      [
+        load c [ v "k"; v "j" ];
+        load c [ v "k" +! i q; v "j" ];
+        load c [ v "k" +! i (2 * q); v "j" ];
+        load c [ v "k" +! i (3 * q); v "j" ];
+        store ch [ (4 *! v "k") -! i 3; v "j" ];
+        store ch [ (4 *! v "k") -! i 1; v "j" ];
+      ]
+    and bwd =
+      [
+        load c [ (4 *! v "k") -! i 3; v "j" ];
+        load c [ (4 *! v "k") -! i 2; v "j" ];
+        load c [ (4 *! v "k") -! i 1; v "j" ];
+        load c [ 4 *! v "k"; v "j" ];
+        store ch [ v "k"; v "j" ];
+        store ch [ v "k" +! i (2 * q); v "j" ];
+      ]
+    in
+    nest ~name
+      ~loops:[ ("p", 1, 4); ("j", 1, n); ("k", 1, q) ]
+      ~body:(if forward then fwd else bwd)
+      ())
+
+let dradfg ~name ~loop2 n =
+  (* Forward real transform: mixed unit/quarter strides with a plane-offset
+     twiddle read; loop 2 shifts the write pattern to the odd positions. *)
+  let c = arr "c" [| n; n |] and ch = arr "ch" [| n; n |] in
+  let wa = arr "wa" [| n |] in
+  Array_decl.place [ c; ch; wa ];
+  let q = n / 4 in
+  Dsl.(
+    let body1 =
+      [
+        load c [ v "k"; v "j" ];
+        load c [ v "k" +! i (2 * q); v "j" ];
+        load wa [ v "k" ];
+        store ch [ (2 *! v "k") -! i 1; v "j" ];
+        store ch [ 2 *! v "k"; v "j" ];
+      ]
+    and body2 =
+      [
+        load c [ (2 *! v "k") -! i 1; v "j" ];
+        load c [ (2 *! v "k") +! i (2 * q); v "j" ];
+        load wa [ v "k" +! i q ];
+        store ch [ (4 *! v "k") -! i 2; v "j" ];
+        store ch [ 4 *! v "k"; v "j" ];
+      ]
+    in
+    nest ~name
+      ~loops:[ ("p", 1, 4); ("j", 1, n); ("k", 1, q) ]
+      ~body:(if loop2 then body2 else body1)
+      ())
+
+let dpssb n = butterfly ~name:"DPSSB" ~half_stride:false n
+let dpssf n = butterfly ~name:"DPSSF" ~half_stride:true n
+let dradbg1 n = radix4 ~name:"DRADBG1" ~forward:false n
+let dradbg2 n = radix4 ~name:"DRADBG2" ~forward:true n
+let dradfg1 n = dradfg ~name:"DRADFG1" ~loop2:false n
+let dradfg2 n = dradfg ~name:"DRADFG2" ~loop2:true n
+
+(* ------------------------------------------------------------------ *)
+
+type spec = {
+  name : string;
+  description : string;
+  loops : int;
+  sizes : int list;
+  build : int -> Nest.t;
+}
+
+let all =
+  [
+    { name = "T2D"; description = "2D matrix transposition"; loops = 2;
+      sizes = [ 100; 500; 2000 ]; build = t2d };
+    { name = "T3DJIK"; description = "3D matrix transposition a(k,j,i)=b(j,i,k)";
+      loops = 3; sizes = [ 20; 100; 200 ]; build = t3djik };
+    { name = "T3DIKJ"; description = "3D matrix transposition a(k,j,i)=b(i,k,j)";
+      loops = 3; sizes = [ 20; 100; 200 ]; build = t3dikj };
+    { name = "JACOBI3D"; description = "partial differential equations solver";
+      loops = 3; sizes = [ 20; 100; 200 ]; build = jacobi3d };
+    { name = "MATMUL"; description = "matrix by vector multiplication";
+      loops = 3; sizes = [ 100; 500; 2000 ]; build = matmul };
+    { name = "MM"; description = "matrix multiplication (Livermore)";
+      loops = 3; sizes = [ 100; 500; 2000 ]; build = mm };
+    { name = "ADI"; description = "2D ADI integration (Livermore)";
+      loops = 2; sizes = [ 100; 500; 2000 ]; build = adi };
+    { name = "ADD"; description = "addition of update to a matrix (NAS)";
+      loops = 4; sizes = [ 32 ]; build = add };
+    { name = "BTRIX"; description = "block tri-diagonal solver, backward sweep (NAS)";
+      loops = 3; sizes = [ 128 ]; build = btrix };
+    { name = "VPENTA1"; description = "invert 3 pentadiagonals, loop 1 (NAS)";
+      loops = 2; sizes = [ 128 ]; build = vpenta1 };
+    { name = "VPENTA2"; description = "invert 3 pentadiagonals, loop 2 (NAS)";
+      loops = 2; sizes = [ 128 ]; build = vpenta2 };
+    { name = "DPSSB"; description = "inverse transform of a complex periodic sequence (BIHAR)";
+      loops = 3; sizes = [ 128 ]; build = dpssb };
+    { name = "DPSSF"; description = "forward transform of a complex periodic sequence (BIHAR)";
+      loops = 3; sizes = [ 128 ]; build = dpssf };
+    { name = "DRADBG1"; description = "backward transform of a real coefficient array, loop 1 (BIHAR)";
+      loops = 3; sizes = [ 128 ]; build = dradbg1 };
+    { name = "DRADBG2"; description = "backward transform of a real coefficient array, loop 2 (BIHAR)";
+      loops = 3; sizes = [ 128 ]; build = dradbg2 };
+    { name = "DRADFG1"; description = "forward transform of a real periodic sequence, loop 1 (BIHAR)";
+      loops = 3; sizes = [ 128 ]; build = dradfg1 };
+    { name = "DRADFG2"; description = "forward transform of a real periodic sequence, loop 2 (BIHAR)";
+      loops = 3; sizes = [ 128 ]; build = dradfg2 };
+  ]
+
+let find name =
+  let target = String.lowercase_ascii name in
+  List.find (fun s -> String.lowercase_ascii s.name = target) all

@@ -1,0 +1,55 @@
+(** The benchmark kernels of Table 1.
+
+    Every kernel builder returns a fresh, perfectly nested affine loop nest
+    with its arrays placed consecutively in memory (Fortran static
+    allocation), double-precision (8-byte) elements throughout.
+
+    Provenance notes:
+
+    - T2D, T3DJIK, T3DIKJ, MM, MATMUL and JACOBI3D are fully specified by
+      the paper (figure 1 and table 1) or are textbook kernels;
+    - ADI follows the Livermore loop 8 access pattern (2D ADI integration,
+      three sweep arrays);
+    - ADD, BTRIX, VPENTA1 and VPENTA2 reproduce the NAS kernels'
+      characteristic layouts: power-of-two leading dimensions and many
+      same-shape arrays whose columns fall on identical cache sets, which
+      is what makes them conflict-dominated (table 3 of the paper);
+    - DPSSB, DPSSF, DRADBG1/2 and DRADFG1/2 stand in for the BIHAR FFT
+      loops: radix butterfly passes over power-of-two-sized planes with the
+      half- and quarter-plane strides that cause their replacement misses.
+      The exact BIHAR sources are not in the paper; these are documented
+      affine equivalents (see DESIGN.md). *)
+
+type spec = {
+  name : string;            (** as in the paper's figures, e.g. "MM" *)
+  description : string;
+  loops : int;              (** nesting depth (table 1) *)
+  sizes : int list;         (** problem sizes used in figures 8 and 9 *)
+  build : int -> Tiling_ir.Nest.t;
+}
+
+val all : spec list
+(** The seventeen kernels of table 1, in the paper's order. *)
+
+val find : string -> spec
+(** Lookup by (case-insensitive) name.  @raise Not_found. *)
+
+(** Individual builders (size = matrix order / plane size). *)
+
+val t2d : int -> Tiling_ir.Nest.t
+val t3djik : int -> Tiling_ir.Nest.t
+val t3dikj : int -> Tiling_ir.Nest.t
+val jacobi3d : int -> Tiling_ir.Nest.t
+val matmul : int -> Tiling_ir.Nest.t
+val mm : int -> Tiling_ir.Nest.t
+val adi : int -> Tiling_ir.Nest.t
+val add : int -> Tiling_ir.Nest.t
+val btrix : int -> Tiling_ir.Nest.t
+val vpenta1 : int -> Tiling_ir.Nest.t
+val vpenta2 : int -> Tiling_ir.Nest.t
+val dpssb : int -> Tiling_ir.Nest.t
+val dpssf : int -> Tiling_ir.Nest.t
+val dradbg1 : int -> Tiling_ir.Nest.t
+val dradbg2 : int -> Tiling_ir.Nest.t
+val dradfg1 : int -> Tiling_ir.Nest.t
+val dradfg2 : int -> Tiling_ir.Nest.t

@@ -1,0 +1,53 @@
+open Tiling_ir
+
+type spec = {
+  depth : int;
+  extent : int;
+  narrays : int;
+  nrefs : int;
+  max_offset : int;
+}
+
+let default_spec =
+  { depth = 3; extent = 12; narrays = 2; nrefs = 4; max_offset = 1 }
+
+let generate ?(spec = default_spec) ~seed () =
+  assert (spec.depth >= 1 && spec.extent >= 1 && spec.narrays >= 1 && spec.nrefs >= 1);
+  let rng = Tiling_util.Prng.create ~seed in
+  let extents = Array.make spec.depth (spec.extent + (2 * spec.max_offset) + 2) in
+  let arrays =
+    List.init spec.narrays (fun i ->
+        Array_decl.create (Printf.sprintf "arr%d" i) extents)
+  in
+  Array_decl.place arrays;
+  let var_names = Array.init spec.depth (fun l -> Printf.sprintf "v%d" l) in
+  let loops =
+    Array.to_list
+      (Array.map (fun v -> (v, 1 + spec.max_offset, spec.extent + spec.max_offset)) var_names)
+  in
+  (* One subscript permutation per array keeps references uniformly
+     generated. *)
+  let orders =
+    List.map
+      (fun _ ->
+        let order = Array.init spec.depth Fun.id in
+        Tiling_util.Prng.shuffle rng order;
+        order)
+      arrays
+  in
+  let body =
+    List.init spec.nrefs (fun _ ->
+        let ai = Tiling_util.Prng.int rng spec.narrays in
+        let a = List.nth arrays ai in
+        let order = List.nth orders ai in
+        let subs =
+          List.init spec.depth (fun d ->
+              let off =
+                Tiling_util.Prng.int_in rng ~lo:(-spec.max_offset)
+                  ~hi:spec.max_offset
+              in
+              Dsl.(v var_names.(order.(d)) +! i off))
+        in
+        if Tiling_util.Prng.bool rng then Dsl.store a subs else Dsl.load a subs)
+  in
+  Dsl.nest ~name:(Printf.sprintf "random_%d" seed) ~loops ~body ()

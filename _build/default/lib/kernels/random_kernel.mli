@@ -1,0 +1,23 @@
+(** Random affine kernels inside the CME framework's domain.
+
+    Generates perfectly nested loops over a handful of arrays whose
+    references are uniformly generated (identical linear subscripts per
+    array, constant offsets differ) — the class of programs both the paper
+    and this library analyse.  Used by the differential test suite to fuzz
+    the solver against the simulator, and useful for benchmarking tile
+    search on programs with no hand-tuned structure. *)
+
+type spec = {
+  depth : int;          (** loop nesting depth, >= 1 *)
+  extent : int;         (** per-loop trip count (loops run [2..extent+1]) *)
+  narrays : int;        (** number of arrays, >= 1 *)
+  nrefs : int;          (** number of references, >= 1 *)
+  max_offset : int;     (** subscript offsets drawn from [-max..max] *)
+}
+
+val default_spec : spec
+(** depth 3, extent 12, 2 arrays, 4 references, offsets within 1. *)
+
+val generate : ?spec:spec -> seed:int -> unit -> Tiling_ir.Nest.t
+(** A fresh nest (arrays placed consecutively).  Deterministic in
+    [seed]. *)

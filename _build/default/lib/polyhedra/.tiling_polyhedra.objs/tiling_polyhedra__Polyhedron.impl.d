@@ -1,0 +1,1 @@
+lib/polyhedra/polyhedron.ml: Array Fmt Hashtbl Intmath List Tiling_util

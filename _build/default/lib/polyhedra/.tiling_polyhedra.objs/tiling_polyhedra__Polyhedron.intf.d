@@ -1,0 +1,1 @@
+lib/polyhedra/polyhedron.mli: Fmt

@@ -1,0 +1,303 @@
+open Tiling_util
+
+type constr = { coeffs : int array; const : int; kind : [ `Ge | `Eq ] }
+
+type t = { dim : int; cons : constr list }
+
+let universe dim =
+  assert (dim >= 0);
+  { dim; cons = [] }
+
+let normalise c =
+  let g =
+    Array.fold_left (fun acc x -> Intmath.gcd acc x) (abs c.const) c.coeffs
+  in
+  if g <= 1 then c
+  else
+    {
+      c with
+      coeffs = Array.map (fun x -> x / g) c.coeffs;
+      const = c.const / g;
+    }
+
+let of_constraints ~dim cons =
+  List.iter (fun c -> assert (Array.length c.coeffs = dim)) cons;
+  { dim; cons = List.map normalise cons }
+
+let ge ~coeffs ~const = { coeffs; const; kind = `Ge }
+
+let le ~coeffs ~const =
+  { coeffs = Array.map (fun x -> -x) coeffs; const = -const; kind = `Ge }
+
+let eq ~coeffs ~const = { coeffs; const; kind = `Eq }
+
+let add t cons =
+  List.iter (fun c -> assert (Array.length c.coeffs = t.dim)) cons;
+  { t with cons = List.map normalise cons @ t.cons }
+
+let of_box ~lo ~hi =
+  let dim = Array.length lo in
+  assert (Array.length hi = dim);
+  let unit v k =
+    let coeffs = Array.make dim 0 in
+    coeffs.(v) <- k;
+    coeffs
+  in
+  let cons =
+    List.concat
+      (List.init dim (fun v ->
+           [ ge ~coeffs:(unit v 1) ~const:(-lo.(v));
+             ge ~coeffs:(unit v (-1)) ~const:hi.(v) ]))
+  in
+  { dim; cons }
+
+let eval c point =
+  let acc = ref c.const in
+  Array.iteri (fun i a -> if a <> 0 then acc := !acc + (a * point.(i))) c.coeffs;
+  !acc
+
+let holds c point =
+  let v = eval c point in
+  match c.kind with `Ge -> v >= 0 | `Eq -> v = 0
+
+let contains t point =
+  Array.length point = t.dim && List.for_all (fun c -> holds c point) t.cons
+
+(* Linear combination [lam * a + mu * b] (lam, mu chosen by callers so the
+   result's kind is sound). *)
+let combine ~lam a ~mu b kind =
+  normalise
+    {
+      coeffs = Array.init (Array.length a.coeffs) (fun i -> (lam * a.coeffs.(i)) + (mu * b.coeffs.(i)));
+      const = (lam * a.const) + (mu * b.const);
+      kind;
+    }
+
+let dedup cons =
+  let tbl = Hashtbl.create 64 in
+  List.filter
+    (fun c ->
+      let key = (Array.to_list c.coeffs, c.const, c.kind) in
+      if Hashtbl.mem tbl key then false
+      else begin
+        Hashtbl.replace tbl key ();
+        true
+      end)
+    cons
+
+(* Drop constraints that are trivially true; detect trivially false. *)
+exception Empty
+
+let simplify cons =
+  List.filter
+    (fun c ->
+      if Array.for_all (fun x -> x = 0) c.coeffs then begin
+        (match c.kind with
+        | `Ge -> if c.const < 0 then raise Empty
+        | `Eq -> if c.const <> 0 then raise Empty);
+        false
+      end
+      else true)
+    cons
+
+let eliminate t v =
+  assert (0 <= v && v < t.dim);
+  try
+    let cons = simplify t.cons in
+    (* Exact substitution through an equality if one mentions [v]. *)
+    let eq_with_v =
+      List.find_opt (fun c -> c.kind = `Eq && c.coeffs.(v) <> 0) cons
+    in
+    let cons =
+      match eq_with_v with
+      | Some e ->
+          let c = e.coeffs.(v) in
+          let s = if c > 0 then 1 else -1 in
+          List.filter_map
+            (fun o ->
+              if o == e then None
+              else
+                let d = o.coeffs.(v) in
+                if d = 0 then Some o
+                else Some (combine ~lam:(abs c) o ~mu:(-d * s) e o.kind))
+            cons
+      | None ->
+          (* Split equalities mentioning v into two inequalities first. *)
+          let cons =
+            List.concat_map
+              (fun c ->
+                if c.kind = `Eq && c.coeffs.(v) <> 0 then
+                  [ { c with kind = `Ge };
+                    { coeffs = Array.map (fun x -> -x) c.coeffs;
+                      const = -c.const; kind = `Ge } ]
+                else [ c ])
+              cons
+          in
+          let pos, neg, zero =
+            List.fold_left
+              (fun (p, n, z) c ->
+                if c.coeffs.(v) > 0 then (c :: p, n, z)
+                else if c.coeffs.(v) < 0 then (p, c :: n, z)
+                else (p, n, c :: z))
+              ([], [], []) cons
+          in
+          let combined =
+            List.concat_map
+              (fun p ->
+                List.map
+                  (fun n -> combine ~lam:(-n.coeffs.(v)) p ~mu:p.coeffs.(v) n `Ge)
+                  neg)
+              pos
+          in
+          zero @ combined
+    in
+    { t with cons = dedup (simplify cons) }
+  with Empty ->
+    (* Represent emptiness canonically: 0 >= 1. *)
+    { t with cons = [ { coeffs = Array.make t.dim 0; const = -1; kind = `Ge } ] }
+
+let is_rationally_empty t =
+  let rec go t v =
+    if List.exists
+         (fun c ->
+           Array.for_all (fun x -> x = 0) c.coeffs
+           && (match c.kind with `Ge -> c.const < 0 | `Eq -> c.const <> 0))
+         t.cons
+    then true
+    else if v = t.dim then false
+    else go (eliminate t v) (v + 1)
+  in
+  go t 0
+
+let substitute t v value =
+  {
+    t with
+    cons =
+      List.map
+        (fun c ->
+          if c.coeffs.(v) = 0 then c
+          else
+            let coeffs = Array.copy c.coeffs in
+            let d = coeffs.(v) in
+            coeffs.(v) <- 0;
+            { c with coeffs; const = c.const + (d * value) })
+        t.cons;
+  }
+
+let var_bounds t v =
+  (* Project away every other variable, then read off the 1-D bounds. *)
+  let p = ref t in
+  for u = 0 to t.dim - 1 do
+    if u <> v then p := eliminate !p u
+  done;
+  let lo = ref None and hi = ref None and empty = ref false in
+  let tighten_lo x = match !lo with None -> lo := Some x | Some y -> if x > y then lo := Some x in
+  let tighten_hi x = match !hi with None -> hi := Some x | Some y -> if x < y then hi := Some x in
+  List.iter
+    (fun c ->
+      let a = c.coeffs.(v) in
+      if Array.exists (fun x -> x <> 0) c.coeffs && a = 0 then ()
+      else if a = 0 then begin
+        match c.kind with
+        | `Ge -> if c.const < 0 then empty := true
+        | `Eq -> if c.const <> 0 then empty := true
+      end
+      else begin
+        match c.kind with
+        | `Eq ->
+            (* v = -const / a *)
+            if c.const mod a = 0 then begin
+              let x = -c.const / a in
+              tighten_lo x;
+              tighten_hi x
+            end
+            else begin
+              (* rational value, no integer point on this line; still keep
+                 the rational bound *)
+              let x = Intmath.floor_div (-c.const) a in
+              tighten_lo x;
+              tighten_hi x
+            end
+        | `Ge ->
+            if a > 0 then tighten_lo (Intmath.ceil_div (-c.const) a)
+            else tighten_hi (Intmath.floor_div c.const (-a))
+      end)
+    !p.cons;
+  if !empty then None
+  else
+    match (!lo, !hi) with
+    | Some l, Some h -> if l <= h then Some (l, h) else None
+    | _ -> None
+
+let fold_integer_points ?(cap = 100_000) t f init =
+  let acc = ref init in
+  let count = ref 0 in
+  let point = Array.make t.dim 0 in
+  let rec go p v =
+    if v = t.dim then begin
+      (* Bounds pruning is rational: re-verify the point exactly. *)
+      if contains t point then begin
+        incr count;
+        if !count > cap then invalid_arg "integer_points: cap exceeded";
+        acc := f !acc (Array.copy point)
+      end
+    end
+    else
+      match var_bounds p v with
+      | None -> ()
+      | Some (lo, hi) ->
+          if hi - lo > 10_000_000 then invalid_arg "integer_points: unbounded-ish";
+          for x = lo to hi do
+            point.(v) <- x;
+            go (substitute p v x) (v + 1)
+          done
+  in
+  go t 0;
+  !acc
+
+let integer_points ?cap t =
+  List.rev (fold_integer_points ?cap t (fun acc p -> p :: acc) [])
+
+let count_integer_points ?cap t =
+  fold_integer_points ?cap t (fun acc _ -> acc + 1) 0
+
+exception Found
+
+let has_integer_point t =
+  let point = Array.make t.dim 0 in
+  let rec go p v =
+    if v = t.dim then begin
+      if contains t point then raise Found
+    end
+    else
+      match var_bounds p v with
+      | None -> ()
+      | Some (lo, hi) ->
+          if hi - lo > 10_000_000 then invalid_arg "has_integer_point: unbounded-ish";
+          for x = lo to hi do
+            point.(v) <- x;
+            go (substitute p v x) (v + 1)
+          done
+  in
+  try
+    go t 0;
+    false
+  with Found -> true
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>";
+  List.iter
+    (fun c ->
+      let first = ref true in
+      Array.iteri
+        (fun i a ->
+          if a <> 0 then begin
+            if !first then Fmt.pf ppf "%dx%d" a i else Fmt.pf ppf " + %dx%d" a i;
+            first := false
+          end)
+        c.coeffs;
+      if !first then Fmt.pf ppf "0";
+      Fmt.pf ppf " %+d %s 0@ " c.const (match c.kind with `Ge -> ">=" | `Eq -> "=")
+    )
+    t.cons;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,75 @@
+(** Integer polyhedra with exact Fourier–Motzkin elimination.
+
+    This is the machinery the paper's section 2 talks about directly: Cache
+    Miss Equations are conjunctions of linear equalities and inequalities
+    (over iteration variables and auxiliary "wrap" variables), and deciding
+    a miss means deciding whether such a polyhedron contains an integer
+    point.  The production solver ({!Tiling_cme.Engine}) answers those
+    queries with specialised residue arithmetic; this module provides the
+    general-purpose reference implementation used by the symbolic CME layer
+    and by differential tests:
+
+    - constraints are stored with integer coefficients
+      ([sum coeffs.x + const >= 0] and [= 0]);
+    - {!eliminate} removes a variable by Fourier–Motzkin combination (exact
+      over the rationals; gcd-normalised to keep coefficients small);
+    - {!is_rationally_empty} decides emptiness over the rationals;
+    - {!integer_points} enumerates integer solutions by bounding-box
+      backtracking with per-level constraint propagation — exponential in
+      general (the paper's point: "counting the points [...] is an NP
+      problem"), fine for the small systems the tests build. *)
+
+type constr = {
+  coeffs : int array;  (** length = dimension *)
+  const : int;
+  kind : [ `Ge | `Eq ];  (** [sum + const >= 0] or [= 0] *)
+}
+
+type t = private { dim : int; cons : constr list }
+
+val universe : int -> t
+(** No constraints over [dim] variables. *)
+
+val of_constraints : dim:int -> constr list -> t
+
+val ge : coeffs:int array -> const:int -> constr
+(** [sum coeffs.x + const >= 0]. *)
+
+val le : coeffs:int array -> const:int -> constr
+(** [sum coeffs.x + const <= 0] (normalised to [`Ge]). *)
+
+val eq : coeffs:int array -> const:int -> constr
+(** [sum coeffs.x + const = 0]. *)
+
+val add : t -> constr list -> t
+
+val of_box : lo:int array -> hi:int array -> t
+(** The box [prod [lo_l, hi_l]]. *)
+
+val contains : t -> int array -> bool
+
+val eliminate : t -> int -> t
+(** [eliminate p v] projects away variable [v] (Fourier-Motzkin; the
+    result's dimension is unchanged, but no constraint mentions [v]).
+    Equalities involving [v] are used for exact substitution first. *)
+
+val is_rationally_empty : t -> bool
+(** Emptiness over the rationals (eliminate everything, check constants).
+    Rational non-emptiness does NOT imply an integer point exists. *)
+
+val var_bounds : t -> int -> (int * int) option
+(** [var_bounds p v] is the tightest integer interval containing the
+    projections of all rational solutions onto variable [v]; [None] when
+    the polyhedron is rationally empty or the variable is unbounded. *)
+
+val integer_points : ?cap:int -> t -> int array list
+(** All integer solutions (at most [cap], default 100_000; raises
+    [Invalid_argument] if a variable is unbounded).  Order: lexicographic. *)
+
+val count_integer_points : ?cap:int -> t -> int
+(** [List.length (integer_points p)] without materialising the list. *)
+
+val has_integer_point : t -> bool
+(** Backtracking search for one integer solution. *)
+
+val pp : t Fmt.t

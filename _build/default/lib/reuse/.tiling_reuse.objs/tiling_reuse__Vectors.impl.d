@@ -1,0 +1,1 @@
+lib/reuse/vectors.ml: Affine Array Array_decl Fmt Fun Hashtbl List Nest Printf Tiling_ir Tiling_util

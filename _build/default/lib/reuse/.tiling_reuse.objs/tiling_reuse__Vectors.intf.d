@@ -1,0 +1,1 @@
+lib/reuse/vectors.mli: Fmt Tiling_ir

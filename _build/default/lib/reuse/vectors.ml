@@ -1,0 +1,268 @@
+open Tiling_ir
+
+type t = { delta : int array; spatial : bool; leader : int option }
+
+let lex_sign delta =
+  let rec go l =
+    if l = Array.length delta then 0
+    else if delta.(l) > 0 then 1
+    else if delta.(l) < 0 then -1
+    else go (l + 1)
+  in
+  go 0
+
+(* Per-loop step, trip count and overall value span.  For a tile-element
+   loop the span is the original loop's full extent: reuse may come from a
+   different tile (the point solver re-derives the tile coordinates). *)
+let loop_info (nest : Nest.t) =
+  Array.map
+    (fun (l : Nest.loop) ->
+      match l.shape with
+      | Nest.Range { lo; hi; step } ->
+          let trip = Tiling_util.Intmath.range_count ~lo ~hi ~step in
+          (step, trip, trip)
+      | Nest.Tile_ctrl { lo; hi; tile } ->
+          let trip = Tiling_util.Intmath.range_count ~lo ~hi ~step:tile in
+          (tile, trip, trip)
+      | Nest.Tile_elem { ctrl; tile; hi } ->
+          let lo =
+            match nest.loops.(ctrl).shape with
+            | Nest.Tile_ctrl { lo; _ } -> lo
+            | _ -> assert false
+          in
+          (1, tile, hi - lo + 1))
+    nest.Nest.loops
+
+let round_div a b = Tiling_util.Intmath.floor_div ((2 * a) + abs b) (2 * b)
+
+let of_reference (nest : Nest.t) ~line (r : Nest.reference) =
+  let d = Nest.depth nest in
+  let info = loop_info nest in
+  let f = Nest.address_form nest r in
+  let c l = Affine.coeff f l in
+  let is_ctrl l =
+    match nest.Nest.loops.(l).shape with Nest.Tile_ctrl _ -> true | _ -> false
+  in
+  let has_tiles =
+    Array.exists
+      (fun (l : Nest.loop) ->
+        match l.shape with Nest.Tile_elem _ -> true | _ -> false)
+      nest.Nest.loops
+  in
+  let seen = Hashtbl.create 64 in
+  let out = ref [] in
+  let emit ?leader ~spatial delta =
+    (* On tiled nests the point solver re-derives tile coordinates, so a
+       lexicographically negative delta can still reach an earlier point;
+       validity is then decided per point.  On plain nests the static sign
+       is decisive. *)
+    let valid =
+      match (lex_sign delta, leader) with
+      | 1, _ -> true
+      | -1, _ -> has_tiles
+      | 0, Some b -> b < r.ref_id (* same iteration, earlier reference *)
+      | 0, None -> false
+      | _ -> assert false
+    in
+    if valid then begin
+      let key = (Array.to_list delta, spatial, leader) in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.replace seen key ();
+        out := { delta; spatial; leader } :: !out
+      end
+    end
+  in
+  (* Candidate deltas with at most two non-zero components that bring the
+     source address within a cache line of the destination address:
+     [|gap - sum_l stride_l * k_l| < line].  Temporal reuse is the exact
+     case (difference 0); same-line spatial reuse is re-checked per point. *)
+  let candidates ~leader ~gap =
+    (* zero-dimensional *)
+    if abs gap < line then emit ?leader ~spatial:(gap <> 0) (Array.make d 0);
+    (* one-dimensional *)
+    for l = 0 to d - 1 do
+      if not (is_ctrl l) then begin
+        let step, _, span = info.(l) in
+        let stride = c l * step in
+        let try_k k =
+          if k <> 0 && abs k < span then begin
+            let rem = gap - (stride * k) in
+            if abs rem < line then begin
+              let delta = Array.make d 0 in
+              delta.(l) <- k * step;
+              emit ?leader ~spatial:(rem <> 0) delta
+            end
+          end
+        in
+        if stride = 0 then begin
+          if abs gap < line then begin
+            try_k 1;
+            try_k (-1)
+          end
+        end
+        else begin
+          let k0 = round_div gap stride in
+          for k = k0 - 3 to k0 + 3 do
+            try_k k
+          done
+        end
+      end
+    done;
+    (* two-dimensional: a coarse dimension moves a small number of steps
+       while a finer dimension compensates, e.g. reuse across a column seam
+       of a column-major array. *)
+    for lf = 0 to d - 1 do
+      let step_f, _, span_f = info.(lf) in
+      let cf = c lf * step_f in
+      if cf <> 0 && not (is_ctrl lf) then
+        for lc = 0 to d - 1 do
+          let step_c, _, span_c = info.(lc) in
+          let cc = c lc * step_c in
+          if lc <> lf && cc <> 0 && abs cc > abs cf && not (is_ctrl lc) then
+            List.iter
+              (fun b ->
+                if abs b < span_c then begin
+                  let a0 = round_div (gap - (cc * b)) cf in
+                  for a = a0 - 3 to a0 + 3 do
+                    if a <> 0 && abs a < span_f then begin
+                      let rem = gap - ((cf * a) + (cc * b)) in
+                      if abs rem < line then begin
+                        let delta = Array.make d 0 in
+                        delta.(lf) <- a * step_f;
+                        delta.(lc) <- b * step_c;
+                        emit ?leader ~spatial:(rem <> 0) delta
+                      end
+                    end
+                  done
+                end)
+              [ -2; -1; 1; 2 ]
+        done
+    done
+  in
+  (* Exact group deltas: for uniformly generated references the temporal
+     reuse vector solves [subscript_B (p - delta) = subscript_A p] one array
+     dimension at a time.  When every subscript row involves a single loop
+     variable (the common Fortran case) the solution is immediate; the
+     contiguous dimension may keep a sub-line remainder, yielding spatial
+     variants.  This covers reuse that moves several loop variables at
+     once, which 1-/2-dimensional gap bridging cannot reach. *)
+  let exact_group_deltas (b : Nest.reference) =
+    if b.ref_id <> r.ref_id && b.array == r.array then begin
+      let uniform =
+        let ok = ref true in
+        Array.iteri
+          (fun dim row ->
+            for l = 0 to d - 1 do
+              if Affine.coeff row l <> Affine.coeff b.idx.(dim) l then ok := false
+            done)
+          r.idx;
+        !ok
+      in
+      if uniform then begin
+        let elem = r.array.Array_decl.elem_size in
+        let delta = Array.make d 0 in
+        let assigned = Array.make d false in
+        let feasible = ref true in
+        (* Dimensions 1.. must match exactly (their strides exceed a line);
+           solve them first. *)
+        Array.iteri
+          (fun dim (row : Affine.t) ->
+            if dim > 0 && !feasible then begin
+              let gd = b.idx.(dim).Affine.const - row.Affine.const in
+              let vars =
+                List.filter (fun l -> Affine.coeff row l <> 0) (List.init d Fun.id)
+              in
+              match vars with
+              | [] -> if gd <> 0 then feasible := false
+              | [ l ] ->
+                  let cl = Affine.coeff row l in
+                  if gd mod cl <> 0 then feasible := false
+                  else begin
+                    let q = gd / cl in
+                    if assigned.(l) then begin
+                      if delta.(l) <> q then feasible := false
+                    end
+                    else begin
+                      assigned.(l) <- true;
+                      delta.(l) <- q
+                    end
+                  end
+              | _ -> feasible := false (* multi-variable subscript row *)
+            end)
+          r.idx;
+        if !feasible then begin
+          (* Dimension 0 is contiguous: besides the exact solution, any
+             delta landing within a cache line of the target element is a
+             spatial candidate (the per-point line check filters). *)
+          let row = r.idx.(0) in
+          let gd = b.idx.(0).Affine.const - row.Affine.const in
+          let vars =
+            List.filter (fun l -> Affine.coeff row l <> 0) (List.init d Fun.id)
+          in
+          match vars with
+          | [] -> if gd = 0 then emit ~leader:b.ref_id ~spatial:false (Array.copy delta)
+          | [ l ] ->
+              let cl = Affine.coeff row l in
+              let q0 = Tiling_util.Intmath.floor_div gd cl in
+              let kmax =
+                max 1 ((line - 1) / max 1 (abs (cl * elem)))
+              in
+              if assigned.(l) then begin
+                (* var pinned by an outer dimension: accept if within a line *)
+                let rem = gd - (cl * delta.(l)) in
+                if abs (rem * elem) < line then
+                  emit ~leader:b.ref_id ~spatial:(rem <> 0) (Array.copy delta)
+              end
+              else
+                for k = -kmax to kmax do
+                  let dl = q0 + k in
+                  let rem = gd - (cl * dl) in
+                  if abs (rem * elem) < line then begin
+                    let d2 = Array.copy delta in
+                    d2.(l) <- dl;
+                    emit ~leader:b.ref_id ~spatial:(rem <> 0) d2
+                  end
+                done
+          | _ -> ()
+        end
+      end
+    end
+  in
+  Array.iter
+    (fun (b : Nest.reference) ->
+      exact_group_deltas b;
+      let fb = Nest.address_form nest b in
+      let same_linear =
+        let ok = ref true in
+        for l = 0 to d - 1 do
+          if Affine.coeff fb l <> c l then ok := false
+        done;
+        !ok
+      in
+      if same_linear then begin
+        let leader = if b.ref_id = r.ref_id then None else Some b.ref_id in
+        candidates ~leader ~gap:(fb.Affine.const - f.Affine.const)
+      end)
+    nest.Nest.refs;
+  (* Nearest sources first: shorter deltas are closer in execution order (a
+     heuristic ordering; the hit/miss outcome does not depend on it). *)
+  let magnitude v = Array.fold_left (fun acc k -> acc + abs k) 0 v.delta in
+  List.sort
+    (fun a b ->
+      let cm = compare (magnitude a) (magnitude b) in
+      if cm <> 0 then cm
+      else
+        let cd = Nest.lex_compare a.delta b.delta in
+        if cd <> 0 then cd else compare (a.spatial, a.leader) (b.spatial, b.leader))
+    !out
+
+let of_nest nest ~line =
+  Array.map (fun r -> of_reference nest ~line r) nest.Nest.refs
+
+let pp ~names ppf t =
+  ignore names;
+  Fmt.pf ppf "(%a)%s%s"
+    Fmt.(array ~sep:(any ",") int)
+    t.delta
+    (if t.spatial then "s" else "t")
+    (match t.leader with None -> "" | Some b -> Printf.sprintf "<-r%d" b)

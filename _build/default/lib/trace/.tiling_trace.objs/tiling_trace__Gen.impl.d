@@ -1,0 +1,1 @@
+lib/trace/gen.ml: Affine Array Nest Tiling_ir

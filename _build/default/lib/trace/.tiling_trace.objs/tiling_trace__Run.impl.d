@@ -1,0 +1,1 @@
+lib/trace/run.ml: Array Fmt Gen Tiling_cache Tiling_ir

@@ -1,0 +1,1 @@
+lib/trace/run.mli: Fmt Tiling_cache Tiling_ir

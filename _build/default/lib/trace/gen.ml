@@ -1,0 +1,22 @@
+open Tiling_ir
+
+type event = { ref_id : int; addr : int; access : Nest.access }
+
+let iter nest f =
+  let forms = Array.map (fun r -> Nest.address_form nest r) nest.Nest.refs in
+  let accesses = Array.map (fun (r : Nest.reference) -> r.access) nest.Nest.refs in
+  let nrefs = Array.length forms in
+  Nest.iter_points nest (fun point ->
+      for k = 0 to nrefs - 1 do
+        f { ref_id = k; addr = Affine.eval forms.(k) point; access = accesses.(k) }
+      done)
+
+let length nest = Nest.trip_count nest * Array.length nest.Nest.refs
+
+let events_at nest point =
+  Array.to_list
+    (Array.map
+       (fun (r : Nest.reference) ->
+         { ref_id = r.ref_id; addr = Affine.eval (Nest.address_form nest r) point;
+           access = r.access })
+       nest.Nest.refs)

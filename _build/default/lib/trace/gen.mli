@@ -1,0 +1,19 @@
+(** Address-trace generation: replay a loop nest's memory references.
+
+    The generator walks the iteration space in execution order and emits one
+    event per reference per iteration point, in program order, with the
+    byte address computed from the flattened affine address function under
+    the arrays' current layout. *)
+
+type event = { ref_id : int; addr : int; access : Tiling_ir.Nest.access }
+
+val iter : Tiling_ir.Nest.t -> (event -> unit) -> unit
+(** Full trace, in execution order.  The [event] record is reused between
+    callbacks. *)
+
+val length : Tiling_ir.Nest.t -> int
+(** Number of events ([trip_count * number of references]). *)
+
+val events_at : Tiling_ir.Nest.t -> int array -> event list
+(** The body's events for one iteration point, in program order (fresh
+    records). *)

@@ -1,0 +1,37 @@
+type report = {
+  total : Tiling_cache.Sim.counts;
+  per_ref : Tiling_cache.Sim.counts array;
+  lines_touched : int;
+  writebacks : int;
+}
+
+let simulate nest config =
+  let sim =
+    Tiling_cache.Sim.create ~num_refs:(Array.length nest.Tiling_ir.Nest.refs) config
+  in
+  Gen.iter nest (fun ev ->
+      Tiling_cache.Sim.access
+        ~write:(ev.Gen.access = Tiling_ir.Nest.Write)
+        sim ~ref_id:ev.Gen.ref_id ~addr:ev.Gen.addr);
+  {
+    total = Tiling_cache.Sim.total sim;
+    per_ref = Tiling_cache.Sim.per_ref sim;
+    lines_touched = Tiling_cache.Sim.lines_touched sim;
+    writebacks = Tiling_cache.Sim.writebacks sim;
+  }
+
+let pp_report ppf r =
+  let open Tiling_cache.Sim in
+  Fmt.pf ppf
+    "accesses=%d misses=%d (%.2f%%) compulsory=%d replacement=%d (%.2f%%) writebacks=%d"
+    r.total.accesses r.total.misses
+    (100. *. miss_ratio r.total)
+    r.total.compulsory (replacement r.total)
+    (100. *. replacement_ratio r.total)
+    r.writebacks
+
+let simulate_hierarchy nest configs =
+  let h = Tiling_cache.Hierarchy.create configs in
+  Gen.iter nest (fun ev ->
+      ignore (Tiling_cache.Hierarchy.access h ~ref_id:ev.Gen.ref_id ~addr:ev.Gen.addr));
+  Tiling_cache.Hierarchy.level_counts h

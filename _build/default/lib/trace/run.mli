@@ -1,0 +1,18 @@
+(** Glue: simulate a loop nest end-to-end and report miss statistics. *)
+
+type report = {
+  total : Tiling_cache.Sim.counts;
+  per_ref : Tiling_cache.Sim.counts array;
+  lines_touched : int;
+  writebacks : int;  (** dirty lines evicted (write-back traffic) *)
+}
+
+val simulate : Tiling_ir.Nest.t -> Tiling_cache.Config.t -> report
+(** Replays the whole trace through a cold cache. *)
+
+val pp_report : report Fmt.t
+
+val simulate_hierarchy :
+  Tiling_ir.Nest.t -> Tiling_cache.Config.t list -> Tiling_cache.Sim.counts array
+(** Replays the trace through a multi-level hierarchy; per-level counts
+    (level [i] only sees level [i-1]'s misses). *)

@@ -1,0 +1,1 @@
+lib/util/par.ml: Array Atomic Domain

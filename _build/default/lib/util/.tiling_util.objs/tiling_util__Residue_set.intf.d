@@ -1,0 +1,1 @@
+lib/util/residue_set.mli:

@@ -1,0 +1,62 @@
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+let lcm a b = if a = 0 || b = 0 then 0 else abs (a / gcd a b * b)
+
+let egcd a b =
+  (* Invariants: a*x0 + b*y0 = r0 and a*x1 + b*y1 = r1. *)
+  let rec loop r0 x0 y0 r1 x1 y1 =
+    if r1 = 0 then (r0, x0, y0)
+    else
+      let q = r0 / r1 in
+      loop r1 x1 y1 (r0 - (q * r1)) (x0 - (q * x1)) (y0 - (q * y1))
+  in
+  let g, x, y = loop a 1 0 b 0 1 in
+  if g < 0 then (-g, -x, -y) else (g, x, y)
+
+let floor_div a b =
+  let q = a / b and r = a mod b in
+  if r <> 0 && r lxor b < 0 then q - 1 else q
+
+let ceil_div a b = -floor_div (-a) b
+
+let pos_mod a m =
+  assert (m > 0);
+  let r = a mod m in
+  if r < 0 then r + m else r
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let ceil_log2 n =
+  assert (n >= 1);
+  let rec loop k p = if p >= n then k else loop (k + 1) (p * 2) in
+  loop 0 1
+
+let pow b e =
+  assert (e >= 0);
+  let rec loop acc b e =
+    if e = 0 then acc
+    else loop (if e land 1 = 1 then acc * b else acc) (b * b) (e asr 1)
+  in
+  loop 1 b e
+
+let clamp ~lo ~hi x =
+  assert (lo <= hi);
+  if x < lo then lo else if x > hi then hi else x
+
+let range_count ~lo ~hi ~step =
+  assert (step > 0);
+  if hi < lo then 0 else ((hi - lo) / step) + 1
+
+let multiples_in ~lo ~hi m =
+  assert (m > 0);
+  if hi < lo then 0 else floor_div hi m - floor_div (lo - 1) m
+
+let crt (a, m) (b, n) =
+  assert (m > 0 && n > 0);
+  let g, p, _ = egcd m n in
+  if (b - a) mod g <> 0 then None
+  else
+    let l = m / g * n in
+    (* x = a + m * t with m*t = b - a (mod n), i.e. t = p*(b-a)/g (mod n/g) *)
+    let t = pos_mod (p * ((b - a) / g)) (n / g) in
+    Some (pos_mod (a + (m * t)) l, l)

@@ -1,0 +1,26 @@
+let map ~domains f xs =
+  let n = Array.length xs in
+  if domains <= 1 || n <= 1 then Array.map f xs
+  else begin
+    let d = min domains n in
+    let results = Array.make n None in
+    let failure = Atomic.make None in
+    let run_chunk k =
+      (* Block distribution: domain k handles [lo, hi). *)
+      let lo = k * n / d and hi = (k + 1) * n / d in
+      try
+        for i = lo to hi - 1 do
+          results.(i) <- Some (f xs.(i))
+        done
+      with e -> ignore (Atomic.compare_and_set failure None (Some e))
+    in
+    let workers = Array.init (d - 1) (fun k -> Domain.spawn (fun () -> run_chunk (k + 1))) in
+    run_chunk 0;
+    Array.iter Domain.join workers;
+    (match Atomic.get failure with Some e -> raise e | None -> ());
+    Array.map
+      (function Some v -> v | None -> assert false (* all chunks covered *))
+      results
+  end
+
+let recommended_domains () = min 8 (Domain.recommended_domain_count ())

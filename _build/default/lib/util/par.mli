@@ -1,0 +1,15 @@
+(** Minimal fork-join parallelism over OCaml 5 domains.
+
+    Used to fan the GA's population evaluation out over cores: each
+    candidate tiling builds its own solver state, so the work units are
+    independent and embarrassingly parallel.  No external dependency —
+    plain [Domain.spawn] with block distribution. *)
+
+val map : domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~domains f xs] is [Array.map f xs], computed by [domains] domains
+    (the calling domain included).  [domains <= 1] degrades to the
+    sequential map.  [f] must be safe to run concurrently with itself.
+    Exceptions raised by [f] are re-raised in the caller. *)
+
+val recommended_domains : unit -> int
+(** A sensible default: the machine's core count, capped at 8. *)

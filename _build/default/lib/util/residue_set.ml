@@ -1,0 +1,207 @@
+type t = { m : int; words : int array }
+(* Bit [r] of the vector (word [r/62], bit [r mod 62]) records membership of
+   residue [r].  We use 62 payload bits per OCaml int to keep everything in
+   immediate integers. *)
+
+let bits_per_word = 62
+
+let modulus t = t.m
+
+let nwords m = ((m + bits_per_word - 1) / bits_per_word)
+
+let create m =
+  assert (m > 0);
+  { m; words = Array.make (nwords m) 0 }
+
+let all_bits = (1 lsl bits_per_word) - 1
+
+let tail_mask m =
+  let rem = m mod bits_per_word in
+  if rem = 0 then all_bits else (1 lsl rem) - 1
+
+let full m =
+  let t = create m in
+  Array.fill t.words 0 (Array.length t.words) all_bits;
+  t.words.(Array.length t.words - 1) <- tail_mask m;
+  t
+
+let copy t = { m = t.m; words = Array.copy t.words }
+
+let add t r =
+  let r = Intmath.pos_mod r t.m in
+  let w = r / bits_per_word and b = r mod bits_per_word in
+  t.words.(w) <- t.words.(w) lor (1 lsl b)
+
+let singleton m r =
+  let t = create m in
+  add t r;
+  t
+
+let mem t r =
+  let r = Intmath.pos_mod r t.m in
+  let w = r / bits_per_word and b = r mod bits_per_word in
+  t.words.(w) land (1 lsl b) <> 0
+
+let popcount x =
+  let rec loop acc x = if x = 0 then acc else loop (acc + 1) (x land (x - 1)) in
+  loop 0 x
+
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+
+let is_full t =
+  let n = Array.length t.words in
+  let ok = ref true in
+  for i = 0 to n - 2 do
+    if t.words.(i) <> all_bits then ok := false
+  done;
+  !ok && t.words.(n - 1) = tail_mask t.m
+
+let equal a b = a.m = b.m && a.words = b.words
+
+let union_into ~dst src =
+  assert (dst.m = src.m);
+  for i = 0 to Array.length dst.words - 1 do
+    dst.words.(i) <- dst.words.(i) lor src.words.(i)
+  done
+
+let inter a b =
+  assert (a.m = b.m);
+  let t = create a.m in
+  for i = 0 to Array.length t.words - 1 do
+    t.words.(i) <- a.words.(i) land b.words.(i)
+  done;
+  t
+
+(* Rotation by [k] positions.  Residue [r] of the source lands at
+   [(r + k) mod m].  We walk destination words and gather the source bits;
+   with 62-bit packing a destination word spans at most three source words
+   once the wrap at position [m] is taken into account, so we fall back to a
+   simple per-bit gather only for tiny moduli. *)
+let rotate t k =
+  let m = t.m in
+  let k = Intmath.pos_mod k m in
+  if k = 0 then copy t
+  else begin
+    let dst = create m in
+    if m <= 4 * bits_per_word then begin
+      (* Small modulus: per-bit copy is cheap and obviously correct. *)
+      for r = 0 to m - 1 do
+        if mem t r then add dst (r + k)
+      done;
+      dst
+    end
+    else begin
+      (* Split the source into [0, m-k) -> shifted up by k, and
+         [m-k, m) -> wrapped down to [0, k).  Copy bit ranges with word ops. *)
+      let blit_range ~src_lo ~dst_lo ~len =
+        (* Copy [len] bits starting at source bit [src_lo] to destination bit
+           [dst_lo]. *)
+        let i = ref 0 in
+        while !i < len do
+          let s = src_lo + !i and d = dst_lo + !i in
+          let sw = s / bits_per_word and sb = s mod bits_per_word in
+          let dw = d / bits_per_word and db = d mod bits_per_word in
+          (* How many bits can we move in one word operation? *)
+          let chunk =
+            min (len - !i) (min (bits_per_word - sb) (bits_per_word - db))
+          in
+          let mask = if chunk = bits_per_word then all_bits else (1 lsl chunk) - 1 in
+          let bits = (t.words.(sw) lsr sb) land mask in
+          dst.words.(dw) <- dst.words.(dw) lor (bits lsl db);
+          i := !i + chunk
+        done
+      in
+      blit_range ~src_lo:0 ~dst_lo:k ~len:(m - k);
+      blit_range ~src_lo:(m - k) ~dst_lo:0 ~len:k;
+      dst
+    end
+  end
+
+(* Union of [shift(t, i * step)] for [0 <= i < count], by binary doubling:
+   the union over [2n] shifts is the union over [n] shifts, unioned with its
+   own rotation by [n * step]. *)
+let rec union_shifts t ~step ~count =
+  assert (count >= 1);
+  if count = 1 then copy t
+  else
+    let half = count / 2 in
+    let u = union_shifts t ~step ~count:half in
+    let u2 = rotate u (half * step mod t.m) in
+    union_into ~dst:u2 u;
+    if count land 1 = 0 then u2
+    else begin
+      let last = rotate t ((count - 1) * (step mod t.m) mod t.m) in
+      union_into ~dst:u2 last;
+      u2
+    end
+
+let sum_progression t ~step ~count =
+  assert (count > 0);
+  let m = t.m in
+  let step = Intmath.pos_mod step m in
+  if step = 0 || count = 1 then copy t
+  else begin
+    let g = Intmath.gcd step m in
+    let period = m / g in
+    if count >= period then
+      (* Full coset of the subgroup <g>: smear by g over one whole period. *)
+      union_shifts t ~step:g ~count:period
+    else union_shifts t ~step ~count
+  end
+
+let hits_window t ~lo ~len =
+  if len <= 0 then false
+  else begin
+    let m = t.m in
+    if len >= m then not (is_empty t)
+    else begin
+      let lo = Intmath.pos_mod lo m in
+      let probe_range a b =
+        (* any member in [a, b) with 0 <= a <= b <= m *)
+        let found = ref false in
+        let r = ref a in
+        while (not !found) && !r < b do
+          let w = !r / bits_per_word and bit = !r mod bits_per_word in
+          if t.words.(w) lsr bit = 0 then
+            (* No bits at or above [bit] in this word: jump to next word. *)
+            r := (w + 1) * bits_per_word
+          else if t.words.(w) land (1 lsl bit) <> 0 then found := true
+          else incr r
+        done;
+        !found
+      in
+      if lo + len <= m then probe_range lo (lo + len)
+      else probe_range lo m || probe_range 0 (lo + len - m)
+    end
+  end
+
+let count_window t ~lo ~len =
+  if len <= 0 then 0
+  else begin
+    let m = t.m in
+    let len = min len m in
+    let lo = Intmath.pos_mod lo m in
+    let count_range a b =
+      let acc = ref 0 in
+      for r = a to b - 1 do
+        if mem t r then incr acc
+      done;
+      !acc
+    in
+    if lo + len <= m then count_range lo (lo + len)
+    else count_range lo m + count_range 0 (lo + len - m)
+  end
+
+let iter f t =
+  for r = 0 to t.m - 1 do
+    if mem t r then f r
+  done
+
+let elements t =
+  let acc = ref [] in
+  for r = t.m - 1 downto 0 do
+    if mem t r then acc := r :: !acc
+  done;
+  !acc

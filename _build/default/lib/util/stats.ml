@@ -1,0 +1,68 @@
+(* Abramowitz & Stegun 7.1.26 rational approximation of erf; absolute error
+   <= 1.5e-7, ample for choosing sample sizes. *)
+let erf x =
+  let sign = if x < 0. then -1. else 1. in
+  let x = abs_float x in
+  let t = 1. /. (1. +. (0.3275911 *. x)) in
+  let a1 = 0.254829592
+  and a2 = -0.284496736
+  and a3 = 1.421413741
+  and a4 = -1.453152027
+  and a5 = 1.061405429 in
+  let poly = ((((a5 *. t) +. a4) *. t +. a3) *. t +. a2) *. t +. a1 in
+  sign *. (1. -. (poly *. t *. exp (-.x *. x)))
+
+let z_for_confidence c =
+  assert (c > 0. && c < 1.);
+  (* Solve erf (z / sqrt 2) = c by bisection. *)
+  let target = c in
+  let f z = erf (z /. sqrt 2.) -. target in
+  let rec bisect lo hi iters =
+    if iters = 0 then (lo +. hi) /. 2.
+    else
+      let mid = (lo +. hi) /. 2. in
+      if f mid < 0. then bisect mid hi (iters - 1) else bisect lo mid (iters - 1)
+  in
+  bisect 0. 40. 80
+
+let required_sample_size ~width ~confidence =
+  assert (width > 0.);
+  (* The paper sizes the sample with the one-sided normal quantile
+     z = Phi^-1(confidence) (1.2816 at 90 %): with the worst case
+     p (1 - p) = 1/4 and total interval width [width],
+     n = z^2 * 1/4 / (width/2)^2 = (z/width)^2, giving the paper's
+     164 points for width 0.1 at 90 % confidence. *)
+  let z = z_for_confidence ((2. *. confidence) -. 1.) in
+  let n = (z /. width) ** 2. in
+  max 1 (int_of_float (Float.round n))
+
+type interval = { center : float; half_width : float; confidence : float }
+
+let proportion_interval ~hits ~n ~confidence =
+  assert (n > 0 && hits >= 0 && hits <= n);
+  let p = float_of_int hits /. float_of_int n in
+  let z = z_for_confidence confidence in
+  let hw = z *. sqrt (p *. (1. -. p) /. float_of_int n) in
+  { center = p; half_width = hw; confidence }
+
+type summary = { count : int; mean : float; variance : float }
+
+let summarize obs =
+  let n = Array.length obs in
+  if n = 0 then { count = 0; mean = 0.; variance = 0. }
+  else begin
+    let mean = ref 0. and m2 = ref 0. in
+    Array.iteri
+      (fun i x ->
+        let k = float_of_int (i + 1) in
+        let d = x -. !mean in
+        mean := !mean +. (d /. k);
+        m2 := !m2 +. (d *. (x -. !mean)))
+      obs;
+    let variance = if n < 2 then 0. else !m2 /. float_of_int (n - 1) in
+    { count = n; mean = !mean; variance }
+  end
+
+let mean obs =
+  if Array.length obs = 0 then 0.
+  else Array.fold_left ( +. ) 0. obs /. float_of_int (Array.length obs)

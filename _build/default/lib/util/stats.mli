@@ -1,0 +1,39 @@
+(** Statistical machinery for the sampled CME solver.
+
+    The paper estimates a reference's miss ratio by Simple Random Sampling of
+    the iteration space: each sampled point is a Bernoulli experiment
+    (miss / no miss), the number of misses in the sample follows a Binomial
+    distribution, and a normal-approximation confidence interval transfers the
+    sample ratio to the population.  With interval width 0.1 and confidence
+    90 % the required sample size is 164 points (section 2.3). *)
+
+val z_for_confidence : float -> float
+(** [z_for_confidence c] is the two-sided standard-normal critical value
+    [z] with [P(-z <= Z <= z) = c].  Computed by bisection on [erf]; [c]
+    must lie in (0, 1). *)
+
+val required_sample_size : width:float -> confidence:float -> int
+(** [required_sample_size ~width ~confidence] is the sample size needed for
+    a binomial proportion's confidence interval of total width [width] in
+    the worst case (p = 1/2), using the one-sided normal quantile
+    [z = Phi^-1 confidence] as the paper does: [n = (z / width)^2] rounded
+    to the nearest integer.  The paper's parameters
+    [~width:0.1 ~confidence:0.9] yield the paper's 164 points. *)
+
+type interval = { center : float; half_width : float; confidence : float }
+(** A symmetric confidence interval for a proportion. *)
+
+val proportion_interval : hits:int -> n:int -> confidence:float -> interval
+(** [proportion_interval ~hits ~n ~confidence] is the normal-approximation
+    interval for a Binomial proportion with [hits] successes out of [n]
+    trials.  [n] must be positive. *)
+
+type summary = { count : int; mean : float; variance : float }
+(** Streaming moments of a sequence of observations. *)
+
+val summarize : float array -> summary
+(** Welford single-pass mean / unbiased sample variance ([variance = 0] for
+    fewer than two observations). *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 for the empty array. *)

@@ -1,0 +1,1 @@
+test/test_affine.ml: Affine Alcotest Array QCheck QCheck_alcotest Tiling_ir

@@ -1,0 +1,1 @@
+test/test_amat.ml: Alcotest Amat Array Config Sim Tiling_cache Tiling_cme Tiling_codegen Tiling_ir Tiling_kernels Tiling_trace Tiling_util

@@ -1,0 +1,1 @@
+test/test_array_decl.ml: Alcotest Array_decl Tiling_ir

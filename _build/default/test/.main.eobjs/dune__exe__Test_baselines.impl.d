@@ -1,0 +1,1 @@
+test/test_baselines.ml: Affine Alcotest Analytic Annealing Array List Nest Search Tiling_baselines Tiling_cache Tiling_core Tiling_ga Tiling_ir Tiling_kernels Transform

@@ -1,0 +1,1 @@
+test/test_box.ml: Affine Alcotest Array Box Fun List QCheck QCheck_alcotest Tiling_cme Tiling_ir

@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Array Config List Sim Tiling_cache Tiling_kernels Tiling_trace

@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest C_gen Filename Fortran_gen Fun Int64 Printf QCheck QCheck_alcotest String Sys Tiling_codegen Tiling_ir Tiling_kernels Transform Unix

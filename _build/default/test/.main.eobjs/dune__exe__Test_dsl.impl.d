@@ -1,0 +1,1 @@
+test/test_dsl.ml: Affine Alcotest Array Array_decl Dsl List Nest Tiling_ir Tiling_kernels

@@ -1,0 +1,1 @@
+test/test_encoding.ml: Alcotest Array Encoding List QCheck QCheck_alcotest Tiling_ga Tiling_util

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array List Nest QCheck QCheck_alcotest Tiling_cache Tiling_cme Tiling_ir Tiling_kernels Tiling_trace Tiling_util Transform

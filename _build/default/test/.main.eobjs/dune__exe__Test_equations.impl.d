@@ -1,0 +1,1 @@
+test/test_equations.ml: Alcotest Equations Tiling_cme Tiling_ir Tiling_kernels Transform

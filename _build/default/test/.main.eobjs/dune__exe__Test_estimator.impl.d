@@ -1,0 +1,1 @@
+test/test_estimator.ml: Alcotest Array Engine Estimator Printf Tiling_cache Tiling_cme Tiling_ir Tiling_kernels Tiling_trace Tiling_util Transform

@@ -1,0 +1,1 @@
+test/test_ga.ml: Alcotest Array Encoding Engine List Printf Tiling_ga Tiling_util

@@ -1,0 +1,1 @@
+test/test_hierarchy.ml: Alcotest Array Config Hierarchy List Sim Tiling_cache Tiling_cme Tiling_ir Tiling_kernels Tiling_trace Tiling_util

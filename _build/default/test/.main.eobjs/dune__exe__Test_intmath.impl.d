@@ -1,0 +1,1 @@
+test/test_intmath.ml: Alcotest Intmath QCheck QCheck_alcotest Tiling_util

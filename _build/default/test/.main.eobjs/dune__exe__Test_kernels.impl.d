@@ -1,0 +1,1 @@
+test/test_kernels.ml: Affine Alcotest Array Array_decl Kernels List Nest Printf Tiling_cache Tiling_cme Tiling_ir Tiling_kernels Tiling_util

@@ -1,0 +1,1 @@
+test/test_nest.ml: Affine Alcotest Array Array_decl Fmt List Nest QCheck QCheck_alcotest String Tiling_ir Tiling_kernels Tiling_util Transform

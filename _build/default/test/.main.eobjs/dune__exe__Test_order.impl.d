@@ -1,0 +1,1 @@
+test/test_order.ml: Alcotest Array List Printf Tiler Tiling_cache Tiling_cme Tiling_core Tiling_ga Tiling_kernels Tiling_util

@@ -1,0 +1,1 @@
+test/test_padder.ml: Alcotest Array Array_decl List Nest Optimizer Padder Tiler Tiling_cache Tiling_cme Tiling_core Tiling_ga Tiling_ir Tiling_kernels Tiling_util Transform

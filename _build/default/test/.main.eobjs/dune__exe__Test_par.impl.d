@@ -1,0 +1,1 @@
+test/test_par.ml: Alcotest Array Fun List Par Printf Tiling_cache Tiling_core Tiling_ga Tiling_kernels Tiling_util

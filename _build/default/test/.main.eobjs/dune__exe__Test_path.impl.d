@@ -1,0 +1,1 @@
+test/test_path.ml: Alcotest Array Array_decl Box Dsl List Nest Path Printf QCheck QCheck_alcotest String Tiling_cme Tiling_ir Tiling_kernels Tiling_util Transform

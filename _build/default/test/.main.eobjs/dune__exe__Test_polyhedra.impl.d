@@ -1,0 +1,1 @@
+test/test_polyhedra.ml: Alcotest Array List Polyhedron QCheck QCheck_alcotest Tiling_polyhedra

@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array List Prng QCheck QCheck_alcotest Tiling_util

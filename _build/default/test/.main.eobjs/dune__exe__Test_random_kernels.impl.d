@@ -1,0 +1,1 @@
+test/test_random_kernels.ml: Array Array_decl Dsl Fun List Printf QCheck QCheck_alcotest String Tiling_cache Tiling_cme Tiling_ir Tiling_trace Tiling_util Transform

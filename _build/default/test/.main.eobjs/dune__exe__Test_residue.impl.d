@@ -1,0 +1,1 @@
+test/test_residue.ml: Alcotest Intmath List Printf QCheck QCheck_alcotest Residue_set Tiling_util

@@ -1,0 +1,1 @@
+test/test_reuse.ml: Alcotest Array Array_decl Dsl List Tiling_ir Tiling_kernels Tiling_reuse Transform Vectors

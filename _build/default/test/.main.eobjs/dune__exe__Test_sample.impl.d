@@ -1,0 +1,1 @@
+test/test_sample.ml: Alcotest Array List Nest Sample Tiling_core Tiling_ir Tiling_kernels Transform

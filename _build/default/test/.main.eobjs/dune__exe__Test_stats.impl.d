@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Gen QCheck QCheck_alcotest Stats Tiling_util

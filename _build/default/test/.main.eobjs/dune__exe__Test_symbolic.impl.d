@@ -1,0 +1,1 @@
+test/test_symbolic.ml: Alcotest Array Engine List Nest Printf QCheck QCheck_alcotest Symbolic Tiling_cache Tiling_cme Tiling_ir Tiling_kernels Tiling_polyhedra Tiling_trace Transform

@@ -1,0 +1,1 @@
+test/test_tiler.ml: Alcotest Array Float Sample Tiler Tiling_cache Tiling_cme Tiling_core Tiling_ga Tiling_ir Tiling_kernels Tiling_util

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Array_decl List Nest Tiling_cache Tiling_ir Tiling_kernels Tiling_trace Transform

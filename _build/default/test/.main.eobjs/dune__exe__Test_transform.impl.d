@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Array Array_decl List Nest Printf QCheck QCheck_alcotest String Tiling_cache Tiling_ir Tiling_kernels Tiling_trace Transform

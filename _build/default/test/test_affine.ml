@@ -1,0 +1,84 @@
+open Tiling_ir
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let gen_affine depth =
+  QCheck.Gen.(
+    let* const = int_range (-100) 100 in
+    let* coeffs = array_size (return depth) (int_range (-50) 50) in
+    return (Affine.make ~const coeffs))
+
+let gen_point depth = QCheck.Gen.(array_size (return depth) (int_range (-20) 20))
+
+let test_const_var () =
+  let c = Affine.const ~depth:3 7 in
+  Alcotest.(check int) "const eval" 7 (Affine.eval c [| 1; 2; 3 |]);
+  Alcotest.(check bool) "is_const" true (Affine.is_const c);
+  let v = Affine.var ~depth:3 1 in
+  Alcotest.(check int) "var eval" 2 (Affine.eval v [| 1; 2; 3 |]);
+  Alcotest.(check bool) "var not const" false (Affine.is_const v)
+
+let test_arith () =
+  let f = Affine.make ~const:1 [| 2; 0; -1 |] in
+  let g = Affine.make ~const:(-4) [| 1; 5; 0 |] in
+  let p = [| 3; -2; 7 |] in
+  Alcotest.(check int) "add" (Affine.eval f p + Affine.eval g p)
+    (Affine.eval (Affine.add f g) p);
+  Alcotest.(check int) "sub" (Affine.eval f p - Affine.eval g p)
+    (Affine.eval (Affine.sub f g) p);
+  Alcotest.(check int) "scale" (3 * Affine.eval f p)
+    (Affine.eval (Affine.scale 3 f) p);
+  Alcotest.(check int) "shift" (Affine.eval f p + 11)
+    (Affine.eval (Affine.shift f 11) p)
+
+let test_extend () =
+  let f = Affine.make ~const:5 [| 2; 3 |] in
+  (* remap old vars 0,1 to new vars 2,3 of a depth-4 nest *)
+  let g = Affine.extend f ~new_depth:4 ~remap:(fun l -> l + 2) in
+  Alcotest.(check int) "extended eval"
+    (Affine.eval f [| 10; 20 |])
+    (Affine.eval g [| 0; 0; 10; 20 |]);
+  Alcotest.(check int) "old positions zero" 0 (Affine.coeff g 0)
+
+let test_range_over () =
+  let f = Affine.make ~const:0 [| 2; -3 |] in
+  let mn, mx = Affine.range_over f ~lo:[| 0; 0 |] ~hi:[| 5; 4 |] in
+  Alcotest.(check int) "min" (-12) mn;
+  Alcotest.(check int) "max" 10 mx
+
+let prop_range_bounds =
+  QCheck.Test.make ~name:"range_over bounds every box point" ~count:300
+    (QCheck.make
+       QCheck.Gen.(
+         let* f = gen_affine 3 in
+         let* lo = array_size (return 3) (int_range (-10) 0) in
+         let* span = array_size (return 3) (int_range 0 5) in
+         let* frac = array_size (return 3) (int_range 0 100) in
+         return (f, lo, span, frac)))
+    (fun (f, lo, span, frac) ->
+      let hi = Array.mapi (fun i l -> l + span.(i)) lo in
+      let p = Array.mapi (fun i l -> l + (frac.(i) * span.(i) / 100)) lo in
+      let mn, mx = Affine.range_over f ~lo ~hi in
+      let v = Affine.eval f p in
+      mn <= v && v <= mx)
+
+let prop_add_commutes =
+  QCheck.Test.make ~name:"add evaluates pointwise" ~count:300
+    (QCheck.make
+       QCheck.Gen.(
+         let* f = gen_affine 4 in
+         let* g = gen_affine 4 in
+         let* p = gen_point 4 in
+         return (f, g, p)))
+    (fun (f, g, p) ->
+      Affine.eval (Affine.add f g) p = Affine.eval f p + Affine.eval g p)
+
+let suite =
+  [
+    Alcotest.test_case "const/var" `Quick test_const_var;
+    Alcotest.test_case "arithmetic" `Quick test_arith;
+    Alcotest.test_case "extend" `Quick test_extend;
+    Alcotest.test_case "range_over" `Quick test_range_over;
+    qcheck prop_range_bounds;
+    qcheck prop_add_commutes;
+  ]

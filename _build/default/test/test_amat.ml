@@ -1,0 +1,54 @@
+open Tiling_cache
+
+let close msg a b = Alcotest.(check (float 1e-9)) msg a b
+
+let test_amat_basics () =
+  close "no misses = hit time" 1. (Amat.amat ~miss_ratio:0. ());
+  close "all misses" 101. (Amat.amat ~miss_ratio:1. ());
+  close "intro's example" (1. +. 30.) (Amat.amat ~miss_ratio:0.3 ())
+
+let test_speedup () =
+  (* MM-style: 32% -> 3% misses at 100-cycle memory: ~8.3x memory-time win *)
+  let s = Amat.speedup ~before:0.32 ~after:0.03 () in
+  Alcotest.(check bool) "speedup in a sane band" true (s > 7. && s < 9.);
+  close "no change" 1. (Amat.speedup ~before:0.1 ~after:0.1 ())
+
+let test_hierarchy_amat () =
+  let l1 = { Amat.hit = 1.; memory = 0. } in
+  let l2 = { Amat.hit = 10.; memory = 100. } in
+  (* 10% global L1 misses, 2% global L2 misses *)
+  let v = Amat.amat_hierarchy [ l1; l2 ] ~miss_ratios:[ 0.1; 0.02 ] in
+  close "two-level AMAT" (1. +. (0.1 *. 10.) +. (0.02 *. 100.)) v;
+  (try
+     ignore (Amat.amat_hierarchy [ l1 ] ~miss_ratios:[ 0.1; 0.02 ]);
+     Alcotest.fail "level mismatch accepted"
+   with Invalid_argument _ -> ())
+
+let test_random_kernel_generator () =
+  let nest = Tiling_kernels.Random_kernel.generate ~seed:3 () in
+  Alcotest.(check bool) "has references" true
+    (Array.length nest.Tiling_ir.Nest.refs > 0);
+  (* deterministic *)
+  let nest2 = Tiling_kernels.Random_kernel.generate ~seed:3 () in
+  Alcotest.(check string) "same name" nest.Tiling_ir.Nest.name nest2.Tiling_ir.Nest.name;
+  let h1 = Tiling_codegen.C_gen.access_stream_hash nest in
+  let h2 = Tiling_codegen.C_gen.access_stream_hash nest2 in
+  Alcotest.(check int64) "same access stream" h1 h2;
+  (* and analysable: CME matches the simulator on it *)
+  let cache = Config.make ~size:512 ~line:32 () in
+  let sim = Tiling_trace.Run.simulate nest cache in
+  let est = Tiling_cme.Estimator.exact (Tiling_cme.Engine.create nest cache) in
+  let d =
+    abs_float
+      (Sim.miss_ratio sim.Tiling_trace.Run.total
+      -. est.Tiling_cme.Estimator.miss_ratio.Tiling_util.Stats.center)
+  in
+  Alcotest.(check bool) "CME close to simulator" true (d < 0.02)
+
+let suite =
+  [
+    Alcotest.test_case "amat basics" `Quick test_amat_basics;
+    Alcotest.test_case "speedup" `Quick test_speedup;
+    Alcotest.test_case "hierarchy amat" `Quick test_hierarchy_amat;
+    Alcotest.test_case "random kernel generator" `Quick test_random_kernel_generator;
+  ]

@@ -1,0 +1,55 @@
+open Tiling_ir
+
+let test_strides_column_major () =
+  let a = Array_decl.create "a" [| 10; 20; 30 |] in
+  Alcotest.(check (array int)) "strides" [| 8; 80; 1600 |] (Array_decl.strides a);
+  Alcotest.(check int) "footprint" (10 * 20 * 30 * 8) (Array_decl.footprint a)
+
+let test_elem_size () =
+  let a = Array_decl.create ~elem_size:4 "a" [| 8 |] in
+  Alcotest.(check (array int)) "strides" [| 4 |] (Array_decl.strides a);
+  Alcotest.(check int) "footprint" 32 (Array_decl.footprint a)
+
+let test_place () =
+  let a = Array_decl.create "a" [| 10 |] and b = Array_decl.create "b" [| 5 |] in
+  Array_decl.place [ a; b ];
+  Alcotest.(check int) "a base" 0 a.Array_decl.base;
+  Alcotest.(check int) "b base" 80 b.Array_decl.base;
+  Array_decl.place ~gap:(fun _ -> 16) [ a; b ];
+  Alcotest.(check int) "a base with gap" 16 a.Array_decl.base;
+  Alcotest.(check int) "b base with gap" (16 + 80 + 16) b.Array_decl.base
+
+let test_padding_layout () =
+  let a = Array_decl.create "a" [| 10; 10 |] in
+  Array_decl.set_layout a [| 12; 10 |];
+  Alcotest.(check (array int)) "padded strides" [| 8; 96 |] (Array_decl.strides a);
+  Alcotest.(check int) "padded footprint" (12 * 10 * 8) (Array_decl.footprint a);
+  Array_decl.reset_padding a;
+  Alcotest.(check (array int)) "reset strides" [| 8; 80 |] (Array_decl.strides a)
+
+let test_validation () =
+  (try
+     ignore (Array_decl.create "bad" [||]);
+     Alcotest.fail "empty extents accepted"
+   with Assert_failure _ -> ());
+  try
+    ignore (Array_decl.create "bad" [| 0 |]);
+    Alcotest.fail "zero extent accepted"
+  with Assert_failure _ -> ()
+
+let test_layout_must_cover () =
+  let a = Array_decl.create "a" [| 10 |] in
+  (try
+     Array_decl.set_layout a [| 5 |];
+     Alcotest.fail "layout below extent accepted"
+   with Assert_failure _ -> ())
+
+let suite =
+  [
+    Alcotest.test_case "column-major strides" `Quick test_strides_column_major;
+    Alcotest.test_case "element size" `Quick test_elem_size;
+    Alcotest.test_case "place" `Quick test_place;
+    Alcotest.test_case "padding layout" `Quick test_padding_layout;
+    Alcotest.test_case "creation validation" `Quick test_validation;
+    Alcotest.test_case "layout >= extents" `Quick test_layout_must_cover;
+  ]

@@ -1,0 +1,188 @@
+open Tiling_ir
+open Tiling_baselines
+
+let nest_small () = Tiling_kernels.Kernels.t2d 24
+let cache_small = Tiling_cache.Config.make ~size:1024 ~line:32 ()
+
+let test_exhaustive_is_optimal_small () =
+  (* On a 24x24 transpose the full 24*24 grid is enumerable: nothing may
+     beat the exhaustive optimum on the same objective. *)
+  let nest = nest_small () in
+  let sample = Tiling_core.Sample.create ~n:64 ~seed:1 nest in
+  let ex = Search.exhaustive ~per_dim:24 sample nest cache_small in
+  let rnd = Search.random ~evals:100 ~seed:1 sample nest cache_small in
+  let hc = Search.hill_climb ~evals:100 ~seed:1 sample nest cache_small in
+  Alcotest.(check bool) "exhaustive <= random" true
+    (ex.Search.objective <= rnd.Search.objective);
+  Alcotest.(check bool) "exhaustive <= hill-climb" true
+    (ex.Search.objective <= hc.Search.objective);
+  Alcotest.(check int) "full grid evaluated" (24 * 24) ex.Search.evaluations
+
+let test_searches_respect_budget () =
+  let nest = Tiling_kernels.Kernels.mm 30 in
+  let sample = Tiling_core.Sample.create ~n:32 ~seed:2 nest in
+  let rnd = Search.random ~evals:50 ~seed:2 sample nest cache_small in
+  Alcotest.(check bool) "random stops at budget" true (rnd.Search.evaluations <= 51);
+  let hc = Search.hill_climb ~evals:50 ~seed:2 sample nest cache_small in
+  Alcotest.(check bool) "hill-climb stops at budget" true (hc.Search.evaluations <= 51)
+
+let valid_tiles nest tiles =
+  let spans = Transform.tile_spans nest in
+  Array.length tiles = Array.length spans
+  && Array.for_all2 (fun t s -> t >= 1 && t <= s) tiles spans
+
+let test_analytic_produce_valid_tiles () =
+  List.iter
+    (fun nest ->
+      List.iter
+        (fun cache ->
+          Alcotest.(check bool) "lrw valid" true
+            (valid_tiles nest (Analytic.lrw nest cache));
+          Alcotest.(check bool) "cm valid" true
+            (valid_tiles nest (Analytic.coleman_mckinley nest cache));
+          Alcotest.(check bool) "sm valid" true
+            (valid_tiles nest (Analytic.sarkar_megiddo nest cache)))
+        [ Tiling_cache.Config.dm8k; Tiling_cache.Config.dm32k ])
+    [
+      Tiling_kernels.Kernels.mm 100;
+      Tiling_kernels.Kernels.t2d 100;
+      Tiling_kernels.Kernels.jacobi3d 50;
+      Tiling_kernels.Kernels.matmul 100;
+    ]
+
+let test_footprint_lines () =
+  (* A unit-stride run of 16 doubles = 128 bytes = 4 lines of 32B. *)
+  let f = Affine.make ~const:0 [| 8 |] in
+  Alcotest.(check int) "contiguous" 5 (Analytic.footprint_lines ~line:32 f ~elem:8 [| 16 |]);
+  (* 4 rows x 16-double columns of a 100-column array: strides merge only
+     within a column. *)
+  let g = Affine.make ~const:0 [| 8; 800 |] in
+  Alcotest.(check int) "2D tile" (4 * 5)
+    (Analytic.footprint_lines ~line:32 g ~elem:8 [| 16; 4 |]);
+  (* Zero-coefficient loops do not multiply the footprint. *)
+  let h = Affine.make ~const:0 [| 8; 0 |] in
+  Alcotest.(check int) "invariant dim" 5
+    (Analytic.footprint_lines ~line:32 h ~elem:8 [| 16; 50 |])
+
+let test_euclid_heights () =
+  let hs = Analytic.euclid_heights ~cache_elems:1024 ~column:300 in
+  (* gcd chain of (1024, 300): 300, 124, 52, 20, 12, 8, 4 *)
+  Alcotest.(check bool) "contains the column" true (List.mem 300 hs);
+  Alcotest.(check bool) "contains gcd-chain values" true
+    (List.mem 124 hs && List.mem 4 hs);
+  List.iter (fun h -> if h <= 0 then Alcotest.fail "non-positive height") hs
+
+let test_sm_respects_capacity () =
+  let nest = Tiling_kernels.Kernels.mm 500 in
+  let cache = Tiling_cache.Config.dm8k in
+  let tiles = Analytic.sarkar_megiddo nest cache in
+  let lines =
+    Array.fold_left
+      (fun acc (r : Nest.reference) ->
+        acc
+        + Analytic.footprint_lines ~line:32 (Nest.address_form nest r) ~elem:8 tiles)
+      0 nest.Nest.refs
+  in
+  Alcotest.(check bool) "working set fits" true (lines <= 8192 / 32)
+
+let test_ga_beats_or_ties_analytic_on_mm () =
+  (* The paper's claim: searching with an exact model finds tiles at least
+     as good as closed-form capacity models. *)
+  let nest = Tiling_kernels.Kernels.mm 60 in
+  let cache = Tiling_cache.Config.dm8k in
+  let sample = Tiling_core.Sample.create ~n:64 ~seed:3 nest in
+  let eval = Tiling_core.Tiler.objective_on sample nest cache in
+  let opts =
+    { Tiling_core.Tiler.default_opts with seed = 3; sample_points = Some 64 }
+  in
+  let ga = Tiling_core.Tiler.optimize ~opts nest cache in
+  let ga_obj = ga.Tiling_core.Tiler.ga.Tiling_ga.Engine.best_objective in
+  List.iter
+    (fun tiles ->
+      Alcotest.(check bool) "GA <= analytic" true (ga_obj <= eval tiles +. 1e-9))
+    [
+      Analytic.lrw nest cache;
+      Analytic.coleman_mckinley nest cache;
+      Analytic.sarkar_megiddo nest cache;
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "exhaustive is optimal" `Slow test_exhaustive_is_optimal_small;
+    Alcotest.test_case "budgets respected" `Slow test_searches_respect_budget;
+    Alcotest.test_case "analytic tiles valid" `Quick test_analytic_produce_valid_tiles;
+    Alcotest.test_case "footprint model" `Quick test_footprint_lines;
+    Alcotest.test_case "euclid heights" `Quick test_euclid_heights;
+    Alcotest.test_case "S&M capacity constraint" `Quick test_sm_respects_capacity;
+    Alcotest.test_case "GA beats analytic on MM" `Slow
+      test_ga_beats_or_ties_analytic_on_mm;
+  ]
+
+let test_sa_and_tabu () =
+  let nest = Tiling_kernels.Kernels.mm 40 in
+  let cache = Tiling_cache.Config.make ~size:2048 ~line:32 () in
+  let sample = Tiling_core.Sample.create ~n:48 ~seed:9 nest in
+  let untiled =
+    Tiling_core.Tiler.objective_on sample nest cache
+      (Transform.tile_spans nest)
+  in
+  let sa =
+    Annealing.simulated_annealing
+      ~params:{ Annealing.default_params with Annealing.evals = 200 }
+      ~seed:9 sample nest cache
+  in
+  Alcotest.(check bool) "SA improves on untiled" true
+    (sa.Search.objective <= untiled);
+  Alcotest.(check bool) "SA within budget" true (sa.Search.evaluations <= 201);
+  let tb =
+    Annealing.tabu
+      ~params:{ Annealing.default_tabu_params with Annealing.tabu_evals = 200 }
+      ~seed:9 sample nest cache
+  in
+  Alcotest.(check bool) "tabu improves on untiled" true
+    (tb.Search.objective <= untiled);
+  Alcotest.(check bool) "tabu within budget" true (tb.Search.evaluations <= 201);
+  let spans = Transform.tile_spans nest in
+  Array.iteri
+    (fun l t ->
+      if t < 1 || t > spans.(l) then Alcotest.failf "SA tile %d invalid" t)
+    sa.Search.tiles
+
+let test_sa_deterministic () =
+  let nest = Tiling_kernels.Kernels.t2d 30 in
+  let cache = Tiling_cache.Config.make ~size:1024 ~line:32 () in
+  let sample = Tiling_core.Sample.create ~n:32 ~seed:4 nest in
+  let p = { Annealing.default_params with Annealing.evals = 100 } in
+  let a = Annealing.simulated_annealing ~params:p ~seed:4 sample nest cache in
+  let b = Annealing.simulated_annealing ~params:p ~seed:4 sample nest cache in
+  Alcotest.(check (float 0.)) "same objective" a.Search.objective b.Search.objective
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "simulated annealing & tabu" `Slow test_sa_and_tabu;
+      Alcotest.test_case "SA deterministic" `Quick test_sa_deterministic;
+    ]
+
+let test_searches_terminate_on_tiny_spaces () =
+  (* The memo makes revisits free: when the budget exceeds the whole space
+     the searches must still terminate (regression for a tabu livelock). *)
+  let nest = Tiling_kernels.Kernels.t2d 4 in
+  let cache = Tiling_cache.Config.make ~size:256 ~line:32 () in
+  let sample = Tiling_core.Sample.create ~n:16 ~seed:5 nest in
+  let tb =
+    Annealing.tabu
+      ~params:{ Annealing.tabu_evals = 500; tenure = 4 }
+      ~seed:5 sample nest cache
+  in
+  Alcotest.(check bool) "tabu terminates with <= 16 evals" true
+    (tb.Search.evaluations <= 16);
+  let hc = Search.hill_climb ~evals:500 ~seed:5 sample nest cache in
+  Alcotest.(check bool) "hill-climb terminates" true (hc.Search.evaluations <= 16)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "termination on tiny spaces" `Quick
+        test_searches_terminate_on_tiny_spaces;
+    ]

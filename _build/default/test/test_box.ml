@@ -1,0 +1,105 @@
+open Tiling_ir
+open Tiling_cme
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let mk_box origin entries =
+  { Box.origin; entries = List.map (fun (targets, count) -> { Box.targets; count }) entries }
+
+let test_points_count () =
+  let b = mk_box [| 0; 0 |] [ ([ (0, 1) ], 3); ([ (1, 2) ], 4) ] in
+  Alcotest.(check int) "3*4 points" 12 (Box.points b);
+  let empty_entries = mk_box [| 5; 7 |] [] in
+  Alcotest.(check int) "single point" 1 (Box.points empty_entries)
+
+let test_point_at_and_iter () =
+  let b = mk_box [| 1; 10 |] [ ([ (0, 2) ], 3); ([ (1, -1) ], 2) ] in
+  Alcotest.(check (array int)) "origin" [| 1; 10 |] (Box.point_at b [| 0; 0 |]);
+  Alcotest.(check (array int)) "step both" [| 5; 9 |] (Box.point_at b [| 2; 1 |]);
+  let pts = ref [] in
+  Box.iter_points b (fun p -> pts := Array.to_list p :: !pts);
+  Alcotest.(check int) "iterates all" 6 (List.length !pts);
+  Alcotest.(check int) "all distinct" 6 (List.length (List.sort_uniq compare !pts))
+
+let test_coupled_targets () =
+  (* One entry driving two variables, as in a ctrl+elem pair. *)
+  let b = mk_box [| 1; 1 |] [ ([ (0, 4); (1, 4) ], 2); ([ (1, 1) ], 4) ] in
+  let pts = ref [] in
+  Box.iter_points b (fun p -> pts := (p.(0), p.(1)) :: !pts);
+  let want = [ (1, 1); (1, 2); (1, 3); (1, 4); (5, 5); (5, 6); (5, 7); (5, 8) ] in
+  Alcotest.(check (list (pair int int))) "tile structure" want
+    (List.sort compare !pts)
+
+let test_eval_form () =
+  let b = mk_box [| 2; 3 |] [ ([ (0, 1) ], 5); ([ (1, 2) ], 3) ] in
+  let f = Affine.make ~const:10 [| 100; 1 |] in
+  let const, gens = Box.eval_form f b in
+  Alcotest.(check int) "const at origin" (10 + 200 + 3) const;
+  Alcotest.(check (list (pair int int))) "generators" [ (100, 5); (2, 3) ] gens
+
+let test_eval_form_drops_zero () =
+  let b = mk_box [| 0 |] [ ([ (0, 1) ], 5) ] in
+  let f = Affine.make ~const:0 [| 0 |] in
+  let _, gens = Box.eval_form f b in
+  Alcotest.(check int) "no generators for zero coeff" 0 (List.length gens)
+
+let prop_value_range =
+  QCheck.Test.make ~name:"value_range bounds every generated value" ~count:300
+    (QCheck.make
+       QCheck.Gen.(
+         let* const = int_range (-50) 50 in
+         let* gens =
+           list_size (int_range 0 4)
+             (pair (int_range (-20) 20) (int_range 1 6))
+         in
+         return (const, gens)))
+    (fun (const, gens) ->
+      let gens = List.filter (fun (s, _) -> s <> 0) gens in
+      let mn, mx = Box.value_range const gens in
+      (* enumerate all combinations *)
+      let rec enum acc = function
+        | [] -> [ acc ]
+        | (step, count) :: rest ->
+            List.concat_map
+              (fun t -> enum (acc + (step * t)) rest)
+              (List.init count Fun.id)
+      in
+      List.for_all (fun v -> mn <= v && v <= mx) (enum const gens))
+
+let prop_eval_form_matches_points =
+  QCheck.Test.make ~name:"eval_form image = addresses of box points" ~count:200
+    (QCheck.make
+       QCheck.Gen.(
+         let* c0 = int_range (-20) 20 in
+         let* c1 = int_range (-10) 10 in
+         let* c2 = int_range (-10) 10 in
+         let* n1 = int_range 1 4 in
+         let* n2 = int_range 1 4 in
+         return (c0, c1, c2, n1, n2)))
+    (fun (c0, c1, c2, n1, n2) ->
+      let b = mk_box [| 0; 0 |] [ ([ (0, 1) ], n1); ([ (1, 1) ], n2) ] in
+      let f = Affine.make ~const:c0 [| c1; c2 |] in
+      let const, gens = Box.eval_form f b in
+      let image_from_gens =
+        let rec enum acc = function
+          | [] -> [ acc ]
+          | (step, count) :: rest ->
+              List.concat_map (fun t -> enum (acc + (step * t)) rest)
+                (List.init count Fun.id)
+        in
+        List.sort_uniq compare (enum const gens)
+      in
+      let image_from_points = ref [] in
+      Box.iter_points b (fun p -> image_from_points := Affine.eval f p :: !image_from_points);
+      List.sort_uniq compare !image_from_points = image_from_gens)
+
+let suite =
+  [
+    Alcotest.test_case "points count" `Quick test_points_count;
+    Alcotest.test_case "point_at / iter" `Quick test_point_at_and_iter;
+    Alcotest.test_case "coupled targets" `Quick test_coupled_targets;
+    Alcotest.test_case "eval_form" `Quick test_eval_form;
+    Alcotest.test_case "zero coefficients dropped" `Quick test_eval_form_drops_zero;
+    qcheck prop_value_range;
+    qcheck prop_eval_form_matches_points;
+  ]

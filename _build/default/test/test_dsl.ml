@@ -1,0 +1,135 @@
+open Tiling_ir
+
+let test_build_mm () =
+  let nest = Tiling_kernels.Kernels.mm 4 in
+  Alcotest.(check int) "refs" 4 (Array.length nest.Nest.refs);
+  Alcotest.(check int) "arrays" 3 (List.length nest.Nest.arrays);
+  (* program order preserved *)
+  Alcotest.(check (list int)) "ref ids" [ 0; 1; 2; 3 ]
+    (Array.to_list (Array.map (fun r -> r.Nest.ref_id) nest.Nest.refs));
+  Alcotest.(check bool) "last is a store" true
+    (nest.Nest.refs.(3).Nest.access = Nest.Write)
+
+let test_one_based_subscripts () =
+  (* a(i, j+1) at (i=1, j=1) must address element (0, 1) zero-based. *)
+  let a = Array_decl.create "a" [| 8; 8 |] in
+  let nest =
+    Dsl.(
+      nest ~name:"t"
+        ~loops:[ ("i", 1, 8); ("j", 1, 7) ]
+        ~body:[ load a [ v "i"; v "j" +! i 1 ] ]
+        ())
+  in
+  let f = Nest.address_form nest nest.Nest.refs.(0) in
+  Alcotest.(check int) "a(1,2) address" (8 * 8) (Affine.eval f [| 1; 1 |])
+
+let test_ix_arithmetic () =
+  let a = Array_decl.create "a" [| 64 |] in
+  let nest =
+    Dsl.(
+      nest ~name:"t"
+        ~loops:[ ("i", 1, 8) ]
+        ~body:[ load a [ (3 *! v "i") -! i 2 ] ]
+        ())
+  in
+  let f = Nest.address_form nest nest.Nest.refs.(0) in
+  (* subscript 3i-2, zero-based 3i-3, times 8 bytes *)
+  Alcotest.(check int) "i=1" 0 (Affine.eval f [| 1 |]);
+  Alcotest.(check int) "i=4" (8 * 9) (Affine.eval f [| 4 |])
+
+let test_steps () =
+  let a = Array_decl.create "a" [| 32 |] in
+  let nest =
+    Dsl.(
+      nest ~name:"t"
+        ~loops:[ ("i", 1, 31) ]
+        ~steps:[ ("i", 2) ]
+        ~body:[ load a [ v "i" ] ]
+        ())
+  in
+  Alcotest.(check int) "trip with step 2" 16 (Nest.trip_count nest)
+
+let test_unknown_variable_rejected () =
+  let a = Array_decl.create "a" [| 8 |] in
+  try
+    ignore Dsl.(nest ~name:"t" ~loops:[ ("i", 1, 8) ] ~body:[ load a [ v "z" ] ] ());
+    Alcotest.fail "unknown variable accepted"
+  with Invalid_argument _ -> ()
+
+let test_rank_mismatch_rejected () =
+  let a = Array_decl.create "a" [| 8; 8 |] in
+  try
+    ignore Dsl.(nest ~name:"t" ~loops:[ ("i", 1, 8) ] ~body:[ load a [ v "i" ] ] ());
+    Alcotest.fail "rank mismatch accepted"
+  with Invalid_argument _ -> ()
+
+let test_empty_range_rejected () =
+  let a = Array_decl.create "a" [| 8 |] in
+  try
+    ignore Dsl.(nest ~name:"t" ~loops:[ ("i", 5, 4) ] ~body:[ load a [ v "i" ] ] ());
+    Alcotest.fail "empty range accepted"
+  with Invalid_argument _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "build matrix multiply" `Quick test_build_mm;
+    Alcotest.test_case "1-based subscripts" `Quick test_one_based_subscripts;
+    Alcotest.test_case "index arithmetic" `Quick test_ix_arithmetic;
+    Alcotest.test_case "loop steps" `Quick test_steps;
+    Alcotest.test_case "unknown variable" `Quick test_unknown_variable_rejected;
+    Alcotest.test_case "rank mismatch" `Quick test_rank_mismatch_rejected;
+    Alcotest.test_case "empty range" `Quick test_empty_range_rejected;
+  ]
+
+let test_duplicate_variable_rejected () =
+  let a = Array_decl.create "a" [| 8; 8 |] in
+  try
+    ignore
+      Dsl.(
+        nest ~name:"t"
+          ~loops:[ ("i", 1, 8); ("i", 1, 8) ]
+          ~body:[ load a [ v "i"; v "i" ] ]
+          ());
+    Alcotest.fail "duplicate loop variable accepted"
+  with Invalid_argument _ -> ()
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "duplicate variables" `Quick
+        test_duplicate_variable_rejected;
+    ]
+
+let test_arrays_override_must_cover_body () =
+  let a = Array_decl.create "a" [| 8 |] in
+  let b = Array_decl.create "b" [| 8 |] in
+  try
+    ignore
+      Dsl.(
+        nest ~name:"t" ~arrays:[ b ]
+          ~loops:[ ("i", 1, 8) ]
+          ~body:[ load a [ v "i" ] ]
+          ());
+    Alcotest.fail "body array missing from ~arrays accepted"
+  with Invalid_argument _ -> ()
+
+let test_arrays_override_keeps_unreferenced () =
+  let a = Array_decl.create "a" [| 8 |] in
+  let b = Array_decl.create "b" [| 8 |] in
+  let nest =
+    Dsl.(
+      nest ~name:"t" ~arrays:[ a; b ]
+        ~loops:[ ("i", 1, 8) ]
+        ~body:[ load a [ v "i" ] ]
+        ())
+  in
+  Alcotest.(check int) "both arrays owned" 2 (List.length nest.Nest.arrays)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "~arrays must cover body" `Quick
+        test_arrays_override_must_cover_body;
+      Alcotest.test_case "~arrays keeps unreferenced" `Quick
+        test_arrays_override_keeps_unreferenced;
+    ]

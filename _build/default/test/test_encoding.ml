@@ -1,0 +1,81 @@
+open Tiling_ga
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let test_bits_for () =
+  (* Paper: k = ceil(log2 U), +1 if odd. *)
+  Alcotest.(check int) "U=10 -> 4 bits" 4 (Encoding.bits_for 10);
+  Alcotest.(check int) "U=100 -> 8 bits (7 rounded up)" 8 (Encoding.bits_for 100);
+  Alcotest.(check int) "U=1 -> 2 bits minimum" 2 (Encoding.bits_for 1);
+  Alcotest.(check int) "U=2 -> 2 bits" 2 (Encoding.bits_for 2);
+  Alcotest.(check int) "U=1024 -> 10 bits" 10 (Encoding.bits_for 1024)
+
+let test_paper_example () =
+  (* Section 3.3: U1=10, U2=100; value 12 decodes to 8 and 74 to 29. *)
+  Alcotest.(check int) "g1(12) = 8" 8 (Encoding.decode_value ~bits:4 ~upper:10 12);
+  Alcotest.(check int) "g2(74) = 29" 29 (Encoding.decode_value ~bits:8 ~upper:100 74)
+
+let test_decode_bounds () =
+  Alcotest.(check int) "g(0) = 1" 1 (Encoding.decode_value ~bits:4 ~upper:10 0);
+  Alcotest.(check int) "g(max) = U" 10 (Encoding.decode_value ~bits:4 ~upper:10 15)
+
+let test_every_value_representable () =
+  (* Paper: every possible tile size has at least one representation. *)
+  List.iter
+    (fun upper ->
+      let bits = Encoding.bits_for upper in
+      let reachable = Array.make (upper + 1) false in
+      for x = 0 to (1 lsl bits) - 1 do
+        reachable.(Encoding.decode_value ~bits ~upper x) <- true
+      done;
+      for v = 1 to upper do
+        if not reachable.(v) then
+          Alcotest.failf "U=%d: tile %d unreachable" upper v
+      done)
+    [ 1; 2; 3; 7; 10; 100; 200; 500 ]
+
+let test_individual_roundtrip () =
+  let enc = Encoding.make [| 10; 100 |] in
+  Alcotest.(check int) "total genes" (2 + 4) enc.Encoding.total_genes;
+  let genes = Encoding.encode enc [| 8; 29 |] in
+  Alcotest.(check (array int)) "decode (encode v) = v" [| 8; 29 |]
+    (Encoding.decode enc genes)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"encode/decode roundtrip for arbitrary values"
+    ~count:300
+    QCheck.(pair (int_range 1 500) (int_range 1 500))
+    (fun (u, v0) ->
+      let v = 1 + (v0 mod u) in
+      let enc = Encoding.make [| u |] in
+      Encoding.decode enc (Encoding.encode enc [| v |]) = [| v |])
+
+let prop_decode_in_range =
+  QCheck.Test.make ~name:"random genes decode within [1, U]" ~count:300
+    QCheck.(pair (int_range 1 1000) small_int)
+    (fun (u, seed) ->
+      let enc = Encoding.make [| u; u; u |] in
+      let rng = Tiling_util.Prng.create ~seed in
+      let values = Encoding.decode enc (Encoding.random_genes enc rng) in
+      Array.for_all (fun v -> v >= 1 && v <= u) values)
+
+let prop_decode_monotone =
+  QCheck.Test.make ~name:"decode_value is monotone in x" ~count:200
+    QCheck.(pair (int_range 2 300) (int_range 0 1000))
+    (fun (u, x) ->
+      let bits = Encoding.bits_for u in
+      let x = x mod ((1 lsl bits) - 1) in
+      Encoding.decode_value ~bits ~upper:u x
+      <= Encoding.decode_value ~bits ~upper:u (x + 1))
+
+let suite =
+  [
+    Alcotest.test_case "bits_for" `Quick test_bits_for;
+    Alcotest.test_case "paper's worked example" `Quick test_paper_example;
+    Alcotest.test_case "decode bounds" `Quick test_decode_bounds;
+    Alcotest.test_case "full coverage of [1,U]" `Quick test_every_value_representable;
+    Alcotest.test_case "individual roundtrip" `Quick test_individual_roundtrip;
+    qcheck prop_roundtrip;
+    qcheck prop_decode_in_range;
+    qcheck prop_decode_monotone;
+  ]

@@ -1,0 +1,238 @@
+open Tiling_ir
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* Differential validation against the trace-driven simulator: exact CME
+   classification aggregated over the whole space must closely match the
+   simulator's counts (they agreed exactly on every hand-checked kernel;
+   we allow a tiny tolerance for residual model mismatches on random
+   configurations). *)
+let compare_with_sim ?(tol = 0.005) nest cache =
+  let sim = Tiling_trace.Run.simulate nest cache in
+  let engine = Tiling_cme.Engine.create nest cache in
+  let est = Tiling_cme.Estimator.exact engine in
+  let sim_miss = Tiling_cache.Sim.miss_ratio sim.Tiling_trace.Run.total in
+  let sim_repl = Tiling_cache.Sim.replacement_ratio sim.Tiling_trace.Run.total in
+  let cme_miss = est.Tiling_cme.Estimator.miss_ratio.Tiling_util.Stats.center in
+  let cme_repl =
+    est.Tiling_cme.Estimator.replacement_ratio.Tiling_util.Stats.center
+  in
+  if abs_float (sim_miss -. cme_miss) > tol then
+    Alcotest.failf "%s: miss ratio sim %.4f vs cme %.4f" nest.Nest.name sim_miss
+      cme_miss;
+  if abs_float (sim_repl -. cme_repl) > tol then
+    Alcotest.failf "%s: repl ratio sim %.4f vs cme %.4f" nest.Nest.name sim_repl
+      cme_repl
+
+let cache1k = Tiling_cache.Config.make ~size:1024 ~line:32 ()
+
+let test_mm_exact () =
+  compare_with_sim ~tol:1e-9 (Tiling_kernels.Kernels.mm 16) cache1k;
+  compare_with_sim ~tol:1e-9
+    (Transform.tile (Tiling_kernels.Kernels.mm 16) [| 4; 4; 4 |])
+    cache1k;
+  compare_with_sim ~tol:1e-9
+    (Transform.tile (Tiling_kernels.Kernels.mm 16) [| 16; 6; 5 |])
+    cache1k
+
+let test_t2d_exact () =
+  compare_with_sim ~tol:1e-9 (Tiling_kernels.Kernels.t2d 20) cache1k;
+  compare_with_sim ~tol:1e-9
+    (Transform.tile (Tiling_kernels.Kernels.t2d 20) [| 7; 5 |])
+    cache1k
+
+let test_transposes () =
+  compare_with_sim (Tiling_kernels.Kernels.t3djik 12) cache1k;
+  compare_with_sim (Tiling_kernels.Kernels.t3dikj 12) cache1k;
+  compare_with_sim
+    (Transform.tile (Tiling_kernels.Kernels.t3djik 14) [| 7; 2; 5 |])
+    cache1k
+
+let test_stencil () =
+  compare_with_sim (Tiling_kernels.Kernels.jacobi3d 10) cache1k;
+  compare_with_sim
+    (Transform.tile (Tiling_kernels.Kernels.jacobi3d 10) [| 4; 3; 8 |])
+    cache1k
+
+let test_associative () =
+  let c2 = Tiling_cache.Config.make ~size:1024 ~line:32 ~assoc:2 () in
+  let c4 = Tiling_cache.Config.make ~size:2048 ~line:16 ~assoc:4 () in
+  compare_with_sim (Tiling_kernels.Kernels.mm 14) c2;
+  compare_with_sim (Tiling_kernels.Kernels.t3djik 14) c2;
+  compare_with_sim (Tiling_kernels.Kernels.t3djik 14) c4;
+  compare_with_sim
+    (Transform.tile (Tiling_kernels.Kernels.t3djik 14) [| 5; 5; 5 |])
+    c2
+
+let test_matvec () =
+  compare_with_sim (Tiling_kernels.Kernels.matmul 24) cache1k;
+  compare_with_sim ~tol:0.002
+    (Transform.tile (Tiling_kernels.Kernels.matmul 24) [| 4; 6; 10 |])
+    cache1k
+
+let test_compulsory_matches_lines () =
+  (* CME compulsory misses = first touches = distinct lines (simulator). *)
+  let nest = Tiling_kernels.Kernels.mm 16 in
+  let sim = Tiling_trace.Run.simulate nest cache1k in
+  let engine = Tiling_cme.Engine.create nest cache1k in
+  let est = Tiling_cme.Estimator.exact engine in
+  Alcotest.(check int) "compulsory = lines touched"
+    sim.Tiling_trace.Run.lines_touched est.Tiling_cme.Estimator.compulsory
+
+let test_compulsory_invariant_under_tiling () =
+  let nest = Tiling_kernels.Kernels.t2d 16 in
+  let comp nest =
+    let engine = Tiling_cme.Engine.create nest cache1k in
+    (Tiling_cme.Estimator.exact engine).Tiling_cme.Estimator.compulsory
+  in
+  let base = comp nest in
+  List.iter
+    (fun tiles ->
+      Alcotest.(check int) "tiling keeps compulsory" base
+        (comp (Transform.tile nest tiles)))
+    [ [| 4; 4 |]; [| 5; 3 |]; [| 16; 1 |] ]
+
+let test_classify_point_directly () =
+  (* Hand-checked case: MM n=4 with a 128-byte cache; the very first access
+     of each reference at (1,1,1) is a compulsory miss. *)
+  let nest = Tiling_kernels.Kernels.mm 4 in
+  let cache = Tiling_cache.Config.make ~size:128 ~line:32 () in
+  let engine = Tiling_cme.Engine.create nest cache in
+  Alcotest.(check bool) "first a load compulsory" true
+    (Tiling_cme.Engine.classify engine [| 1; 1; 1 |] 0
+     = Tiling_cme.Engine.Compulsory_miss);
+  (* The same-iteration store reuses the load: never compulsory. *)
+  Alcotest.(check bool) "store not compulsory" true
+    (Tiling_cme.Engine.classify engine [| 1; 1; 1 |] 3
+     <> Tiling_cme.Engine.Compulsory_miss)
+
+let test_memo_grows_and_counts () =
+  let nest = Transform.tile (Tiling_kernels.Kernels.mm 16) [| 4; 4; 4 |] in
+  let engine = Tiling_cme.Engine.create nest cache1k in
+  ignore (Tiling_cme.Estimator.exact engine);
+  Alcotest.(check bool) "memo used" true (Tiling_cme.Engine.memo_size engine > 0);
+  Alcotest.(check int) "no fallbacks on small kernels" 0
+    (Tiling_cme.Engine.fallback_count engine)
+
+let prop_random_tiles_match_simulator =
+  QCheck.Test.make ~name:"CME matches simulator on random MM tilings" ~count:12
+    QCheck.(triple (int_range 1 12) (int_range 1 12) (int_range 1 12))
+    (fun (t1, t2, t3) ->
+      let nest = Transform.tile (Tiling_kernels.Kernels.mm 12) [| t1; t2; t3 |] in
+      let cache = Tiling_cache.Config.make ~size:512 ~line:32 () in
+      let sim = Tiling_trace.Run.simulate nest cache in
+      let engine = Tiling_cme.Engine.create nest cache in
+      let est = Tiling_cme.Estimator.exact engine in
+      abs_float
+        (Tiling_cache.Sim.miss_ratio sim.Tiling_trace.Run.total
+        -. est.Tiling_cme.Estimator.miss_ratio.Tiling_util.Stats.center)
+      < 0.01)
+
+let prop_random_t2d_caches =
+  QCheck.Test.make ~name:"CME matches simulator across cache geometries"
+    ~count:10
+    (QCheck.make
+       QCheck.Gen.(
+         let* size_log = int_range 8 11 in
+         let* assoc = oneofl [ 1; 2 ] in
+         let* t1 = int_range 1 10 in
+         let* t2 = int_range 1 10 in
+         return (1 lsl size_log, assoc, t1, t2)))
+    (fun (size, assoc, t1, t2) ->
+      let cache = Tiling_cache.Config.make ~size ~line:32 ~assoc () in
+      let nest = Transform.tile (Tiling_kernels.Kernels.t2d 10) [| t1; t2 |] in
+      let sim = Tiling_trace.Run.simulate nest cache in
+      let engine = Tiling_cme.Engine.create nest cache in
+      let est = Tiling_cme.Estimator.exact engine in
+      abs_float
+        (Tiling_cache.Sim.replacement_ratio sim.Tiling_trace.Run.total
+        -. est.Tiling_cme.Estimator.replacement_ratio.Tiling_util.Stats.center)
+      < 0.01)
+
+let suite =
+  [
+    Alcotest.test_case "MM exact vs simulator" `Quick test_mm_exact;
+    Alcotest.test_case "T2D exact vs simulator" `Quick test_t2d_exact;
+    Alcotest.test_case "3D transposes vs simulator" `Quick test_transposes;
+    Alcotest.test_case "stencil vs simulator" `Quick test_stencil;
+    Alcotest.test_case "set-associative vs simulator" `Quick test_associative;
+    Alcotest.test_case "matvec vs simulator" `Quick test_matvec;
+    Alcotest.test_case "compulsory = lines touched" `Quick
+      test_compulsory_matches_lines;
+    Alcotest.test_case "compulsory invariant under tiling" `Quick
+      test_compulsory_invariant_under_tiling;
+    Alcotest.test_case "point classification" `Quick test_classify_point_directly;
+    Alcotest.test_case "memoisation & fallbacks" `Quick test_memo_grows_and_counts;
+    qcheck prop_random_tiles_match_simulator;
+    qcheck prop_random_t2d_caches;
+  ]
+
+let test_reuse_sources_api () =
+  (* a(i,j) load in MM at an interior point has (at least) the previous-k
+     self source and the previous-k store source, both on the same line and
+     both strictly earlier. *)
+  let nest = Tiling_kernels.Kernels.mm 8 in
+  let engine = Tiling_cme.Engine.create nest cache1k in
+  let p = [| 3; 4; 5 |] in
+  let sources = Tiling_cme.Engine.reuse_sources engine p 0 in
+  Alcotest.(check bool) "has sources" true (List.length sources >= 1);
+  let f = Tiling_ir.Nest.address_form nest nest.Tiling_ir.Nest.refs.(0) in
+  let line_a = Tiling_ir.Affine.eval f p / 32 in
+  List.iter
+    (fun (src, src_ref) ->
+      if Tiling_ir.Nest.lex_compare src p > 0 then
+        Alcotest.fail "source after destination";
+      if Tiling_ir.Nest.lex_compare src p = 0 && src_ref >= 0 then ();
+      let g = Tiling_ir.Nest.address_form nest nest.Tiling_ir.Nest.refs.(src_ref) in
+      Alcotest.(check int) "source on the same line" line_a
+        (Tiling_ir.Affine.eval g src / 32);
+      if not (Tiling_ir.Nest.mem_point nest src) then
+        Alcotest.fail "source outside the space")
+    sources
+
+let test_reuse_sources_first_touch_empty () =
+  (* The very first access of the execution can have no source. *)
+  let nest = Tiling_kernels.Kernels.t2d 8 in
+  let engine = Tiling_cme.Engine.create nest cache1k in
+  Alcotest.(check int) "first access has no sources" 0
+    (List.length (Tiling_cme.Engine.reuse_sources engine [| 1; 1 |] 0))
+
+let test_normalisation_pushes_source_late () =
+  (* b(i,k) in MM reuses across j; the normalised source must sit at the
+     top of the k-range the address allows, i.e. have j = U_j (free dim
+     maxed), not merely j-1. *)
+  let nest = Tiling_kernels.Kernels.mm 8 in
+  let engine = Tiling_cme.Engine.create nest cache1k in
+  let p = [| 4; 5; 6 |] in
+  let sources = Tiling_cme.Engine.reuse_sources engine p 1 in
+  Alcotest.(check bool) "some source has j maxed to 8" true
+    (List.exists (fun (src, _) -> src.(1) = 8 && src.(0) = 3) sources
+     || List.exists (fun (src, _) -> src.(0) = 4 && src.(1) = 4) sources)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "reuse_sources API" `Quick test_reuse_sources_api;
+      Alcotest.test_case "first touch has no sources" `Quick
+        test_reuse_sources_first_touch_empty;
+      Alcotest.test_case "normalisation maxes free dims" `Quick
+        test_normalisation_pushes_source_late;
+    ]
+
+let test_four_deep_vs_simulator () =
+  let spec = Tiling_kernels.Kernels.find "ADD" in
+  let nest = spec.Tiling_kernels.Kernels.build 6 in
+  let cache = Tiling_cache.Config.make ~size:512 ~line:32 () in
+  compare_with_sim ~tol:0.005 nest cache;
+  (* Tiled, the 40-byte m-run wraps lines across three layout dimensions at
+     once; the hit/miss decisions stay within a point, the
+     compulsory/replacement attribution drifts ~1pp (documented
+     over-approximation of compulsory). *)
+  compare_with_sim ~tol:0.02 (Transform.tile nest [| 2; 3; 6; 2 |]) cache
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "4-deep ADD vs simulator" `Quick
+        test_four_deep_vs_simulator;
+    ]

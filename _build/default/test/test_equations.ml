@@ -1,0 +1,39 @@
+open Tiling_ir
+open Tiling_cme
+
+let test_untiled () =
+  let nest = Tiling_kernels.Kernels.mm 16 in
+  let s = Equations.summarize nest ~line:32 in
+  Alcotest.(check int) "one region" 1 s.Equations.regions;
+  Alcotest.(check int) "four references" 4 s.Equations.references;
+  Alcotest.(check bool) "has reuse vectors" true (s.Equations.reuse_vectors > 0);
+  Alcotest.(check int) "compulsory = vectors * regions" s.Equations.reuse_vectors
+    s.Equations.compulsory_equations
+
+let test_region_scaling () =
+  (* Section 2.4: compulsory equations scale by n, replacement by n^2. *)
+  let nest = Tiling_kernels.Kernels.mm 10 in
+  let exact = Equations.summarize (Transform.tile nest [| 2; 5; 10 |]) ~line:32 in
+  let ragged = Equations.summarize (Transform.tile nest [| 3; 4; 7 |]) ~line:32 in
+  Alcotest.(check int) "dividing tiles: 1 region" 1 exact.Equations.regions;
+  Alcotest.(check int) "ragged tiles: 8 regions" 8 ragged.Equations.regions;
+  Alcotest.(check int) "compulsory scales by regions"
+    (ragged.Equations.reuse_vectors * 8)
+    ragged.Equations.compulsory_equations;
+  Alcotest.(check int) "replacement scales by regions^2"
+    (ragged.Equations.reuse_vectors * ragged.Equations.references * 64)
+    ragged.Equations.replacement_equations
+
+let test_tiling_grows_equations () =
+  let nest = Tiling_kernels.Kernels.mm 16 in
+  let before = Equations.summarize nest ~line:32 in
+  let after = Equations.summarize (Transform.tile nest [| 3; 5; 7 |]) ~line:32 in
+  Alcotest.(check bool) "more replacement equations after tiling" true
+    (after.Equations.replacement_equations > before.Equations.replacement_equations)
+
+let suite =
+  [
+    Alcotest.test_case "untiled census" `Quick test_untiled;
+    Alcotest.test_case "region scaling" `Quick test_region_scaling;
+    Alcotest.test_case "tiling grows the system" `Quick test_tiling_grows_equations;
+  ]

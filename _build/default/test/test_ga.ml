@@ -1,0 +1,167 @@
+open Tiling_ga
+
+let run_on ?params ~seed ~uppers objective =
+  let encoding = Encoding.make uppers in
+  let rng = Tiling_util.Prng.create ~seed in
+  Engine.run ?params ~encoding ~objective ~rng ()
+
+let test_optimizes_separable () =
+  (* Minimise sum |v_i - 17| over [1,64]^3: smooth and separable, the GA
+     must land very close to the optimum. *)
+  let objective v =
+    Array.fold_left (fun acc x -> acc +. float_of_int (abs (x - 17))) 0. v
+  in
+  let r = run_on ~seed:1 ~uppers:[| 64; 64; 64 |] objective in
+  Alcotest.(check bool)
+    (Printf.sprintf "best %.0f <= 6" r.Engine.best_objective)
+    true
+    (r.Engine.best_objective <= 6.)
+
+let test_finds_exact_small () =
+  (* Tiny space: 2 variables in [1,16]; optimum at (5, 11). *)
+  let objective v =
+    float_of_int ((abs (v.(0) - 5) * 3) + (abs (v.(1) - 11) * 2))
+  in
+  let r = run_on ~seed:2 ~uppers:[| 16; 16 |] objective in
+  Alcotest.(check (float 0.01)) "exact optimum" 0. r.Engine.best_objective
+
+let test_generation_limits () =
+  let r = run_on ~seed:3 ~uppers:[| 256; 256 |] (fun v -> float_of_int v.(0)) in
+  Alcotest.(check bool) "at least min generations" true (r.Engine.generations >= 15);
+  Alcotest.(check bool) "at most max generations" true (r.Engine.generations <= 25);
+  Alcotest.(check int) "history matches generations" r.Engine.generations
+    (List.length r.Engine.history)
+
+let test_constant_objective_converges_immediately () =
+  let r = run_on ~seed:4 ~uppers:[| 100 |] (fun _ -> 0.) in
+  Alcotest.(check bool) "converged" true r.Engine.converged;
+  Alcotest.(check int) "stops right at the minimum generations" 15
+    r.Engine.generations
+
+let test_deterministic () =
+  let objective v = float_of_int (v.(0) * v.(1)) in
+  let r1 = run_on ~seed:5 ~uppers:[| 50; 50 |] objective in
+  let r2 = run_on ~seed:5 ~uppers:[| 50; 50 |] objective in
+  Alcotest.(check (float 0.) ) "same best" r1.Engine.best_objective r2.Engine.best_objective;
+  Alcotest.(check (array int)) "same genes" r1.Engine.best_genes r2.Engine.best_genes
+
+let test_paper_parameters () =
+  let p = Engine.default_params in
+  Alcotest.(check int) "population 30" 30 p.Engine.population;
+  Alcotest.(check (float 1e-9)) "crossover 0.9" 0.9 p.Engine.crossover_p;
+  Alcotest.(check (float 1e-9)) "mutation 0.001" 0.001 p.Engine.mutation_p;
+  Alcotest.(check int) "min 15" 15 p.Engine.min_generations;
+  Alcotest.(check int) "max 25" 25 p.Engine.max_generations;
+  Alcotest.(check (float 1e-9)) "convergence 2%" 0.02 p.Engine.convergence_threshold
+
+let test_evaluations_bounded () =
+  let count = ref 0 in
+  let objective v =
+    incr count;
+    float_of_int v.(0)
+  in
+  let r = run_on ~seed:6 ~uppers:[| 512 |] objective in
+  Alcotest.(check int) "engine reports its calls" !count r.Engine.evaluations;
+  Alcotest.(check bool) "within population * max generations" true
+    (!count <= 30 * 25)
+
+let test_best_never_worsens_with_elitism () =
+  let objective v = float_of_int (abs (v.(0) - 100)) in
+  let r = run_on ~seed:7 ~uppers:[| 512 |] objective in
+  let bests = List.map (fun s -> s.Engine.best) r.Engine.history in
+  (* With elitism the per-generation best can never regress. *)
+  let rec non_increasing = function
+    | a :: (b :: _ as rest) -> a >= b && non_increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "per-generation best non-increasing" true
+    (non_increasing bests)
+
+let test_no_elitism_mode () =
+  let params = { Engine.default_params with Engine.elitism = false } in
+  let objective v = float_of_int (abs (v.(0) - 9)) in
+  let r = run_on ~params ~seed:8 ~uppers:[| 64 |] objective in
+  Alcotest.(check bool) "still finds a decent solution" true
+    (r.Engine.best_objective <= 5.)
+
+let test_history_stats_consistent () =
+  let objective v = float_of_int v.(0) in
+  let r = run_on ~seed:9 ~uppers:[| 128 |] objective in
+  List.iter
+    (fun s ->
+      if s.Engine.best > s.Engine.average +. 1e-9 then
+        Alcotest.fail "generation best exceeds its average")
+    r.Engine.history
+
+let suite =
+  [
+    Alcotest.test_case "optimizes separable function" `Quick test_optimizes_separable;
+    Alcotest.test_case "finds small-space optimum" `Quick test_finds_exact_small;
+    Alcotest.test_case "generation limits (fig 7)" `Quick test_generation_limits;
+    Alcotest.test_case "constant objective converges" `Quick
+      test_constant_objective_converges_immediately;
+    Alcotest.test_case "deterministic under seed" `Quick test_deterministic;
+    Alcotest.test_case "paper parameters" `Quick test_paper_parameters;
+    Alcotest.test_case "evaluation accounting" `Quick test_evaluations_bounded;
+    Alcotest.test_case "elitism keeps the best" `Quick
+      test_best_never_worsens_with_elitism;
+    Alcotest.test_case "no-elitism mode" `Quick test_no_elitism_mode;
+    Alcotest.test_case "history consistency" `Quick test_history_stats_consistent;
+  ]
+
+let test_selection_pressure_statistics () =
+  (* Remainder stochastic selection: over many generations, an individual
+     with twice the fitness must be selected about twice as often.  We
+     observe it indirectly: on a two-value landscape the better value must
+     take over the population within a few generations. *)
+  let objective v = if v.(0) <= 32 then 0. else 100. in
+  let encoding = Encoding.make [| 64 |] in
+  let rng = Tiling_util.Prng.create ~seed:11 in
+  let seen_takeover = ref false in
+  let r =
+    Engine.run ~encoding ~objective ~rng
+      ~on_generation:(fun s ->
+        if s.Engine.generation >= 10 && s.Engine.average < 20. then
+          seen_takeover := true)
+      ()
+  in
+  Alcotest.(check (float 0.01)) "optimum found" 0. r.Engine.best_objective;
+  Alcotest.(check bool) "good genes take over the population" true !seen_takeover
+
+let test_mutation_saturated () =
+  (* With per-bit mutation probability 1 every gene bit flips each
+     generation, so no genotype can persist: the search degenerates to
+     noise but must still run to completion within the generation limits
+     and report a finite best. *)
+  let params =
+    { Engine.default_params with Engine.mutation_p = 1.0; elitism = false }
+  in
+  let encoding = Encoding.make [| 256 |] in
+  let rng = Tiling_util.Prng.create ~seed:13 in
+  let r =
+    Engine.run ~params ~encoding ~objective:(fun v -> float_of_int v.(0)) ~rng ()
+  in
+  Alcotest.(check bool) "finite best under saturated mutation" true
+    (r.Engine.best_objective >= 1. && r.Engine.best_objective <= 256.);
+  Alcotest.(check bool) "ran to a limit" true
+    (r.Engine.generations >= 15 && r.Engine.generations <= 25)
+
+let test_crossover_disabled_still_works () =
+  let params = { Engine.default_params with Engine.crossover_p = 0. } in
+  let encoding = Encoding.make [| 64; 64 |] in
+  let rng = Tiling_util.Prng.create ~seed:12 in
+  let r =
+    Engine.run ~params ~encoding
+      ~objective:(fun v -> float_of_int (abs (v.(0) - 3) + abs (v.(1) - 60)))
+      ~rng ()
+  in
+  Alcotest.(check bool) "selection+mutation alone still improves" true
+    (r.Engine.best_objective < 30.)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "selection pressure" `Quick test_selection_pressure_statistics;
+      Alcotest.test_case "saturated mutation" `Quick test_mutation_saturated;
+      Alcotest.test_case "no-crossover mode" `Quick test_crossover_disabled_still_works;
+    ]

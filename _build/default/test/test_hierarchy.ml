@@ -1,0 +1,96 @@
+open Tiling_cache
+
+let l1 = Config.make ~size:512 ~line:32 ()
+let l2 = Config.make ~size:4096 ~line:32 ()
+
+let test_basic_propagation () =
+  let h = Hierarchy.create [ l1; l2 ] in
+  (* cold: misses both levels *)
+  Alcotest.(check int) "cold access misses both" 2 (Hierarchy.access h ~ref_id:0 ~addr:0);
+  (* immediately after: L1 hit *)
+  Alcotest.(check int) "L1 hit" 0 (Hierarchy.access h ~ref_id:0 ~addr:8);
+  (* evict line 0 from tiny L1 (512B/32B = 16 sets direct-mapped) *)
+  Alcotest.(check int) "conflict in L1 only" 2 (Hierarchy.access h ~ref_id:0 ~addr:512);
+  (* line 0: L1 miss (evicted), L2 hit *)
+  Alcotest.(check int) "L1 miss, L2 hit" 1 (Hierarchy.access h ~ref_id:0 ~addr:0)
+
+let test_level_counts () =
+  let h = Hierarchy.create [ l1; l2 ] in
+  List.iter (fun a -> ignore (Hierarchy.access h ~ref_id:0 ~addr:a)) [ 0; 512; 0; 512 ];
+  let counts = Hierarchy.level_counts h in
+  Alcotest.(check int) "L1 sees all" 4 counts.(0).Sim.accesses;
+  Alcotest.(check int) "L1 misses all (ping-pong)" 4 counts.(0).Sim.misses;
+  Alcotest.(check int) "L2 sees L1 misses" 4 counts.(1).Sim.accesses;
+  Alcotest.(check int) "L2 misses only cold" 2 counts.(1).Sim.misses
+
+let test_reset () =
+  let h = Hierarchy.create [ l1; l2 ] in
+  ignore (Hierarchy.access h ~ref_id:0 ~addr:0);
+  Hierarchy.reset h;
+  Alcotest.(check int) "cold again" 2 (Hierarchy.access h ~ref_id:0 ~addr:0)
+
+let test_empty_rejected () =
+  try
+    ignore (Hierarchy.create []);
+    Alcotest.fail "empty hierarchy accepted"
+  with Invalid_argument _ -> ()
+
+let test_stack_property_on_kernel () =
+  (* The justification for analysing levels independently: L2 misses under
+     the filtered stream track misses of the full stream against L2 alone.
+     Exact equality is not guaranteed for set-associative levels, so allow
+     a small relative slack. *)
+  List.iter
+    (fun nest ->
+      let counts = Tiling_trace.Run.simulate_hierarchy nest [ l1; l2 ] in
+      let solo = Tiling_trace.Run.simulate nest l2 in
+      let filtered = counts.(1).Sim.misses in
+      let full = solo.Tiling_trace.Run.total.Sim.misses in
+      let deviation =
+        abs (filtered - full) |> float_of_int |> fun d ->
+        d /. float_of_int (max 1 full)
+      in
+      if deviation > 0.02 then
+        Alcotest.failf "%s: filtered %d vs full %d" nest.Tiling_ir.Nest.name
+          filtered full)
+    [
+      Tiling_kernels.Kernels.mm 16;
+      Tiling_kernels.Kernels.t2d 24;
+      Tiling_ir.Transform.tile (Tiling_kernels.Kernels.mm 16) [| 4; 8; 4 |];
+    ]
+
+let test_cme_predicts_both_levels () =
+  (* Independent CME analyses of L1 and L2 match the hierarchy simulation. *)
+  let nest = Tiling_kernels.Kernels.mm 16 in
+  let counts = Tiling_trace.Run.simulate_hierarchy nest [ l1; l2 ] in
+  let check level cfg =
+    let est = Tiling_cme.Estimator.exact (Tiling_cme.Engine.create nest cfg) in
+    let total_accesses = counts.(0).Sim.accesses in
+    let sim_ratio = float_of_int counts.(level).Sim.misses /. float_of_int total_accesses in
+    let cme_ratio = est.Tiling_cme.Estimator.miss_ratio.Tiling_util.Stats.center in
+    if abs_float (sim_ratio -. cme_ratio) > 0.02 then
+      Alcotest.failf "level %d: sim %.4f vs cme %.4f" level sim_ratio cme_ratio
+  in
+  check 0 l1;
+  check 1 l2
+
+let suite =
+  [
+    Alcotest.test_case "miss propagation" `Quick test_basic_propagation;
+    Alcotest.test_case "level counts" `Quick test_level_counts;
+    Alcotest.test_case "reset" `Quick test_reset;
+    Alcotest.test_case "empty rejected" `Quick test_empty_rejected;
+    Alcotest.test_case "LRU stack property" `Quick test_stack_property_on_kernel;
+    Alcotest.test_case "CME per level" `Quick test_cme_predicts_both_levels;
+  ]
+
+let test_three_levels () =
+  let l3 = Config.make ~size:16384 ~line:32 ~assoc:2 () in
+  let h = Hierarchy.create [ l1; l2; l3 ] in
+  Alcotest.(check int) "cold misses all three" 3 (Hierarchy.access h ~ref_id:0 ~addr:0);
+  Alcotest.(check int) "then hits L1" 0 (Hierarchy.access h ~ref_id:0 ~addr:0);
+  let counts = Hierarchy.level_counts h in
+  Alcotest.(check int) "L3 saw one access" 1 counts.(2).Sim.accesses
+
+let suite =
+  suite @ [ Alcotest.test_case "three levels" `Quick test_three_levels ]

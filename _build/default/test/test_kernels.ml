@@ -1,0 +1,145 @@
+open Tiling_ir
+open Tiling_kernels
+
+let test_all_build () =
+  List.iter
+    (fun (s : Kernels.spec) ->
+      List.iter
+        (fun n ->
+          let nest = s.build n in
+          Alcotest.(check int)
+            (Printf.sprintf "%s depth" s.name)
+            s.loops (Nest.depth nest);
+          Alcotest.(check bool)
+            (Printf.sprintf "%s has refs" s.name)
+            true
+            (Array.length nest.Nest.refs > 0))
+        s.sizes)
+    Kernels.all
+
+let test_count () =
+  Alcotest.(check int) "seventeen kernels (table 1)" 17 (List.length Kernels.all)
+
+let test_find () =
+  let s = Kernels.find "mm" in
+  Alcotest.(check string) "case-insensitive lookup" "MM" s.Kernels.name;
+  (try
+     ignore (Kernels.find "nope");
+     Alcotest.fail "unknown kernel found"
+   with Not_found -> ())
+
+let test_exactly_one_store_each () =
+  List.iter
+    (fun (s : Kernels.spec) ->
+      let nest = s.build (List.hd s.sizes) in
+      let stores =
+        Array.fold_left
+          (fun acc (r : Nest.reference) ->
+            if r.Nest.access = Nest.Write then acc + 1 else acc)
+          0 nest.Nest.refs
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s stores" s.name)
+        true (stores >= 1))
+    Kernels.all
+
+let test_mm_is_figure_1 () =
+  let nest = Kernels.mm 8 in
+  Alcotest.(check (array string)) "loops i,j,k" [| "i"; "j"; "k" |]
+    (Nest.var_names nest);
+  Alcotest.(check int) "4 references" 4 (Array.length nest.Nest.refs);
+  (* a(i,j) read and written at the same subscripts *)
+  let r0 = nest.Nest.refs.(0) and r3 = nest.Nest.refs.(3) in
+  Alcotest.(check bool) "same array" true (r0.Nest.array == r3.Nest.array);
+  Alcotest.(check bool) "same subscripts" true
+    (Array.for_all2 Affine.equal r0.Nest.idx r3.Nest.idx)
+
+let test_arrays_disjoint () =
+  (* Placed arrays must not overlap in memory. *)
+  List.iter
+    (fun (s : Kernels.spec) ->
+      let nest = s.build (List.hd s.sizes) in
+      let spans =
+        List.map
+          (fun (a : Array_decl.t) ->
+            (a.Array_decl.base, a.Array_decl.base + Array_decl.footprint a))
+          nest.Nest.arrays
+      in
+      let sorted = List.sort compare spans in
+      let rec check = function
+        | (_, e1) :: (((b2, _) :: _) as rest) ->
+            if e1 > b2 then Alcotest.failf "%s arrays overlap" s.name;
+            check rest
+        | _ -> ()
+      in
+      check sorted)
+    Kernels.all
+
+let test_addresses_within_footprint () =
+  (* Every generated address must fall inside its array's allocation. *)
+  List.iter
+    (fun name ->
+      let spec = Kernels.find name in
+      let nest = spec.Kernels.build (List.hd spec.Kernels.sizes) in
+      let nest =
+        (* shrink large kernels for trace enumeration *)
+        if Nest.trip_count nest > 200_000 then spec.Kernels.build 16 else nest
+      in
+      Array.iter
+        (fun (r : Nest.reference) ->
+          let f = Nest.address_form nest r in
+          let lo = Array.map (fun _ -> 0) (Nest.var_names nest) in
+          ignore lo;
+          Nest.iter_points nest (fun p ->
+              let addr = Affine.eval f p in
+              let a = r.Nest.array in
+              if addr < a.Array_decl.base
+                 || addr >= a.Array_decl.base + Array_decl.footprint a
+              then
+                Alcotest.failf "%s: address %d outside %s" name addr
+                  a.Array_decl.name))
+        nest.Nest.refs)
+    [ "MM"; "T2D"; "JACOBI3D"; "ADI"; "VPENTA1"; "VPENTA2"; "DPSSB"; "DPSSF";
+      "DRADBG1"; "DRADFG1"; "DRADFG2"; "MATMUL" ]
+
+let test_vpenta_alignment_pathology () =
+  (* The conflict structure the paper's table 3 is about: consecutive
+     VPENTA planes are whole multiples of the 8 KB cache apart. *)
+  let nest = Kernels.vpenta1 128 in
+  let bases =
+    List.map (fun (a : Array_decl.t) -> a.Array_decl.base) nest.Nest.arrays
+  in
+  List.iter
+    (fun b -> Alcotest.(check int) "base multiple of 8KB" 0 (b mod 8192))
+    bases
+
+let test_conflict_kernels_have_high_replacement () =
+  (* ADD / BTRIX / VPENTA are conflict-dominated before any transformation
+     (the reason they appear in table 3). *)
+  List.iter
+    (fun name ->
+      let spec = Kernels.find name in
+      let nest = spec.Kernels.build (List.hd spec.Kernels.sizes) in
+      let e = Tiling_cme.Engine.create nest Tiling_cache.Config.dm8k in
+      let r = Tiling_cme.Estimator.sample ~seed:13 e in
+      let repl = r.Tiling_cme.Estimator.replacement_ratio.Tiling_util.Stats.center in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s replacement > 40%%" name)
+        true (repl > 0.4))
+    [ "ADD"; "BTRIX"; "VPENTA1"; "VPENTA2" ]
+
+let suite =
+  [
+    Alcotest.test_case "all kernels build" `Quick test_all_build;
+    Alcotest.test_case "table 1 count" `Quick test_count;
+    Alcotest.test_case "find by name" `Quick test_find;
+    Alcotest.test_case "stores present" `Quick test_exactly_one_store_each;
+    Alcotest.test_case "MM is figure 1" `Quick test_mm_is_figure_1;
+    Alcotest.test_case "arrays disjoint" `Quick test_arrays_disjoint;
+    Alcotest.test_case "addresses within footprints" `Slow
+      test_addresses_within_footprint;
+    Alcotest.test_case "VPENTA alignment pathology" `Quick
+      test_vpenta_alignment_pathology;
+    Alcotest.test_case "conflict kernels replacement-heavy" `Slow
+      test_conflict_kernels_have_high_replacement;
+  ]

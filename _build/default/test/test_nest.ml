@@ -1,0 +1,153 @@
+open Tiling_ir
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let small_nest ?(n = 6) () = Tiling_kernels.Kernels.mm n
+
+let test_depth_and_names () =
+  let nest = small_nest () in
+  Alcotest.(check int) "depth" 3 (Nest.depth nest);
+  Alcotest.(check (array string)) "names" [| "i"; "j"; "k" |] (Nest.var_names nest)
+
+let test_trip_count () =
+  let nest = small_nest ~n:6 () in
+  Alcotest.(check int) "untiled" 216 (Nest.trip_count nest);
+  let tiled = Transform.tile nest [| 4; 6; 5 |] in
+  Alcotest.(check int) "tiled preserves trips" 216 (Nest.trip_count tiled)
+
+let test_iter_matches_trip () =
+  List.iter
+    (fun nest ->
+      let count = ref 0 in
+      Nest.iter_points nest (fun _ -> incr count);
+      Alcotest.(check int) "iterated points = trip_count" (Nest.trip_count nest)
+        !count)
+    [
+      small_nest ();
+      Transform.tile (small_nest ()) [| 2; 3; 4 |];
+      Transform.tile (small_nest ()) [| 6; 1; 5 |];
+      Tiling_kernels.Kernels.jacobi3d 8;
+    ]
+
+let test_iter_is_lexicographic () =
+  let nest = Transform.tile (small_nest ()) [| 4; 2; 3 |] in
+  let prev = ref None in
+  Nest.iter_points nest (fun p ->
+      let p = Array.copy p in
+      (match !prev with
+      | Some q ->
+          if Nest.lex_compare q p >= 0 then
+            Alcotest.fail "points not in strictly increasing lex order"
+      | None -> ());
+      prev := Some p)
+
+let test_mem_point () =
+  let nest = small_nest ~n:6 () in
+  Alcotest.(check bool) "inside" true (Nest.mem_point nest [| 1; 6; 3 |]);
+  Alcotest.(check bool) "below" false (Nest.mem_point nest [| 0; 1; 1 |]);
+  Alcotest.(check bool) "above" false (Nest.mem_point nest [| 1; 7; 1 |]);
+  Alcotest.(check bool) "wrong arity" false (Nest.mem_point nest [| 1; 1 |]);
+  let tiled = Transform.tile nest [| 4; 6; 5 |] in
+  (* ii=5 tile holds i in [5,6]; i=4 belongs to tile ii=1 *)
+  Alcotest.(check bool) "tiled inside" true
+    (Nest.mem_point tiled [| 5; 1; 1; 5; 3; 2 |]);
+  Alcotest.(check bool) "elem outside its tile" false
+    (Nest.mem_point tiled [| 5; 1; 1; 4; 3; 2 |]);
+  Alcotest.(check bool) "ctrl off lattice" false
+    (Nest.mem_point tiled [| 2; 1; 1; 2; 3; 2 |])
+
+let test_bounds_at_tiled () =
+  let nest = Transform.tile (small_nest ~n:6 ()) [| 4; 6; 5 |] in
+  (* element loop of the partial i-tile: [5, 6] *)
+  let lo, hi, step = Nest.bounds_at nest [| 5; 1; 1; 0; 0; 0 |] 3 in
+  Alcotest.(check (triple int int int)) "partial tile bounds" (5, 6, 1) (lo, hi, step);
+  let lo, hi, _ = Nest.bounds_at nest [| 1; 1; 1; 0; 0; 0 |] 3 in
+  Alcotest.(check (pair int int)) "full tile bounds" (1, 4) (lo, hi)
+
+let test_every_iterated_point_is_member () =
+  let nest = Transform.tile (small_nest ~n:7 ()) [| 3; 7; 2 |] in
+  Nest.iter_points nest (fun p ->
+      if not (Nest.mem_point nest p) then
+        Alcotest.failf "iterated point not a member: %s"
+          (String.concat "," (List.map string_of_int (Array.to_list p))))
+
+let test_random_point_membership () =
+  let nest = Transform.tile (small_nest ~n:9 ()) [| 4; 2; 9 |] in
+  let rng = Tiling_util.Prng.create ~seed:5 in
+  for _ = 1 to 500 do
+    let p = Nest.random_point nest rng in
+    if not (Nest.mem_point nest p) then Alcotest.fail "random point outside space"
+  done
+
+let test_random_point_uniform () =
+  (* Under tiling with a partial tile, the original value must stay
+     uniform: check the marginal of the innermost original loop. *)
+  let n = 10 in
+  let nest = Transform.tile (small_nest ~n ()) [| 3; 10; 10 |] in
+  let rng = Tiling_util.Prng.create ~seed:17 in
+  let counts = Array.make (n + 1) 0 in
+  let draws = 20_000 in
+  for _ = 1 to draws do
+    let p = Nest.random_point nest rng in
+    counts.(p.(3)) <- counts.(p.(3)) + 1
+  done;
+  let expect = float_of_int draws /. float_of_int n in
+  for v = 1 to n do
+    let dev = abs_float (float_of_int counts.(v) -. expect) /. expect in
+    if dev > 0.12 then
+      Alcotest.failf "value %d frequency off by %.0f%%" v (100. *. dev)
+  done
+
+let test_address_form () =
+  let nest = small_nest ~n:6 () in
+  (* c(k,j): base_c + 8*(k-1) + 48*(j-1) *)
+  let c_ref = nest.Nest.refs.(2) in
+  let f = Nest.address_form nest c_ref in
+  let base = c_ref.Nest.array.Array_decl.base in
+  Alcotest.(check int) "c(1,1)" base (Affine.eval f [| 9; 1; 1 |]);
+  Alcotest.(check int) "c(2,1)" (base + 8) (Affine.eval f [| 9; 1; 2 |]);
+  Alcotest.(check int) "c(1,2)" (base + 48) (Affine.eval f [| 9; 2; 1 |])
+
+let test_lex_compare () =
+  Alcotest.(check int) "equal" 0 (Nest.lex_compare [| 1; 2 |] [| 1; 2 |]);
+  Alcotest.(check bool) "less" true (Nest.lex_compare [| 1; 2 |] [| 1; 3 |] < 0);
+  Alcotest.(check bool) "greater" true (Nest.lex_compare [| 2; 0 |] [| 1; 9 |] > 0)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let test_pp_smoke () =
+  let s = Fmt.str "%a" Nest.pp (Transform.tile (small_nest ()) [| 2; 3; 6 |]) in
+  Alcotest.(check bool) "mentions min bound" true (contains s "min(");
+  Alcotest.(check bool) "mentions loads" true (contains s "load")
+
+let prop_trip_count_tiled =
+  QCheck.Test.make ~name:"tiling preserves trip count" ~count:100
+    QCheck.(triple (int_range 1 9) (int_range 1 9) (int_range 1 9))
+    (fun (t1, t2, t3) ->
+      let nest = small_nest ~n:9 () in
+      let tiled = Transform.tile nest [| t1; t2; t3 |] in
+      Nest.trip_count tiled = Nest.trip_count nest)
+
+let suite =
+  [
+    Alcotest.test_case "depth and names" `Quick test_depth_and_names;
+    Alcotest.test_case "trip count" `Quick test_trip_count;
+    Alcotest.test_case "iterated points = trip count" `Quick test_iter_matches_trip;
+    Alcotest.test_case "iteration order is lexicographic" `Quick
+      test_iter_is_lexicographic;
+    Alcotest.test_case "mem_point" `Quick test_mem_point;
+    Alcotest.test_case "bounds_at on tiles" `Quick test_bounds_at_tiled;
+    Alcotest.test_case "iterated points are members" `Quick
+      test_every_iterated_point_is_member;
+    Alcotest.test_case "random points are members" `Quick
+      test_random_point_membership;
+    Alcotest.test_case "random points uniform marginal" `Quick
+      test_random_point_uniform;
+    Alcotest.test_case "address form" `Quick test_address_form;
+    Alcotest.test_case "lex compare" `Quick test_lex_compare;
+    Alcotest.test_case "pretty printer" `Quick test_pp_smoke;
+    qcheck prop_trip_count_tiled;
+  ]

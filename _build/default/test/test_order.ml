@@ -1,0 +1,55 @@
+open Tiling_core
+
+let fast_opts seed =
+  {
+    Tiler.ga =
+      {
+        Tiling_ga.Engine.default_params with
+        Tiling_ga.Engine.min_generations = 8;
+        max_generations = 12;
+      };
+    seed;
+    sample_points = Some 64;
+    restarts = 2;
+    domains = 1;
+  }
+
+let repl (r : Tiling_cme.Estimator.report) =
+  r.Tiling_cme.Estimator.replacement_ratio.Tiling_util.Stats.center
+
+let test_order_is_permutation () =
+  let nest = Tiling_kernels.Kernels.mm 40 in
+  let o = Tiler.optimize_with_order ~opts:(fast_opts 1) nest Tiling_cache.Config.dm8k in
+  Alcotest.(check (list int)) "permutation of 0..2" [ 0; 1; 2 ]
+    (List.sort compare (Array.to_list o.Tiler.order));
+  Array.iter
+    (fun t -> if t < 1 || t > 40 then Alcotest.failf "tile %d out of range" t)
+    o.Tiler.otiles
+
+let test_order_at_least_as_good () =
+  (* The identity permutation is in the search space, so with the same
+     seed/budget order search should not end up much worse than tiles-only;
+     on transposes it can do better. *)
+  let nest = Tiling_kernels.Kernels.t3djik 60 in
+  let cache = Tiling_cache.Config.dm8k in
+  let t = Tiler.optimize ~opts:(fast_opts 2) nest cache in
+  let w = Tiler.optimize_with_order ~opts:(fast_opts 2) nest cache in
+  Alcotest.(check bool)
+    (Printf.sprintf "order search %.3f vs tiles-only %.3f" (repl w.Tiler.oafter)
+       (repl t.Tiler.after))
+    true
+    (repl w.Tiler.oafter <= repl t.Tiler.after +. 0.03)
+
+let test_order_deterministic () =
+  let nest = Tiling_kernels.Kernels.t2d 50 in
+  let a = Tiler.optimize_with_order ~opts:(fast_opts 3) nest Tiling_cache.Config.dm8k in
+  let b = Tiler.optimize_with_order ~opts:(fast_opts 3) nest Tiling_cache.Config.dm8k in
+  Alcotest.(check (array int)) "same order" a.Tiler.order b.Tiler.order;
+  Alcotest.(check (array int)) "same tiles" a.Tiler.otiles b.Tiler.otiles
+
+let suite =
+  [
+    Alcotest.test_case "order is a permutation" `Slow test_order_is_permutation;
+    Alcotest.test_case "order at least as good" `Slow test_order_at_least_as_good;
+    Alcotest.test_case "deterministic" `Slow test_order_deterministic;
+  ]

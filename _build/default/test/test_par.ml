@@ -1,0 +1,64 @@
+open Tiling_util
+
+let test_map_matches_sequential () =
+  let xs = Array.init 1000 Fun.id in
+  let f x = (x * x) + 1 in
+  List.iter
+    (fun domains ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "%d domains" domains)
+        (Array.map f xs)
+        (Par.map ~domains f xs))
+    [ 1; 2; 3; 8 ]
+
+let test_map_edge_sizes () =
+  Alcotest.(check (array int)) "empty" [||] (Par.map ~domains:4 succ [||]);
+  Alcotest.(check (array int)) "singleton" [| 2 |] (Par.map ~domains:4 succ [| 1 |]);
+  Alcotest.(check (array int)) "fewer items than domains" [| 2; 3 |]
+    (Par.map ~domains:8 succ [| 1; 2 |])
+
+let test_exceptions_propagate () =
+  try
+    ignore (Par.map ~domains:3 (fun x -> if x = 7 then failwith "boom" else x)
+              (Array.init 20 Fun.id));
+    Alcotest.fail "exception swallowed"
+  with Failure m -> Alcotest.(check string) "original exception" "boom" m
+
+let test_parallel_tiler_equivalent () =
+  (* The search must be bit-identical regardless of the domain count. *)
+  let nest = Tiling_kernels.Kernels.t2d 100 in
+  let cache = Tiling_cache.Config.dm8k in
+  let opts domains =
+    {
+      Tiling_core.Tiler.ga =
+        {
+          Tiling_ga.Engine.default_params with
+          Tiling_ga.Engine.min_generations = 6;
+          max_generations = 8;
+        };
+      seed = 21;
+      sample_points = Some 64;
+      restarts = 1;
+      domains;
+    }
+  in
+  let seq = Tiling_core.Tiler.optimize ~opts:(opts 1) nest cache in
+  let par = Tiling_core.Tiler.optimize ~opts:(opts 4) nest cache in
+  Alcotest.(check (array int)) "same tiles" seq.Tiling_core.Tiler.tiles
+    par.Tiling_core.Tiler.tiles;
+  Alcotest.(check (float 0.)) "same objective"
+    seq.Tiling_core.Tiler.ga.Tiling_ga.Engine.best_objective
+    par.Tiling_core.Tiler.ga.Tiling_ga.Engine.best_objective
+
+let test_recommended_domains () =
+  let d = Par.recommended_domains () in
+  Alcotest.(check bool) "in [1, 8]" true (d >= 1 && d <= 8)
+
+let suite =
+  [
+    Alcotest.test_case "map matches sequential" `Quick test_map_matches_sequential;
+    Alcotest.test_case "edge sizes" `Quick test_map_edge_sizes;
+    Alcotest.test_case "exception propagation" `Quick test_exceptions_propagate;
+    Alcotest.test_case "parallel tiler equivalence" `Slow test_parallel_tiler_equivalent;
+    Alcotest.test_case "recommended domains" `Quick test_recommended_domains;
+  ]

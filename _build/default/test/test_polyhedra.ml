@@ -1,0 +1,166 @@
+open Tiling_polyhedra
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let test_box_contains () =
+  let p = Polyhedron.of_box ~lo:[| 0; -2 |] ~hi:[| 3; 2 |] in
+  Alcotest.(check bool) "inside" true (Polyhedron.contains p [| 1; 0 |]);
+  Alcotest.(check bool) "corner" true (Polyhedron.contains p [| 3; -2 |]);
+  Alcotest.(check bool) "outside" false (Polyhedron.contains p [| 4; 0 |])
+
+let test_box_count () =
+  let p = Polyhedron.of_box ~lo:[| 0; 0 |] ~hi:[| 3; 4 |] in
+  Alcotest.(check int) "4*5 points" 20 (Polyhedron.count_integer_points p);
+  Alcotest.(check bool) "has point" true (Polyhedron.has_integer_point p)
+
+let test_triangle () =
+  (* x >= 0, y >= 0, x + y <= 3: 10 integer points. *)
+  let p =
+    Polyhedron.of_constraints ~dim:2
+      [
+        Polyhedron.ge ~coeffs:[| 1; 0 |] ~const:0;
+        Polyhedron.ge ~coeffs:[| 0; 1 |] ~const:0;
+        Polyhedron.le ~coeffs:[| 1; 1 |] ~const:(-3);
+      ]
+  in
+  Alcotest.(check int) "triangle count" 10 (Polyhedron.count_integer_points p)
+
+let test_equality_plane () =
+  (* x + y = 4 in the box [0,4]^2: 5 points. *)
+  let p =
+    Polyhedron.add
+      (Polyhedron.of_box ~lo:[| 0; 0 |] ~hi:[| 4; 4 |])
+      [ Polyhedron.eq ~coeffs:[| 1; 1 |] ~const:(-4) ]
+  in
+  Alcotest.(check int) "diagonal" 5 (Polyhedron.count_integer_points p);
+  let pts = Polyhedron.integer_points p in
+  List.iter
+    (fun q -> Alcotest.(check int) "on the plane" 4 (q.(0) + q.(1)))
+    pts
+
+let test_rational_but_not_integer () =
+  (* 2x = 1 in [0, 3]: rationally non-empty, no integer point. *)
+  let p =
+    Polyhedron.add
+      (Polyhedron.of_box ~lo:[| 0 |] ~hi:[| 3 |])
+      [ Polyhedron.eq ~coeffs:[| 2 |] ~const:(-1) ]
+  in
+  Alcotest.(check bool) "no integer point" false (Polyhedron.has_integer_point p);
+  Alcotest.(check int) "count 0" 0 (Polyhedron.count_integer_points p)
+
+let test_empty () =
+  let p =
+    Polyhedron.of_constraints ~dim:1
+      [
+        Polyhedron.ge ~coeffs:[| 1 |] ~const:(-5);
+        Polyhedron.le ~coeffs:[| 1 |] ~const:(-3);
+      ]
+  in
+  (* x >= 5 and x <= 3 *)
+  Alcotest.(check bool) "rationally empty" true (Polyhedron.is_rationally_empty p);
+  Alcotest.(check bool) "no integer point" false (Polyhedron.has_integer_point p)
+
+let test_eliminate_projection () =
+  (* Project the triangle onto x: [0, 3]. *)
+  let p =
+    Polyhedron.of_constraints ~dim:2
+      [
+        Polyhedron.ge ~coeffs:[| 1; 0 |] ~const:0;
+        Polyhedron.ge ~coeffs:[| 0; 1 |] ~const:0;
+        Polyhedron.le ~coeffs:[| 1; 1 |] ~const:(-3);
+      ]
+  in
+  (match Polyhedron.var_bounds p 0 with
+  | Some (lo, hi) ->
+      Alcotest.(check int) "x lower" 0 lo;
+      Alcotest.(check int) "x upper" 3 hi
+  | None -> Alcotest.fail "triangle should project to [0,3]")
+
+let test_var_bounds_with_equality () =
+  let p =
+    Polyhedron.add
+      (Polyhedron.of_box ~lo:[| 0; 0 |] ~hi:[| 10; 10 |])
+      [ Polyhedron.eq ~coeffs:[| 1; -2 |] ~const:0 ]
+  in
+  (* x = 2y, x in [0,10] => x in [0,10], y in [0,5] *)
+  (match Polyhedron.var_bounds p 1 with
+  | Some (lo, hi) ->
+      Alcotest.(check int) "y lower" 0 lo;
+      Alcotest.(check int) "y upper" 5 hi
+  | None -> Alcotest.fail "should be bounded")
+
+(* Differential: FM-based counting vs brute force over a box. *)
+let gen_random_poly =
+  QCheck.Gen.(
+    let* dim = int_range 1 3 in
+    let* ncons = int_range 0 4 in
+    let* cons =
+      list_size (return ncons)
+        (let* coeffs = array_size (return dim) (int_range (-3) 3) in
+         let* const = int_range (-10) 10 in
+         let* is_eq = frequency [ (4, return false); (1, return true) ] in
+         return (coeffs, const, is_eq))
+    in
+    return (dim, cons))
+
+let prop_count_matches_bruteforce =
+  QCheck.Test.make ~name:"integer counting matches brute force" ~count:300
+    (QCheck.make gen_random_poly) (fun (dim, cons) ->
+      let lo = Array.make dim (-4) and hi = Array.make dim 4 in
+      let p =
+        Polyhedron.add
+          (Polyhedron.of_box ~lo ~hi)
+          (List.map
+             (fun (coeffs, const, is_eq) ->
+               if is_eq then Polyhedron.eq ~coeffs ~const
+               else Polyhedron.ge ~coeffs ~const)
+             cons)
+      in
+      let brute = ref 0 in
+      let point = Array.make dim 0 in
+      let rec go v =
+        if v = dim then begin
+          if Polyhedron.contains p point then incr brute
+        end
+        else
+          for x = -4 to 4 do
+            point.(v) <- x;
+            go (v + 1)
+          done
+      in
+      go 0;
+      Polyhedron.count_integer_points p = !brute
+      && Polyhedron.has_integer_point p = (!brute > 0))
+
+let prop_elimination_sound =
+  QCheck.Test.make ~name:"eliminated polyhedron contains all projections"
+    ~count:200 (QCheck.make gen_random_poly) (fun (dim, cons) ->
+      QCheck.assume (dim >= 2);
+      let lo = Array.make dim (-3) and hi = Array.make dim 3 in
+      let p =
+        Polyhedron.add
+          (Polyhedron.of_box ~lo ~hi)
+          (List.map
+             (fun (coeffs, const, is_eq) ->
+               if is_eq then Polyhedron.eq ~coeffs ~const
+               else Polyhedron.ge ~coeffs ~const)
+             cons)
+      in
+      let q = Polyhedron.eliminate p (dim - 1) in
+      List.for_all (fun pt -> Polyhedron.contains q pt) (Polyhedron.integer_points p))
+
+let suite =
+  [
+    Alcotest.test_case "box membership" `Quick test_box_contains;
+    Alcotest.test_case "box counting" `Quick test_box_count;
+    Alcotest.test_case "triangle" `Quick test_triangle;
+    Alcotest.test_case "equality plane" `Quick test_equality_plane;
+    Alcotest.test_case "rational but not integer" `Quick
+      test_rational_but_not_integer;
+    Alcotest.test_case "empty system" `Quick test_empty;
+    Alcotest.test_case "projection bounds" `Quick test_eliminate_projection;
+    Alcotest.test_case "bounds through equality" `Quick
+      test_var_bounds_with_equality;
+    qcheck prop_count_matches_bruteforce;
+    qcheck prop_elimination_sound;
+  ]

@@ -1,0 +1,209 @@
+open Tiling_ir
+open Tiling_reuse
+
+let find_vector vectors ~delta ~leader =
+  List.exists
+    (fun (v : Vectors.t) -> v.Vectors.delta = delta && v.Vectors.leader = leader)
+    vectors
+
+let test_mm_vectors () =
+  let nest = Tiling_kernels.Kernels.mm 16 in
+  let vs = Vectors.of_nest nest ~line:32 in
+  (* a(i,j) load (ref 0): self-temporal along k, group from the store. *)
+  Alcotest.(check bool) "a load: self e_k" true
+    (find_vector vs.(0) ~delta:[| 0; 0; 1 |] ~leader:None);
+  Alcotest.(check bool) "a load: group from store" true
+    (find_vector vs.(0) ~delta:[| 0; 0; 1 |] ~leader:(Some 3));
+  (* b(i,k) (ref 1): self-temporal along j. *)
+  Alcotest.(check bool) "b: self e_j" true
+    (find_vector vs.(1) ~delta:[| 0; 1; 0 |] ~leader:None);
+  (* c(k,j) (ref 2): self-spatial along k (unit stride, 8B elements). *)
+  Alcotest.(check bool) "c: spatial e_k" true
+    (List.exists
+       (fun (v : Vectors.t) ->
+         v.Vectors.delta = [| 0; 0; 1 |] && v.Vectors.spatial && v.Vectors.leader = None)
+       vs.(2));
+  (* store a (ref 3): zero-distance group reuse from the load. *)
+  Alcotest.(check bool) "store: same-iteration group" true
+    (find_vector vs.(3) ~delta:[| 0; 0; 0 |] ~leader:(Some 0))
+
+let test_zero_delta_requires_earlier_leader () =
+  let nest = Tiling_kernels.Kernels.mm 16 in
+  let vs = Vectors.of_nest nest ~line:32 in
+  (* The load (ref 0) cannot reuse from the store (ref 3) at distance 0. *)
+  Alcotest.(check bool) "no zero-delta from later ref" false
+    (find_vector vs.(0) ~delta:[| 0; 0; 0 |] ~leader:(Some 3))
+
+let test_untiled_deltas_lex_positive () =
+  List.iter
+    (fun nest ->
+      let vs = Vectors.of_nest nest ~line:32 in
+      Array.iter
+        (List.iter (fun (v : Vectors.t) ->
+             let sign =
+               let rec go l =
+                 if l = Array.length v.Vectors.delta then 0
+                 else if v.Vectors.delta.(l) <> 0 then compare v.Vectors.delta.(l) 0
+                 else go (l + 1)
+               in
+               go 0
+             in
+             match (sign, v.Vectors.leader) with
+             | 1, _ -> ()
+             | 0, Some _ -> ()
+             | _ -> Alcotest.fail "invalid vector on untiled nest"))
+        vs)
+    [ Tiling_kernels.Kernels.mm 12; Tiling_kernels.Kernels.t2d 12;
+      Tiling_kernels.Kernels.jacobi3d 8 ]
+
+let test_stencil_group_vectors () =
+  let nest = Tiling_kernels.Kernels.jacobi3d 12 in
+  let vs = Vectors.of_nest nest ~line:32 in
+  (* b(i,j+1,k) (ref 3) reuses b(i,j-1,k) (ref 2) written two j earlier;
+     b(i,j-1,k) reuses from b(i,j+1,k) two iterations ago. *)
+  Alcotest.(check bool) "cross-stencil group reuse" true
+    (find_vector vs.(2) ~delta:[| 0; 2; 0 |] ~leader:(Some 3));
+  (* b(i+1,j,k) (ref 1) reuses b(i-1,j,k) (ref 0) at the same line only
+     two i apart: temporal group at distance 2 of the innermost loop. *)
+  Alcotest.(check bool) "i+1 from i-1" true
+    (find_vector vs.(0) ~delta:[| 0; 0; 2 |] ~leader:(Some 1))
+
+let test_transpose_spatial_seam () =
+  (* T3DJIK's source b(j,i,k): a two-dimensional seam vector must exist
+     (coarse dim moves one step, fine dim compensates). *)
+  let nest = Tiling_kernels.Kernels.t3djik 14 in
+  let vs = Vectors.of_nest nest ~line:32 in
+  Alcotest.(check bool) "has a 2-component vector" true
+    (List.exists
+       (fun (v : Vectors.t) ->
+         Array.length (Array.of_list (List.filter (fun x -> x <> 0) (Array.to_list v.Vectors.delta))) = 2)
+       vs.(0))
+
+let test_tiled_vectors_present () =
+  let nest = Transform.tile (Tiling_kernels.Kernels.mm 16) [| 4; 4; 4 |] in
+  let vs = Vectors.of_nest nest ~line:32 in
+  (* within-tile self-temporal along the k element loop *)
+  Alcotest.(check bool) "elem e_k" true
+    (find_vector vs.(0) ~delta:[| 0; 0; 0; 0; 0; 1 |] ~leader:None);
+  (* no vector should move only a control dim: sources would be invalid *)
+  List.iter
+    (fun (v : Vectors.t) ->
+      let elems_zero =
+        v.Vectors.delta.(3) = 0 && v.Vectors.delta.(4) = 0 && v.Vectors.delta.(5) = 0
+      in
+      let ctrls_zero =
+        v.Vectors.delta.(0) = 0 && v.Vectors.delta.(1) = 0 && v.Vectors.delta.(2) = 0
+      in
+      if elems_zero && not ctrls_zero then
+        Alcotest.fail "vector moves only control dims")
+    vs.(0)
+
+let test_dedup () =
+  let nest = Tiling_kernels.Kernels.mm 16 in
+  let vs = Vectors.of_nest nest ~line:32 in
+  Array.iter
+    (fun l ->
+      let keys =
+        List.map
+          (fun (v : Vectors.t) -> (Array.to_list v.Vectors.delta, v.Vectors.spatial, v.Vectors.leader))
+          l
+      in
+      Alcotest.(check int) "no duplicates" (List.length keys)
+        (List.length (List.sort_uniq compare keys)))
+    vs
+
+let test_sorted_by_magnitude () =
+  let nest = Tiling_kernels.Kernels.mm 16 in
+  let vs = Vectors.of_nest nest ~line:32 in
+  let magnitude (v : Vectors.t) =
+    Array.fold_left (fun a k -> a + abs k) 0 v.Vectors.delta
+  in
+  Array.iter
+    (fun l ->
+      let mags = List.map magnitude l in
+      Alcotest.(check (list int)) "non-decreasing" (List.sort compare mags) mags)
+    vs
+
+let suite =
+  [
+    Alcotest.test_case "MM vectors" `Quick test_mm_vectors;
+    Alcotest.test_case "zero delta needs earlier leader" `Quick
+      test_zero_delta_requires_earlier_leader;
+    Alcotest.test_case "untiled deltas lex-positive" `Quick
+      test_untiled_deltas_lex_positive;
+    Alcotest.test_case "stencil group vectors" `Quick test_stencil_group_vectors;
+    Alcotest.test_case "transpose seam vector" `Quick test_transpose_spatial_seam;
+    Alcotest.test_case "tiled vectors" `Quick test_tiled_vectors_present;
+    Alcotest.test_case "dedup" `Quick test_dedup;
+    Alcotest.test_case "sorted nearest-first" `Quick test_sorted_by_magnitude;
+  ]
+
+let test_exact_group_deltas_multi_dim () =
+  (* Uniformly generated 3D references offset in every dimension: the exact
+     per-dimension solve must produce the full 3-component delta. *)
+  let a = Array_decl.create "a" [| 12; 12; 12 |] in
+  let nest =
+    Dsl.(
+      nest ~name:"g3"
+        ~loops:[ ("x", 2, 11); ("y", 2, 11); ("z", 2, 11) ]
+        ~body:
+          [
+            load a [ v "z" -! i 1; v "y" +! i 1; v "x" -! i 1 ];
+            store a [ v "z"; v "y"; v "x" ]
+          ]
+        ())
+  in
+  let vs = Vectors.of_nest nest ~line:32 in
+  (* element (z-1, y+1, x-1) of the load at (x,y,z) was stored at
+     (x-1, y+1, z-1): delta (1, -1, 1). *)
+  Alcotest.(check bool) "three-component group delta" true
+    (find_vector vs.(0) ~delta:[| 1; -1; 1 |] ~leader:(Some 1))
+
+let test_exact_group_requires_same_array () =
+  let a = Array_decl.create "a" [| 8; 8 |] in
+  let b = Array_decl.create "b" [| 8; 8 |] in
+  Array_decl.place [ a; b ];
+  let nest =
+    Dsl.(
+      nest ~name:"g2"
+        ~loops:[ ("x", 1, 8); ("y", 1, 8) ]
+        ~body:[ load a [ v "x"; v "y" ]; store b [ v "x"; v "y" ] ]
+        ())
+  in
+  let vs = Vectors.of_nest nest ~line:32 in
+  (* a and b are distinct arrays 512B apart: no zero-delta temporal group *)
+  Alcotest.(check bool) "no temporal group across arrays" false
+    (List.exists
+       (fun (v : Vectors.t) ->
+         v.Vectors.leader <> None && not v.Vectors.spatial
+         && Array.for_all (fun k -> k = 0) v.Vectors.delta)
+       vs.(1))
+
+let test_infeasible_group_gap () =
+  (* b(2x) vs b(2x+1): the gap is odd, the stride even — no temporal
+     delta exists; only spatial (same-line) candidates may appear. *)
+  let b = Array_decl.create "b" [| 40 |] in
+  let nest =
+    Dsl.(
+      nest ~name:"g1"
+        ~loops:[ ("x", 1, 16) ]
+        ~body:[ load b [ 2 *! v "x" ]; load b [ (2 *! v "x") +! i 1 ] ]
+        ())
+  in
+  let vs = Vectors.of_nest nest ~line:32 in
+  List.iter
+    (fun (v : Vectors.t) ->
+      if v.Vectors.leader = Some 1 && not v.Vectors.spatial then
+        Alcotest.fail "claimed impossible temporal reuse")
+    vs.(0)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "exact multi-dim group deltas" `Quick
+        test_exact_group_deltas_multi_dim;
+      Alcotest.test_case "groups need same array for delta solve" `Quick
+        test_exact_group_requires_same_array;
+      Alcotest.test_case "infeasible gaps rejected" `Quick
+        test_infeasible_group_gap;
+    ]

@@ -1,0 +1,72 @@
+open Tiling_ir
+open Tiling_core
+
+let test_default_size () =
+  let s = Sample.create ~seed:1 (Tiling_kernels.Kernels.mm 50) in
+  Alcotest.(check int) "paper's 164 points" 164 (Sample.size s)
+
+let test_points_in_space () =
+  let nest = Tiling_kernels.Kernels.mm 50 in
+  let s = Sample.create ~seed:2 nest in
+  Array.iter
+    (fun p ->
+      if not (Nest.mem_point nest p) then Alcotest.fail "sample point outside")
+    (Sample.points s)
+
+let test_embed_membership () =
+  let nest = Tiling_kernels.Kernels.mm 50 in
+  let s = Sample.create ~seed:3 nest in
+  List.iter
+    (fun tiles ->
+      let tiled = Transform.tile nest tiles in
+      Array.iter
+        (fun q ->
+          if not (Nest.mem_point tiled q) then
+            Alcotest.fail "embedded point outside tiled space")
+        (Sample.embed s ~tiles))
+    [ [| 1; 1; 1 |]; [| 50; 50; 50 |]; [| 7; 13; 29 |] ]
+
+let test_embed_preserves_original_coordinates () =
+  let nest = Tiling_kernels.Kernels.mm 20 in
+  let s = Sample.create ~n:32 ~seed:4 nest in
+  let tiles = [| 6; 5; 7 |] in
+  let embedded = Sample.embed s ~tiles in
+  Array.iteri
+    (fun i q ->
+      let p = (Sample.points s).(i) in
+      for l = 0 to 2 do
+        Alcotest.(check int) "element coords = original" p.(l) q.(3 + l);
+        (* control coordinate is the tile start containing the value *)
+        Alcotest.(check int) "ctrl coord"
+          (1 + ((p.(l) - 1) / tiles.(l) * tiles.(l)))
+          q.(l)
+      done)
+    embedded
+
+let test_deterministic () =
+  let nest = Tiling_kernels.Kernels.t2d 100 in
+  let s1 = Sample.create ~seed:5 nest and s2 = Sample.create ~seed:5 nest in
+  Alcotest.(check bool) "same points" true (Sample.points s1 = Sample.points s2)
+
+let test_rejects_tiled_nest () =
+  let tiled = Transform.tile (Tiling_kernels.Kernels.mm 10) [| 2; 2; 2 |] in
+  try
+    ignore (Sample.create ~seed:6 tiled);
+    Alcotest.fail "tiled nest accepted"
+  with Invalid_argument _ -> ()
+
+let test_custom_size () =
+  let s = Sample.create ~n:17 ~seed:7 (Tiling_kernels.Kernels.mm 10) in
+  Alcotest.(check int) "custom n" 17 (Sample.size s)
+
+let suite =
+  [
+    Alcotest.test_case "default size 164" `Quick test_default_size;
+    Alcotest.test_case "points in space" `Quick test_points_in_space;
+    Alcotest.test_case "embedding membership" `Quick test_embed_membership;
+    Alcotest.test_case "embedding preserves coordinates" `Quick
+      test_embed_preserves_original_coordinates;
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "rejects tiled nests" `Quick test_rejects_tiled_nest;
+    Alcotest.test_case "custom size" `Quick test_custom_size;
+  ]

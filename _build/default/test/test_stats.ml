@@ -1,0 +1,86 @@
+open Tiling_util
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let close ?(eps = 1e-3) msg expected actual =
+  if abs_float (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %g, got %g" msg expected actual
+
+let test_z_quantiles () =
+  (* Standard normal two-sided critical values. *)
+  close ~eps:5e-3 "z(0.90)" 1.6449 (Stats.z_for_confidence 0.90);
+  close ~eps:5e-3 "z(0.95)" 1.9600 (Stats.z_for_confidence 0.95);
+  close ~eps:5e-3 "z(0.99)" 2.5758 (Stats.z_for_confidence 0.99);
+  close ~eps:5e-3 "z(0.80)" 1.2816 (Stats.z_for_confidence 0.80)
+
+let test_paper_sample_size () =
+  (* Section 2.3: width 0.1 at 90 % confidence => 164 points. *)
+  Alcotest.(check int) "paper's 164" 164
+    (Stats.required_sample_size ~width:0.1 ~confidence:0.9)
+
+let test_sample_size_monotone () =
+  let n1 = Stats.required_sample_size ~width:0.1 ~confidence:0.9 in
+  let n2 = Stats.required_sample_size ~width:0.05 ~confidence:0.9 in
+  let n3 = Stats.required_sample_size ~width:0.1 ~confidence:0.99 in
+  Alcotest.(check bool) "narrower needs more" true (n2 > n1);
+  Alcotest.(check bool) "higher confidence needs more" true (n3 > n1)
+
+let test_proportion_interval () =
+  let iv = Stats.proportion_interval ~hits:50 ~n:100 ~confidence:0.9 in
+  close "center" 0.5 iv.Stats.center;
+  close ~eps:2e-3 "half width at p=1/2, n=100"
+    (1.6449 *. sqrt (0.25 /. 100.))
+    iv.Stats.half_width;
+  let iv0 = Stats.proportion_interval ~hits:0 ~n:100 ~confidence:0.9 in
+  close "degenerate p=0" 0. iv0.Stats.half_width;
+  let iv1 = Stats.proportion_interval ~hits:100 ~n:100 ~confidence:0.9 in
+  close "degenerate p=1" 0. iv1.Stats.half_width
+
+let test_summarize_known () =
+  let s = Stats.summarize [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |] in
+  Alcotest.(check int) "count" 8 s.Stats.count;
+  close "mean" 5.0 s.Stats.mean;
+  close "unbiased variance" (32. /. 7.) s.Stats.variance
+
+let test_summarize_edge () =
+  let s0 = Stats.summarize [||] in
+  Alcotest.(check int) "empty count" 0 s0.Stats.count;
+  let s1 = Stats.summarize [| 42. |] in
+  close "singleton mean" 42. s1.Stats.mean;
+  close "singleton variance" 0. s1.Stats.variance
+
+let prop_welford_matches_naive =
+  QCheck.Test.make ~name:"Welford matches two-pass mean/variance" ~count:200
+    QCheck.(list_of_size (Gen.int_range 2 50) (float_range (-100.) 100.))
+    (fun xs ->
+      let a = Array.of_list xs in
+      let n = float_of_int (Array.length a) in
+      let mean = Array.fold_left ( +. ) 0. a /. n in
+      let var =
+        Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. a /. (n -. 1.)
+      in
+      let s = Stats.summarize a in
+      abs_float (s.Stats.mean -. mean) < 1e-6
+      && abs_float (s.Stats.variance -. var) < 1e-6 *. (1. +. var))
+
+let prop_interval_contains_center =
+  QCheck.Test.make ~name:"interval half-width non-negative and bounded"
+    ~count:300
+    QCheck.(pair (int_range 0 1000) (int_range 1 1000))
+    (fun (h, n) ->
+      QCheck.assume (h <= n);
+      let iv = Stats.proportion_interval ~hits:h ~n ~confidence:0.9 in
+      iv.Stats.half_width >= 0. && iv.Stats.half_width <= 1.
+      && iv.Stats.center >= 0. && iv.Stats.center <= 1.)
+
+let suite =
+  [
+    Alcotest.test_case "normal quantiles" `Quick test_z_quantiles;
+    Alcotest.test_case "paper sample size (164)" `Quick test_paper_sample_size;
+    Alcotest.test_case "sample size monotone" `Quick test_sample_size_monotone;
+    Alcotest.test_case "proportion interval" `Quick test_proportion_interval;
+    Alcotest.test_case "summarize known data" `Quick test_summarize_known;
+    Alcotest.test_case "summarize edge cases" `Quick test_summarize_edge;
+    qcheck prop_welford_matches_naive;
+    qcheck prop_interval_contains_center;
+  ]

@@ -1,0 +1,77 @@
+open Tiling_core
+
+(* Small, fast GA settings for tests. *)
+let fast_opts seed =
+  {
+    Tiler.ga =
+      {
+        Tiling_ga.Engine.default_params with
+        Tiling_ga.Engine.min_generations = 8;
+        max_generations = 12;
+      };
+    seed;
+    sample_points = Some 64;
+    restarts = 2;
+    domains = 1;
+  }
+
+let test_t2d_removes_replacement () =
+  (* The paper's headline: transposition tiling wipes out replacement
+     misses (table 2: 36.4 % -> 0.9 %). *)
+  let nest = Tiling_kernels.Kernels.t2d 500 in
+  let o = Tiler.optimize ~opts:(fast_opts 1) nest Tiling_cache.Config.dm8k in
+  let before = o.Tiler.before.Tiling_cme.Estimator.replacement_ratio.Tiling_util.Stats.center in
+  let after = o.Tiler.after.Tiling_cme.Estimator.replacement_ratio.Tiling_util.Stats.center in
+  Alcotest.(check bool) "before is substantial" true (before > 0.2);
+  Alcotest.(check bool) "after is near zero" true (after < 0.05)
+
+let test_tiles_within_bounds () =
+  let nest = Tiling_kernels.Kernels.mm 60 in
+  let o = Tiler.optimize ~opts:(fast_opts 2) nest Tiling_cache.Config.dm8k in
+  Array.iteri
+    (fun l t ->
+      if t < 1 || t > 60 then Alcotest.failf "tile %d of loop %d out of bounds" t l)
+    o.Tiler.tiles
+
+let test_never_worse_than_untiled () =
+  let nest = Tiling_kernels.Kernels.mm 60 in
+  let cache = Tiling_cache.Config.dm8k in
+  let opts = fast_opts 3 in
+  let o = Tiler.optimize ~opts nest cache in
+  let sample = Sample.create ?n:opts.Tiler.sample_points ~seed:opts.Tiler.seed nest in
+  let untiled = Tiler.objective_on sample nest cache (Tiling_ir.Transform.tile_spans nest) in
+  Alcotest.(check bool) "GA <= untiled objective" true
+    (o.Tiler.ga.Tiling_ga.Engine.best_objective <= untiled)
+
+let test_compulsory_unchanged () =
+  let nest = Tiling_kernels.Kernels.t2d 200 in
+  let o = Tiler.optimize ~opts:(fast_opts 4) nest Tiling_cache.Config.dm8k in
+  (* Same sample before and after: compulsory misses are invariant. *)
+  Alcotest.(check int) "compulsory invariant"
+    o.Tiler.before.Tiling_cme.Estimator.compulsory
+    o.Tiler.after.Tiling_cme.Estimator.compulsory
+
+let test_deterministic () =
+  let nest = Tiling_kernels.Kernels.t2d 100 in
+  let o1 = Tiler.optimize ~opts:(fast_opts 5) nest Tiling_cache.Config.dm8k in
+  let o2 = Tiler.optimize ~opts:(fast_opts 5) nest Tiling_cache.Config.dm8k in
+  Alcotest.(check (array int)) "same tiles" o1.Tiler.tiles o2.Tiler.tiles
+
+let test_objective_on_matches_report () =
+  let nest = Tiling_kernels.Kernels.mm 40 in
+  let cache = Tiling_cache.Config.dm8k in
+  let sample = Sample.create ~n:50 ~seed:6 nest in
+  let tiles = [| 10; 5; 8 |] in
+  let obj = Tiler.objective_on sample nest cache tiles in
+  Alcotest.(check bool) "objective is a non-negative count" true
+    (obj >= 0. && Float.is_integer obj)
+
+let suite =
+  [
+    Alcotest.test_case "T2D replacement removed" `Slow test_t2d_removes_replacement;
+    Alcotest.test_case "tiles within bounds" `Slow test_tiles_within_bounds;
+    Alcotest.test_case "never worse than untiled" `Slow test_never_worse_than_untiled;
+    Alcotest.test_case "compulsory invariant" `Slow test_compulsory_unchanged;
+    Alcotest.test_case "deterministic" `Slow test_deterministic;
+    Alcotest.test_case "objective sanity" `Quick test_objective_on_matches_report;
+  ]

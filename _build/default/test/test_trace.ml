@@ -1,0 +1,88 @@
+open Tiling_ir
+
+let test_length () =
+  let nest = Tiling_kernels.Kernels.mm 5 in
+  Alcotest.(check int) "5^3 * 4 refs" (125 * 4) (Tiling_trace.Gen.length nest);
+  let count = ref 0 in
+  Tiling_trace.Gen.iter nest (fun _ -> incr count);
+  Alcotest.(check int) "iter emits length events" (Tiling_trace.Gen.length nest)
+    !count
+
+let test_program_order_within_iteration () =
+  let nest = Tiling_kernels.Kernels.mm 3 in
+  let ids = ref [] in
+  Tiling_trace.Gen.iter nest (fun ev -> ids := ev.Tiling_trace.Gen.ref_id :: !ids);
+  let ids = Array.of_list (List.rev !ids) in
+  Array.iteri
+    (fun i id ->
+      if id <> i mod 4 then Alcotest.fail "references out of program order")
+    ids
+
+let test_first_events () =
+  (* MM at (1,1,1): a(1,1), b(1,1), c(1,1), a(1,1). *)
+  let nest = Tiling_kernels.Kernels.mm 4 in
+  let bases =
+    List.map (fun (a : Array_decl.t) -> a.Array_decl.base) nest.Nest.arrays
+  in
+  let seen = ref [] in
+  (try
+     Tiling_trace.Gen.iter nest (fun ev ->
+         seen := ev.Tiling_trace.Gen.addr :: !seen;
+         if List.length !seen = 4 then raise Exit)
+   with Exit -> ());
+  Alcotest.(check (list int)) "first iteration addresses"
+    (match bases with
+    | [ a; b; c ] -> [ a; b; c; a ]
+    | _ -> assert false)
+    (List.rev !seen)
+
+let test_events_at () =
+  let nest = Tiling_kernels.Kernels.t2d 8 in
+  let evs = Tiling_trace.Gen.events_at nest [| 2; 3 |] in
+  Alcotest.(check int) "two references" 2 (List.length evs);
+  (* b(2,3) read, a(3,2) write; b base = 8*8*8 *)
+  (match evs with
+  | [ b_ev; a_ev ] ->
+      Alcotest.(check bool) "b is read" true (b_ev.Tiling_trace.Gen.access = Nest.Read);
+      Alcotest.(check bool) "a is write" true (a_ev.Tiling_trace.Gen.access = Nest.Write);
+      Alcotest.(check int) "b(2,3) addr" (512 + (8 * (1 + (8 * 2))))
+        b_ev.Tiling_trace.Gen.addr;
+      Alcotest.(check int) "a(3,2) addr" (8 * (2 + (8 * 1))) a_ev.Tiling_trace.Gen.addr
+  | _ -> Alcotest.fail "expected two events");
+  ()
+
+let test_tiled_trace_same_multiset_different_order () =
+  let nest = Tiling_kernels.Kernels.t2d 10 in
+  let order nest =
+    let acc = ref [] in
+    Tiling_trace.Gen.iter nest (fun ev -> acc := ev.Tiling_trace.Gen.addr :: !acc);
+    List.rev !acc
+  in
+  let plain = order nest and tiled = order (Transform.tile nest [| 3; 4 |]) in
+  Alcotest.(check bool) "different order" true (plain <> tiled);
+  Alcotest.(check (list int)) "same multiset" (List.sort compare plain)
+    (List.sort compare tiled)
+
+let test_simulate_report () =
+  let nest = Tiling_kernels.Kernels.mm 8 in
+  let cache = Tiling_cache.Config.make ~size:512 ~line:32 () in
+  let r = Tiling_trace.Run.simulate nest cache in
+  Alcotest.(check int) "accesses" (512 * 4) r.Tiling_trace.Run.total.Tiling_cache.Sim.accesses;
+  Alcotest.(check int) "per-ref sums to total"
+    r.Tiling_trace.Run.total.Tiling_cache.Sim.misses
+    (Array.fold_left
+       (fun acc c -> acc + c.Tiling_cache.Sim.misses)
+       0 r.Tiling_trace.Run.per_ref);
+  (* all three 8x8 arrays are touched entirely: 3*64*8/32 lines *)
+  Alcotest.(check int) "lines touched" 48 r.Tiling_trace.Run.lines_touched
+
+let suite =
+  [
+    Alcotest.test_case "trace length" `Quick test_length;
+    Alcotest.test_case "program order" `Quick test_program_order_within_iteration;
+    Alcotest.test_case "first events" `Quick test_first_events;
+    Alcotest.test_case "events_at" `Quick test_events_at;
+    Alcotest.test_case "tiled trace reorders only" `Quick
+      test_tiled_trace_same_multiset_different_order;
+    Alcotest.test_case "simulate report" `Quick test_simulate_report;
+  ]

@@ -1,0 +1,151 @@
+open Tiling_ir
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* The sorted multiset of addresses a nest touches; tiling and interchange
+   must preserve it exactly (they only reorder execution). *)
+let address_multiset nest =
+  let acc = ref [] in
+  Tiling_trace.Gen.iter nest (fun ev -> acc := ev.Tiling_trace.Gen.addr :: !acc);
+  List.sort compare !acc
+
+let test_tile_preserves_addresses () =
+  let nest = Tiling_kernels.Kernels.mm 7 in
+  let want = address_multiset nest in
+  List.iter
+    (fun tiles ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "tiles %s"
+           (String.concat "," (List.map string_of_int (Array.to_list tiles))))
+        want
+        (address_multiset (Transform.tile nest tiles)))
+    [ [| 1; 1; 1 |]; [| 7; 7; 7 |]; [| 2; 3; 4 |]; [| 5; 7; 6 |] ]
+
+let test_tile_validation () =
+  let nest = Tiling_kernels.Kernels.mm 7 in
+  List.iter
+    (fun tiles ->
+      try
+        ignore (Transform.tile nest tiles);
+        Alcotest.fail "invalid tile vector accepted"
+      with Invalid_argument _ -> ())
+    [ [| 0; 1; 1 |]; [| 8; 1; 1 |]; [| 1; 1 |] ];
+  (* tiling twice is rejected: ctrl loops are not unit-step ranges *)
+  let tiled = Transform.tile nest [| 2; 2; 2 |] in
+  try
+    ignore (Transform.tile tiled [| 1; 1; 1; 1; 1; 1 |]);
+    Alcotest.fail "re-tiling accepted"
+  with Invalid_argument _ -> ()
+
+let test_tile_spans () =
+  let nest = Tiling_kernels.Kernels.jacobi3d 10 in
+  Alcotest.(check (array int)) "spans" [| 8; 8; 8 |] (Transform.tile_spans nest)
+
+let test_strip_mine () =
+  let nest = Tiling_kernels.Kernels.mm 6 in
+  let sm = Transform.strip_mine nest ~loop:1 ~tile:4 in
+  Alcotest.(check int) "depth + 1" 4 (Nest.depth sm);
+  Alcotest.(check (list int)) "addresses preserved" (address_multiset nest)
+    (address_multiset sm);
+  Alcotest.(check (array string)) "names" [| "i"; "jj"; "j"; "k" |]
+    (Nest.var_names sm)
+
+let test_interchange () =
+  let nest = Tiling_kernels.Kernels.mm 6 in
+  let sw = Transform.interchange nest [| 2; 0; 1 |] in
+  Alcotest.(check (array string)) "permuted names" [| "k"; "i"; "j" |]
+    (Nest.var_names sw);
+  Alcotest.(check (list int)) "addresses preserved" (address_multiset nest)
+    (address_multiset sw);
+  (* identity permutation round-trips the traversal order too *)
+  let id = Transform.interchange nest [| 0; 1; 2 |] in
+  let order nest =
+    let acc = ref [] in
+    Tiling_trace.Gen.iter nest (fun ev -> acc := ev.Tiling_trace.Gen.addr :: !acc);
+    List.rev !acc
+  in
+  Alcotest.(check (list int)) "identity keeps order" (order nest) (order id)
+
+let test_interchange_validation () =
+  let nest = Tiling_kernels.Kernels.mm 6 in
+  (try
+     ignore (Transform.interchange nest [| 0; 0; 1 |]);
+     Alcotest.fail "non-permutation accepted"
+   with Invalid_argument _ -> ());
+  let tiled = Transform.tile nest [| 2; 2; 2 |] in
+  (* moving an element loop before its control loop must fail *)
+  try
+    ignore (Transform.interchange tiled [| 3; 0; 1; 2; 4; 5 |]);
+    Alcotest.fail "elem before ctrl accepted"
+  with Invalid_argument _ -> ()
+
+let test_interchange_tiled_ok () =
+  (* The canonical tiled order (all ctrl, all elem) can be legally permuted
+     as long as ctrl stays before its elem. *)
+  let nest = Tiling_kernels.Kernels.mm 6 in
+  let tiled = Transform.tile nest [| 2; 3; 2 |] in
+  let sw = Transform.interchange tiled [| 1; 0; 2; 3; 4; 5 |] in
+  Alcotest.(check (list int)) "addresses preserved" (address_multiset tiled)
+    (address_multiset sw)
+
+let test_padding_roundtrip () =
+  let nest = Tiling_kernels.Kernels.mm 6 in
+  let before = address_multiset nest in
+  let bases_before =
+    List.map (fun (a : Array_decl.t) -> a.Array_decl.base) nest.Nest.arrays
+  in
+  let pad =
+    { Transform.inter = [| 32; 0; 64 |]; intra = [| 2; 0; 1 |] }
+  in
+  Transform.apply_padding nest pad;
+  let during = address_multiset nest in
+  Alcotest.(check bool) "padding changes addresses" true (before <> during);
+  Alcotest.(check int) "first base shifted by inter gap" 32
+    (List.hd (List.map (fun (a : Array_decl.t) -> a.Array_decl.base) nest.Nest.arrays));
+  Transform.clear_padding nest;
+  Alcotest.(check (list int)) "addresses restored" before (address_multiset nest);
+  Alcotest.(check (list int)) "bases restored" bases_before
+    (List.map (fun (a : Array_decl.t) -> a.Array_decl.base) nest.Nest.arrays)
+
+let test_padding_arity_checked () =
+  let nest = Tiling_kernels.Kernels.mm 6 in
+  try
+    Transform.apply_padding nest { Transform.inter = [| 0 |]; intra = [| 0 |] };
+    Alcotest.fail "wrong arity accepted"
+  with Invalid_argument _ -> ()
+
+let prop_tile_preserves_multiset =
+  QCheck.Test.make ~name:"random tiles preserve the address multiset" ~count:40
+    QCheck.(triple (int_range 1 8) (int_range 1 8) (int_range 1 8))
+    (fun (t1, t2, t3) ->
+      let nest = Tiling_kernels.Kernels.mm 8 in
+      address_multiset nest = address_multiset (Transform.tile nest [| t1; t2; t3 |]))
+
+let prop_tile_compulsory_invariant =
+  (* Section 3.1: the number of compulsory misses is invariant under
+     tiling (simulator ground truth). *)
+  QCheck.Test.make ~name:"compulsory misses invariant under tiling" ~count:15
+    QCheck.(pair (int_range 1 8) (int_range 1 8))
+    (fun (t1, t2) ->
+      let nest = Tiling_kernels.Kernels.t2d 8 in
+      let cache = Tiling_cache.Config.make ~size:256 ~line:32 () in
+      let c nest =
+        (Tiling_trace.Run.simulate nest cache).Tiling_trace.Run.total
+          .Tiling_cache.Sim.compulsory
+      in
+      c nest = c (Transform.tile nest [| t1; t2 |]))
+
+let suite =
+  [
+    Alcotest.test_case "tile preserves addresses" `Quick test_tile_preserves_addresses;
+    Alcotest.test_case "tile validation" `Quick test_tile_validation;
+    Alcotest.test_case "tile spans" `Quick test_tile_spans;
+    Alcotest.test_case "strip mine" `Quick test_strip_mine;
+    Alcotest.test_case "interchange" `Quick test_interchange;
+    Alcotest.test_case "interchange validation" `Quick test_interchange_validation;
+    Alcotest.test_case "interchange tiled" `Quick test_interchange_tiled_ok;
+    Alcotest.test_case "padding roundtrip" `Quick test_padding_roundtrip;
+    Alcotest.test_case "padding arity" `Quick test_padding_arity_checked;
+    qcheck prop_tile_preserves_multiset;
+    qcheck prop_tile_compulsory_invariant;
+  ]
