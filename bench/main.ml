@@ -3,7 +3,21 @@
      dune exec bench/main.exe            -- regenerate every table and figure
      dune exec bench/main.exe -- TARGET  -- one of: table2 fig8 fig9 table3
                                             table4 ga-convergence
-                                            solver-accuracy equations timing *)
+                                            solver-accuracy equations timing
+
+   Besides the human-readable tables on stdout, every run writes
+   BENCH_results.json in the current directory: a machine-readable record
+   of what ran, how long each target took, and the tiling results
+   accumulated in [Experiments.tile_cache].  Schema (see
+   docs/OBSERVABILITY.md):
+
+     { "schema": "tiling-bench/1",
+       "targets": [ { "name": str, "wall_s": float }, ... ],
+       "tilings": [ { "kernel": str, "n": int, "cache_size": int,
+                      "tiles": [int], "before_miss_pct": float,
+                      "after_miss_pct": float, "before_repl_pct": float,
+                      "after_repl_pct": float, "generations": int,
+                      "converged": bool }, ... ] } *)
 
 let targets : (string * (unit -> unit)) list =
   [
@@ -21,19 +35,69 @@ let targets : (string * (unit -> unit)) list =
     ("timing", Timing.run);
   ]
 
+let timed_run name f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  let wall = Unix.gettimeofday () -. t0 in
+  Tiling_obs.Json.Obj
+    [ ("name", Tiling_obs.Json.String name); ("wall_s", Tiling_obs.Json.Float wall) ]
+
+let json_of_tiling (r : Experiments.tiling_result) cache_size =
+  let open Tiling_obs.Json in
+  Obj
+    [
+      ("kernel", String r.Experiments.kernel);
+      ("n", Int r.Experiments.size);
+      ("cache_size", Int cache_size);
+      ( "tiles",
+        List (Array.to_list (Array.map (fun t -> Int t) r.Experiments.tiles)) );
+      ("before_miss_pct", Float r.Experiments.before_total);
+      ("after_miss_pct", Float r.Experiments.after_total);
+      ("before_repl_pct", Float r.Experiments.before_repl);
+      ("after_repl_pct", Float r.Experiments.after_repl);
+      ("generations", Int r.Experiments.generations);
+      ("converged", Bool r.Experiments.converged);
+    ]
+
+let write_results timed =
+  let open Tiling_obs.Json in
+  let tilings =
+    Hashtbl.fold
+      (fun (_, _, cache_size) r acc -> json_of_tiling r cache_size :: acc)
+      Experiments.tile_cache []
+    |> List.sort compare
+  in
+  let doc =
+    Obj
+      [
+        ("schema", String "tiling-bench/1");
+        ("targets", List (List.rev timed));
+        ("tilings", List tilings);
+      ]
+  in
+  let oc = open_out "BENCH_results.json" in
+  output_string oc (to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Fmt.pr "wrote BENCH_results.json (%d targets, %d tilings)@."
+    (List.length timed) (List.length tilings)
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  match args with
+  let timed = ref [] in
+  let run name f = timed := timed_run name f :: !timed in
+  (match args with
   | [] ->
       Fmt.pr "Reproducing every table and figure (see EXPERIMENTS.md).@.";
-      List.iter (fun (_, f) -> f ()) targets
+      List.iter (fun (name, f) -> run name f) targets
   | names ->
       List.iter
         (fun name ->
           match List.assoc_opt name targets with
-          | Some f -> f ()
+          | Some f -> run name f
           | None ->
               Fmt.epr "unknown target %s; available: %s@." name
                 (String.concat " " (List.map fst targets));
               exit 1)
-        names
+        names);
+  write_results !timed

@@ -12,7 +12,13 @@
      joint       one GA over padding and tiles (the paper's future work)
      order       loop order searched together with tile sizes
      codegen     emit the (tiled) nest as C or Fortran
-     baselines   compare search and analytic baselines on one kernel *)
+     baselines   compare search and analytic baselines on one kernel
+
+   The search/analysis subcommands take observability flags (see
+   docs/OBSERVABILITY.md): --log-level for leveled stderr diagnostics,
+   --json for a machine-readable result on stdout (human text moves to
+   stderr), --metrics for a final counter snapshot, and --trace-out FILE
+   for a Chrome trace_event file of the run's spans. *)
 
 open Cmdliner
 
@@ -50,6 +56,104 @@ let tiles_arg =
 let exact_arg =
   let doc = "Visit every iteration point instead of sampling (slow)." in
   Arg.(value & flag & info [ "exact" ] ~doc)
+
+(* ------------------------------------------------------------------ *)
+(* Observability flags                                                  *)
+
+type obs = {
+  log_level : Logs.level option;
+  json : bool;
+  metrics : bool;
+  trace_out : string option;
+}
+
+let obs_term =
+  let level_conv =
+    let parse s =
+      match Tiling_obs.Logging.level_of_string s with
+      | Ok l -> Ok l
+      | Error m -> Error (`Msg m)
+    in
+    let print ppf l = Fmt.string ppf (Logs.level_to_string l) in
+    Arg.conv (parse, print)
+  in
+  let log_level =
+    let doc =
+      Printf.sprintf "Diagnostic logging to stderr; $(docv) is one of %s."
+        (String.concat ", " Tiling_obs.Logging.level_names)
+    in
+    Arg.(value & opt level_conv None & info [ "log-level" ] ~docv:"LEVEL" ~doc)
+  in
+  let json =
+    let doc =
+      "Print the result as one JSON object on stdout; the human-readable \
+       text moves to stderr."
+    in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let metrics =
+    let doc =
+      "Record library metrics (solver classifications, GA evaluations, memo \
+       hit rates, ...) and dump a final snapshot — into the JSON object \
+       under $(b,metrics) with $(b,--json), as pretty JSON on stdout \
+       otherwise."
+    in
+    Arg.(value & flag & info [ "metrics" ] ~doc)
+  in
+  let trace_out =
+    let doc =
+      "Record timed spans and write a Chrome trace_event file to $(docv) \
+       (open in chrome://tracing or Perfetto)."
+    in
+    Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+  in
+  let make log_level json metrics trace_out = { log_level; json; metrics; trace_out } in
+  Term.(const make $ log_level $ json $ metrics $ trace_out)
+
+let cache_json (c : Tiling_cache.Config.t) =
+  Tiling_obs.Json.Obj
+    [
+      ("size", Tiling_obs.Json.Int c.Tiling_cache.Config.size);
+      ("line", Tiling_obs.Json.Int c.Tiling_cache.Config.line);
+      ("assoc", Tiling_obs.Json.Int c.Tiling_cache.Config.assoc);
+      ("sets", Tiling_obs.Json.Int c.Tiling_cache.Config.sets);
+    ]
+
+(* Run one instrumented command body.  [f] computes the result under a root
+   span and returns the human-readable printer plus the command-specific
+   JSON fields; this wrapper routes them according to the flags.  With no
+   observability flags everything below is inert and [f]'s printer writes
+   to stdout exactly as it always did. *)
+let obs_run obs ~command ~kernel ~n ~cache f =
+  Tiling_obs.Logging.setup obs.log_level;
+  if obs.metrics then Tiling_obs.Metrics.set_enabled true;
+  if obs.trace_out <> None then Tiling_obs.Span.set_enabled true;
+  let human, fields = Tiling_obs.Span.with_ ("cli." ^ command) f in
+  Option.iter
+    (fun file ->
+      try Tiling_obs.Span.write_chrome file
+      with Sys_error m -> Fmt.epr "tiler: cannot write trace: %s@." m)
+    obs.trace_out;
+  if obs.json then begin
+    human Fmt.stderr;
+    let obj =
+      [
+        ("command", Tiling_obs.Json.String command);
+        ("kernel", Tiling_obs.Json.String kernel);
+        ("n", Tiling_obs.Json.Int n);
+        ("cache", cache_json cache);
+      ]
+      @ fields
+      @
+      if obs.metrics then [ ("metrics", Tiling_obs.Metrics.snapshot ()) ] else []
+    in
+    print_endline (Tiling_obs.Json.to_string (Tiling_obs.Json.Obj obj))
+  end
+  else begin
+    human Fmt.stdout;
+    if obs.metrics then
+      Fmt.pr "metrics: %a@." Tiling_obs.Json.pp (Tiling_obs.Metrics.snapshot ())
+  end
 
 let build_kernel name size =
   match Tiling_kernels.Kernels.find name with
@@ -126,28 +230,41 @@ let analyze_cmd =
     let doc = "Also print per-reference miss ratios." in
     Arg.(value & flag & info [ "per-ref" ] ~doc)
   in
-  let run name size csize line assoc tiles exact seed per_ref =
+  let run name size csize line assoc tiles exact seed per_ref obs =
     with_setup name size csize line assoc (fun _ n nest cache ->
-        let nest = apply_tiles nest tiles in
-        let engine = Tiling_cme.Engine.create nest cache in
-        let report =
-          if exact then Tiling_cme.Estimator.exact engine
-          else Tiling_cme.Estimator.sample ~seed engine
-        in
-        Fmt.pr "%s n=%d on %a:@.%a@." name n Tiling_cache.Config.pp cache
-          Tiling_cme.Estimator.pp report;
-        Fmt.pr "estimated AMAT: %.1f cycles (1-cycle hits, 100-cycle memory)@."
-          (Tiling_cache.Amat.amat
-             ~miss_ratio:report.Tiling_cme.Estimator.miss_ratio.Tiling_util.Stats.center
-             ());
-        if per_ref then
-          Fmt.pr "%a" (Tiling_cme.Estimator.pp_per_ref nest) report)
+        obs_run obs ~command:"analyze" ~kernel:name ~n ~cache (fun () ->
+            let nest = apply_tiles nest tiles in
+            let engine = Tiling_cme.Engine.create nest cache in
+            let report =
+              if exact then Tiling_cme.Estimator.exact engine
+              else Tiling_cme.Estimator.sample ~seed engine
+            in
+            let amat =
+              Tiling_cache.Amat.amat
+                ~miss_ratio:
+                  report.Tiling_cme.Estimator.miss_ratio.Tiling_util.Stats.center
+                ()
+            in
+            let human ppf =
+              Fmt.pf ppf "%s n=%d on %a:@.%a@." name n Tiling_cache.Config.pp
+                cache Tiling_cme.Estimator.pp report;
+              Fmt.pf ppf
+                "estimated AMAT: %.1f cycles (1-cycle hits, 100-cycle memory)@."
+                amat;
+              if per_ref then
+                Fmt.pf ppf "%a" (Tiling_cme.Estimator.pp_per_ref nest) report
+            in
+            ( human,
+              [
+                ("result", Tiling_cme.Estimator.to_json report);
+                ("amat_cycles", Tiling_obs.Json.Float amat);
+              ] )))
   in
   Cmd.v (Cmd.info "analyze" ~doc:"Estimate miss ratios with the CME solver")
     Term.(
       ret
         (const run $ kernel_arg $ size_arg $ cache_size_arg $ line_arg
-       $ assoc_arg $ tiles_arg $ exact_arg $ seed_arg $ per_ref_arg))
+       $ assoc_arg $ tiles_arg $ exact_arg $ seed_arg $ per_ref_arg $ obs_term))
 
 let equations_cmd =
   let run name size csize line assoc tiles =
@@ -167,48 +284,60 @@ let tile_cmd =
     let doc = "Evaluate each GA generation in parallel over this many OCaml domains." in
     Arg.(value & opt int 1 & info [ "domains"; "j" ] ~docv:"N" ~doc)
   in
-  let run name size csize line assoc seed domains =
+  let run name size csize line assoc seed domains obs =
     with_setup name size csize line assoc (fun _ n nest cache ->
-        let opts = { Tiling_core.Tiler.default_opts with seed; domains } in
-        let o = Tiling_core.Tiler.optimize ~opts nest cache in
-        Fmt.pr "%s n=%d on %a:@.%a@." name n Tiling_cache.Config.pp cache
-          Tiling_core.Tiler.pp_outcome o)
+        obs_run obs ~command:"tile" ~kernel:name ~n ~cache (fun () ->
+            let opts = { Tiling_core.Tiler.default_opts with seed; domains } in
+            let o = Tiling_core.Tiler.optimize ~opts nest cache in
+            let human ppf =
+              Fmt.pf ppf "%s n=%d on %a:@.%a@." name n Tiling_cache.Config.pp
+                cache Tiling_core.Tiler.pp_outcome o
+            in
+            (human, [ ("result", Tiling_core.Tiler.to_json o) ])))
   in
   Cmd.v (Cmd.info "tile" ~doc:"Search near-optimal tile sizes with the GA")
     Term.(
       ret
         (const run $ kernel_arg $ size_arg $ cache_size_arg $ line_arg
-       $ assoc_arg $ seed_arg $ domains_arg))
+       $ assoc_arg $ seed_arg $ domains_arg $ obs_term))
 
 let pad_cmd =
-  let run name size csize line assoc seed =
+  let run name size csize line assoc seed obs =
     with_setup name size csize line assoc (fun _ n nest cache ->
-        let opts = { Tiling_core.Padder.default_opts with seed } in
-        let o = Tiling_core.Padder.optimize ~opts nest cache in
-        Fmt.pr "%s n=%d on %a:@.%a@." name n Tiling_cache.Config.pp cache
-          Tiling_core.Padder.pp_outcome o)
+        obs_run obs ~command:"pad" ~kernel:name ~n ~cache (fun () ->
+            let opts = { Tiling_core.Padder.default_opts with seed } in
+            let o = Tiling_core.Padder.optimize ~opts nest cache in
+            let human ppf =
+              Fmt.pf ppf "%s n=%d on %a:@.%a@." name n Tiling_cache.Config.pp
+                cache Tiling_core.Padder.pp_outcome o
+            in
+            (human, [ ("result", Tiling_core.Padder.to_json o) ])))
   in
   Cmd.v (Cmd.info "pad" ~doc:"Search near-optimal padding with the GA")
     Term.(
       ret
         (const run $ kernel_arg $ size_arg $ cache_size_arg $ line_arg
-       $ assoc_arg $ seed_arg))
+       $ assoc_arg $ seed_arg $ obs_term))
 
 let pad_tile_cmd =
-  let run name size csize line assoc seed =
+  let run name size csize line assoc seed obs =
     with_setup name size csize line assoc (fun _ n nest cache ->
-        let topts = { Tiling_core.Tiler.default_opts with seed } in
-        let popts = { Tiling_core.Padder.default_opts with seed } in
-        let o = Tiling_core.Optimizer.pad_then_tile ~topts ~popts nest cache in
-        Fmt.pr "%s n=%d on %a:@.%a@." name n Tiling_cache.Config.pp cache
-          Tiling_core.Optimizer.pp_combined o)
+        obs_run obs ~command:"pad-tile" ~kernel:name ~n ~cache (fun () ->
+            let topts = { Tiling_core.Tiler.default_opts with seed } in
+            let popts = { Tiling_core.Padder.default_opts with seed } in
+            let o = Tiling_core.Optimizer.pad_then_tile ~topts ~popts nest cache in
+            let human ppf =
+              Fmt.pf ppf "%s n=%d on %a:@.%a@." name n Tiling_cache.Config.pp
+                cache Tiling_core.Optimizer.pp_combined o
+            in
+            (human, [ ("result", Tiling_core.Optimizer.combined_to_json o) ])))
   in
   Cmd.v
     (Cmd.info "pad-tile" ~doc:"Padding then tiling (the table 3 pipeline)")
     Term.(
       ret
         (const run $ kernel_arg $ size_arg $ cache_size_arg $ line_arg
-       $ assoc_arg $ seed_arg))
+       $ assoc_arg $ seed_arg $ obs_term))
 
 let trace_cmd =
   let limit_arg =
@@ -263,12 +392,16 @@ let codegen_cmd =
     Term.(ret (const run $ kernel_arg $ size_arg $ tiles_arg $ lang_arg))
 
 let order_cmd =
-  let run name size csize line assoc seed =
+  let run name size csize line assoc seed obs =
     with_setup name size csize line assoc (fun _ n nest cache ->
-        let opts = { Tiling_core.Tiler.default_opts with seed } in
-        let o = Tiling_core.Tiler.optimize_with_order ~opts nest cache in
-        Fmt.pr "%s n=%d on %a:@.%a@." name n Tiling_cache.Config.pp cache
-          Tiling_core.Tiler.pp_order_outcome o)
+        obs_run obs ~command:"order" ~kernel:name ~n ~cache (fun () ->
+            let opts = { Tiling_core.Tiler.default_opts with seed } in
+            let o = Tiling_core.Tiler.optimize_with_order ~opts nest cache in
+            let human ppf =
+              Fmt.pf ppf "%s n=%d on %a:@.%a@." name n Tiling_cache.Config.pp
+                cache Tiling_core.Tiler.pp_order_outcome o
+            in
+            (human, [ ("result", Tiling_core.Tiler.order_to_json o) ])))
   in
   Cmd.v
     (Cmd.info "order"
@@ -276,16 +409,20 @@ let order_cmd =
     Term.(
       ret
         (const run $ kernel_arg $ size_arg $ cache_size_arg $ line_arg
-       $ assoc_arg $ seed_arg))
+       $ assoc_arg $ seed_arg $ obs_term))
 
 let joint_cmd =
-  let run name size csize line assoc seed =
+  let run name size csize line assoc seed obs =
     with_setup name size csize line assoc (fun _ n nest cache ->
-        let topts = { Tiling_core.Tiler.default_opts with seed } in
-        let popts = { Tiling_core.Padder.default_opts with seed } in
-        let o = Tiling_core.Optimizer.pad_and_tile ~topts ~popts nest cache in
-        Fmt.pr "%s n=%d on %a:@.%a@." name n Tiling_cache.Config.pp cache
-          Tiling_core.Optimizer.pp_joint o)
+        obs_run obs ~command:"joint" ~kernel:name ~n ~cache (fun () ->
+            let topts = { Tiling_core.Tiler.default_opts with seed } in
+            let popts = { Tiling_core.Padder.default_opts with seed } in
+            let o = Tiling_core.Optimizer.pad_and_tile ~topts ~popts nest cache in
+            let human ppf =
+              Fmt.pf ppf "%s n=%d on %a:@.%a@." name n Tiling_cache.Config.pp
+                cache Tiling_core.Optimizer.pp_joint o
+            in
+            (human, [ ("result", Tiling_core.Optimizer.joint_to_json o) ])))
   in
   Cmd.v
     (Cmd.info "joint"
@@ -293,43 +430,71 @@ let joint_cmd =
     Term.(
       ret
         (const run $ kernel_arg $ size_arg $ cache_size_arg $ line_arg
-       $ assoc_arg $ seed_arg))
+       $ assoc_arg $ seed_arg $ obs_term))
 
 let baselines_cmd =
-  let run name size csize line assoc seed =
+  let run name size csize line assoc seed obs =
     with_setup name size csize line assoc (fun _ n nest cache ->
-        let sample = Tiling_core.Sample.create ~seed nest in
-        let eval tiles = Tiling_core.Tiler.objective_on sample nest cache tiles in
-        let show label tiles obj =
-          Fmt.pr "%-18s tiles=[%a] objective=%g@." label
-            Fmt.(array ~sep:(any ",") int)
-            tiles obj
-        in
-        Fmt.pr "%s n=%d on %a (objective: replacement misses in the sample)@."
-          name n Tiling_cache.Config.pp cache;
-        let opts = { Tiling_core.Tiler.default_opts with seed } in
-        let ga = Tiling_core.Tiler.optimize ~opts nest cache in
-        show "GA (paper)" ga.Tiling_core.Tiler.tiles
-          ga.Tiling_core.Tiler.ga.Tiling_ga.Engine.best_objective;
-        let r = Tiling_baselines.Search.random ~evals:450 ~seed sample nest cache in
-        show "random-450" r.Tiling_baselines.Search.tiles r.Tiling_baselines.Search.objective;
-        let h = Tiling_baselines.Search.hill_climb ~evals:450 ~seed sample nest cache in
-        show "hill-climb-450" h.Tiling_baselines.Search.tiles h.Tiling_baselines.Search.objective;
-        let lrw = Tiling_baselines.Analytic.lrw nest cache in
-        show "LRW (ESS)" lrw (eval lrw);
-        let cm = Tiling_baselines.Analytic.coleman_mckinley nest cache in
-        show "Coleman-McKinley" cm (eval cm);
-        let sm = Tiling_baselines.Analytic.sarkar_megiddo nest cache in
-        show "Sarkar-Megiddo" sm (eval sm);
-        let untiled = Tiling_ir.Transform.tile_spans nest in
-        show "untiled" untiled (eval untiled))
+        obs_run obs ~command:"baselines" ~kernel:name ~n ~cache (fun () ->
+            let sample = Tiling_core.Sample.create ~seed nest in
+            let eval tiles = Tiling_core.Tiler.objective_on sample nest cache tiles in
+            let rows = ref [] in
+            let note label tiles obj = rows := (label, tiles, obj) :: !rows in
+            let opts = { Tiling_core.Tiler.default_opts with seed } in
+            let ga = Tiling_core.Tiler.optimize ~opts nest cache in
+            note "GA (paper)" ga.Tiling_core.Tiler.tiles
+              ga.Tiling_core.Tiler.ga.Tiling_ga.Engine.best_objective;
+            let r = Tiling_baselines.Search.random ~evals:450 ~seed sample nest cache in
+            note "random-450" r.Tiling_baselines.Search.tiles
+              r.Tiling_baselines.Search.objective;
+            let h = Tiling_baselines.Search.hill_climb ~evals:450 ~seed sample nest cache in
+            note "hill-climb-450" h.Tiling_baselines.Search.tiles
+              h.Tiling_baselines.Search.objective;
+            let lrw = Tiling_baselines.Analytic.lrw nest cache in
+            note "LRW (ESS)" lrw (eval lrw);
+            let cm = Tiling_baselines.Analytic.coleman_mckinley nest cache in
+            note "Coleman-McKinley" cm (eval cm);
+            let sm = Tiling_baselines.Analytic.sarkar_megiddo nest cache in
+            note "Sarkar-Megiddo" sm (eval sm);
+            let untiled = Tiling_ir.Transform.tile_spans nest in
+            note "untiled" untiled (eval untiled);
+            let rows = List.rev !rows in
+            let human ppf =
+              Fmt.pf ppf
+                "%s n=%d on %a (objective: replacement misses in the sample)@."
+                name n Tiling_cache.Config.pp cache;
+              List.iter
+                (fun (label, tiles, obj) ->
+                  Fmt.pf ppf "%-18s tiles=[%a] objective=%g@." label
+                    Fmt.(array ~sep:(any ",") int)
+                    tiles obj)
+                rows
+            in
+            let json_rows =
+              Tiling_obs.Json.List
+                (List.map
+                   (fun (label, tiles, obj) ->
+                     Tiling_obs.Json.Obj
+                       [
+                         ("label", Tiling_obs.Json.String label);
+                         ( "tiles",
+                           Tiling_obs.Json.List
+                             (Array.to_list
+                                (Array.map
+                                   (fun t -> Tiling_obs.Json.Int t)
+                                   tiles)) );
+                         ("objective", Tiling_obs.Json.Float obj);
+                       ])
+                   rows)
+            in
+            (human, [ ("result", json_rows) ])))
   in
   Cmd.v
     (Cmd.info "baselines" ~doc:"Compare tile-selection baselines on a kernel")
     Term.(
       ret
         (const run $ kernel_arg $ size_arg $ cache_size_arg $ line_arg
-       $ assoc_arg $ seed_arg))
+       $ assoc_arg $ seed_arg $ obs_term))
 
 let () =
   let doc = "near-optimal loop tiling by cache miss equations and a GA" in

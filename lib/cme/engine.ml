@@ -5,6 +5,16 @@ let log_src = Logs.Src.create "tiling.cme" ~doc:"CME point solver"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+module Metrics = Tiling_obs.Metrics
+
+let m_hit = Metrics.counter "cme.classify.hit"
+let m_replacement = Metrics.counter "cme.classify.replacement"
+let m_compulsory = Metrics.counter "cme.classify.compulsory"
+let m_fallbacks = Metrics.counter "cme.fallbacks"
+let m_memo_hit = Metrics.counter "cme.residues.memo.hit"
+let m_memo_miss = Metrics.counter "cme.residues.memo.miss"
+let m_engines = Metrics.counter "cme.engines.created"
+
 type outcome = Hit | Compulsory_miss | Replacement_miss
 
 type t = {
@@ -34,18 +44,26 @@ let tile_pairs_of nest =
   Array.of_list !pairs
 
 let create ?(window_cap = 512) nest cache =
-  let line = cache.Tiling_cache.Config.line in
-  {
-    nest;
-    cache;
-    forms = Array.map (fun r -> Nest.address_form nest r) nest.Nest.refs;
-    reuse = Tiling_reuse.Vectors.of_nest nest ~line;
-    modulus = cache.Tiling_cache.Config.sets * line;
-    tile_pairs = tile_pairs_of nest;
-    memo = Hashtbl.create 256;
-    window_cap;
-    fallbacks = 0;
-  }
+  Tiling_obs.Span.with_ "cme.engine.create"
+    ~attrs:
+      [
+        ("nest", Tiling_obs.Json.String nest.Nest.name);
+        ("refs", Tiling_obs.Json.Int (Array.length nest.Nest.refs));
+      ]
+    (fun () ->
+      Metrics.incr m_engines;
+      let line = cache.Tiling_cache.Config.line in
+      {
+        nest;
+        cache;
+        forms = Array.map (fun r -> Nest.address_form nest r) nest.Nest.refs;
+        reuse = Tiling_reuse.Vectors.of_nest nest ~line;
+        modulus = cache.Tiling_cache.Config.sets * line;
+        tile_pairs = tile_pairs_of nest;
+        memo = Hashtbl.create 256;
+        window_cap;
+        fallbacks = 0;
+      })
 
 let nest t = t.nest
 let cache t = t.cache
@@ -73,8 +91,11 @@ let canonical_gens t gens =
 let residues t gens =
   let key = canonical_gens t gens in
   match Hashtbl.find_opt t.memo key with
-  | Some r -> r
+  | Some r ->
+      Metrics.incr m_memo_hit;
+      r
   | None ->
+      Metrics.incr m_memo_miss;
       let r =
         List.fold_left
           (fun acc (step, count) -> Residue_set.sum_progression acc ~step ~count)
@@ -204,6 +225,7 @@ let count_interfering t ~set ~line_a ~cap segments =
               (* Too many windows for exact enumeration of a non-dense
                  image: conservatively saturate. *)
               t.fallbacks <- t.fallbacks + 1;
+              Metrics.incr m_fallbacks;
               if t.fallbacks = 1 then
                 Log.debug (fun m ->
                     m "window enumeration saturated (%d windows > cap %d); \
@@ -220,7 +242,10 @@ let count_interfering t ~set ~line_a ~cap segments =
                 if !m <> m0 then begin
                   let a = base + (!m * m_big) in
                   let hit, exact = hits_interval ~fuel seg.const gens a (a + l_bytes - 1) in
-                  if not exact then t.fallbacks <- t.fallbacks + 1;
+                  if not exact then begin
+                    t.fallbacks <- t.fallbacks + 1;
+                    Metrics.incr m_fallbacks
+                  end;
                   if hit then Hashtbl.replace found !m ()
                 end;
                 incr m
@@ -419,14 +444,21 @@ let classify t point ref_id =
   let line_a = Intmath.floor_div addr l_bytes in
   let set = Intmath.pos_mod line_a sets in
   let sources = reuse_sources t point ref_id in
-  if sources = [] then Compulsory_miss
-  else if
-    List.exists
-      (fun (src, src_ref) ->
-        let segments =
-          segments_for_path t ~src ~src_ref ~dst:point ~dst_ref:ref_id
-        in
-        count_interfering t ~set ~line_a ~cap:assoc segments < assoc)
-      sources
-  then Hit
-  else Replacement_miss
+  let outcome =
+    if sources = [] then Compulsory_miss
+    else if
+      List.exists
+        (fun (src, src_ref) ->
+          let segments =
+            segments_for_path t ~src ~src_ref ~dst:point ~dst_ref:ref_id
+          in
+          count_interfering t ~set ~line_a ~cap:assoc segments < assoc)
+        sources
+    then Hit
+    else Replacement_miss
+  in
+  (match outcome with
+  | Hit -> Metrics.incr m_hit
+  | Compulsory_miss -> Metrics.incr m_compulsory
+  | Replacement_miss -> Metrics.incr m_replacement);
+  outcome

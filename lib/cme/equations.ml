@@ -7,17 +7,22 @@ type summary = {
 }
 
 let summarize nest ~line =
-  let regions = List.length (Path.full_space nest) in
-  let reuse = Tiling_reuse.Vectors.of_nest nest ~line in
-  let references = Array.length nest.Tiling_ir.Nest.refs in
-  let reuse_vectors = Array.fold_left (fun acc l -> acc + List.length l) 0 reuse in
-  {
-    regions;
-    references;
-    reuse_vectors;
-    compulsory_equations = reuse_vectors * regions;
-    replacement_equations = reuse_vectors * references * regions * regions;
-  }
+  Tiling_obs.Span.with_ "cme.equations.summarize"
+    ~attrs:[ ("nest", Tiling_obs.Json.String nest.Tiling_ir.Nest.name) ]
+    (fun () ->
+      let regions = List.length (Path.full_space nest) in
+      let reuse = Tiling_reuse.Vectors.of_nest nest ~line in
+      let references = Array.length nest.Tiling_ir.Nest.refs in
+      let reuse_vectors =
+        Array.fold_left (fun acc l -> acc + List.length l) 0 reuse
+      in
+      {
+        regions;
+        references;
+        reuse_vectors;
+        compulsory_equations = reuse_vectors * regions;
+        replacement_equations = reuse_vectors * references * regions * regions;
+      })
 
 let pp ppf s =
   Fmt.pf ppf "regions=%d refs=%d reuse=%d compulsory_eqs=%d replacement_eqs=%d"

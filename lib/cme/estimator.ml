@@ -63,38 +63,48 @@ let totals accs =
   in
   (misses, compulsory, per_ref)
 
-let exact engine =
+(* Shared classification driver for [exact] and [sample_at].  [iterate]
+   enumerates the points to classify; the report's [fallbacks] field is the
+   number of conservative solver answers *during this call* (the engine's
+   own counter is cumulative across its lifetime), measured as a delta
+   around the iteration. *)
+let classify_all engine ~confidence iterate =
   let nest = Engine.nest engine in
   let nrefs = Array.length nest.Tiling_ir.Nest.refs in
   let accs = make_accs engine in
   let points = ref 0 in
-  let f0 = Engine.fallback_count engine in
-  Tiling_ir.Nest.iter_points nest (fun point ->
+  let fallbacks_before = Engine.fallback_count engine in
+  iterate (fun point ->
       incr points;
       classify_point engine point accs);
   let misses, compulsory, per_ref = totals accs in
-  report_of ~confidence:1.0e-9 ~points:!points ~accesses:(!points * nrefs)
-    ~misses ~compulsory ~per_ref
-    ~fallbacks:(Engine.fallback_count engine - f0)
-  |> fun r ->
-  (* An exact count has a degenerate interval. *)
-  {
-    r with
-    miss_ratio = { r.miss_ratio with half_width = 0.; confidence = 1.0 };
-    replacement_ratio = { r.replacement_ratio with half_width = 0.; confidence = 1.0 };
-  }
+  report_of ~confidence ~points:!points ~accesses:(!points * nrefs) ~misses
+    ~compulsory ~per_ref
+    ~fallbacks:(Engine.fallback_count engine - fallbacks_before)
+
+let exact engine =
+  Tiling_obs.Span.with_ "cme.estimator.exact"
+    ~attrs:
+      [ ("nest", Tiling_obs.Json.String (Engine.nest engine).Tiling_ir.Nest.name) ]
+    (fun () ->
+      let r =
+        classify_all engine ~confidence:1.0e-9 (fun visit ->
+            Tiling_ir.Nest.iter_points (Engine.nest engine) visit)
+      in
+      (* An exact count has a degenerate interval. *)
+      {
+        r with
+        miss_ratio = { r.miss_ratio with half_width = 0.; confidence = 1.0 };
+        replacement_ratio =
+          { r.replacement_ratio with half_width = 0.; confidence = 1.0 };
+      })
 
 let sample_at engine pts =
-  let nest = Engine.nest engine in
-  let nrefs = Array.length nest.Tiling_ir.Nest.refs in
-  let accs = make_accs engine in
-  let f0 = Engine.fallback_count engine in
-  Array.iter (fun point -> classify_point engine point accs) pts;
-  let points = Array.length pts in
-  let misses, compulsory, per_ref = totals accs in
-  report_of ~confidence:default_confidence ~points ~accesses:(points * nrefs)
-    ~misses ~compulsory ~per_ref
-    ~fallbacks:(Engine.fallback_count engine - f0)
+  Tiling_obs.Span.with_ "cme.estimator.sample_at"
+    ~attrs:[ ("points", Tiling_obs.Json.Int (Array.length pts)) ]
+    (fun () ->
+      classify_all engine ~confidence:default_confidence (fun visit ->
+          Array.iter visit pts))
 
 let sample ?(width = default_width) ?(confidence = default_confidence) ~seed engine =
   let n = Stats.required_sample_size ~width ~confidence in
@@ -107,6 +117,40 @@ let sample ?(width = default_width) ?(confidence = default_confidence) ~seed eng
     miss_ratio = { r.miss_ratio with confidence };
     replacement_ratio = { r.replacement_ratio with confidence };
   }
+
+let json_of_interval (i : Stats.interval) =
+  Tiling_obs.Json.Obj
+    [
+      ("center", Tiling_obs.Json.Float i.Stats.center);
+      ("half_width", Tiling_obs.Json.Float i.Stats.half_width);
+      ("confidence", Tiling_obs.Json.Float i.Stats.confidence);
+    ]
+
+let to_json r =
+  let open Tiling_obs.Json in
+  Obj
+    [
+      ("points", Int r.points);
+      ("accesses", Int r.accesses);
+      ("misses", Int r.misses);
+      ("compulsory", Int r.compulsory);
+      ("replacement", Int (replacement r));
+      ("miss_ratio", json_of_interval r.miss_ratio);
+      ("replacement_ratio", json_of_interval r.replacement_ratio);
+      ("fallbacks", Int r.fallbacks);
+      ( "per_ref",
+        List
+          (Array.to_list
+             (Array.map
+                (fun c ->
+                  Obj
+                    [
+                      ("accesses", Int c.r_accesses);
+                      ("misses", Int c.r_misses);
+                      ("compulsory", Int c.r_compulsory);
+                    ])
+                r.per_ref)) );
+    ]
 
 let pp ppf r =
   Fmt.pf ppf

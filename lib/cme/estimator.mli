@@ -40,6 +40,10 @@ val default_points : unit -> int
 (** The paper's sample size: [required_sample_size ~width:0.1
     ~confidence:0.9] = 164. *)
 
+val to_json : report -> Tiling_obs.Json.t
+(** Machine-readable rendering of a report: totals, both confidence
+    intervals, the per-call fallback delta and per-reference counts. *)
+
 val pp : report Fmt.t
 
 val pp_per_ref : Tiling_ir.Nest.t -> report Fmt.t

@@ -8,6 +8,9 @@ type combined = {
 
 let pad_then_tile ?(topts = Tiler.default_opts) ?(popts = Padder.default_opts)
     nest cache =
+  Tiling_obs.Span.with_ "optimizer.pad_then_tile"
+    ~attrs:[ ("nest", Tiling_obs.Json.String nest.Tiling_ir.Nest.name) ]
+  @@ fun () ->
   let pad_outcome = Padder.optimize ~opts:popts nest cache in
   let padding = pad_outcome.Padder.padding in
   let tile_outcome =
@@ -32,6 +35,9 @@ type joint = {
 
 let pad_and_tile ?(topts = Tiler.default_opts) ?(popts = Padder.default_opts)
     nest cache =
+  Tiling_obs.Span.with_ "optimizer.pad_and_tile"
+    ~attrs:[ ("nest", Tiling_obs.Json.String nest.Tiling_ir.Nest.name) ]
+  @@ fun () ->
   let open Tiling_ir in
   let narrays = List.length nest.Nest.arrays in
   let k = Nest.depth nest in
@@ -65,11 +71,16 @@ let pad_and_tile ?(topts = Tiler.default_opts) ?(popts = Padder.default_opts)
     Tiling_cme.Estimator.sample_at engine (Sample.embed sample ~tiles)
   in
   let memo : (int list, float) Hashtbl.t = Hashtbl.create 1024 in
+  let m_memo_hit = Tiling_obs.Metrics.counter "optimizer.memo.hit" in
+  let m_memo_miss = Tiling_obs.Metrics.counter "optimizer.memo.miss" in
   let objective values =
     let key = Array.to_list values in
     match Hashtbl.find_opt memo key with
-    | Some v -> v
+    | Some v ->
+        Tiling_obs.Metrics.incr m_memo_hit;
+        v
     | None ->
+        Tiling_obs.Metrics.incr m_memo_miss;
         let tiles, padding = split values in
         let v =
           Padder.with_padding nest padding (fun () ->
@@ -83,11 +94,15 @@ let pad_and_tile ?(topts = Tiler.default_opts) ?(popts = Padder.default_opts)
     List.init
       (max 1 topts.Tiler.restarts)
       (fun r ->
-        let rng =
-          Tiling_util.Prng.create
-            ~seed:(topts.Tiler.seed lxor 0x71F lxor (r * 0x5DEECE66))
-        in
-        Tiling_ga.Engine.run ~params:topts.Tiler.ga ~encoding ~objective ~rng ())
+        Tiling_obs.Span.with_ "optimizer.restart"
+          ~attrs:[ ("restart", Tiling_obs.Json.Int r) ]
+          (fun () ->
+            let rng =
+              Tiling_util.Prng.create
+                ~seed:(topts.Tiler.seed lxor 0x71F lxor (r * 0x5DEECE66))
+            in
+            Tiling_ga.Engine.run ~params:topts.Tiler.ga ~encoding ~objective
+              ~on_generation:Tiling_ga.Engine.trace_generation ~rng ()))
   in
   let ga =
     List.fold_left
@@ -106,6 +121,31 @@ let pad_and_tile ?(topts = Tiler.default_opts) ?(popts = Padder.default_opts)
   in
   let optimized = Padder.with_padding nest padding (fun () -> evaluate tiles) in
   { padding; tiles; original; optimized; ga }
+
+let json_of_int_array a =
+  Tiling_obs.Json.List (Array.to_list (Array.map (fun i -> Tiling_obs.Json.Int i) a))
+
+let combined_to_json (c : combined) =
+  let open Tiling_obs.Json in
+  Obj
+    [
+      ("padding", Padder.json_of_padding c.padding);
+      ("tiles", json_of_int_array c.tiles);
+      ("original", Tiling_cme.Estimator.to_json c.original);
+      ("padded", Tiling_cme.Estimator.to_json c.padded);
+      ("padded_tiled", Tiling_cme.Estimator.to_json c.padded_tiled);
+    ]
+
+let joint_to_json (j : joint) =
+  let open Tiling_obs.Json in
+  Obj
+    [
+      ("padding", Padder.json_of_padding j.padding);
+      ("tiles", json_of_int_array j.tiles);
+      ("original", Tiling_cme.Estimator.to_json j.original);
+      ("optimized", Tiling_cme.Estimator.to_json j.optimized);
+      ("ga", Tiling_ga.Engine.to_json j.ga);
+    ]
 
 let pp_joint ppf j =
   Fmt.pf ppf

@@ -39,3 +39,6 @@ val pad_and_tile :
 
 val pp_combined : combined Fmt.t
 val pp_joint : joint Fmt.t
+
+val combined_to_json : combined -> Tiling_obs.Json.t
+val joint_to_json : joint -> Tiling_obs.Json.t

@@ -1,4 +1,10 @@
 open Tiling_ir
+module Metrics = Tiling_obs.Metrics
+module Span = Tiling_obs.Span
+
+let m_memo_hit = Metrics.counter "padder.memo.hit"
+let m_memo_miss = Metrics.counter "padder.memo.miss"
+let m_restarts = Metrics.counter "padder.restarts"
 
 type opts = {
   ga : Tiling_ga.Engine.params;
@@ -32,6 +38,9 @@ let with_padding nest pad f =
   Fun.protect ~finally:(fun () -> Transform.clear_padding nest) f
 
 let optimize ?(opts = default_opts) ?tiles nest cache =
+  Span.with_ "padder.optimize"
+    ~attrs:[ ("nest", Tiling_obs.Json.String nest.Nest.name) ]
+  @@ fun () ->
   let narrays = List.length nest.Nest.arrays in
   let sample = Sample.create ?n:opts.sample_points ~seed:opts.seed nest in
   let eval_current () =
@@ -68,8 +77,11 @@ let optimize ?(opts = default_opts) ?tiles nest cache =
   let objective values =
     let key = Array.to_list values in
     match Hashtbl.find_opt memo key with
-    | Some v -> v
+    | Some v ->
+        Metrics.incr m_memo_hit;
+        v
     | None ->
+        Metrics.incr m_memo_miss;
         let pad = pad_of_values values in
         let v =
           with_padding nest pad (fun () ->
@@ -81,8 +93,12 @@ let optimize ?(opts = default_opts) ?tiles nest cache =
   let before = eval_current () in
   let runs =
     List.init (max 1 opts.restarts) (fun r ->
-        let rng = Tiling_util.Prng.create ~seed:(opts.seed lxor 0x9AD lxor (r * 0x5DEECE66)) in
-        Tiling_ga.Engine.run ~params:opts.ga ~encoding ~objective ~rng ())
+        Span.with_ "padder.restart" ~attrs:[ ("restart", Tiling_obs.Json.Int r) ]
+          (fun () ->
+            Metrics.incr m_restarts;
+            let rng = Tiling_util.Prng.create ~seed:(opts.seed lxor 0x9AD lxor (r * 0x5DEECE66)) in
+            Tiling_ga.Engine.run ~params:opts.ga ~encoding ~objective
+              ~on_generation:Tiling_ga.Engine.trace_generation ~rng ()))
   in
   let ga =
     List.fold_left
@@ -98,6 +114,25 @@ let optimize ?(opts = default_opts) ?tiles nest cache =
   in
   let after = with_padding nest padding eval_current in
   { padding; before; after; ga; distinct_candidates = Hashtbl.length memo }
+
+let json_of_padding (p : Transform.padding) =
+  let arr a =
+    Tiling_obs.Json.List
+      (Array.to_list (Array.map (fun i -> Tiling_obs.Json.Int i) a))
+  in
+  Tiling_obs.Json.Obj
+    [ ("intra", arr p.Transform.intra); ("inter", arr p.Transform.inter) ]
+
+let to_json o =
+  let open Tiling_obs.Json in
+  Obj
+    [
+      ("padding", json_of_padding o.padding);
+      ("before", Tiling_cme.Estimator.to_json o.before);
+      ("after", Tiling_cme.Estimator.to_json o.after);
+      ("ga", Tiling_ga.Engine.to_json o.ga);
+      ("distinct_candidates", Int o.distinct_candidates);
+    ]
 
 let pp_outcome ppf o =
   Fmt.pf ppf "padding: intra=[%a] inter=[%a]@ before: %a@ after: %a"

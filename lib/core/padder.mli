@@ -45,3 +45,8 @@ val optimize :
     {!with_padding} to apply the winner. *)
 
 val pp_outcome : outcome Fmt.t
+
+val json_of_padding : Tiling_ir.Transform.padding -> Tiling_obs.Json.t
+
+val to_json : outcome -> Tiling_obs.Json.t
+(** Machine-readable outcome (padding vectors, both reports, GA summary). *)

@@ -3,6 +3,12 @@ open Tiling_ir
 let log_src = Logs.Src.create "tiling.core" ~doc:"GA tile/padding search"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
+module Metrics = Tiling_obs.Metrics
+module Span = Tiling_obs.Span
+
+let m_memo_hit = Metrics.counter "tiler.memo.hit"
+let m_memo_miss = Metrics.counter "tiler.memo.miss"
+let m_restarts = Metrics.counter "tiler.restarts"
 
 type opts = {
   ga : Tiling_ga.Engine.params;
@@ -39,6 +45,9 @@ let objective_on sample nest cache tiles =
   float_of_int (Tiling_cme.Estimator.replacement r)
 
 let optimize ?(opts = default_opts) nest cache =
+  Span.with_ "tiler.optimize"
+    ~attrs:[ ("nest", Tiling_obs.Json.String nest.Nest.name) ]
+  @@ fun () ->
   let sample = Sample.create ?n:opts.sample_points ~seed:opts.seed nest in
   let uppers = Transform.tile_spans nest in
   let encoding = Tiling_ga.Encoding.make uppers in
@@ -53,8 +62,11 @@ let optimize ?(opts = default_opts) nest cache =
   let objective tiles =
     let key = Array.to_list tiles in
     match lookup key with
-    | Some v -> v
+    | Some v ->
+        Metrics.incr m_memo_hit;
+        v
     | None ->
+        Metrics.incr m_memo_miss;
         let v = objective_on sample nest cache tiles in
         store key v;
         v
@@ -72,9 +84,12 @@ let optimize ?(opts = default_opts) nest cache =
      run. *)
   let runs =
     List.init (max 1 opts.restarts) (fun r ->
-        let rng = Tiling_util.Prng.create ~seed:(opts.seed lxor 0x6A5 lxor (r * 0x5DEECE66)) in
-        Tiling_ga.Engine.run ?evaluate_all ~params:opts.ga ~encoding ~objective
-          ~rng ())
+        Span.with_ "tiler.restart" ~attrs:[ ("restart", Tiling_obs.Json.Int r) ]
+          (fun () ->
+            Metrics.incr m_restarts;
+            let rng = Tiling_util.Prng.create ~seed:(opts.seed lxor 0x6A5 lxor (r * 0x5DEECE66)) in
+            Tiling_ga.Engine.run ?evaluate_all ~params:opts.ga ~encoding
+              ~objective ~on_generation:Tiling_ga.Engine.trace_generation ~rng ()))
   in
   let ga =
     List.fold_left
@@ -93,11 +108,28 @@ let optimize ?(opts = default_opts) nest cache =
         ga.Tiling_ga.Engine.evaluations (Hashtbl.length memo)
         ga.Tiling_ga.Engine.best_objective);
   let before =
-    let engine = Tiling_cme.Engine.create nest cache in
-    Tiling_cme.Estimator.sample_at engine (Sample.points sample)
+    Span.with_ "tiler.report.before" (fun () ->
+        let engine = Tiling_cme.Engine.create nest cache in
+        Tiling_cme.Estimator.sample_at engine (Sample.points sample))
   in
-  let after = report_for sample nest cache tiles in
+  let after =
+    Span.with_ "tiler.report.after" (fun () -> report_for sample nest cache tiles)
+  in
   { tiles; before; after; ga; distinct_candidates = Hashtbl.length memo }
+
+let json_of_int_array a =
+  Tiling_obs.Json.List (Array.to_list (Array.map (fun i -> Tiling_obs.Json.Int i) a))
+
+let to_json o =
+  let open Tiling_obs.Json in
+  Obj
+    [
+      ("tiles", json_of_int_array o.tiles);
+      ("before", Tiling_cme.Estimator.to_json o.before);
+      ("after", Tiling_cme.Estimator.to_json o.after);
+      ("ga", Tiling_ga.Engine.to_json o.ga);
+      ("distinct_candidates", Int o.distinct_candidates);
+    ]
 
 let pp_outcome ppf o =
   Fmt.pf ppf
@@ -139,6 +171,9 @@ let permutation_of_index d i =
   perm
 
 let optimize_with_order ?(opts = default_opts) nest cache =
+  Span.with_ "tiler.optimize_with_order"
+    ~attrs:[ ("nest", Tiling_obs.Json.String nest.Nest.name) ]
+  @@ fun () ->
   let d = Tiling_ir.Nest.depth nest in
   let sample = Sample.create ?n:opts.sample_points ~seed:opts.seed nest in
   let spans = Transform.tile_spans nest in
@@ -197,8 +232,11 @@ let optimize_with_order ?(opts = default_opts) nest cache =
   let objective values =
     let key = Array.to_list values in
     match Hashtbl.find_opt memo key with
-    | Some v -> v
+    | Some v ->
+        Metrics.incr m_memo_hit;
+        v
     | None ->
+        Metrics.incr m_memo_miss;
         let idx = values.(0) - 1 in
         let tiles = Array.sub values 1 d in
         let v =
@@ -209,11 +247,15 @@ let optimize_with_order ?(opts = default_opts) nest cache =
   in
   let runs =
     List.init (max 1 opts.restarts) (fun r ->
-        let rng =
-          Tiling_util.Prng.create
-            ~seed:(opts.seed lxor 0x2E7 lxor (r * 0x5DEECE66))
-        in
-        Tiling_ga.Engine.run ~params:opts.ga ~encoding ~objective ~rng ())
+        Span.with_ "tiler.restart" ~attrs:[ ("restart", Tiling_obs.Json.Int r) ]
+          (fun () ->
+            Metrics.incr m_restarts;
+            let rng =
+              Tiling_util.Prng.create
+                ~seed:(opts.seed lxor 0x2E7 lxor (r * 0x5DEECE66))
+            in
+            Tiling_ga.Engine.run ~params:opts.ga ~encoding ~objective
+              ~on_generation:Tiling_ga.Engine.trace_generation ~rng ()))
   in
   let ga =
     List.fold_left
@@ -234,6 +276,17 @@ let optimize_with_order ?(opts = default_opts) nest cache =
   in
   let oafter = evaluate idx otiles in
   { order = perm; otiles; obefore; oafter; oga = ga }
+
+let order_to_json o =
+  let open Tiling_obs.Json in
+  Obj
+    [
+      ("order", json_of_int_array o.order);
+      ("tiles", json_of_int_array o.otiles);
+      ("before", Tiling_cme.Estimator.to_json o.obefore);
+      ("after", Tiling_cme.Estimator.to_json o.oafter);
+      ("ga", Tiling_ga.Engine.to_json o.oga);
+    ]
 
 let pp_order_outcome ppf o =
   Fmt.pf ppf "order=[%a] tiles=[%a]@ before: %a@ after: %a"

@@ -46,6 +46,9 @@ val optimize :
 
 val pp_outcome : outcome Fmt.t
 
+val to_json : outcome -> Tiling_obs.Json.t
+(** Machine-readable outcome (tiles, both reports, GA summary). *)
+
 (** {2 Extension: searching the loop order together with tile sizes}
 
     The paper fixes the loop order and searches tile sizes; since
@@ -65,3 +68,5 @@ val optimize_with_order :
   ?opts:opts -> Tiling_ir.Nest.t -> Tiling_cache.Config.t -> order_outcome
 
 val pp_order_outcome : order_outcome Fmt.t
+
+val order_to_json : order_outcome -> Tiling_obs.Json.t

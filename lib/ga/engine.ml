@@ -1,4 +1,10 @@
 open Tiling_util
+module Metrics = Tiling_obs.Metrics
+module Span = Tiling_obs.Span
+
+let m_evaluations = Metrics.counter "ga.evaluations"
+let m_generations = Metrics.counter "ga.generations"
+let m_runs = Metrics.counter "ga.runs"
 
 type params = {
   population : int;
@@ -33,19 +39,28 @@ type result = {
 }
 
 (* Remainder stochastic selection without replacement (Goldberg): each
-   individual first receives [floor expected] copies deterministically,
-   then at most one extra copy with probability [frac expected], visiting
-   individuals in random order until the new population is full. *)
+   individual first receives [floor expected] copies deterministically;
+   the fractional remainders are then treated as Bernoulli probabilities
+   *without replacement* — an individual whose fractional draw succeeds has
+   its remainder consumed and cannot receive a second remainder copy.
+   Individuals are visited in random order, re-shuffled each pass, until
+   the new population is full.  Consequently every individual receives
+   between [floor expected] and [ceil expected] copies (the defining RSS
+   guarantee), except when all remainders are consumed before the
+   population fills, where the shortfall is drawn uniformly. *)
 let select rng pop fitness n =
   let total = Array.fold_left ( +. ) 0. fitness in
   let chosen = ref [] in
   let count = ref 0 in
-  if total <= 0. then
-    (* Degenerate generation (all individuals equally fit): uniform draw. *)
+  let uniform_fill () =
     while !count < n do
       chosen := pop.(Prng.int rng (Array.length pop)) :: !chosen;
       incr count
     done
+  in
+  if total <= 0. then
+    (* Degenerate generation (all individuals equally fit): uniform draw. *)
+    uniform_fill ()
   else begin
     let expected =
       Array.map (fun f -> float_of_int n *. f /. total) fitness
@@ -59,26 +74,27 @@ let select rng pop fitness n =
           end
         done)
       expected;
+    let fracs =
+      Array.map (fun e -> e -. Float.of_int (int_of_float e)) expected
+    in
     let order = Array.init (Array.length pop) Fun.id in
-    Prng.shuffle rng order;
-    (* Fractional passes: without replacement within a pass. *)
+    (* Fractional passes.  Treating remainders this way keeps each
+       individual's copy count within [floor e, ceil e]; rounding noise can
+       leave every remainder effectively consumed with slots still open, in
+       which case the remainder of the population is drawn uniformly. *)
     while !count < n do
+      Prng.shuffle rng order;
       Array.iter
         (fun i ->
-          if !count < n then begin
-            let frac = expected.(i) -. Float.of_int (int_of_float expected.(i)) in
-            if Prng.bernoulli rng ~p:frac then begin
+          if !count < n && fracs.(i) > 0. then
+            if Prng.bernoulli rng ~p:fracs.(i) then begin
               chosen := pop.(i) :: !chosen;
-              incr count
-            end
-          end)
+              incr count;
+              fracs.(i) <- 0.
+            end)
         order;
-      (* Guard against pathological all-integer expectations. *)
-      if !count < n && Array.for_all (fun e -> Float.rem e 1. = 0.) expected
-      then begin
-        chosen := pop.(Prng.int rng (Array.length pop)) :: !chosen;
-        incr count
-      end
+      if !count < n && Array.for_all (fun f -> f <= 1e-9) fracs then
+        uniform_fill ()
     done
   end;
   Array.of_list !chosen
@@ -107,11 +123,15 @@ let run ?(params = default_params) ?on_generation ?evaluate_all ~encoding
   assert (n >= 2);
   let evaluations = ref 0 in
   let eval_population pop =
-    evaluations := !evaluations + Array.length pop;
-    let decoded = Array.map (Encoding.decode encoding) pop in
-    match evaluate_all with
-    | Some f -> f decoded
-    | None -> Array.map objective decoded
+    Span.with_ "ga.evaluate"
+      ~attrs:[ ("individuals", Tiling_obs.Json.Int (Array.length pop)) ]
+      (fun () ->
+        evaluations := !evaluations + Array.length pop;
+        Metrics.add m_evaluations (Array.length pop);
+        let decoded = Array.map (Encoding.decode encoding) pop in
+        match evaluate_all with
+        | Some f -> f decoded
+        | None -> Array.map objective decoded)
   in
   let pop = ref (Array.init n (fun _ -> Encoding.random_genes encoding rng)) in
   let best_genes = ref (Array.copy !pop.(0)) in
@@ -120,6 +140,9 @@ let run ?(params = default_params) ?on_generation ?evaluate_all ~encoding
   let generations = ref 0 in
   let converged = ref false in
   let step gen =
+    Span.with_ "ga.generation" ~attrs:[ ("generation", Tiling_obs.Json.Int gen) ]
+    @@ fun () ->
+    Metrics.incr m_generations;
     let objs = eval_population !pop in
     let best_i = ref 0 in
     Array.iteri (fun i o -> if o < objs.(!best_i) then best_i := i) objs;
@@ -175,6 +198,7 @@ let run ?(params = default_params) ?on_generation ?evaluate_all ~encoding
     avg > 0. && (avg -. stats.best) /. avg <= params.convergence_threshold
     || avg = 0.
   in
+  Metrics.incr m_runs;
   (* Figure 7: run min_generations unconditionally, then up to
      max_generations while not converged. *)
   let rec loop gen =
@@ -195,3 +219,34 @@ let run ?(params = default_params) ?on_generation ?evaluate_all ~encoding
     converged = !converged;
     history = List.rev !history;
   }
+
+let trace_generation (s : generation_stats) =
+  Span.instant "ga.generation.stats"
+    ~attrs:
+      [
+        ("generation", Tiling_obs.Json.Int s.generation);
+        ("best", Tiling_obs.Json.Float s.best);
+        ("average", Tiling_obs.Json.Float s.average);
+      ]
+
+let to_json r =
+  let open Tiling_obs.Json in
+  Obj
+    [
+      ("best_genes", List (Array.to_list (Array.map (fun g -> Int g) r.best_genes)));
+      ("best_objective", Float r.best_objective);
+      ("generations", Int r.generations);
+      ("evaluations", Int r.evaluations);
+      ("converged", Bool r.converged);
+      ( "history",
+        List
+          (List.map
+             (fun s ->
+               Obj
+                 [
+                   ("generation", Int s.generation);
+                   ("best", Float s.best);
+                   ("average", Float s.average);
+                 ])
+             r.history) );
+    ]

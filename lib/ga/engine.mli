@@ -41,6 +41,24 @@ type result = {
   history : generation_stats list;  (** oldest first *)
 }
 
+val select :
+  Tiling_util.Prng.t -> 'a array -> float array -> int -> 'a array
+(** [select rng pop fitness n] is Goldberg's remainder stochastic sampling
+    without replacement: individual [i] with selection expectation
+    [e_i = n * fitness_i / total] receives [floor e_i] copies
+    deterministically plus at most one remainder copy drawn with
+    probability [frac e_i], so its copy count lies in
+    [\[floor e_i, ceil e_i\]].  A zero-total fitness vector degrades to a
+    uniform draw.  Exposed for testing; [run] uses it internally. *)
+
+val trace_generation : generation_stats -> unit
+(** An [on_generation] hook that forwards per-generation best/average to
+    the {!Tiling_obs.Span} tracer as instant events (no-op while tracing
+    is disabled). *)
+
+val to_json : result -> Tiling_obs.Json.t
+(** Machine-readable rendering of a result, history included. *)
+
 val run :
   ?params:params ->
   ?on_generation:(generation_stats -> unit) ->

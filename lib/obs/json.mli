@@ -1,0 +1,31 @@
+(** A minimal JSON tree: enough to serialize metrics snapshots, Chrome
+    traces and CLI results, and to parse them back in tests.  No external
+    dependency — the toolchain here has no yojson. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering.  Non-finite floats become [null];
+    floats print with enough digits to round-trip. *)
+
+val pp : t Fmt.t
+(** Indented, human-oriented rendering of the same tree. *)
+
+val of_string : string -> (t, string) result
+(** Recursive-descent parser for the subset [to_string] emits (all of
+    JSON minus surrogate-pair escapes).  Numbers with a [.], [e] or [E]
+    parse as [Float], others as [Int]. *)
+
+val member : string -> t -> t option
+(** [member k (Obj _)] is the value bound to [k], if any; [None] on
+    non-objects. *)
+
+val to_float : t -> float option
+(** Numeric value of an [Int] or [Float] node. *)

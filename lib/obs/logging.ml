@@ -1,0 +1,40 @@
+let level_of_string s =
+  match String.lowercase_ascii s with
+  | "off" | "quiet" -> Ok None
+  | "error" -> Ok (Some Logs.Error)
+  | "warn" | "warning" -> Ok (Some Logs.Warning)
+  | "info" -> Ok (Some Logs.Info)
+  | "debug" -> Ok (Some Logs.Debug)
+  | _ -> Error (Printf.sprintf "unknown log level %S" s)
+
+let level_names = [ "off"; "error"; "warn"; "info"; "debug" ]
+
+let start = Unix.gettimeofday ()
+
+let reporter () =
+  let report src level ~over k msgf =
+    let k _ =
+      over ();
+      k ()
+    in
+    msgf (fun ?header:_ ?tags:_ fmt ->
+        let dt = Unix.gettimeofday () -. start in
+        Format.kfprintf k Format.err_formatter
+          ("[%8.3f] %s %s @[" ^^ fmt ^^ "@]@.")
+          dt
+          (match level with
+          | Logs.App -> "app"
+          | Logs.Error -> "ERROR"
+          | Logs.Warning -> "WARN "
+          | Logs.Info -> "info "
+          | Logs.Debug -> "debug")
+          (Logs.Src.name src))
+  in
+  { Logs.report }
+
+let setup level =
+  match level with
+  | None -> ()
+  | Some _ ->
+      Logs.set_reporter (reporter ());
+      Logs.set_level ~all:true level

@@ -1,0 +1,113 @@
+(* The enabled flag is a plain ref: racy reads of an immediate are harmless
+   in OCaml's memory model, and a mutex or Atomic here would tax every
+   disabled call site for no benefit. *)
+let enabled_flag = ref false
+let set_enabled b = enabled_flag := b
+let enabled () = !enabled_flag
+
+type counter = int Atomic.t
+type gauge = float Atomic.t
+
+let hist_buckets = 63 (* bucket k holds observations with bit length k *)
+
+type histogram = {
+  buckets : int Atomic.t array;
+  h_count : int Atomic.t;
+  h_sum : int Atomic.t;
+}
+
+(* Registration is rare (module initialisation); a single mutex over the
+   name tables is plenty.  Updates never take it. *)
+let registry_lock = Mutex.create ()
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
+
+let intern table make name =
+  Mutex.protect registry_lock (fun () ->
+      match Hashtbl.find_opt table name with
+      | Some v -> v
+      | None ->
+          let v = make () in
+          Hashtbl.replace table name v;
+          v)
+
+let counter name = intern counters (fun () -> Atomic.make 0) name
+let gauge name = intern gauges (fun () -> Atomic.make 0.) name
+
+let histogram name =
+  intern histograms
+    (fun () ->
+      {
+        buckets = Array.init hist_buckets (fun _ -> Atomic.make 0);
+        h_count = Atomic.make 0;
+        h_sum = Atomic.make 0;
+      })
+    name
+
+let incr c = if !enabled_flag then ignore (Atomic.fetch_and_add c 1)
+let add c n = if !enabled_flag then ignore (Atomic.fetch_and_add c n)
+let counter_value c = Atomic.get c
+let set g v = if !enabled_flag then Atomic.set g v
+
+let bucket_of v =
+  (* Bit length of [max v 0]: 0 -> 0, 1 -> 1, 2..3 -> 2, 4..7 -> 3, ... *)
+  let v = max v 0 in
+  let rec go acc v = if v = 0 then acc else go (acc + 1) (v lsr 1) in
+  min (hist_buckets - 1) (go 0 v)
+
+let observe h v =
+  if !enabled_flag then begin
+    ignore (Atomic.fetch_and_add h.buckets.(bucket_of v) 1);
+    ignore (Atomic.fetch_and_add h.h_count 1);
+    ignore (Atomic.fetch_and_add h.h_sum (max v 0))
+  end
+
+let reset () =
+  Mutex.protect registry_lock (fun () ->
+      Hashtbl.iter (fun _ c -> Atomic.set c 0) counters;
+      Hashtbl.iter (fun _ g -> Atomic.set g 0.) gauges;
+      Hashtbl.iter
+        (fun _ h ->
+          Array.iter (fun b -> Atomic.set b 0) h.buckets;
+          Atomic.set h.h_count 0;
+          Atomic.set h.h_sum 0)
+        histograms)
+
+let sorted_bindings table =
+  let all = Hashtbl.fold (fun k v acc -> (k, v) :: acc) table [] in
+  List.sort (fun (a, _) (b, _) -> compare a b) all
+
+let snapshot () =
+  Mutex.protect registry_lock (fun () ->
+      let counters_json =
+        List.map (fun (k, c) -> (k, Json.Int (Atomic.get c))) (sorted_bindings counters)
+      in
+      let gauges_json =
+        List.map (fun (k, g) -> (k, Json.Float (Atomic.get g))) (sorted_bindings gauges)
+      in
+      let hist_json =
+        List.map
+          (fun (k, h) ->
+            let buckets =
+              Array.to_list h.buckets
+              |> List.mapi (fun i b -> (i, Atomic.get b))
+              |> List.filter (fun (_, c) -> c > 0)
+              |> List.map (fun (i, c) ->
+                     Json.Obj [ ("le", Json.Int ((1 lsl i) - 1)); ("count", Json.Int c) ])
+            in
+            ( k,
+              Json.Obj
+                [
+                  ("count", Json.Int (Atomic.get h.h_count));
+                  ("sum", Json.Int (Atomic.get h.h_sum));
+                  ("buckets", Json.List buckets);
+                ] ))
+          (sorted_bindings histograms)
+      in
+      Json.Obj
+        [
+          ("counters", Json.Obj counters_json);
+          ("gauges", Json.Obj gauges_json);
+          ("histograms", Json.Obj hist_json);
+        ])

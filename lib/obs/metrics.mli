@@ -1,0 +1,52 @@
+(** Process-wide metrics registry: named counters, gauges and log-scale
+    histograms.
+
+    The registry is disabled by default, and a disabled registry is free up
+    to one branch per call site: [incr]/[add]/[observe]/[set] test a single
+    boolean and return.  Enabled updates are lock-free [Atomic] operations,
+    safe under {!Tiling_util.Par} domains.
+
+    Instruments are created once (typically at module initialisation) and
+    looked up by name; creating the same name twice returns the same
+    underlying cells, so counters survive module re-entry and tests can
+    reach instruments registered deep inside the libraries. *)
+
+type counter
+type gauge
+type histogram
+
+val set_enabled : bool -> unit
+(** Turn recording on or off globally.  Off by default. *)
+
+val enabled : unit -> bool
+
+val counter : string -> counter
+(** Monotone integer, e.g. ["cme.classify.hit"]. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+val gauge : string -> gauge
+(** Last-write-wins float, e.g. a final population size. *)
+
+val set : gauge -> float -> unit
+
+val histogram : string -> histogram
+(** Power-of-two buckets over non-negative integer observations (typically
+    nanoseconds): an observation [v] lands in bucket [ceil(log2 (v+1))].
+    Tracks total count and sum alongside the buckets. *)
+
+val observe : histogram -> int -> unit
+
+val reset : unit -> unit
+(** Zero every registered instrument (the registry itself is kept). *)
+
+val snapshot : unit -> Json.t
+(** The current state of every registered instrument, sorted by name:
+    [{"counters": {name: int, ...},
+      "gauges": {name: float, ...},
+      "histograms": {name: {"count": int, "sum": int,
+                            "buckets": [{"le": int, "count": int}, ...]}}}].
+    A bucket's ["le"] is the inclusive upper bound [2^k - 1]; only occupied
+    buckets are listed. *)

@@ -1,0 +1,114 @@
+type event = {
+  name : string;
+  ph : string; (* "X" complete, "i" instant *)
+  ts : float; (* microseconds since [origin] *)
+  dur : float; (* microseconds; 0 for instants *)
+  tid : int;
+  attrs : (string * Json.t) list;
+}
+
+let enabled_flag = ref false
+let set_enabled b = enabled_flag := b
+let enabled () = !enabled_flag
+
+let lock = Mutex.create ()
+let capacity = ref 65536
+let buffer : event list ref = ref [] (* newest first *)
+let count = ref 0
+let dropped = ref 0
+
+(* Timestamps are relative to process start so traces from consecutive runs
+   line up near zero in the viewer. *)
+let origin = Unix.gettimeofday ()
+let now_us () = (Unix.gettimeofday () -. origin) *. 1e6
+
+let set_capacity n =
+  Mutex.protect lock (fun () -> capacity := max 1 n)
+
+let clear () =
+  Mutex.protect lock (fun () ->
+      buffer := [];
+      count := 0;
+      dropped := 0)
+
+let record ev =
+  Mutex.protect lock (fun () ->
+      if !count >= !capacity then incr dropped
+      else begin
+        buffer := ev :: !buffer;
+        incr count
+      end)
+
+let tid () = (Domain.self () :> int)
+
+let with_ ?(attrs = []) name f =
+  if not !enabled_flag then f ()
+  else begin
+    let t0 = now_us () in
+    let finish () =
+      let t1 = now_us () in
+      record { name; ph = "X"; ts = t0; dur = t1 -. t0; tid = tid (); attrs }
+    in
+    match f () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        finish ();
+        Printexc.raise_with_backtrace e bt
+  end
+
+let instant ?(attrs = []) name =
+  if !enabled_flag then
+    record { name; ph = "i"; ts = now_us (); dur = 0.; tid = tid (); attrs }
+
+let events_recorded () = Mutex.protect lock (fun () -> !count)
+
+let event_json ev =
+  let base =
+    [
+      ("name", Json.String ev.name);
+      ("cat", Json.String "tiling");
+      ("ph", Json.String ev.ph);
+      ("ts", Json.Float ev.ts);
+      ("pid", Json.Int (Unix.getpid ()));
+      ("tid", Json.Int ev.tid);
+    ]
+  in
+  let dur = if ev.ph = "X" then [ ("dur", Json.Float ev.dur) ] else [] in
+  let scope = if ev.ph = "i" then [ ("s", Json.String "t") ] else [] in
+  let args = if ev.attrs = [] then [] else [ ("args", Json.Obj ev.attrs) ] in
+  Json.Obj (base @ dur @ scope @ args)
+
+let to_chrome_json () =
+  let evs, n_dropped =
+    Mutex.protect lock (fun () -> (List.rev !buffer, !dropped))
+  in
+  let events = List.map event_json evs in
+  let events =
+    if n_dropped = 0 then events
+    else
+      events
+      @ [
+          Json.Obj
+            [
+              ("name", Json.String "tiling.trace.dropped");
+              ("cat", Json.String "tiling");
+              ("ph", Json.String "i");
+              ("ts", Json.Float (now_us ()));
+              ("pid", Json.Int (Unix.getpid ()));
+              ("tid", Json.Int 0);
+              ("s", Json.String "g");
+              ("args", Json.Obj [ ("dropped", Json.Int n_dropped) ]);
+            ];
+        ]
+  in
+  Json.Obj
+    [ ("traceEvents", Json.List events); ("displayTimeUnit", Json.String "ms") ]
+
+let write_chrome file =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Json.to_string (to_chrome_json ())))

@@ -1,0 +1,42 @@
+(** Timed scopes recorded into a bounded in-memory buffer, exportable as
+    Chrome [trace_event] JSON (open the file in [chrome://tracing] or
+    {{:https://ui.perfetto.dev}Perfetto}).
+
+    Tracing is disabled by default; a disabled [with_] is one branch plus
+    the call to the wrapped function.  The buffer is mutex-protected, so
+    spans may be recorded from any {!Tiling_util.Par} domain; each event
+    carries its domain id as the Chrome [tid], which lays parallel work out
+    on separate tracks. *)
+
+val set_enabled : bool -> unit
+(** Turn recording on or off.  Off by default. *)
+
+val enabled : unit -> bool
+
+val set_capacity : int -> unit
+(** Maximum retained events (default 65536).  Once full, further events are
+    dropped and counted; {!to_chrome_json} reports the drop count under a
+    final metadata event. *)
+
+val clear : unit -> unit
+(** Drop all recorded events and reset the drop counter. *)
+
+val with_ : ?attrs:(string * Json.t) list -> string -> (unit -> 'a) -> 'a
+(** [with_ name f] times [f ()] and records a complete ("ph":"X") event.
+    The scope is recorded even when [f] raises.  Nesting is expressed by
+    containment of time ranges, which is how the Chrome viewer stacks
+    slices on a track. *)
+
+val instant : ?attrs:(string * Json.t) list -> string -> unit
+(** A zero-duration ("ph":"i") marker, e.g. per-generation GA statistics. *)
+
+val events_recorded : unit -> int
+(** Events currently buffered (metadata events excluded). *)
+
+val to_chrome_json : unit -> Json.t
+(** [{"traceEvents": [...], "displayTimeUnit": "ms"}] with events in
+    recording order; timestamps are microseconds since an arbitrary
+    process-local origin. *)
+
+val write_chrome : string -> unit
+(** Serialize {!to_chrome_json} to a file. *)

@@ -1,3 +1,6 @@
+let chunk_ns = Tiling_obs.Metrics.histogram "par.chunk_ns"
+let chunks = Tiling_obs.Metrics.counter "par.chunks"
+
 let map ~domains f xs =
   let n = Array.length xs in
   if domains <= 1 || n <= 1 then Array.map f xs
@@ -8,11 +11,23 @@ let map ~domains f xs =
     let run_chunk k =
       (* Block distribution: domain k handles [lo, hi). *)
       let lo = k * n / d and hi = (k + 1) * n / d in
-      try
-        for i = lo to hi - 1 do
-          results.(i) <- Some (f xs.(i))
-        done
-      with e -> ignore (Atomic.compare_and_set failure None (Some e))
+      let body () =
+        try
+          for i = lo to hi - 1 do
+            results.(i) <- Some (f xs.(i))
+          done
+        with e -> ignore (Atomic.compare_and_set failure None (Some e))
+      in
+      if Tiling_obs.Metrics.enabled () || Tiling_obs.Span.enabled () then begin
+        let t0 = Unix.gettimeofday () in
+        Tiling_obs.Span.with_ "par.chunk"
+          ~attrs:[ ("chunk", Tiling_obs.Json.Int k); ("items", Tiling_obs.Json.Int (hi - lo)) ]
+          body;
+        Tiling_obs.Metrics.incr chunks;
+        Tiling_obs.Metrics.observe chunk_ns
+          (int_of_float ((Unix.gettimeofday () -. t0) *. 1e9))
+      end
+      else body ()
     in
     let workers = Array.init (d - 1) (fun k -> Domain.spawn (fun () -> run_chunk (k + 1))) in
     run_chunk 0;

@@ -9,7 +9,12 @@ val map : domains:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [map ~domains f xs] is [Array.map f xs], computed by [domains] domains
     (the calling domain included).  [domains <= 1] degrades to the
     sequential map.  [f] must be safe to run concurrently with itself.
-    Exceptions raised by [f] are re-raised in the caller. *)
+    Exceptions raised by [f] are re-raised in the caller.
+
+    When the {!Tiling_obs} registry or tracer is enabled, each parallel
+    chunk records its wall-clock into the [par.chunk_ns] histogram, bumps
+    the [par.chunks] counter and emits a [par.chunk] span on its domain's
+    track. *)
 
 val recommended_domains : unit -> int
 (** A sensible default: the machine's core count, capped at 8. *)

@@ -33,4 +33,5 @@ let () =
       ("order", Test_order.suite);
       ("par", Test_par.suite);
       ("amat", Test_amat.suite);
+      ("obs", Test_obs.suite);
     ]

@@ -158,10 +158,70 @@ let test_crossover_disabled_still_works () =
   Alcotest.(check bool) "selection+mutation alone still improves" true
     (r.Engine.best_objective < 30.)
 
+let count_copies chosen pop =
+  Array.map (fun x -> Array.fold_left (fun n y -> if y = x then n + 1 else n) 0 chosen) pop
+
+let test_select_remainder_bounds () =
+  (* Goldberg's remainder stochastic sampling without replacement: with
+     expectations e = [1.9; 1.9; 0.1; 0.1] each individual must receive
+     between floor(e_i) and ceil(e_i) copies, every run, any seed.  The
+     old implementation redrew the fractional part on every fill pass, so
+     a lucky individual could exceed ceil(e_i). *)
+  let pop = [| 0; 1; 2; 3 |] in
+  let fitness = [| 1.9; 1.9; 0.1; 0.1 |] in
+  let n = 4 in
+  for seed = 1 to 500 do
+    let rng = Tiling_util.Prng.create ~seed in
+    let chosen = Engine.select rng pop fitness n in
+    Alcotest.(check int) "exactly n selected" n (Array.length chosen);
+    let counts = count_copies chosen pop in
+    Array.iteri
+      (fun i c ->
+        let lo = int_of_float fitness.(i)
+        and hi = int_of_float (Float.ceil fitness.(i)) in
+        if c < lo || c > hi then
+          Alcotest.failf "seed %d: individual %d got %d copies, expected [%d,%d]"
+            seed i c lo hi)
+      counts
+  done
+
+let test_select_integer_expectations_deterministic () =
+  (* All-integer expectations leave nothing to chance: e = [2; 1; 1; 0]
+     must produce exactly those copy counts for every seed. *)
+  let pop = [| 10; 20; 30; 40 |] in
+  let fitness = [| 2.; 1.; 1.; 0. |] in
+  for seed = 1 to 100 do
+    let rng = Tiling_util.Prng.create ~seed in
+    let chosen = Engine.select rng pop fitness 4 in
+    Alcotest.(check (array int))
+      (Printf.sprintf "seed %d copy counts" seed)
+      [| 2; 1; 1; 0 |]
+      (count_copies chosen pop)
+  done
+
+let test_select_zero_fitness_uniform () =
+  (* A zero-total fitness vector cannot divide by the total; it must
+     degrade to a uniform draw of the right size. *)
+  let pop = [| 1; 2; 3 |] in
+  let rng = Tiling_util.Prng.create ~seed:42 in
+  let chosen = Engine.select rng pop [| 0.; 0.; 0. |] 6 in
+  Alcotest.(check int) "size respected" 6 (Array.length chosen);
+  Array.iter
+    (fun x ->
+      if not (Array.exists (( = ) x) pop) then
+        Alcotest.failf "selected %d not in population" x)
+    chosen
+
 let suite =
   suite
   @ [
       Alcotest.test_case "selection pressure" `Quick test_selection_pressure_statistics;
       Alcotest.test_case "saturated mutation" `Quick test_mutation_saturated;
       Alcotest.test_case "no-crossover mode" `Quick test_crossover_disabled_still_works;
+      Alcotest.test_case "select: remainder copy bounds" `Quick
+        test_select_remainder_bounds;
+      Alcotest.test_case "select: integer expectations deterministic" `Quick
+        test_select_integer_expectations_deterministic;
+      Alcotest.test_case "select: zero fitness is uniform" `Quick
+        test_select_zero_fitness_uniform;
     ]

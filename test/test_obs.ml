@@ -1,0 +1,199 @@
+(* The observability layer: metrics registry under concurrency, span
+   tracer output well-formedness, and the CLI's --json contract. *)
+
+module Json = Tiling_obs.Json
+module Metrics = Tiling_obs.Metrics
+module Span = Tiling_obs.Span
+
+let get path json =
+  List.fold_left
+    (fun acc key ->
+      match acc with Some j -> Json.member key j | None -> None)
+    (Some json) path
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                              *)
+
+let test_counters_concurrent () =
+  Metrics.reset ();
+  Metrics.set_enabled true;
+  Fun.protect ~finally:(fun () ->
+      Metrics.set_enabled false;
+      Metrics.reset ())
+  @@ fun () ->
+  let c = Metrics.counter "test.obs.concurrent" in
+  let per_domain = 10_000 in
+  let work () =
+    for _ = 1 to per_domain do
+      Metrics.incr c
+    done
+  in
+  let domains = Array.init 4 (fun _ -> Domain.spawn work) in
+  Array.iter Domain.join domains;
+  Alcotest.(check int)
+    "4 domains x 10k increments sum exactly" (4 * per_domain)
+    (Metrics.counter_value c)
+
+let test_disabled_is_inert () =
+  Metrics.reset ();
+  Metrics.set_enabled false;
+  let c = Metrics.counter "test.obs.disabled" in
+  Metrics.incr c;
+  Metrics.add c 42;
+  Alcotest.(check int) "disabled counter never moves" 0 (Metrics.counter_value c);
+  Metrics.reset ()
+
+let test_snapshot_shape () =
+  Metrics.reset ();
+  Metrics.set_enabled true;
+  Fun.protect ~finally:(fun () ->
+      Metrics.set_enabled false;
+      Metrics.reset ())
+  @@ fun () ->
+  let c = Metrics.counter "test.obs.snap" in
+  Metrics.add c 7;
+  let h = Metrics.histogram "test.obs.hist" in
+  Metrics.observe h 100;
+  Metrics.observe h 100_000;
+  let snap = Metrics.snapshot () in
+  (match get [ "counters"; "test.obs.snap" ] snap with
+  | Some (Json.Int 7) -> ()
+  | _ -> Alcotest.fail "counter missing from snapshot");
+  (match get [ "histograms"; "test.obs.hist"; "count" ] snap with
+  | Some (Json.Int 2) -> ()
+  | _ -> Alcotest.fail "histogram count missing from snapshot");
+  (* the snapshot itself must round-trip through the printer/parser *)
+  match Json.of_string (Json.to_string snap) with
+  | Ok reparsed -> Alcotest.(check bool) "round-trip" true (reparsed = snap)
+  | Error m -> Alcotest.fail ("snapshot did not reparse: " ^ m)
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                                *)
+
+let test_span_nesting_chrome_json () =
+  Span.clear ();
+  Span.set_enabled true;
+  Fun.protect ~finally:(fun () ->
+      Span.set_enabled false;
+      Span.clear ())
+  @@ fun () ->
+  Span.with_ "outer" (fun () ->
+      Span.with_ "inner" ~attrs:[ ("k", Json.Int 1) ] (fun () -> ignore (Sys.opaque_identity 0));
+      Span.instant "tick");
+  let doc = Span.to_chrome_json () in
+  let reparsed =
+    match Json.of_string (Json.to_string doc) with
+    | Ok j -> j
+    | Error m -> Alcotest.fail ("chrome trace did not reparse: " ^ m)
+  in
+  let events =
+    match Json.member "traceEvents" reparsed with
+    | Some (Json.List l) -> l
+    | _ -> Alcotest.fail "traceEvents missing"
+  in
+  let find name =
+    List.find_opt
+      (fun e -> Json.member "name" e = Some (Json.String name))
+      events
+  in
+  let span_bounds e =
+    match (get [ "ts" ] e, get [ "dur" ] e) with
+    | Some ts, Some dur ->
+        let ts = Option.get (Json.to_float ts) in
+        let dur = Option.get (Json.to_float dur) in
+        (ts, ts +. dur)
+    | _ -> Alcotest.fail "span without ts/dur"
+  in
+  match (find "outer", find "inner", find "tick") with
+  | Some outer, Some inner, Some tick ->
+      Alcotest.(check bool)
+        "outer is a complete event" true
+        (Json.member "ph" outer = Some (Json.String "X"));
+      Alcotest.(check bool)
+        "tick is an instant event" true
+        (Json.member "ph" tick = Some (Json.String "i"));
+      let o0, o1 = span_bounds outer and i0, i1 = span_bounds inner in
+      Alcotest.(check bool) "inner nested inside outer" true
+        (o0 <= i0 && i1 <= o1);
+      Alcotest.(check bool) "inner keeps its attrs" true
+        (get [ "args"; "k" ] inner = Some (Json.Int 1))
+  | _ -> Alcotest.fail "expected outer/inner/tick events in the trace"
+
+let test_span_disabled_records_nothing () =
+  Span.clear ();
+  Span.set_enabled false;
+  let r = Span.with_ "ghost" (fun () -> 17) in
+  Alcotest.(check int) "with_ is transparent" 17 r;
+  Alcotest.(check int) "nothing recorded" 0 (Span.events_recorded ())
+
+(* ------------------------------------------------------------------ *)
+(* CLI --json contract                                                  *)
+
+let tiler_exe = Filename.concat (Filename.concat ".." "bin") "tiler.exe"
+
+let run_capture argv =
+  let out = Filename.temp_file "tiler_out" ".txt" in
+  let err = Filename.temp_file "tiler_err" ".txt" in
+  let cmd =
+    Printf.sprintf "%s > %s 2> %s"
+      (String.concat " " (List.map Filename.quote argv))
+      (Filename.quote out) (Filename.quote err)
+  in
+  let status = Sys.command cmd in
+  let slurp f =
+    let ic = open_in_bin f in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    Sys.remove f;
+    s
+  in
+  (status, slurp out, slurp err)
+
+let test_cli_json () =
+  if not (Sys.file_exists tiler_exe) then
+    Alcotest.skip ()
+  else begin
+    let status, stdout, stderr =
+      run_capture [ tiler_exe; "analyze"; "MM"; "-n"; "24"; "--json" ]
+    in
+    Alcotest.(check int) "exit status" 0 status;
+    let doc =
+      match Json.of_string (String.trim stdout) with
+      | Ok j -> j
+      | Error m -> Alcotest.fail ("stdout is not valid JSON: " ^ m)
+    in
+    Alcotest.(check bool) "command field" true
+      (Json.member "command" doc = Some (Json.String "analyze"));
+    Alcotest.(check bool) "kernel field" true
+      (Json.member "kernel" doc = Some (Json.String "MM"));
+    let center =
+      match get [ "result"; "miss_ratio"; "center" ] doc with
+      | Some j -> Option.get (Json.to_float j)
+      | None -> Alcotest.fail "result.miss_ratio.center missing"
+    in
+    Alcotest.(check bool) "miss ratio in (0,1)" true (center > 0. && center < 1.);
+    (* the human text (now on stderr) quotes the same ratio to 2 decimals *)
+    let human_pct = Printf.sprintf "miss=%.2f%%" (100. *. center) in
+    let contains hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "stderr mentions %s" human_pct)
+      true (contains stderr human_pct)
+  end
+
+let suite =
+  [
+    Alcotest.test_case "counters sum exactly under 4 domains" `Quick
+      test_counters_concurrent;
+    Alcotest.test_case "disabled metrics are inert" `Quick test_disabled_is_inert;
+    Alcotest.test_case "snapshot shape and round-trip" `Quick test_snapshot_shape;
+    Alcotest.test_case "span nesting produces well-formed Chrome JSON" `Quick
+      test_span_nesting_chrome_json;
+    Alcotest.test_case "disabled spans record nothing" `Quick
+      test_span_disabled_records_nothing;
+    Alcotest.test_case "tiler analyze --json parses and matches human output"
+      `Quick test_cli_json;
+  ]
