@@ -430,6 +430,56 @@ let solver_accuracy () =
     [ 1; 8; 512 ]
 
 (* ------------------------------------------------------------------ *)
+(* Search throughput: the evaluation layer's parallel speedup           *)
+
+type throughput_row = {
+  t_kernel : string;
+  t_size : int;
+  t_domains : int;
+  t_evals : int;        (* fresh (distinct) candidate evaluations *)
+  t_wall_s : float;
+  t_evals_per_s : float;
+}
+
+let throughput_rows : throughput_row list ref = ref []
+
+let throughput () =
+  Fmt.pr "@.== Search throughput: GA tile search, fresh evals/sec by domains ==@.";
+  Fmt.pr "%-14s %8s %8s %10s %12s@." "Kernel_N" "domains" "evals" "wall (s)"
+    "evals/sec";
+  let domain_counts =
+    match Tiling_util.Par.recommended_domains () with
+    | 1 -> [ 1 ]
+    | d -> [ 1; d ]
+  in
+  List.iter
+    (fun (name, n) ->
+      List.iter
+        (fun domains ->
+          let nest = build name n in
+          let opts = { tiler_opts with Tiler.restarts = 1; domains } in
+          let t0 = Unix.gettimeofday () in
+          let o = Tiler.optimize ~opts nest Tiling_cache.Config.dm8k in
+          let wall = Unix.gettimeofday () -. t0 in
+          let evals = o.Tiler.distinct_candidates in
+          let rate = float_of_int evals /. Float.max 1e-9 wall in
+          throughput_rows :=
+            {
+              t_kernel = name;
+              t_size = n;
+              t_domains = domains;
+              t_evals = evals;
+              t_wall_s = wall;
+              t_evals_per_s = rate;
+            }
+            :: !throughput_rows;
+          Fmt.pr "%-14s %8d %8d %10.2f %12.0f@."
+            (Printf.sprintf "%s_%d" name n)
+            domains evals wall rate)
+        domain_counts)
+    [ ("T2D", 500); ("MM", 200) ]
+
+(* ------------------------------------------------------------------ *)
 (* Equation census: the section 2.4 size explosion                      *)
 
 let equations () =

@@ -3,7 +3,8 @@
      dune exec bench/main.exe            -- regenerate every table and figure
      dune exec bench/main.exe -- TARGET  -- one of: table2 fig8 fig9 table3
                                             table4 ga-convergence
-                                            solver-accuracy equations timing
+                                            solver-accuracy equations
+                                            throughput timing
 
    Besides the human-readable tables on stdout, every run writes
    BENCH_results.json in the current directory: a machine-readable record
@@ -17,7 +18,11 @@
                       "tiles": [int], "before_miss_pct": float,
                       "after_miss_pct": float, "before_repl_pct": float,
                       "after_repl_pct": float, "generations": int,
-                      "converged": bool }, ... ] } *)
+                      "converged": bool }, ... ],
+       "search_throughput":
+                  [ { "kernel": str, "n": int, "domains": int,
+                      "evals": int, "wall_s": float,
+                      "evals_per_s": float }, ... ] } *)
 
 let targets : (string * (unit -> unit)) list =
   [
@@ -32,6 +37,7 @@ let targets : (string * (unit -> unit)) list =
     ("ga-convergence", Experiments.ga_convergence);
     ("solver-accuracy", Experiments.solver_accuracy);
     ("equations", Experiments.equations);
+    ("throughput", Experiments.throughput);
     ("timing", Timing.run);
   ]
 
@@ -59,6 +65,18 @@ let json_of_tiling (r : Experiments.tiling_result) cache_size =
       ("converged", Bool r.Experiments.converged);
     ]
 
+let json_of_throughput (r : Experiments.throughput_row) =
+  let open Tiling_obs.Json in
+  Obj
+    [
+      ("kernel", String r.Experiments.t_kernel);
+      ("n", Int r.Experiments.t_size);
+      ("domains", Int r.Experiments.t_domains);
+      ("evals", Int r.Experiments.t_evals);
+      ("wall_s", Float r.Experiments.t_wall_s);
+      ("evals_per_s", Float r.Experiments.t_evals_per_s);
+    ]
+
 let write_results timed =
   let open Tiling_obs.Json in
   let tilings =
@@ -67,12 +85,16 @@ let write_results timed =
       Experiments.tile_cache []
     |> List.sort compare
   in
+  let throughput =
+    List.rev_map json_of_throughput !Experiments.throughput_rows
+  in
   let doc =
     Obj
       [
         ("schema", String "tiling-bench/1");
         ("targets", List (List.rev timed));
         ("tilings", List tilings);
+        ("search_throughput", List throughput);
       ]
   in
   let oc = open_out "BENCH_results.json" in

@@ -25,6 +25,7 @@ let small_opts =
     sample_points = Some 32;
     restarts = 1;
     domains = 1;
+    backend = Tiling_search.Backend.default;
   }
 
 let build name n = (Tiling_kernels.Kernels.find name).Tiling_kernels.Kernels.build n
@@ -61,6 +62,8 @@ let bench_table3 =
              max_intra = 8;
              max_inter = 8;
              restarts = 1;
+             domains = 1;
+             backend = Tiling_search.Backend.default;
            }
          in
          ignore

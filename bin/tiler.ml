@@ -57,6 +57,37 @@ let exact_arg =
   let doc = "Visit every iteration point instead of sampling (slow)." in
   Arg.(value & flag & info [ "exact" ] ~doc)
 
+(* Search flags shared by every GA subcommand. *)
+
+let domains_arg =
+  let doc =
+    "Evaluate each GA generation in parallel over this many OCaml domains \
+     (the result is identical for any value)."
+  in
+  Arg.(value & opt int 1 & info [ "domains"; "j" ] ~docv:"N" ~doc)
+
+let backend_arg =
+  let backend_conv =
+    let parse s =
+      match Tiling_search.Backend.of_string s with
+      | Ok b -> Ok b
+      | Error m -> Error (`Msg m)
+    in
+    let print ppf (b : Tiling_search.Backend.t) =
+      Fmt.string ppf b.Tiling_search.Backend.name
+    in
+    Arg.conv (parse, print)
+  in
+  let doc =
+    Printf.sprintf
+      "Candidate cost backend; $(docv) is one of %s (see docs/SEARCH.md)."
+      (String.concat ", " Tiling_search.Backend.names)
+  in
+  Arg.(
+    value
+    & opt backend_conv Tiling_search.Backend.default
+    & info [ "backend" ] ~docv:"BACKEND" ~doc)
+
 (* ------------------------------------------------------------------ *)
 (* Observability flags                                                  *)
 
@@ -280,14 +311,12 @@ let equations_cmd =
        $ assoc_arg $ tiles_arg))
 
 let tile_cmd =
-  let domains_arg =
-    let doc = "Evaluate each GA generation in parallel over this many OCaml domains." in
-    Arg.(value & opt int 1 & info [ "domains"; "j" ] ~docv:"N" ~doc)
-  in
-  let run name size csize line assoc seed domains obs =
+  let run name size csize line assoc seed domains backend obs =
     with_setup name size csize line assoc (fun _ n nest cache ->
         obs_run obs ~command:"tile" ~kernel:name ~n ~cache (fun () ->
-            let opts = { Tiling_core.Tiler.default_opts with seed; domains } in
+            let opts =
+              { Tiling_core.Tiler.default_opts with seed; domains; backend }
+            in
             let o = Tiling_core.Tiler.optimize ~opts nest cache in
             let human ppf =
               Fmt.pf ppf "%s n=%d on %a:@.%a@." name n Tiling_cache.Config.pp
@@ -299,13 +328,15 @@ let tile_cmd =
     Term.(
       ret
         (const run $ kernel_arg $ size_arg $ cache_size_arg $ line_arg
-       $ assoc_arg $ seed_arg $ domains_arg $ obs_term))
+       $ assoc_arg $ seed_arg $ domains_arg $ backend_arg $ obs_term))
 
 let pad_cmd =
-  let run name size csize line assoc seed obs =
+  let run name size csize line assoc seed domains backend obs =
     with_setup name size csize line assoc (fun _ n nest cache ->
         obs_run obs ~command:"pad" ~kernel:name ~n ~cache (fun () ->
-            let opts = { Tiling_core.Padder.default_opts with seed } in
+            let opts =
+              { Tiling_core.Padder.default_opts with seed; domains; backend }
+            in
             let o = Tiling_core.Padder.optimize ~opts nest cache in
             let human ppf =
               Fmt.pf ppf "%s n=%d on %a:@.%a@." name n Tiling_cache.Config.pp
@@ -317,14 +348,18 @@ let pad_cmd =
     Term.(
       ret
         (const run $ kernel_arg $ size_arg $ cache_size_arg $ line_arg
-       $ assoc_arg $ seed_arg $ obs_term))
+       $ assoc_arg $ seed_arg $ domains_arg $ backend_arg $ obs_term))
 
 let pad_tile_cmd =
-  let run name size csize line assoc seed obs =
+  let run name size csize line assoc seed domains backend obs =
     with_setup name size csize line assoc (fun _ n nest cache ->
         obs_run obs ~command:"pad-tile" ~kernel:name ~n ~cache (fun () ->
-            let topts = { Tiling_core.Tiler.default_opts with seed } in
-            let popts = { Tiling_core.Padder.default_opts with seed } in
+            let topts =
+              { Tiling_core.Tiler.default_opts with seed; domains; backend }
+            in
+            let popts =
+              { Tiling_core.Padder.default_opts with seed; domains; backend }
+            in
             let o = Tiling_core.Optimizer.pad_then_tile ~topts ~popts nest cache in
             let human ppf =
               Fmt.pf ppf "%s n=%d on %a:@.%a@." name n Tiling_cache.Config.pp
@@ -337,7 +372,7 @@ let pad_tile_cmd =
     Term.(
       ret
         (const run $ kernel_arg $ size_arg $ cache_size_arg $ line_arg
-       $ assoc_arg $ seed_arg $ obs_term))
+       $ assoc_arg $ seed_arg $ domains_arg $ backend_arg $ obs_term))
 
 let trace_cmd =
   let limit_arg =
@@ -392,10 +427,12 @@ let codegen_cmd =
     Term.(ret (const run $ kernel_arg $ size_arg $ tiles_arg $ lang_arg))
 
 let order_cmd =
-  let run name size csize line assoc seed obs =
+  let run name size csize line assoc seed domains backend obs =
     with_setup name size csize line assoc (fun _ n nest cache ->
         obs_run obs ~command:"order" ~kernel:name ~n ~cache (fun () ->
-            let opts = { Tiling_core.Tiler.default_opts with seed } in
+            let opts =
+              { Tiling_core.Tiler.default_opts with seed; domains; backend }
+            in
             let o = Tiling_core.Tiler.optimize_with_order ~opts nest cache in
             let human ppf =
               Fmt.pf ppf "%s n=%d on %a:@.%a@." name n Tiling_cache.Config.pp
@@ -409,13 +446,15 @@ let order_cmd =
     Term.(
       ret
         (const run $ kernel_arg $ size_arg $ cache_size_arg $ line_arg
-       $ assoc_arg $ seed_arg $ obs_term))
+       $ assoc_arg $ seed_arg $ domains_arg $ backend_arg $ obs_term))
 
 let joint_cmd =
-  let run name size csize line assoc seed obs =
+  let run name size csize line assoc seed domains backend obs =
     with_setup name size csize line assoc (fun _ n nest cache ->
         obs_run obs ~command:"joint" ~kernel:name ~n ~cache (fun () ->
-            let topts = { Tiling_core.Tiler.default_opts with seed } in
+            let topts =
+              { Tiling_core.Tiler.default_opts with seed; domains; backend }
+            in
             let popts = { Tiling_core.Padder.default_opts with seed } in
             let o = Tiling_core.Optimizer.pad_and_tile ~topts ~popts nest cache in
             let human ppf =
@@ -430,7 +469,7 @@ let joint_cmd =
     Term.(
       ret
         (const run $ kernel_arg $ size_arg $ cache_size_arg $ line_arg
-       $ assoc_arg $ seed_arg $ obs_term))
+       $ assoc_arg $ seed_arg $ domains_arg $ backend_arg $ obs_term))
 
 let baselines_cmd =
   let run name size csize line assoc seed obs =

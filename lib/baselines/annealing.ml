@@ -24,21 +24,13 @@ let neighbour rng spans t =
    end);
   t'
 
-let simulated_annealing ?(params = default_params) ~seed sample nest cache =
+let simulated_annealing ?(params = default_params) ?backend ~seed sample nest
+    cache =
   let spans = Transform.tile_spans nest in
   let rng = Prng.create ~seed in
-  let calls = ref 0 in
-  let memo = Hashtbl.create 512 in
-  let eval t =
-    let key = Array.to_list t in
-    match Hashtbl.find_opt memo key with
-    | Some v -> v
-    | None ->
-        incr calls;
-        let v = Tiling_core.Tiler.objective_on sample nest cache t in
-        Hashtbl.replace memo key v;
-        v
-  in
+  let service = Search.make_eval ?backend sample nest cache in
+  let eval = Tiling_search.Eval.objective service in
+  let fresh () = Tiling_search.Eval.fresh service in
   let current = ref (Array.map (fun s -> 1 + Prng.int rng s) spans) in
   let current_obj = ref (eval !current) in
   let best = ref (Array.copy !current) and best_obj = ref !current_obj in
@@ -47,7 +39,12 @@ let simulated_annealing ?(params = default_params) ~seed sample nest cache =
       (if params.initial_temp > 0. then params.initial_temp
        else Float.max 1. (!current_obj /. 2.))
   in
-  while !calls < params.evals do
+  (* Bound the number of steps as well as fresh evaluations: on a tiny tile
+     space the walk cycles inside memoised territory and the budget would
+     never be consumed. *)
+  let steps = ref 0 in
+  while fresh () < params.evals && !steps < 4 * params.evals do
+    incr steps;
     let cand = neighbour rng spans !current in
     let obj = eval cand in
     let accept =
@@ -64,28 +61,19 @@ let simulated_annealing ?(params = default_params) ~seed sample nest cache =
     end;
     temp := !temp *. params.cooling
   done;
-  { Search.tiles = !best; objective = !best_obj; evaluations = !calls }
+  { Search.tiles = !best; objective = !best_obj; evaluations = fresh () }
 
 type tabu_params = { tabu_evals : int; tenure : int }
 
 let default_tabu_params = { tabu_evals = 750; tenure = 12 }
 
-let tabu ?(params = default_tabu_params) ~seed sample nest cache =
+let tabu ?(params = default_tabu_params) ?backend ~seed sample nest cache =
   let spans = Transform.tile_spans nest in
   let d = Array.length spans in
   let rng = Prng.create ~seed in
-  let calls = ref 0 in
-  let memo = Hashtbl.create 512 in
-  let eval t =
-    let key = Array.to_list t in
-    match Hashtbl.find_opt memo key with
-    | Some v -> v
-    | None ->
-        incr calls;
-        let v = Tiling_core.Tiler.objective_on sample nest cache t in
-        Hashtbl.replace memo key v;
-        v
-  in
+  let service = Search.make_eval ?backend sample nest cache in
+  let eval = Tiling_search.Eval.objective service in
+  let fresh () = Tiling_search.Eval.fresh service in
   let tabu_until : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
   let iter = ref 0 in
   let current = ref (Array.map (fun s -> 1 + Prng.int rng s) spans) in
@@ -93,7 +81,7 @@ let tabu ?(params = default_tabu_params) ~seed sample nest cache =
   (* The memo makes revisited neighbourhoods free, so bound the number of
      iterations as well as the number of fresh evaluations: a deterministic
      walk cycling inside memoised territory must still terminate. *)
-  while !calls < params.tabu_evals && !iter < 4 * params.tabu_evals do
+  while fresh () < params.tabu_evals && !iter < 4 * params.tabu_evals do
     incr iter;
     (* All (dimension, value) moves in the +/-1 / +/-25% neighbourhood. *)
     let moves =
@@ -108,7 +96,7 @@ let tabu ?(params = default_tabu_params) ~seed sample nest cache =
     let scored =
       List.filter_map
         (fun (l, v) ->
-          if !calls >= params.tabu_evals then None
+          if fresh () >= params.tabu_evals then None
           else begin
             let t = Array.copy !current in
             t.(l) <- v;
@@ -136,4 +124,4 @@ let tabu ?(params = default_tabu_params) ~seed sample nest cache =
           best := Array.copy t
         end
   done;
-  { Search.tiles = !best; objective = !best_obj; evaluations = !calls }
+  { Search.tiles = !best; objective = !best_obj; evaluations = fresh () }

@@ -18,13 +18,15 @@ val default_params : params
 
 val simulated_annealing :
   ?params:params ->
+  ?backend:Tiling_search.Backend.t ->
   seed:int ->
   Tiling_core.Sample.t ->
   Tiling_ir.Nest.t ->
   Tiling_cache.Config.t ->
   Search.result
 (** Metropolis acceptance over a random-neighbour walk (one tile moved by
-    +/-1 or +/-25 %, occasionally resampled uniformly). *)
+    +/-1 or +/-25 %, occasionally resampled uniformly).  Steps are bounded
+    at [4 * evals] so tiny tile spaces terminate. *)
 
 type tabu_params = {
   tabu_evals : int;
@@ -35,6 +37,7 @@ val default_tabu_params : tabu_params
 
 val tabu :
   ?params:tabu_params ->
+  ?backend:Tiling_search.Backend.t ->
   seed:int ->
   Tiling_core.Sample.t ->
   Tiling_ir.Nest.t ->

@@ -2,45 +2,37 @@ open Tiling_ir
 
 type result = { tiles : int array; objective : float; evaluations : int }
 
-let make_eval sample nest cache =
-  let memo : (int list, float) Hashtbl.t = Hashtbl.create 512 in
-  let calls = ref 0 in
-  let eval tiles =
-    let key = Array.to_list tiles in
-    match Hashtbl.find_opt memo key with
-    | Some v -> v
-    | None ->
-        incr calls;
-        let v = Tiling_core.Tiler.objective_on sample nest cache tiles in
-        Hashtbl.replace memo key v;
-        v
-  in
-  (eval, calls)
+(* All baselines score candidates through the shared evaluation service:
+   same memo, same backends, same parallel batching as the GA searches. *)
+let make_eval ?backend ?domains sample nest cache =
+  Tiling_search.Eval.create ?backend ?domains ~cache
+    ~prepare:(fun tiles ->
+      (Transform.tile nest tiles, Tiling_core.Sample.embed sample ~tiles))
+    ()
 
 let candidates_per_dim ~per_dim span =
   if span <= per_dim then List.init span (fun i -> i + 1)
+  else if per_dim <= 1 then [ 1; span ]
+    (* degenerate budget on a wide span: extremes only (a lattice step of
+       [(span - 1) / (per_dim - 1)] would divide by zero) *)
   else begin
     (* Even lattice including the extremes. *)
     let xs = List.init per_dim (fun i -> 1 + (i * (span - 1) / (per_dim - 1))) in
     List.sort_uniq compare xs
   end
 
-let exhaustive ?(per_dim = 32) sample nest cache =
+let exhaustive ?(per_dim = 32) ?backend ?domains sample nest cache =
   let spans = Transform.tile_spans nest in
-  let eval, calls = make_eval sample nest cache in
+  let eval = make_eval ?backend ?domains sample nest cache in
   let dims = Array.map (candidates_per_dim ~per_dim) spans in
   let d = Array.length spans in
-  let best = ref (Array.map (fun s -> s) spans) in
-  let best_obj = ref (eval !best) in
+  (* Enumerate the grid up front (in the classic lexicographic order, with
+     the full-span vector first) so the service can score it in one
+     deduplicated parallel batch. *)
+  let grid = ref [ Array.copy spans ] in
   let current = Array.make d 1 in
   let rec go l =
-    if l = d then begin
-      let o = eval current in
-      if o < !best_obj then begin
-        best_obj := o;
-        best := Array.copy current
-      end
-    end
+    if l = d then grid := Array.copy current :: !grid
     else
       List.iter
         (fun t ->
@@ -49,15 +41,30 @@ let exhaustive ?(per_dim = 32) sample nest cache =
         dims.(l)
   in
   go 0;
-  { tiles = !best; objective = !best_obj; evaluations = !calls }
+  let candidates = Array.of_list (List.rev !grid) in
+  let costs = Tiling_search.Eval.evaluate_all eval candidates in
+  let best = ref 0 in
+  Array.iteri (fun i o -> if o < costs.(!best) then best := i) costs;
+  {
+    tiles = candidates.(!best);
+    objective = costs.(!best);
+    evaluations = Tiling_search.Eval.fresh eval;
+  }
 
-let random ~evals ~seed sample nest cache =
+let random ?backend ~evals ~seed sample nest cache =
   let spans = Transform.tile_spans nest in
-  let eval, calls = make_eval sample nest cache in
+  let service = make_eval ?backend sample nest cache in
+  let eval = Tiling_search.Eval.objective service in
+  let fresh () = Tiling_search.Eval.fresh service in
   let rng = Tiling_util.Prng.create ~seed in
   let best = ref (Array.copy spans) in
   let best_obj = ref (eval !best) in
-  while !calls < evals do
+  (* Only fresh evaluations consume the budget (memoised repeats are free),
+     so on a tiny tile space the budget can be unreachable: bound the number
+     of draws as well to guarantee termination. *)
+  let draws = ref 0 in
+  while fresh () < evals && !draws < 4 * evals do
+    incr draws;
     let t = Array.map (fun s -> 1 + Tiling_util.Prng.int rng s) spans in
     let o = eval t in
     if o < !best_obj then begin
@@ -65,11 +72,13 @@ let random ~evals ~seed sample nest cache =
       best := t
     end
   done;
-  { tiles = !best; objective = !best_obj; evaluations = !calls }
+  { tiles = !best; objective = !best_obj; evaluations = fresh () }
 
-let hill_climb ~evals ~seed sample nest cache =
+let hill_climb ?backend ~evals ~seed sample nest cache =
   let spans = Transform.tile_spans nest in
-  let eval, calls = make_eval sample nest cache in
+  let service = make_eval ?backend sample nest cache in
+  let eval = Tiling_search.Eval.objective service in
+  let fresh () = Tiling_search.Eval.fresh service in
   let rng = Tiling_util.Prng.create ~seed in
   let d = Array.length spans in
   let best = ref (Array.copy spans) in
@@ -91,18 +100,18 @@ let hill_climb ~evals ~seed sample nest cache =
   (* Memoised re-visits are free, so also bound the number of restarts to
      guarantee termination. *)
   let starts = ref 0 in
-  while !calls < evals && !starts < 4 * evals do
+  while fresh () < evals && !starts < 4 * evals do
     incr starts;
     (* One multi-start descent. *)
     let here = ref (Array.map (fun s -> 1 + Tiling_util.Prng.int rng s) spans) in
     let here_obj = ref (eval !here) in
     let improved = ref true in
-    while !improved && !calls < evals do
+    while !improved && fresh () < evals do
       improved := false;
       let cands = neighbours !here in
       List.iter
         (fun t ->
-          if !calls < evals then begin
+          if fresh () < evals then begin
             let o = eval t in
             if o < !here_obj then begin
               here_obj := o;
@@ -117,4 +126,4 @@ let hill_climb ~evals ~seed sample nest cache =
       best := !here
     end
   done;
-  { tiles = !best; objective = !best_obj; evaluations = !calls }
+  { tiles = !best; objective = !best_obj; evaluations = fresh () }

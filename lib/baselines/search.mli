@@ -1,38 +1,64 @@
 (** Search baselines for tile-size selection.
 
     All searches optimise exactly the same objective as the genetic
-    algorithm — {!Tiling_core.Tiler.objective_on} over a shared sample — so
-    comparisons isolate the *search strategy* (section 5 of the paper
-    explains why the authors could not compare against other published
-    selectors on an equal footing; sharing the objective is how we can). *)
+    algorithm — a {!Tiling_search.Backend} cost over a shared sample,
+    memoised by a shared {!Tiling_search.Eval} service — so comparisons
+    isolate the *search strategy* (section 5 of the paper explains why the
+    authors could not compare against other published selectors on an equal
+    footing; sharing the objective is how we can). *)
 
 type result = {
   tiles : int array;
   objective : float;   (** replacement misses over the common sample *)
-  evaluations : int;   (** objective calls spent *)
+  evaluations : int;   (** fresh (memo-missing) objective calls spent *)
 }
+
+val make_eval :
+  ?backend:Tiling_search.Backend.t ->
+  ?domains:int ->
+  Tiling_core.Sample.t ->
+  Tiling_ir.Nest.t ->
+  Tiling_cache.Config.t ->
+  Tiling_search.Eval.t
+(** The evaluation service every baseline scores candidates through:
+    [prepare tiles] is the tiled nest plus the sample embedded under that
+    tiling, exactly the GA's candidate preparation. *)
+
+val candidates_per_dim : per_dim:int -> int -> int list
+(** [candidates_per_dim ~per_dim span] is the sorted candidate tile sizes
+    tried along one dimension by {!exhaustive}: all of [1..span] when the
+    span fits the budget, otherwise an even lattice of [per_dim] values
+    including both extremes.  A degenerate budget ([per_dim <= 1]) on a
+    wide span yields the extremes [\[1; span\]].  Exposed for testing. *)
 
 val exhaustive :
   ?per_dim:int ->
+  ?backend:Tiling_search.Backend.t ->
+  ?domains:int ->
   Tiling_core.Sample.t ->
   Tiling_ir.Nest.t ->
   Tiling_cache.Config.t ->
   result
 (** Grid enumeration of the tile space.  [per_dim] (default 32) bounds the
-    values tried per dimension: all of [1..span] when the span is small,
-    otherwise an even lattice including 1 and the full span.  With small
-    spans this is the true optimum (the paper's "optimal" reference). *)
+    values tried per dimension (see {!candidates_per_dim}).  With small
+    spans this is the true optimum (the paper's "optimal" reference).  The
+    grid is scored as one deduplicated batch, so [domains > 1] evaluates it
+    in parallel. *)
 
 val random :
+  ?backend:Tiling_search.Backend.t ->
   evals:int ->
   seed:int ->
   Tiling_core.Sample.t ->
   Tiling_ir.Nest.t ->
   Tiling_cache.Config.t ->
   result
-(** Uniform random tile vectors, best kept. *)
+(** Uniform random tile vectors, best kept.  Terminates even when the tile
+    space holds fewer than [evals] distinct candidates (draws are bounded
+    at [4 * evals]). *)
 
 val hill_climb :
+  ?backend:Tiling_search.Backend.t ->
   evals:int ->
   seed:int ->
   Tiling_core.Sample.t ->

@@ -70,47 +70,23 @@ let pad_and_tile ?(topts = Tiler.default_opts) ?(popts = Padder.default_opts)
     let engine = Tiling_cme.Engine.create tiled cache in
     Tiling_cme.Estimator.sample_at engine (Sample.embed sample ~tiles)
   in
-  let memo : (int list, float) Hashtbl.t = Hashtbl.create 1024 in
-  let m_memo_hit = Tiling_obs.Metrics.counter "optimizer.memo.hit" in
-  let m_memo_miss = Tiling_obs.Metrics.counter "optimizer.memo.miss" in
-  let objective values =
-    let key = Array.to_list values in
-    match Hashtbl.find_opt memo key with
-    | Some v ->
-        Tiling_obs.Metrics.incr m_memo_hit;
-        v
-    | None ->
-        Tiling_obs.Metrics.incr m_memo_miss;
+  (* Joint candidates pad a fresh clone and tile it — pure preparation, so
+     generations parallelise over domains like the single-variable
+     searches. *)
+  let eval =
+    Tiling_search.Eval.create ~backend:topts.Tiler.backend
+      ~domains:topts.Tiler.domains ~cache
+      ~prepare:(fun values ->
         let tiles, padding = split values in
-        let v =
-          Padder.with_padding nest padding (fun () ->
-              float_of_int (Tiling_cme.Estimator.replacement (evaluate tiles)))
-        in
-        Hashtbl.replace memo key v;
-        v
+        let padded = Transform.padded nest padding in
+        (Transform.tile padded tiles, Sample.embed sample ~tiles))
+      ()
   in
   let encoding = Tiling_ga.Encoding.make uppers in
-  let runs =
-    List.init
-      (max 1 topts.Tiler.restarts)
-      (fun r ->
-        Tiling_obs.Span.with_ "optimizer.restart"
-          ~attrs:[ ("restart", Tiling_obs.Json.Int r) ]
-          (fun () ->
-            let rng =
-              Tiling_util.Prng.create
-                ~seed:(topts.Tiler.seed lxor 0x71F lxor (r * 0x5DEECE66))
-            in
-            Tiling_ga.Engine.run ~params:topts.Tiler.ga ~encoding ~objective
-              ~on_generation:Tiling_ga.Engine.trace_generation ~rng ()))
-  in
   let ga =
-    List.fold_left
-      (fun acc (run : Tiling_ga.Engine.result) ->
-        if run.Tiling_ga.Engine.best_objective < acc.Tiling_ga.Engine.best_objective
-        then run
-        else acc)
-      (List.hd runs) (List.tl runs)
+    Tiling_search.Driver.best_of ~label:"optimizer" ~params:topts.Tiler.ga
+      ~restarts:topts.Tiler.restarts ~seed:topts.Tiler.seed ~salt:0x71F
+      ~encoding ~eval ()
   in
   let tiles, padding =
     split (Tiling_ga.Encoding.decode encoding ga.Tiling_ga.Engine.best_genes)

@@ -1,10 +1,5 @@
 open Tiling_ir
-module Metrics = Tiling_obs.Metrics
 module Span = Tiling_obs.Span
-
-let m_memo_hit = Metrics.counter "padder.memo.hit"
-let m_memo_miss = Metrics.counter "padder.memo.miss"
-let m_restarts = Metrics.counter "padder.restarts"
 
 type opts = {
   ga : Tiling_ga.Engine.params;
@@ -13,6 +8,8 @@ type opts = {
   max_intra : int;
   max_inter : int;
   restarts : int;
+  domains : int;
+  backend : Tiling_search.Backend.t;
 }
 
 let default_opts =
@@ -23,6 +20,8 @@ let default_opts =
     max_intra = 16;
     max_inter = 16;
     restarts = 3;
+    domains = 1;
+    backend = Tiling_search.Backend.default;
   }
 
 type outcome = {
@@ -73,47 +72,29 @@ let optimize ?(opts = default_opts) ?tiles nest cache =
         if i land 1 = 0 then opts.max_intra + 1 else opts.max_inter + 1)
   in
   let encoding = Tiling_ga.Encoding.make uppers in
-  let memo : (int list, float) Hashtbl.t = Hashtbl.create 512 in
-  let objective values =
-    let key = Array.to_list values in
-    match Hashtbl.find_opt memo key with
-    | Some v ->
-        Metrics.incr m_memo_hit;
-        v
-    | None ->
-        Metrics.incr m_memo_miss;
-        let pad = pad_of_values values in
-        let v =
-          with_padding nest pad (fun () ->
-              float_of_int (Tiling_cme.Estimator.replacement (eval_current ())))
-        in
-        Hashtbl.replace memo key v;
-        v
+  (* Candidate preparation pads a fresh clone ([Transform.padded]) instead
+     of mutating [nest] in place, so the evaluation service may fan whole
+     generations out over domains. *)
+  let eval =
+    Tiling_search.Eval.create ~backend:opts.backend ~domains:opts.domains
+      ~cache
+      ~prepare:(fun values ->
+        let padded = Transform.padded nest (pad_of_values values) in
+        match tiles with
+        | None -> (padded, Sample.points sample)
+        | Some tiles -> (Transform.tile padded tiles, Sample.embed sample ~tiles))
+      ()
   in
   let before = eval_current () in
-  let runs =
-    List.init (max 1 opts.restarts) (fun r ->
-        Span.with_ "padder.restart" ~attrs:[ ("restart", Tiling_obs.Json.Int r) ]
-          (fun () ->
-            Metrics.incr m_restarts;
-            let rng = Tiling_util.Prng.create ~seed:(opts.seed lxor 0x9AD lxor (r * 0x5DEECE66)) in
-            Tiling_ga.Engine.run ~params:opts.ga ~encoding ~objective
-              ~on_generation:Tiling_ga.Engine.trace_generation ~rng ()))
-  in
   let ga =
-    List.fold_left
-      (fun acc (run : Tiling_ga.Engine.result) ->
-        if run.Tiling_ga.Engine.best_objective
-           < acc.Tiling_ga.Engine.best_objective
-        then run
-        else acc)
-      (List.hd runs) (List.tl runs)
+    Tiling_search.Driver.best_of ~label:"padder" ~params:opts.ga
+      ~restarts:opts.restarts ~seed:opts.seed ~salt:0x9AD ~encoding ~eval ()
   in
   let padding =
     pad_of_values (Tiling_ga.Encoding.decode encoding ga.Tiling_ga.Engine.best_genes)
   in
   let after = with_padding nest padding eval_current in
-  { padding; before; after; ga; distinct_candidates = Hashtbl.length memo }
+  { padding; before; after; ga; distinct_candidates = Tiling_search.Eval.distinct eval }
 
 let json_of_padding (p : Transform.padding) =
   let arr a =

@@ -14,6 +14,11 @@ type opts = {
   max_intra : int;  (** max extra elements on the leading dimension *)
   max_inter : int;  (** max gap elements before each array *)
   restarts : int;   (** independent GA runs, best kept *)
+  domains : int;
+      (** OCaml domains scoring each generation in parallel; padding
+          candidates are evaluated on fresh nest clones, so results are
+          identical for any value *)
+  backend : Tiling_search.Backend.t;  (** candidate cost backend *)
 }
 
 val default_opts : opts

@@ -3,12 +3,7 @@ open Tiling_ir
 let log_src = Logs.Src.create "tiling.core" ~doc:"GA tile/padding search"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
-module Metrics = Tiling_obs.Metrics
 module Span = Tiling_obs.Span
-
-let m_memo_hit = Metrics.counter "tiler.memo.hit"
-let m_memo_miss = Metrics.counter "tiler.memo.miss"
-let m_restarts = Metrics.counter "tiler.restarts"
 
 type opts = {
   ga : Tiling_ga.Engine.params;
@@ -16,6 +11,7 @@ type opts = {
   sample_points : int option;
   restarts : int;
   domains : int;
+  backend : Tiling_search.Backend.t;
 }
 
 let default_opts =
@@ -25,6 +21,7 @@ let default_opts =
     sample_points = None;
     restarts = 3;
     domains = 1;
+    backend = Tiling_search.Backend.default;
   }
 
 type outcome = {
@@ -41,8 +38,8 @@ let report_for sample nest cache tiles =
   Tiling_cme.Estimator.sample_at engine (Sample.embed sample ~tiles)
 
 let objective_on sample nest cache tiles =
-  let r = report_for sample nest cache tiles in
-  float_of_int (Tiling_cme.Estimator.replacement r)
+  Tiling_search.Backend.(cme_sample.cost) cache (Transform.tile nest tiles)
+    ~points:(Sample.embed sample ~tiles)
 
 let optimize ?(opts = default_opts) nest cache =
   Span.with_ "tiler.optimize"
@@ -51,61 +48,30 @@ let optimize ?(opts = default_opts) nest cache =
   let sample = Sample.create ?n:opts.sample_points ~seed:opts.seed nest in
   let uppers = Transform.tile_spans nest in
   let encoding = Tiling_ga.Encoding.make uppers in
-  (* The GA revisits individuals; cache the expensive objective per tile
-     vector.  Tile evaluation never mutates shared state (tiling builds a
-     fresh nest; padding is not involved), so whole generations can be
-     scored in parallel over domains, with the memo behind a mutex. *)
-  let memo : (int list, float) Hashtbl.t = Hashtbl.create 512 in
-  let memo_lock = Mutex.create () in
-  let lookup key = Mutex.protect memo_lock (fun () -> Hashtbl.find_opt memo key) in
-  let store key v = Mutex.protect memo_lock (fun () -> Hashtbl.replace memo key v) in
-  let objective tiles =
-    let key = Array.to_list tiles in
-    match lookup key with
-    | Some v ->
-        Metrics.incr m_memo_hit;
-        v
-    | None ->
-        Metrics.incr m_memo_miss;
-        let v = objective_on sample nest cache tiles in
-        store key v;
-        v
-  in
-  let evaluate_all =
-    if opts.domains <= 1 then None
-    else
-      Some
-        (fun decoded ->
-          Tiling_util.Par.map ~domains:opts.domains objective decoded)
+  (* Tile evaluation never mutates shared state (tiling builds a fresh
+     nest; padding is not involved), so the evaluation service can score
+     whole generations in parallel over domains. *)
+  let eval =
+    Tiling_search.Eval.create ~backend:opts.backend ~domains:opts.domains
+      ~cache
+      ~prepare:(fun tiles -> (Transform.tile nest tiles, Sample.embed sample ~tiles))
+      ()
   in
   (* Independent GA restarts (objective cache shared): our exact
      conflict-aware objective is rougher than the paper's, so a single
      population occasionally converges into a poor basin.  Keep the best
      run. *)
-  let runs =
-    List.init (max 1 opts.restarts) (fun r ->
-        Span.with_ "tiler.restart" ~attrs:[ ("restart", Tiling_obs.Json.Int r) ]
-          (fun () ->
-            Metrics.incr m_restarts;
-            let rng = Tiling_util.Prng.create ~seed:(opts.seed lxor 0x6A5 lxor (r * 0x5DEECE66)) in
-            Tiling_ga.Engine.run ?evaluate_all ~params:opts.ga ~encoding
-              ~objective ~on_generation:Tiling_ga.Engine.trace_generation ~rng ()))
-  in
   let ga =
-    List.fold_left
-      (fun acc (run : Tiling_ga.Engine.result) ->
-        if run.Tiling_ga.Engine.best_objective
-           < acc.Tiling_ga.Engine.best_objective
-        then run
-        else acc)
-      (List.hd runs) (List.tl runs)
+    Tiling_search.Driver.best_of ~label:"tiler" ~params:opts.ga
+      ~restarts:opts.restarts ~seed:opts.seed ~salt:0x6A5 ~encoding ~eval ()
   in
   let tiles = Tiling_ga.Encoding.decode encoding ga.Tiling_ga.Engine.best_genes in
   Log.info (fun m ->
       m "%s: GA chose tiles [%s] after %d evaluations (%d distinct), best %g"
         nest.Nest.name
         (String.concat "," (Array.to_list (Array.map string_of_int tiles)))
-        ga.Tiling_ga.Engine.evaluations (Hashtbl.length memo)
+        ga.Tiling_ga.Engine.evaluations
+        (Tiling_search.Eval.distinct eval)
         ga.Tiling_ga.Engine.best_objective);
   let before =
     Span.with_ "tiler.report.before" (fun () ->
@@ -115,7 +81,7 @@ let optimize ?(opts = default_opts) nest cache =
   let after =
     Span.with_ "tiler.report.after" (fun () -> report_for sample nest cache tiles)
   in
-  { tiles; before; after; ga; distinct_candidates = Hashtbl.length memo }
+  { tiles; before; after; ga; distinct_candidates = Tiling_search.Eval.distinct eval }
 
 let json_of_int_array a =
   Tiling_obs.Json.List (Array.to_list (Array.map (fun i -> Tiling_obs.Json.Int i) a))
@@ -178,12 +144,12 @@ let optimize_with_order ?(opts = default_opts) nest cache =
   let sample = Sample.create ?n:opts.sample_points ~seed:opts.seed nest in
   let spans = Transform.tile_spans nest in
   let nperms = factorial d in
-  (* Permuted nests and their samples are built once per permutation. *)
-  let permuted = Hashtbl.create nperms in
-  let nest_for idx =
-    match Hashtbl.find_opt permuted idx with
-    | Some v -> v
-    | None ->
+  (* Permuted nests and their reordered samples, one per permutation.
+     Built eagerly (interchange is cheap next to one candidate evaluation)
+     so candidate preparation is a read-only lookup — safe from any
+     domain. *)
+  let permuted =
+    Array.init nperms (fun idx ->
         let perm = permutation_of_index d idx in
         let pnest = Transform.interchange nest perm in
         (* the sample's points, reordered to the permuted loop order *)
@@ -192,10 +158,9 @@ let optimize_with_order ?(opts = default_opts) nest cache =
             (fun p -> Array.init d (fun i -> p.(perm.(i))))
             (Sample.points sample)
         in
-        let v = (perm, pnest, pts) in
-        Hashtbl.replace permuted idx v;
-        v
+        (perm, pnest, pts))
   in
+  let nest_for idx = permuted.(idx) in
   let embed_tiled pnest pts tiles =
     let los =
       Array.map
@@ -220,61 +185,39 @@ let optimize_with_order ?(opts = default_opts) nest cache =
   let max_span = Array.fold_left max 1 spans in
   let uppers = Array.append [| nperms |] (Array.make d max_span) in
   let encoding = Tiling_ga.Encoding.make uppers in
-  let memo : (int list, float) Hashtbl.t = Hashtbl.create 1024 in
-  let evaluate idx tiles =
+  let prepared idx tiles =
     let _, pnest, pts = nest_for idx in
     let pspans = Transform.tile_spans pnest in
     let tiles = Array.mapi (fun l t -> min t pspans.(l)) tiles in
-    let tiled = Transform.tile pnest tiles in
-    let engine = Tiling_cme.Engine.create tiled cache in
-    Tiling_cme.Estimator.sample_at engine (embed_tiled pnest pts tiles)
+    (pnest, pts, tiles)
   in
-  let objective values =
-    let key = Array.to_list values in
-    match Hashtbl.find_opt memo key with
-    | Some v ->
-        Metrics.incr m_memo_hit;
-        v
-    | None ->
-        Metrics.incr m_memo_miss;
-        let idx = values.(0) - 1 in
-        let tiles = Array.sub values 1 d in
-        let v =
-          float_of_int (Tiling_cme.Estimator.replacement (evaluate idx tiles))
-        in
-        Hashtbl.replace memo key v;
-        v
-  in
-  let runs =
-    List.init (max 1 opts.restarts) (fun r ->
-        Span.with_ "tiler.restart" ~attrs:[ ("restart", Tiling_obs.Json.Int r) ]
-          (fun () ->
-            Metrics.incr m_restarts;
-            let rng =
-              Tiling_util.Prng.create
-                ~seed:(opts.seed lxor 0x2E7 lxor (r * 0x5DEECE66))
-            in
-            Tiling_ga.Engine.run ~params:opts.ga ~encoding ~objective
-              ~on_generation:Tiling_ga.Engine.trace_generation ~rng ()))
+  let eval =
+    Tiling_search.Eval.create ~backend:opts.backend ~domains:opts.domains
+      ~cache
+      ~prepare:(fun values ->
+        let pnest, pts, tiles = prepared (values.(0) - 1) (Array.sub values 1 d) in
+        (Transform.tile pnest tiles, embed_tiled pnest pts tiles))
+      ()
   in
   let ga =
-    List.fold_left
-      (fun acc (run : Tiling_ga.Engine.result) ->
-        if run.Tiling_ga.Engine.best_objective < acc.Tiling_ga.Engine.best_objective
-        then run
-        else acc)
-      (List.hd runs) (List.tl runs)
+    Tiling_search.Driver.best_of ~label:"tiler" ~params:opts.ga
+      ~restarts:opts.restarts ~seed:opts.seed ~salt:0x2E7 ~encoding ~eval ()
   in
   let values = Tiling_ga.Encoding.decode encoding ga.Tiling_ga.Engine.best_genes in
   let idx = values.(0) - 1 in
-  let perm, pnest, _ = nest_for idx in
-  let pspans = Transform.tile_spans pnest in
-  let otiles = Array.mapi (fun l t -> min t pspans.(l)) (Array.sub values 1 d) in
+  let perm, _, _ = nest_for idx in
+  let pnest, pts, otiles = prepared idx (Array.sub values 1 d) in
   let obefore =
     let engine = Tiling_cme.Engine.create nest cache in
     Tiling_cme.Estimator.sample_at engine (Sample.points sample)
   in
-  let oafter = evaluate idx otiles in
+  let oafter =
+    (* The outcome's report stays on the CME sample regardless of the
+       search backend, so before/after are always directly comparable. *)
+    let tiled = Transform.tile pnest otiles in
+    let engine = Tiling_cme.Engine.create tiled cache in
+    Tiling_cme.Estimator.sample_at engine (embed_tiled pnest pts otiles)
+  in
   { order = perm; otiles; obefore; oafter; oga = ga }
 
 let order_to_json o =

@@ -20,6 +20,10 @@ type opts = {
       (** OCaml domains used to score each GA generation in parallel
           (candidate evaluations are independent); 1 = sequential.  The
           search result is identical for any value. *)
+  backend : Tiling_search.Backend.t;
+      (** cost backend scoring each candidate — CME sampling by default;
+          see {!Tiling_search.Backend} for the alternatives (exact CME
+          enumeration, trace-driven cache simulation) *)
 }
 
 val default_opts : opts

@@ -12,6 +12,8 @@ let create ?(elem_size = 8) name extents =
   assert (elem_size >= 1);
   { name; extents; layout = Array.copy extents; elem_size; base = 0 }
 
+let copy t = { t with layout = Array.copy t.layout }
+
 let rank t = Array.length t.extents
 
 let strides t =

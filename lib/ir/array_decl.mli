@@ -20,6 +20,11 @@ val create : ?elem_size:int -> string -> int array -> t
     [base = 0] (bases are assigned later by {!place}).  Default [elem_size]
     is 8 (double-precision REAL). *)
 
+val copy : t -> t
+(** An independent declaration with the same name, extents, layout and
+    base.  Mutating the copy's layout or base leaves the original (and any
+    nest referring to it) untouched. *)
+
 val rank : t -> int
 
 val strides : t -> int array

@@ -66,6 +66,18 @@ let make ~name ~loops ~refs ~arrays =
   in
   { name; loops; refs; arrays }
 
+let clone t =
+  (* Fresh array declarations (layout and base are mutable under padding),
+     with every reference re-bound to its array's copy by physical
+     identity. *)
+  let fresh = List.map (fun a -> (a, Array_decl.copy a)) t.arrays in
+  let swap a = match List.assq_opt a fresh with Some a' -> a' | None -> a in
+  {
+    t with
+    refs = Array.map (fun r -> { r with array = swap r.array }) t.refs;
+    arrays = List.map snd fresh;
+  }
+
 let bounds_at t point l =
   match t.loops.(l).shape with
   | Range { lo; hi; step } -> (lo, hi, step)

@@ -50,6 +50,11 @@ val make :
 val depth : t -> int
 val var_names : t -> string array
 
+val clone : t -> t
+(** A structurally identical nest whose array declarations are independent
+    copies: layout/base mutations (padding) on the clone never touch the
+    original, so clones can be transformed and analysed concurrently. *)
+
 val bounds_at : t -> int array -> int -> int * int * int
 (** [bounds_at nest point l] is [(lo, hi, step)] of loop [l] when the outer
     loops take the values in [point] (entries at positions >= l are

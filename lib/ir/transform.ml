@@ -126,6 +126,11 @@ let apply_padding (nest : Nest.t) pad =
   List.iteri (fun k (a : Array_decl.t) -> Hashtbl.replace gaps a.Array_decl.name pad.inter.(k)) nest.arrays;
   Array_decl.place ~gap:(fun a -> Hashtbl.find gaps a.Array_decl.name) nest.arrays
 
+let padded (nest : Nest.t) pad =
+  let clone = Nest.clone nest in
+  apply_padding clone pad;
+  clone
+
 let clear_padding (nest : Nest.t) =
   List.iter Array_decl.reset_padding nest.arrays;
   Array_decl.place nest.arrays

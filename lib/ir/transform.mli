@@ -43,6 +43,13 @@ val apply_padding : Nest.t -> padding -> unit
     [intra], then bases are re-assigned consecutively with the [inter]
     gaps.  Call {!clear_padding} to restore the canonical placement. *)
 
+val padded : Nest.t -> padding -> Nest.t
+(** [padded nest pad] is a clone of [nest] (fresh array declarations, see
+    {!Nest.clone}) with the padding applied.  The original nest is left
+    untouched, so padded clones are safe to build and analyse from several
+    domains concurrently — this is what lets padding searches evaluate
+    whole GA generations in parallel. *)
+
 val clear_padding : Nest.t -> unit
 (** Resets layouts to the logical extents and re-places arrays with no
     gaps. *)

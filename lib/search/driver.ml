@@ -1,0 +1,26 @@
+module Metrics = Tiling_obs.Metrics
+module Span = Tiling_obs.Span
+
+let restart_seed ~seed ~salt r = seed lxor salt lxor (r * 0x5DEECE66)
+
+let best_of ?(on_generation = Tiling_ga.Engine.trace_generation) ~label ~params
+    ~restarts ~seed ~salt ~encoding ~eval () =
+  let m_restarts = Metrics.counter (label ^ ".restarts") in
+  let runs =
+    List.init (max 1 restarts) (fun r ->
+        Span.with_ (label ^ ".restart")
+          ~attrs:[ ("restart", Tiling_obs.Json.Int r) ]
+          (fun () ->
+            Metrics.incr m_restarts;
+            let rng = Tiling_util.Prng.create ~seed:(restart_seed ~seed ~salt r) in
+            Tiling_ga.Engine.run ~params ~encoding
+              ~objective:(Eval.objective eval)
+              ~evaluate_all:(Eval.evaluate_all eval)
+              ~on_generation ~rng ()))
+  in
+  List.fold_left
+    (fun (acc : Tiling_ga.Engine.result) (run : Tiling_ga.Engine.result) ->
+      if run.Tiling_ga.Engine.best_objective < acc.Tiling_ga.Engine.best_objective
+      then run
+      else acc)
+    (List.hd runs) (List.tl runs)

@@ -1,0 +1,33 @@
+(** Best-of-N-restarts GA orchestration.
+
+    Every GA consumer (tile search, padding search, joint pad+tile, loop
+    order) runs the same outer loop: N independent GA runs over a shared
+    {!Eval} service, best result kept.  This module owns that fold — it
+    used to be copy-pasted per strategy — together with the deterministic
+    per-restart seed derivation. *)
+
+val restart_seed : seed:int -> salt:int -> int -> int
+(** [restart_seed ~seed ~salt r] is the PRNG seed of restart [r]:
+    [seed lxor salt lxor (r * 0x5DEECE66)].  [salt] decorrelates the
+    strategies that share one user seed (each call site picks a distinct
+    constant), [r] decorrelates the restarts. *)
+
+val best_of :
+  ?on_generation:(Tiling_ga.Engine.generation_stats -> unit) ->
+  label:string ->
+  params:Tiling_ga.Engine.params ->
+  restarts:int ->
+  seed:int ->
+  salt:int ->
+  encoding:Tiling_ga.Encoding.t ->
+  eval:Eval.t ->
+  unit ->
+  Tiling_ga.Engine.result
+(** [best_of ~label ~params ~restarts ~seed ~salt ~encoding ~eval ()] runs
+    [max 1 restarts] independent GA searches (shared objective memo — later
+    restarts revisit earlier candidates for free) and returns the run with
+    the lowest best objective, ties to the earliest restart.
+
+    [label] names the observability artifacts: each restart runs under a
+    ["<label>.restart"] span and bumps the ["<label>.restarts"] counter.
+    [on_generation] defaults to {!Tiling_ga.Engine.trace_generation}. *)

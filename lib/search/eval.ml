@@ -1,0 +1,92 @@
+module Metrics = Tiling_obs.Metrics
+module Span = Tiling_obs.Span
+
+let m_memo_hit = Metrics.counter "search.memo.hit"
+let m_memo_miss = Metrics.counter "search.memo.miss"
+let m_batches = Metrics.counter "search.eval.batches"
+
+type t = {
+  backend : Backend.t;
+  domains : int;
+  cache : Tiling_cache.Config.t;
+  prepare : int array -> Tiling_ir.Nest.t * int array array;
+  memo : (int list, float) Memo.t;
+  fresh : int Atomic.t;
+  hits : int Atomic.t;
+}
+
+let create ?(backend = Backend.default) ?(domains = 1) ~cache ~prepare () =
+  {
+    backend;
+    domains;
+    cache;
+    prepare;
+    memo = Memo.create ();
+    fresh = Atomic.make 0;
+    hits = Atomic.make 0;
+  }
+
+let backend t = t.backend
+let domains t = t.domains
+let distinct t = Memo.length t.memo
+let fresh t = Atomic.get t.fresh
+let hits t = Atomic.get t.hits
+
+let compute t values =
+  ignore (Atomic.fetch_and_add t.fresh 1);
+  Metrics.incr m_memo_miss;
+  let nest, points = t.prepare values in
+  t.backend.Backend.cost t.cache nest ~points
+
+let objective t values =
+  let key = Array.to_list values in
+  match Memo.find_opt t.memo key with
+  | Some v ->
+      ignore (Atomic.fetch_and_add t.hits 1);
+      Metrics.incr m_memo_hit;
+      v
+  | None ->
+      let v = compute t values in
+      Memo.set t.memo key v;
+      v
+
+let evaluate_all t candidates =
+  Span.with_ "search.eval.batch"
+    ~attrs:[ ("candidates", Tiling_obs.Json.Int (Array.length candidates)) ]
+  @@ fun () ->
+  Metrics.incr m_batches;
+  (* Per-batch dedup: a GA generation revisits individuals freely, so cost
+     each distinct memo-missing candidate exactly once (in first-occurrence
+     order, for a deterministic work list), fan those out over domains, then
+     read every individual's value back from the memo. *)
+  let seen = Hashtbl.create (Array.length candidates) in
+  let missing = ref [] in
+  Array.iter
+    (fun values ->
+      let key = Array.to_list values in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.replace seen key ();
+        match Memo.find_opt t.memo key with
+        | Some _ ->
+            ignore (Atomic.fetch_and_add t.hits 1);
+            Metrics.incr m_memo_hit
+        | None -> missing := (key, values) :: !missing
+      end
+      else begin
+        ignore (Atomic.fetch_and_add t.hits 1);
+        Metrics.incr m_memo_hit
+      end)
+    candidates;
+  let missing = Array.of_list (List.rev !missing) in
+  let costs =
+    Tiling_util.Par.map ~domains:t.domains
+      (fun (_, values) -> compute t values)
+      missing
+  in
+  Array.iteri (fun i (key, _) -> Memo.set t.memo key costs.(i)) missing;
+  Array.map
+    (fun values ->
+      match Memo.find_opt t.memo (Array.to_list values) with
+      | Some v -> v
+      | None -> assert false (* every candidate was just memoized *))
+    candidates

@@ -1,0 +1,57 @@
+(** The shared candidate-evaluation service.
+
+    One of these sits between every search strategy and its cost
+    {!Backend}.  It owns the single mutex-guarded objective memo (replacing
+    the five ad-hoc per-strategy tables that predated it), counts hits and
+    fresh evaluations in the {!Tiling_obs.Metrics} registry, and evaluates
+    whole GA generations in parallel over OCaml domains with per-batch
+    deduplication: each *distinct* candidate is costed once per generation,
+    not once per individual.
+
+    The service is deterministic by construction: candidates are pure
+    functions of their decoded values, so the evaluated objective — and
+    therefore the whole search — is byte-identical for any domain count. *)
+
+type t
+
+val create :
+  ?backend:Backend.t ->
+  ?domains:int ->
+  cache:Tiling_cache.Config.t ->
+  prepare:(int array -> Tiling_ir.Nest.t * int array array) ->
+  unit ->
+  t
+(** [create ~cache ~prepare ()] builds an evaluation service.
+
+    [prepare values] turns one decoded candidate (tile vector, padding
+    amounts, permutation index, ... — whatever the strategy encodes) into
+    the transformed nest plus the common sample embedded into that nest's
+    coordinates.  It must be pure and safe to call concurrently: build
+    fresh nests ({!Tiling_ir.Transform.tile}, {!Tiling_ir.Transform.padded},
+    {!Tiling_ir.Transform.interchange}); never mutate shared state.
+
+    [backend] defaults to {!Backend.default} (CME sampling); [domains]
+    (default 1) is the number of OCaml domains used by {!evaluate_all}. *)
+
+val objective : t -> int array -> float
+(** Memoized cost of one candidate.  The reference objective for
+    {!Tiling_ga.Engine.run} and for serial searches. *)
+
+val evaluate_all : t -> int array array -> float array
+(** Score one generation: deduplicate, cost the distinct memo-missing
+    candidates in parallel over the service's domains, memoize, and read
+    every individual's value back.  Agrees with {!objective}
+    value-for-value. *)
+
+val backend : t -> Backend.t
+val domains : t -> int
+
+val distinct : t -> int
+(** Distinct candidates evaluated so far (memo size). *)
+
+val fresh : t -> int
+(** Fresh backend evaluations so far (memo misses); the classic
+    "evaluations" budget metric of the baseline searches. *)
+
+val hits : t -> int
+(** Memo hits so far. *)

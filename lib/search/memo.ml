@@ -1,0 +1,7 @@
+type ('k, 'v) t = { table : ('k, 'v) Hashtbl.t; lock : Mutex.t }
+
+let create ?(size = 512) () = { table = Hashtbl.create size; lock = Mutex.create () }
+
+let find_opt t k = Mutex.protect t.lock (fun () -> Hashtbl.find_opt t.table k)
+let set t k v = Mutex.protect t.lock (fun () -> Hashtbl.replace t.table k v)
+let length t = Mutex.protect t.lock (fun () -> Hashtbl.length t.table)

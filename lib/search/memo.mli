@@ -1,0 +1,21 @@
+(** The one thread-safe memo table of the evaluation layer.
+
+    Before the search refactor every optimizer carried its own ad-hoc
+    [Hashtbl] (five copies, only one of them mutex-protected); this module
+    is the single shared implementation.  A plain hash table behind a
+    mutex: candidate evaluation dominates the runtime by orders of
+    magnitude, so lock contention on lookups is irrelevant, and the mutex
+    makes the table safe under {!Tiling_util.Par.map} domains. *)
+
+type ('k, 'v) t
+
+val create : ?size:int -> unit -> ('k, 'v) t
+(** [size] is the initial bucket count (default 512). *)
+
+val find_opt : ('k, 'v) t -> 'k -> 'v option
+
+val set : ('k, 'v) t -> 'k -> 'v -> unit
+(** Insert or replace. *)
+
+val length : ('k, 'v) t -> int
+(** Number of distinct keys stored. *)

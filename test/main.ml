@@ -21,6 +21,7 @@ let () =
       ("encoding", Test_encoding.suite);
       ("ga", Test_ga.suite);
       ("sample", Test_sample.suite);
+      ("search", Test_search.suite);
       ("tiler", Test_tiler.suite);
       ("padder", Test_padder.suite);
       ("baselines", Test_baselines.suite);

@@ -180,9 +180,60 @@ let test_searches_terminate_on_tiny_spaces () =
   let hc = Search.hill_climb ~evals:500 ~seed:5 sample nest cache in
   Alcotest.(check bool) "hill-climb terminates" true (hc.Search.evaluations <= 16)
 
+let test_random_terminates_on_tiny_spaces () =
+  (* Regression: [random] only advanced its budget on memo misses, so a
+     span with fewer distinct tile vectors than [evals] spun forever.  On a
+     2x2 transpose (4 candidates) a 100-eval budget must return. *)
+  let nest = Tiling_kernels.Kernels.t2d 2 in
+  let cache = Tiling_cache.Config.make ~size:256 ~line:32 () in
+  let sample = Tiling_core.Sample.create ~n:4 ~seed:6 nest in
+  let r = Search.random ~evals:100 ~seed:6 sample nest cache in
+  Alcotest.(check bool) "terminates within the space" true
+    (r.Search.evaluations <= 4);
+  Alcotest.(check bool) "tiles valid" true
+    (Array.for_all (fun t -> t >= 1 && t <= 2) r.Search.tiles);
+  let sa =
+    Annealing.simulated_annealing
+      ~params:{ Annealing.default_params with Annealing.evals = 100 }
+      ~seed:6 sample nest cache
+  in
+  Alcotest.(check bool) "SA terminates too" true (sa.Search.evaluations <= 4)
+
+let test_candidates_per_dim_degenerate () =
+  (* Regression: [per_dim = 1] with a wide span divided by [per_dim - 1]. *)
+  Alcotest.(check (list int)) "per_dim 1, wide span" [ 1; 19 ]
+    (Search.candidates_per_dim ~per_dim:1 19);
+  Alcotest.(check (list int)) "per_dim 0, wide span" [ 1; 19 ]
+    (Search.candidates_per_dim ~per_dim:0 19);
+  Alcotest.(check (list int)) "per_dim 1, unit span" [ 1 ]
+    (Search.candidates_per_dim ~per_dim:1 1);
+  Alcotest.(check (list int)) "small span enumerated" [ 1; 2; 3 ]
+    (Search.candidates_per_dim ~per_dim:8 3);
+  let lattice = Search.candidates_per_dim ~per_dim:5 100 in
+  Alcotest.(check int) "lattice size" 5 (List.length lattice);
+  Alcotest.(check bool) "lattice has extremes" true
+    (List.mem 1 lattice && List.mem 100 lattice)
+
+let test_exhaustive_parallel_matches_serial () =
+  (* The grid is scored as one batch, so the result must not depend on the
+     domain count. *)
+  let nest = nest_small () in
+  let sample = Tiling_core.Sample.create ~n:32 ~seed:7 nest in
+  let a = Search.exhaustive ~per_dim:8 ~domains:1 sample nest cache_small in
+  let b = Search.exhaustive ~per_dim:8 ~domains:4 sample nest cache_small in
+  Alcotest.(check (array int)) "tiles" a.Search.tiles b.Search.tiles;
+  Alcotest.(check (float 0.)) "objective" a.Search.objective b.Search.objective;
+  Alcotest.(check int) "evaluations" a.Search.evaluations b.Search.evaluations
+
 let suite =
   suite
   @ [
       Alcotest.test_case "termination on tiny spaces" `Quick
         test_searches_terminate_on_tiny_spaces;
+      Alcotest.test_case "random terminates on tiny spaces" `Quick
+        test_random_terminates_on_tiny_spaces;
+      Alcotest.test_case "candidates_per_dim degenerate budgets" `Quick
+        test_candidates_per_dim_degenerate;
+      Alcotest.test_case "exhaustive domain invariance" `Quick
+        test_exhaustive_parallel_matches_serial;
     ]

@@ -12,6 +12,7 @@ let fast_opts seed =
     sample_points = Some 64;
     restarts = 2;
     domains = 1;
+    backend = Tiling_search.Backend.default;
   }
 
 let repl (r : Tiling_cme.Estimator.report) =

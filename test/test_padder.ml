@@ -14,6 +14,8 @@ let fast_opts seed =
     max_intra = 8;
     max_inter = 16;
     restarts = 2;
+    domains = 1;
+    backend = Tiling_search.Backend.default;
   }
 
 let repl r = r.Tiling_cme.Estimator.replacement_ratio.Tiling_util.Stats.center

@@ -40,6 +40,7 @@ let test_parallel_tiler_equivalent () =
       sample_points = Some 64;
       restarts = 1;
       domains;
+      backend = Tiling_search.Backend.default;
     }
   in
   let seq = Tiling_core.Tiler.optimize ~opts:(opts 1) nest cache in

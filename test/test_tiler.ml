@@ -13,6 +13,7 @@ let fast_opts seed =
     sample_points = Some 64;
     restarts = 2;
     domains = 1;
+    backend = Tiling_search.Backend.default;
   }
 
 let test_t2d_removes_replacement () =
