@@ -480,6 +480,38 @@ let throughput () =
     [ ("T2D", 500); ("MM", 200) ]
 
 (* ------------------------------------------------------------------ *)
+(* Differential fuzzer throughput: oracle trials per second             *)
+
+type fuzz_row = {
+  f_trials : int;
+  f_accesses : int;
+  f_wall_s : float;
+  f_trials_per_s : float;
+}
+
+let fuzz_rows : fuzz_row list ref = ref []
+
+let fuzz_throughput () =
+  Fmt.pr "@.== Fuzz throughput: CME-vs-simulator oracle trials/sec ==@.";
+  let trials = 300 in
+  let o = Tiling_fuzz.Driver.run ~trials ~seed:1 () in
+  let open Tiling_fuzz.Driver in
+  if o.mismatches <> [] then
+    Fmt.pr "WARNING: %d oracle mismatches during the bench run@."
+      (List.length o.mismatches);
+  let rate = float_of_int o.trials_run /. Float.max 1e-9 o.wall_s in
+  fuzz_rows :=
+    {
+      f_trials = o.trials_run;
+      f_accesses = o.accesses;
+      f_wall_s = o.wall_s;
+      f_trials_per_s = rate;
+    }
+    :: !fuzz_rows;
+  Fmt.pr "%d trials (%d accesses compared) in %.2f s: %.0f trials/sec@."
+    o.trials_run o.accesses o.wall_s rate
+
+(* ------------------------------------------------------------------ *)
 (* Equation census: the section 2.4 size explosion                      *)
 
 let equations () =

@@ -38,6 +38,7 @@ let targets : (string * (unit -> unit)) list =
     ("solver-accuracy", Experiments.solver_accuracy);
     ("equations", Experiments.equations);
     ("throughput", Experiments.throughput);
+    ("fuzz-throughput", Experiments.fuzz_throughput);
     ("timing", Timing.run);
   ]
 
@@ -65,6 +66,16 @@ let json_of_tiling (r : Experiments.tiling_result) cache_size =
       ("converged", Bool r.Experiments.converged);
     ]
 
+let json_of_fuzz (r : Experiments.fuzz_row) =
+  let open Tiling_obs.Json in
+  Obj
+    [
+      ("trials", Int r.Experiments.f_trials);
+      ("accesses", Int r.Experiments.f_accesses);
+      ("wall_s", Float r.Experiments.f_wall_s);
+      ("trials_per_s", Float r.Experiments.f_trials_per_s);
+    ]
+
 let json_of_throughput (r : Experiments.throughput_row) =
   let open Tiling_obs.Json in
   Obj
@@ -88,6 +99,7 @@ let write_results timed =
   let throughput =
     List.rev_map json_of_throughput !Experiments.throughput_rows
   in
+  let fuzz = List.rev_map json_of_fuzz !Experiments.fuzz_rows in
   let doc =
     Obj
       [
@@ -95,6 +107,7 @@ let write_results timed =
         ("targets", List (List.rev timed));
         ("tilings", List tilings);
         ("search_throughput", List throughput);
+        ("fuzz_throughput", List fuzz);
       ]
   in
   let oc = open_out "BENCH_results.json" in

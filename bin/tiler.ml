@@ -471,6 +471,128 @@ let joint_cmd =
         (const run $ kernel_arg $ size_arg $ cache_size_arg $ line_arg
        $ assoc_arg $ seed_arg $ domains_arg $ backend_arg $ obs_term))
 
+let fuzz_cmd =
+  let trials_arg =
+    let doc = "Number of random trials to run." in
+    Arg.(value & opt int 200 & info [ "trials" ] ~docv:"N" ~doc)
+  in
+  let time_budget_arg =
+    let doc =
+      "Stop drawing new trials after $(docv) seconds of wall clock (the \
+       trial in flight finishes; shrinking is not budgeted)."
+    in
+    Arg.(value & opt (some float) None & info [ "time-budget" ] ~docv:"SEC" ~doc)
+  in
+  let spec_arg =
+    let doc =
+      "Comma-separated generator overrides, e.g. \
+       $(b,depth=2,extent=8,line=32).  Knobs: depth, extent, arrays, refs, \
+       offset, coeff, step, sets, assoc, line (see docs/FUZZING.md)."
+    in
+    Arg.(value & opt (some string) None & info [ "spec" ] ~docv:"KNOBS" ~doc)
+  in
+  let run trials time_budget spec seed obs =
+    let knobs =
+      match spec with
+      | None -> Ok Tiling_fuzz.Driver.default_knobs
+      | Some s -> Tiling_fuzz.Driver.knobs_of_string s
+    in
+    match knobs with
+    | Error m -> `Error (false, m)
+    | Ok knobs ->
+        Tiling_obs.Logging.setup obs.log_level;
+        if obs.metrics then Tiling_obs.Metrics.set_enabled true;
+        if obs.trace_out <> None then Tiling_obs.Span.set_enabled true;
+        let o =
+          Tiling_fuzz.Driver.run ~knobs ?time_budget ~trials ~seed ()
+        in
+        Option.iter
+          (fun file ->
+            try Tiling_obs.Span.write_chrome file
+            with Sys_error m -> Fmt.epr "tiler: cannot write trace: %s@." m)
+          obs.trace_out;
+        let human ppf =
+          Fmt.pf ppf
+            "fuzz: %d trials (%.1f/s), %d agree, %d inconclusive \
+             (fallback-masked), %d fallback trials, %d accesses compared@."
+            o.Tiling_fuzz.Driver.trials_run
+            (float_of_int o.Tiling_fuzz.Driver.trials_run
+            /. max 1e-9 o.Tiling_fuzz.Driver.wall_s)
+            o.Tiling_fuzz.Driver.agreed o.Tiling_fuzz.Driver.inconclusive
+            o.Tiling_fuzz.Driver.fallback_trials
+            o.Tiling_fuzz.Driver.accesses;
+          List.iter
+            (fun (m : Tiling_fuzz.Driver.mismatch) ->
+              Fmt.pf ppf "MISMATCH (trial %d, %d shrink checks)@."
+                m.Tiling_fuzz.Driver.trial m.Tiling_fuzz.Driver.shrink_checks;
+              Fmt.pf ppf "  raw:    %a@." Tiling_fuzz.Case.pp
+                m.Tiling_fuzz.Driver.raw;
+              Fmt.pf ppf "  shrunk: %a@." Tiling_fuzz.Case.pp
+                m.Tiling_fuzz.Driver.shrunk;
+              Fmt.pf ppf "  %a@." Tiling_fuzz.Oracle.pp_result
+                m.Tiling_fuzz.Driver.result)
+            o.Tiling_fuzz.Driver.mismatches;
+          if o.Tiling_fuzz.Driver.mismatches = [] then
+            Fmt.pf ppf "no mismatches: solver and simulator agree@."
+        in
+        let mismatch_json (m : Tiling_fuzz.Driver.mismatch) =
+          Tiling_obs.Json.Obj
+            [
+              ("trial", Tiling_obs.Json.Int m.Tiling_fuzz.Driver.trial);
+              ( "raw",
+                Tiling_obs.Json.String
+                  (Tiling_fuzz.Case.to_string m.Tiling_fuzz.Driver.raw) );
+              ( "shrunk",
+                Tiling_obs.Json.String
+                  (Tiling_fuzz.Case.to_string m.Tiling_fuzz.Driver.shrunk) );
+              ( "shrink_checks",
+                Tiling_obs.Json.Int m.Tiling_fuzz.Driver.shrink_checks );
+            ]
+        in
+        if obs.json then begin
+          human Fmt.stderr;
+          let obj =
+            [
+              ("command", Tiling_obs.Json.String "fuzz");
+              ("seed", Tiling_obs.Json.Int seed);
+              ("trials", Tiling_obs.Json.Int o.Tiling_fuzz.Driver.trials_run);
+              ("agreed", Tiling_obs.Json.Int o.Tiling_fuzz.Driver.agreed);
+              ( "inconclusive",
+                Tiling_obs.Json.Int o.Tiling_fuzz.Driver.inconclusive );
+              ( "fallback_trials",
+                Tiling_obs.Json.Int o.Tiling_fuzz.Driver.fallback_trials );
+              ("accesses", Tiling_obs.Json.Int o.Tiling_fuzz.Driver.accesses);
+              ("wall_s", Tiling_obs.Json.Float o.Tiling_fuzz.Driver.wall_s);
+              ( "mismatches",
+                Tiling_obs.Json.List
+                  (List.map mismatch_json o.Tiling_fuzz.Driver.mismatches) );
+            ]
+            @
+            if obs.metrics then
+              [ ("metrics", Tiling_obs.Metrics.snapshot ()) ]
+            else []
+          in
+          print_endline (Tiling_obs.Json.to_string (Tiling_obs.Json.Obj obj))
+        end
+        else begin
+          human Fmt.stdout;
+          if obs.metrics then
+            Fmt.pr "metrics: %a@." Tiling_obs.Json.pp
+              (Tiling_obs.Metrics.snapshot ())
+        end;
+        if o.Tiling_fuzz.Driver.mismatches <> [] then exit 1;
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: exact CME classification vs the trace-driven \
+          simulator on random kernels and geometries")
+    Term.(
+      ret
+        (const run $ trials_arg $ time_budget_arg $ spec_arg $ seed_arg
+       $ obs_term))
+
 let baselines_cmd =
   let run name size csize line assoc seed obs =
     with_setup name size csize line assoc (fun _ n nest cache ->
@@ -544,5 +666,5 @@ let () =
           [
             list_cmd; show_cmd; simulate_cmd; analyze_cmd; equations_cmd;
             tile_cmd; pad_cmd; pad_tile_cmd; joint_cmd; order_cmd;
-            codegen_cmd; trace_cmd; baselines_cmd;
+            codegen_cmd; trace_cmd; baselines_cmd; fuzz_cmd;
           ]))

@@ -108,9 +108,17 @@ let residues t gens =
 (* ------------------------------------------------------------------ *)
 (* Denseness analysis: when the image of the generators is every value
    congruent to the constant modulo [g] within [min, max], window queries
-   are O(1).  The classic sufficient condition: adding generators in
-   increasing |step| order, each step must not exceed the span already
-   covered plus the new gcd.                                            *)
+   are O(1).  Sufficient conditions, adding a step-[s] count-[count]
+   progression to a set dense modulo [g] over a span: with [g' =
+   gcd(g, s)] and [period = g / g'], the translates' residue classes
+   modulo [g] repeat with [period], so (a) at least [period] translates
+   are needed to reach every class at all ([count >= period] — e.g.
+   {48 x 3} + {112 x 2} refines the gcd to 16 on paper yet only reaches
+   residues {0, 16} mod 48), and (b) same-class translates sit
+   [period * s] apart, so their spans must chain contiguously
+   ([period * s <= span + g] — e.g. {216 x 5} + {936 x 4} covers every
+   class but each one only inside its own disjoint window).  Rejecting a
+   dense set costs only the exact fallback query, never correctness.    *)
 
 let dense_and_gcd gens =
   let sorted = List.sort (fun (a, _) (b, _) -> compare (abs a) (abs b)) gens in
@@ -118,7 +126,13 @@ let dense_and_gcd gens =
     (fun (dense, g, span) (step, count) ->
       let s = abs step in
       let g' = Intmath.gcd g s in
-      ((dense && s <= span + g'), g', span + (s * (count - 1))))
+      let ok =
+        g = 0
+        ||
+        let period = g / g' in
+        count >= period && period * s <= span + g
+      in
+      ((dense && ok), g', span + (s * (count - 1))))
     (true, 0, 0) sorted
 
 (* Does a value congruent to [c] modulo [g] exist in [a, b]?  [g = 0]
@@ -349,11 +363,18 @@ let normalise_source t ~src_form ~line_a src ~dest ~first_nz =
       let dv =
         if c > 0 then (line_end - addr) / c else (addr - line_start) / -c
       in
-      if dv > 0 then begin
-        let _, hi, _ = Nest.bounds_at t.nest src q in
-        let hi = if q = first_nz then min hi (dest.(q) - 1) else hi in
-        if hi > src.(q) then src.(q) <- min hi (src.(q) + dv)
-      end)
+      let _, hi, step = Nest.bounds_at t.nest src q in
+      let hi = if q = first_nz then min hi (dest.(q) - 1) else hi in
+      (* Slide along the loop's own lattice only: whole steps forward,
+         never past the loop bound nor (for the leading dimension) the
+         destination — an off-lattice source would fabricate a phantom
+         iteration and corrupt the interference path. *)
+      let target =
+        min
+          (src.(q) + (dv / step * step))
+          (src.(q) + (Intmath.floor_div (hi - src.(q)) step * step))
+      in
+      if target > src.(q) then src.(q) <- target)
 
 (* Lexicographic (execution-order) predecessor of a point, or [None] at
    the very first iteration: decrement the deepest decrementable loop and

@@ -21,7 +21,10 @@ let default_width = 0.1
 let default_points () =
   Stats.required_sample_size ~width:default_width ~confidence:default_confidence
 
-let report_of ~confidence ~points ~accesses ~misses ~compulsory ~per_ref
+(* [interval ~hits ~n] turns raw counts into a confidence interval; the
+   sampled drivers bind it to [Stats.proportion_interval] at the requested
+   confidence, [exact] to the degenerate exact interval. *)
+let report_of ~interval ~points ~accesses ~misses ~compulsory ~per_ref
     ~fallbacks =
   {
     points;
@@ -29,11 +32,17 @@ let report_of ~confidence ~points ~accesses ~misses ~compulsory ~per_ref
     misses;
     compulsory;
     per_ref;
-    miss_ratio = Stats.proportion_interval ~hits:misses ~n:accesses ~confidence;
-    replacement_ratio =
-      Stats.proportion_interval ~hits:(misses - compulsory) ~n:accesses ~confidence;
+    miss_ratio = interval ~hits:misses ~n:accesses;
+    replacement_ratio = interval ~hits:(misses - compulsory) ~n:accesses;
     fallbacks;
   }
+
+let sampled_interval ~confidence ~hits ~n =
+  Stats.proportion_interval ~hits ~n ~confidence
+
+let census_interval ~hits ~n =
+  Stats.exact_interval
+    ~center:(if n = 0 then 0. else float_of_int hits /. float_of_int n)
 
 (* Per-reference accumulators: (accesses, misses, compulsory) triples. *)
 type acc = { mutable a : int; mutable m : int; mutable c : int }
@@ -68,7 +77,7 @@ let totals accs =
    number of conservative solver answers *during this call* (the engine's
    own counter is cumulative across its lifetime), measured as a delta
    around the iteration. *)
-let classify_all engine ~confidence iterate =
+let classify_all engine ~interval iterate =
   let nest = Engine.nest engine in
   let nrefs = Array.length nest.Tiling_ir.Nest.refs in
   let accs = make_accs engine in
@@ -78,7 +87,7 @@ let classify_all engine ~confidence iterate =
       incr points;
       classify_point engine point accs);
   let misses, compulsory, per_ref = totals accs in
-  report_of ~confidence ~points:!points ~accesses:(!points * nrefs) ~misses
+  report_of ~interval ~points:!points ~accesses:(!points * nrefs) ~misses
     ~compulsory ~per_ref
     ~fallbacks:(Engine.fallback_count engine - fallbacks_before)
 
@@ -87,36 +96,24 @@ let exact engine =
     ~attrs:
       [ ("nest", Tiling_obs.Json.String (Engine.nest engine).Tiling_ir.Nest.name) ]
     (fun () ->
-      let r =
-        classify_all engine ~confidence:1.0e-9 (fun visit ->
-            Tiling_ir.Nest.iter_points (Engine.nest engine) visit)
-      in
-      (* An exact count has a degenerate interval. *)
-      {
-        r with
-        miss_ratio = { r.miss_ratio with half_width = 0.; confidence = 1.0 };
-        replacement_ratio =
-          { r.replacement_ratio with half_width = 0.; confidence = 1.0 };
-      })
+      (* A census has a degenerate interval: known center, confidence 1. *)
+      classify_all engine ~interval:census_interval (fun visit ->
+          Tiling_ir.Nest.iter_points (Engine.nest engine) visit))
 
-let sample_at engine pts =
+let sample_at ?(confidence = default_confidence) engine pts =
   Tiling_obs.Span.with_ "cme.estimator.sample_at"
     ~attrs:[ ("points", Tiling_obs.Json.Int (Array.length pts)) ]
     (fun () ->
-      classify_all engine ~confidence:default_confidence (fun visit ->
-          Array.iter visit pts))
+      classify_all engine
+        ~interval:(sampled_interval ~confidence)
+        (fun visit -> Array.iter visit pts))
 
 let sample ?(width = default_width) ?(confidence = default_confidence) ~seed engine =
   let n = Stats.required_sample_size ~width ~confidence in
   let rng = Prng.create ~seed in
   let nest = Engine.nest engine in
   let pts = Array.init n (fun _ -> Tiling_ir.Nest.random_point nest rng) in
-  let r = sample_at engine pts in
-  {
-    r with
-    miss_ratio = { r.miss_ratio with confidence };
-    replacement_ratio = { r.replacement_ratio with confidence };
-  }
+  sample_at ~confidence engine pts
 
 let json_of_interval (i : Stats.interval) =
   Tiling_obs.Json.Obj

@@ -29,12 +29,17 @@ val exact : Engine.t -> report
 (** Classify every access of the nest. *)
 
 val sample : ?width:float -> ?confidence:float -> seed:int -> Engine.t -> report
-(** Paper defaults: [width = 0.1], [confidence = 0.9] (164 points). *)
+(** Paper defaults: [width = 0.1], [confidence = 0.9] (164 points).  The
+    sample size and the reported intervals both honour the requested
+    [confidence]: the half-width is the [confidence]-level normal quantile
+    around the sampled ratio, not a relabelled default. *)
 
-val sample_at : Engine.t -> int array array -> report
+val sample_at : ?confidence:float -> Engine.t -> int array array -> report
 (** Classify exactly the given points (common-random-number evaluation: the
     genetic algorithm passes the same underlying sample to every candidate
-    tiling to make objective values comparable). *)
+    tiling to make objective values comparable).  Intervals are computed at
+    [confidence] (default 0.9); an empty point set yields degenerate
+    zero-width intervals. *)
 
 val default_points : unit -> int
 (** The paper's sample size: [required_sample_size ~width:0.1

@@ -1,0 +1,119 @@
+open Tiling_kernels
+
+type t = {
+  spec : Random_kernel.spec;
+  seed : int;
+  sets : int;
+  assoc : int;
+  line : int;
+}
+
+let cache t =
+  Tiling_cache.Config.make ~size:(t.sets * t.assoc * t.line) ~line:t.line
+    ~assoc:t.assoc ()
+
+let nest t = Random_kernel.generate ~spec:t.spec ~seed:t.seed ()
+
+let points t = Tiling_ir.Nest.trip_count (nest t)
+
+let ints_to_string a =
+  String.concat "," (List.map string_of_int (Array.to_list a))
+
+let to_string t =
+  let s = t.spec in
+  Printf.sprintf
+    "seed=%d depth=%d extents=%s steps=%s narrays=%d nrefs=%d max_offset=%d \
+     max_coeff=%d write_ratio=%g align=%d sets=%d assoc=%d line=%d"
+    t.seed s.Random_kernel.depth
+    (ints_to_string s.Random_kernel.extents)
+    (ints_to_string s.Random_kernel.steps)
+    s.Random_kernel.narrays s.Random_kernel.nrefs s.Random_kernel.max_offset
+    s.Random_kernel.max_coeff s.Random_kernel.write_ratio s.Random_kernel.align
+    t.sets t.assoc t.line
+
+let pp ppf t = Fmt.string ppf (to_string t)
+
+let of_string line =
+  let tbl = Hashtbl.create 16 in
+  let malformed = ref None in
+  String.split_on_char ' ' line
+  |> List.iter (fun tok ->
+         if tok <> "" then
+           match String.index_opt tok '=' with
+           | None -> malformed := Some (Printf.sprintf "token %S has no '='" tok)
+           | Some i ->
+               Hashtbl.replace tbl
+                 (String.sub tok 0 i)
+                 (String.sub tok (i + 1) (String.length tok - i - 1)));
+  match !malformed with
+  | Some m -> Error m
+  | None -> (
+      let int k =
+        match Hashtbl.find_opt tbl k with
+        | None -> Error (Printf.sprintf "missing field %s" k)
+        | Some v -> (
+            match int_of_string_opt v with
+            | Some i -> Ok i
+            | None -> Error (Printf.sprintf "field %s: bad int %S" k v))
+      in
+      let ints k =
+        match Hashtbl.find_opt tbl k with
+        | None -> Error (Printf.sprintf "missing field %s" k)
+        | Some v -> (
+            let parts = String.split_on_char ',' v in
+            match
+              List.map int_of_string_opt parts |> fun l ->
+              if List.exists Option.is_none l then None
+              else Some (Array.of_list (List.map Option.get l))
+            with
+            | Some a -> Ok a
+            | None -> Error (Printf.sprintf "field %s: bad int list %S" k v))
+      in
+      let float_def k d =
+        match Hashtbl.find_opt tbl k with
+        | None -> Ok d
+        | Some v -> (
+            match float_of_string_opt v with
+            | Some f -> Ok f
+            | None -> Error (Printf.sprintf "field %s: bad float %S" k v))
+      in
+      let ( let* ) = Result.bind in
+      let* seed = int "seed" in
+      let* depth = int "depth" in
+      let* extents = ints "extents" in
+      let* steps = ints "steps" in
+      let* narrays = int "narrays" in
+      let* nrefs = int "nrefs" in
+      let* max_offset = int "max_offset" in
+      let* max_coeff = int "max_coeff" in
+      let* write_ratio = float_def "write_ratio" 0.5 in
+      let* sets = int "sets" in
+      let* assoc = int "assoc" in
+      let* line = int "line" in
+      let* align =
+        match Hashtbl.find_opt tbl "align" with
+        | None -> Ok line
+        | Some _ -> int "align"
+      in
+      let spec =
+        {
+          Random_kernel.depth;
+          extents;
+          steps;
+          narrays;
+          nrefs;
+          max_offset;
+          max_coeff;
+          write_ratio;
+          align;
+        }
+      in
+      let case = { spec; seed; sets; assoc; line } in
+      (* Surface malformed specs/geometries as parse errors, not exceptions
+         deep inside a replay. *)
+      match cache case with
+      | (_ : Tiling_cache.Config.t) -> (
+          match nest case with
+          | (_ : Tiling_ir.Nest.t) -> Ok case
+          | exception Invalid_argument m -> Error m)
+      | exception Invalid_argument m -> Error m)

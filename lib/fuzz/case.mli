@@ -1,0 +1,33 @@
+(** One differential-testing case: a random-kernel spec, the kernel seed,
+    and a cache geometry.  A case is everything needed to reproduce an
+    oracle run, and it serializes to a single self-describing line — the
+    format of the checked-in corpus (test/fuzz_corpus.txt) and of the
+    repro lines [tiler fuzz] prints on a mismatch. *)
+
+type t = {
+  spec : Tiling_kernels.Random_kernel.spec;
+  seed : int;   (** kernel seed fed to {!Tiling_kernels.Random_kernel.generate} *)
+  sets : int;   (** cache sets (power of two) *)
+  assoc : int;  (** associativity (power of two; 1 = direct-mapped) *)
+  line : int;   (** line size in bytes (power of two) *)
+}
+
+val cache : t -> Tiling_cache.Config.t
+(** The geometry as a config ([size = sets * assoc * line]). *)
+
+val nest : t -> Tiling_ir.Nest.t
+(** The kernel, regenerated deterministically from [spec] and [seed]. *)
+
+val points : t -> int
+(** Iteration points of the kernel (trial cost indicator). *)
+
+val to_string : t -> string
+(** One-line [key=value] rendering, e.g.
+    [seed=7 depth=2 extents=8,4 steps=1,2 narrays=1 nrefs=2 max_offset=1
+     max_coeff=2 write_ratio=0.5 align=32 sets=4 assoc=1 line=32]. *)
+
+val of_string : string -> (t, string) result
+(** Parses {!to_string}'s format (fields in any order; all required except
+    [write_ratio] and [align], which default to [0.5] and [line]). *)
+
+val pp : t Fmt.t

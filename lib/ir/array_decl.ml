@@ -35,11 +35,13 @@ let set_layout t layout =
 
 let reset_padding t = t.layout <- Array.copy t.extents
 
-let place ?(gap = fun _ -> 0) arrays =
+let place ?(gap = fun _ -> 0) ?(align = 1) arrays =
+  assert (align >= 1);
+  let round_up v = (v + align - 1) / align * align in
   let next = ref 0 in
   List.iter
     (fun a ->
-      a.base <- !next + gap a;
+      a.base <- round_up (!next + gap a);
       next := a.base + footprint a)
     arrays
 

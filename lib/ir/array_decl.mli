@@ -41,10 +41,13 @@ val set_layout : t -> int array -> unit
 val reset_padding : t -> unit
 (** Restores [layout = extents] (bases are left untouched). *)
 
-val place : ?gap:(t -> int) -> t list -> unit
+val place : ?gap:(t -> int) -> ?align:int -> t list -> unit
 (** [place arrays] assigns consecutive base addresses in list order, each
     array starting right after the previous one's footprint plus
-    [gap a] bytes (default 0).  This mimics Fortran static allocation, which
-    is what makes cross-interference patterns deterministic. *)
+    [gap a] bytes (default 0), rounded up to a multiple of [align] bytes
+    (default 1 = packed).  This mimics Fortran static allocation, which
+    is what makes cross-interference patterns deterministic; aligning to
+    the cache-line size keeps distinct arrays off shared lines, the
+    regime the CME reuse model describes. *)
 
 val pp : t Fmt.t

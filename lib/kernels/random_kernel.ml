@@ -2,52 +2,115 @@ open Tiling_ir
 
 type spec = {
   depth : int;
-  extent : int;
+  extents : int array;
+  steps : int array;
   narrays : int;
   nrefs : int;
   max_offset : int;
+  max_coeff : int;
+  write_ratio : float;
+  align : int;
 }
 
 let default_spec =
-  { depth = 3; extent = 12; narrays = 2; nrefs = 4; max_offset = 1 }
+  {
+    depth = 3;
+    extents = [| 12; 12; 12 |];
+    steps = [| 1; 1; 1 |];
+    narrays = 2;
+    nrefs = 4;
+    max_offset = 1;
+    max_coeff = 1;
+    write_ratio = 0.5;
+    align = 1;
+  }
+
+let uniform ?(spec = default_spec) ~extent () =
+  {
+    spec with
+    extents = Array.make spec.depth extent;
+    steps = Array.make spec.depth 1;
+  }
+
+let validate spec =
+  if spec.depth < 1 then invalid_arg "Random_kernel: depth must be >= 1";
+  if Array.length spec.extents <> spec.depth then
+    invalid_arg "Random_kernel: extents must have one entry per loop";
+  if Array.length spec.steps <> spec.depth then
+    invalid_arg "Random_kernel: steps must have one entry per loop";
+  Array.iter
+    (fun e -> if e < 1 then invalid_arg "Random_kernel: extents must be >= 1")
+    spec.extents;
+  Array.iter
+    (fun s -> if s < 1 then invalid_arg "Random_kernel: steps must be >= 1")
+    spec.steps;
+  if spec.narrays < 1 then invalid_arg "Random_kernel: narrays must be >= 1";
+  if spec.nrefs < 1 then invalid_arg "Random_kernel: nrefs must be >= 1";
+  if spec.max_offset < 0 then invalid_arg "Random_kernel: max_offset must be >= 0";
+  if spec.max_coeff < 1 then invalid_arg "Random_kernel: max_coeff must be >= 1";
+  if not (spec.write_ratio >= 0. && spec.write_ratio <= 1.) then
+    invalid_arg "Random_kernel: write_ratio must lie in [0, 1]";
+  if spec.align < 1 then invalid_arg "Random_kernel: align must be >= 1"
 
 let generate ?(spec = default_spec) ~seed () =
-  assert (spec.depth >= 1 && spec.extent >= 1 && spec.narrays >= 1 && spec.nrefs >= 1);
+  validate spec;
   let rng = Tiling_util.Prng.create ~seed in
-  let extents = Array.make spec.depth (spec.extent + (2 * spec.max_offset) + 2) in
-  let arrays =
-    List.init spec.narrays (fun i ->
-        Array_decl.create (Printf.sprintf "arr%d" i) extents)
-  in
-  Array_decl.place arrays;
   let var_names = Array.init spec.depth (fun l -> Printf.sprintf "v%d" l) in
-  let loops =
-    Array.to_list
-      (Array.map (fun v -> (v, 1 + spec.max_offset, spec.extent + spec.max_offset)) var_names)
+  (* Every loop starts at [1 + max_offset] so any subscript [c*v + off] with
+     [c >= 1] stays 1-based; the upper bound realises the requested trip
+     count under the requested step. *)
+  let lo = 1 + spec.max_offset in
+  let his =
+    Array.init spec.depth (fun d -> lo + ((spec.extents.(d) - 1) * spec.steps.(d)))
   in
-  (* One subscript permutation per array keeps references uniformly
-     generated. *)
-  let orders =
-    List.map
-      (fun _ ->
+  let loops =
+    Array.to_list (Array.mapi (fun d v -> (v, lo, his.(d))) var_names)
+  in
+  let steps =
+    Array.to_list (Array.mapi (fun d v -> (v, spec.steps.(d))) var_names)
+  in
+  (* One subscript permutation and one coefficient vector per array: all
+     references to an array share the linear part (uniformly generated),
+     only the constant offsets differ. *)
+  let shapes =
+    List.init spec.narrays (fun _ ->
         let order = Array.init spec.depth Fun.id in
         Tiling_util.Prng.shuffle rng order;
-        order)
-      arrays
+        let coeffs =
+          Array.init spec.depth (fun _ ->
+              if spec.max_coeff = 1 then 1
+              else Tiling_util.Prng.int_in rng ~lo:1 ~hi:spec.max_coeff)
+        in
+        (order, coeffs))
   in
+  let arrays =
+    List.mapi
+      (fun i (order, coeffs) ->
+        let dims =
+          Array.init spec.depth (fun d ->
+              (coeffs.(d) * his.(order.(d))) + spec.max_offset)
+        in
+        Array_decl.create (Printf.sprintf "arr%d" i) dims)
+      shapes
+  in
+  Array_decl.place ~align:spec.align arrays;
   let body =
     List.init spec.nrefs (fun _ ->
         let ai = Tiling_util.Prng.int rng spec.narrays in
         let a = List.nth arrays ai in
-        let order = List.nth orders ai in
+        let order, coeffs = List.nth shapes ai in
         let subs =
           List.init spec.depth (fun d ->
               let off =
-                Tiling_util.Prng.int_in rng ~lo:(-spec.max_offset)
-                  ~hi:spec.max_offset
+                if spec.max_offset = 0 then 0
+                else
+                  Tiling_util.Prng.int_in rng ~lo:(-spec.max_offset)
+                    ~hi:spec.max_offset
               in
-              Dsl.(v var_names.(order.(d)) +! i off))
+              Dsl.(coeffs.(d) *! v var_names.(order.(d)) +! i off))
         in
-        if Tiling_util.Prng.bool rng then Dsl.store a subs else Dsl.load a subs)
+        if Tiling_util.Prng.bernoulli rng ~p:spec.write_ratio then
+          Dsl.store a subs
+        else Dsl.load a subs)
   in
-  Dsl.nest ~name:(Printf.sprintf "random_%d" seed) ~loops ~body ()
+  Dsl.nest ~name:(Printf.sprintf "random_%d" seed) ~loops ~steps ~body ()

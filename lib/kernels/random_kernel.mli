@@ -3,21 +3,33 @@
     Generates perfectly nested loops over a handful of arrays whose
     references are uniformly generated (identical linear subscripts per
     array, constant offsets differ) — the class of programs both the paper
-    and this library analyse.  Used by the differential test suite to fuzz
-    the solver against the simulator, and useful for benchmarking tile
-    search on programs with no hand-tuned structure. *)
+    and this library analyse.  Used by the differential fuzzer
+    ({!Tiling_fuzz}) to cross-validate the solver against the simulator,
+    and useful for benchmarking tile search on programs with no hand-tuned
+    structure. *)
 
 type spec = {
   depth : int;          (** loop nesting depth, >= 1 *)
-  extent : int;         (** per-loop trip count (loops run [2..extent+1]) *)
+  extents : int array;  (** per-loop trip count, one entry per loop *)
+  steps : int array;    (** per-loop step, one entry per loop, >= 1 *)
   narrays : int;        (** number of arrays, >= 1 *)
   nrefs : int;          (** number of references, >= 1 *)
   max_offset : int;     (** subscript offsets drawn from [-max..max] *)
+  max_coeff : int;      (** subscript coefficients drawn from [1..max] *)
+  write_ratio : float;  (** probability a reference is a store, in [0,1] *)
+  align : int;          (** array base alignment in bytes (1 = packed) *)
 }
 
 val default_spec : spec
-(** depth 3, extent 12, 2 arrays, 4 references, offsets within 1. *)
+(** depth 3, trip count 12 per loop, unit steps and coefficients, 2 arrays,
+    4 references, offsets within 1, balanced loads/stores, packed
+    placement. *)
+
+val uniform : ?spec:spec -> extent:int -> unit -> spec
+(** [uniform ~extent ()] is [spec] with every loop's trip count set to
+    [extent] and unit steps — the shape of the pre-fuzzing generator. *)
 
 val generate : ?spec:spec -> seed:int -> unit -> Tiling_ir.Nest.t
-(** A fresh nest (arrays placed consecutively).  Deterministic in
-    [seed]. *)
+(** A fresh nest (arrays placed consecutively, each base rounded up to
+    [spec.align]).  Deterministic in [seed].
+    @raise Invalid_argument on a malformed spec. *)

@@ -33,7 +33,15 @@ let loop_info (nest : Nest.t) =
           (1, tile, hi - lo + 1))
     nest.Nest.loops
 
-let round_div a b = Tiling_util.Intmath.floor_div ((2 * a) + abs b) (2 * b)
+(* Inclusive multiplier range: all k with [lo <= coeff * k <= hi], clamped
+   to [-span_cap, span_cap].  Empty when [hi < lo]. *)
+let mult_range ~coeff ~span_cap lo hi =
+  let open Tiling_util.Intmath in
+  let k_lo, k_hi =
+    if coeff > 0 then (ceil_div lo coeff, floor_div hi coeff)
+    else (ceil_div hi coeff, floor_div lo coeff)
+  in
+  (max k_lo (-span_cap), min k_hi span_cap)
 
 let of_reference (nest : Nest.t) ~line (r : Nest.reference) =
   let d = Nest.depth nest in
@@ -72,71 +80,71 @@ let of_reference (nest : Nest.t) ~line (r : Nest.reference) =
       end
     end
   in
-  (* Candidate deltas with at most two non-zero components that bring the
-     source address within a cache line of the destination address:
-     [|gap - sum_l stride_l * k_l| < line].  Temporal reuse is the exact
-     case (difference 0); same-line spatial reuse is re-checked per point. *)
+  (* Candidate deltas bringing the source address within a cache line of
+     the destination: [|gap - sum_l stride_l * k_l| < line].  Dimensions
+     with a non-zero address stride are searched coarsest first; each
+     level enumerates every multiplier that leaves the residual gap
+     bridgeable by the remaining finer dimensions plus a sub-line
+     remainder.  The enumeration is complete within the per-level span
+     cap and the probe budget (guards against adversarial flat-stride
+     shapes), and subsumes the 0-/1-/2-dimensional special cases —
+     including dimension-seam reuse that moves three or more loop
+     variables at once.  Temporal reuse is the exact case (residual 0);
+     same-line spatial reuse is re-checked per point. *)
   let candidates ~leader ~gap =
-    (* zero-dimensional *)
-    if abs gap < line then emit ?leader ~spatial:(gap <> 0) (Array.make d 0);
-    (* one-dimensional *)
-    for l = 0 to d - 1 do
-      if not (is_ctrl l) then begin
-        let step, _, span = info.(l) in
-        let stride = c l * step in
-        let try_k k =
-          if k <> 0 && abs k < span then begin
-            let rem = gap - (stride * k) in
-            if abs rem < line then begin
-              let delta = Array.make d 0 in
+    let moving =
+      List.init d Fun.id
+      |> List.filter_map (fun l ->
+             if is_ctrl l then None
+             else
+               let step, _, span = info.(l) in
+               let stride = c l * step in
+               if stride = 0 then None else Some (l, step, stride, span))
+      |> List.sort (fun (_, _, s1, _) (_, _, s2, _) -> compare (abs s2) (abs s1))
+    in
+    let budget = ref 20_000 in
+    let delta = Array.make d 0 in
+    let rec go dims residual =
+      decr budget;
+      if !budget >= 0 then
+        match dims with
+        | [] ->
+            if abs residual < line then
+              emit ?leader ~spatial:(residual <> 0) (Array.copy delta)
+        | (l, step, stride, span) :: rest ->
+            let reach_rest =
+              List.fold_left
+                (fun acc (_, _, s, sp) -> acc + (abs s * (sp - 1)))
+                (line - 1) rest
+            in
+            let k_lo, k_hi =
+              mult_range ~coeff:stride
+                ~span_cap:(min (span - 1) 64)
+                (residual - reach_rest) (residual + reach_rest)
+            in
+            for k = k_lo to k_hi do
               delta.(l) <- k * step;
-              emit ?leader ~spatial:(rem <> 0) delta
-            end
-          end
-        in
-        if stride = 0 then begin
-          if abs gap < line then begin
-            try_k 1;
-            try_k (-1)
-          end
-        end
-        else begin
-          let k0 = round_div gap stride in
-          for k = k0 - 3 to k0 + 3 do
-            try_k k
-          done
+              go rest (residual - (stride * k))
+            done;
+            delta.(l) <- 0
+    in
+    go moving gap;
+    (* Dimensions absent from the address: a single +/-1 movement reaches
+       an earlier iteration at the same address (temporal reuse across a
+       loop the subscript ignores). *)
+    for l = 0 to d - 1 do
+      if (not (is_ctrl l)) && c l = 0 then begin
+        let step, _, span = info.(l) in
+        if span > 1 && abs gap < line then begin
+          let try_k k =
+            let dl = Array.make d 0 in
+            dl.(l) <- k * step;
+            emit ?leader ~spatial:(gap <> 0) dl
+          in
+          try_k 1;
+          try_k (-1)
         end
       end
-    done;
-    (* two-dimensional: a coarse dimension moves a small number of steps
-       while a finer dimension compensates, e.g. reuse across a column seam
-       of a column-major array. *)
-    for lf = 0 to d - 1 do
-      let step_f, _, span_f = info.(lf) in
-      let cf = c lf * step_f in
-      if cf <> 0 && not (is_ctrl lf) then
-        for lc = 0 to d - 1 do
-          let step_c, _, span_c = info.(lc) in
-          let cc = c lc * step_c in
-          if lc <> lf && cc <> 0 && abs cc > abs cf && not (is_ctrl lc) then
-            List.iter
-              (fun b ->
-                if abs b < span_c then begin
-                  let a0 = round_div (gap - (cc * b)) cf in
-                  for a = a0 - 3 to a0 + 3 do
-                    if a <> 0 && abs a < span_f then begin
-                      let rem = gap - ((cf * a) + (cc * b)) in
-                      if abs rem < line then begin
-                        let delta = Array.make d 0 in
-                        delta.(lf) <- a * step_f;
-                        delta.(lc) <- b * step_c;
-                        emit ?leader ~spatial:(rem <> 0) delta
-                      end
-                    end
-                  done
-                end)
-              [ -2; -1; 1; 2 ]
-        done
     done
   in
   (* Exact group deltas: for uniformly generated references the temporal

@@ -39,11 +39,16 @@ let required_sample_size ~width ~confidence =
 type interval = { center : float; half_width : float; confidence : float }
 
 let proportion_interval ~hits ~n ~confidence =
-  assert (n > 0 && hits >= 0 && hits <= n);
-  let p = float_of_int hits /. float_of_int n in
-  let z = z_for_confidence confidence in
-  let hw = z *. sqrt (p *. (1. -. p) /. float_of_int n) in
-  { center = p; half_width = hw; confidence }
+  assert (n >= 0 && hits >= 0 && hits <= max n 0);
+  if n = 0 then { center = 0.; half_width = 0.; confidence }
+  else begin
+    let p = float_of_int hits /. float_of_int n in
+    let z = z_for_confidence confidence in
+    let hw = z *. sqrt (p *. (1. -. p) /. float_of_int n) in
+    { center = p; half_width = hw; confidence }
+  end
+
+let exact_interval ~center = { center; half_width = 0.; confidence = 1. }
 
 type summary = { count : int; mean : float; variance : float }
 

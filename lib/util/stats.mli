@@ -26,7 +26,14 @@ type interval = { center : float; half_width : float; confidence : float }
 val proportion_interval : hits:int -> n:int -> confidence:float -> interval
 (** [proportion_interval ~hits ~n ~confidence] is the normal-approximation
     interval for a Binomial proportion with [hits] successes out of [n]
-    trials.  [n] must be positive. *)
+    trials.  [n = 0] (an empty sample carries no information) yields the
+    degenerate interval [{center = 0; half_width = 0}] at the requested
+    confidence; [n] must not be negative. *)
+
+val exact_interval : center:float -> interval
+(** [exact_interval ~center] is the interval of an exactly known
+    proportion: zero half-width at confidence 1.  Used by census-style
+    estimators that enumerate the whole population instead of sampling. *)
 
 type summary = { count : int; mean : float; variance : float }
 (** Streaming moments of a sequence of observations. *)

@@ -36,6 +36,28 @@ let test_proportion_interval () =
   let iv1 = Stats.proportion_interval ~hits:100 ~n:100 ~confidence:0.9 in
   close "degenerate p=1" 0. iv1.Stats.half_width
 
+let test_proportion_interval_empty () =
+  (* n = 0 must yield a degenerate interval, not an assertion failure. *)
+  let iv = Stats.proportion_interval ~hits:0 ~n:0 ~confidence:0.9 in
+  close "empty center" 0. iv.Stats.center;
+  close "empty half width" 0. iv.Stats.half_width;
+  close "confidence preserved" 0.9 iv.Stats.confidence
+
+let test_proportion_interval_confidence_monotone () =
+  (* Regression: the requested confidence must widen the interval, not be
+     relabelled onto the default-confidence half-width. *)
+  let at c = Stats.proportion_interval ~hits:30 ~n:100 ~confidence:c in
+  Alcotest.(check bool) "95 % wider than 90 %" true
+    ((at 0.95).Stats.half_width > (at 0.9).Stats.half_width);
+  Alcotest.(check bool) "99 % wider than 95 %" true
+    ((at 0.99).Stats.half_width > (at 0.95).Stats.half_width)
+
+let test_exact_interval () =
+  let iv = Stats.exact_interval ~center:0.25 in
+  close "center" 0.25 iv.Stats.center;
+  close "zero width" 0. iv.Stats.half_width;
+  close "full confidence" 1. iv.Stats.confidence
+
 let test_summarize_known () =
   let s = Stats.summarize [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |] in
   Alcotest.(check int) "count" 8 s.Stats.count;
@@ -79,6 +101,11 @@ let suite =
     Alcotest.test_case "paper sample size (164)" `Quick test_paper_sample_size;
     Alcotest.test_case "sample size monotone" `Quick test_sample_size_monotone;
     Alcotest.test_case "proportion interval" `Quick test_proportion_interval;
+    Alcotest.test_case "proportion interval, empty sample" `Quick
+      test_proportion_interval_empty;
+    Alcotest.test_case "proportion interval, confidence monotone" `Quick
+      test_proportion_interval_confidence_monotone;
+    Alcotest.test_case "exact interval" `Quick test_exact_interval;
     Alcotest.test_case "summarize known data" `Quick test_summarize_known;
     Alcotest.test_case "summarize edge cases" `Quick test_summarize_edge;
     qcheck prop_welford_matches_naive;
