@@ -480,6 +480,131 @@ let throughput () =
     [ ("T2D", 500); ("MM", 200) ]
 
 (* ------------------------------------------------------------------ *)
+(* Candidate-evaluation throughput: the hot path end-to-end             *)
+
+(* Measures Eval.evaluate_all itself — backend cost, memoisation, batch
+   plumbing and domain fan-out — on synthetic GA generations of fresh
+   candidates, for the pool strategy against the pre-PR spawn-per-batch
+   baseline, with the shared residue cache cold and warm.  Batches are
+   deliberately small (a converged GA's generations mostly hit the memo,
+   so the work lists that reach Par.map are short); that is exactly the
+   regime where per-batch domain spawns dominated. *)
+
+type eval_row = {
+  e_kernel : string;
+  e_size : int;
+  e_backend : string;
+  e_mode : string; (* "pool" | "spawn" *)
+  e_residues : string; (* "cold" | "warm" *)
+  e_domains : int;
+  e_evals : int;
+  e_wall_s : float;
+  e_evals_per_s : float;
+}
+
+let eval_rows : eval_row list ref = ref []
+
+let bench_quick () =
+  match Sys.getenv_opt "TILING_BENCH_QUICK" with
+  | Some ("" | "0") | None -> false
+  | Some _ -> true
+
+(* Deterministic stream of distinct tile-vector candidates, chopped into
+   GA-generation-sized batches.  Distinct by construction (an increasing
+   hidden counter folded into each vector) so every candidate misses the
+   memo and reaches the backend. *)
+let candidate_batches ~spans ~batches ~batch_size ~seed =
+  let rng = Tiling_util.Prng.create ~seed in
+  let d = Array.length spans in
+  let counter = ref 0 in
+  Array.init batches (fun _ ->
+      Array.init batch_size (fun _ ->
+          incr counter;
+          Array.init d (fun l ->
+              if l = 0 then 1 + (!counter mod spans.(0))
+              else 1 + Tiling_util.Prng.int rng spans.(l))))
+
+let eval_throughput () =
+  Fmt.pr "@.== Eval throughput: evaluate_all evals/sec, pool vs spawn ==@.";
+  Fmt.pr "%-10s %-10s %-5s %-4s %7s %8s %10s %12s@." "Kernel_N" "backend"
+    "mode" "res" "domains" "evals" "wall (s)" "evals/sec";
+  let quick = bench_quick () in
+  let domain_counts = if quick then [ 1; 4 ] else [ 1; 2; 4; 8 ] in
+  let batches = if quick then 8 else 24 in
+  let batch_size = 4 in
+  let sample_points = 32 in
+  (* sim replays the full iteration space per candidate, so it gets small
+     problem sizes; cme-sample scales with the sample, not the space. *)
+  let configs =
+    [
+      ("MM", 200, Tiling_search.Backend.cme_sample);
+      ("SOR", 500, Tiling_search.Backend.cme_sample);
+      ("MM", 24, Tiling_search.Backend.sim);
+      ("SOR", 48, Tiling_search.Backend.sim);
+    ]
+  in
+  let cache = Tiling_cache.Config.dm8k in
+  List.iter
+    (fun (name, n, backend) ->
+      let nest = build name n in
+      let sample = Tiling_core.Sample.create ~n:sample_points ~seed nest in
+      let spans = Tiling_ir.Transform.tile_spans nest in
+      let all_batches =
+        candidate_batches ~spans ~batches ~batch_size ~seed:(seed + n)
+      in
+      let measure ~mode ~residues ~domains =
+        Tiling_util.Par.set_strategy
+          (match mode with
+          | "spawn" -> Tiling_util.Par.Spawn
+          | _ -> Tiling_util.Par.Pool);
+        if residues = "cold" then Tiling_cme.Engine.clear_shared_residues ();
+        (* A fresh service per run: an empty objective memo means every
+           candidate reaches the backend; "warm" refers only to the shared
+           residue cache primed by the previous pass. *)
+        let eval =
+          Tiling_search.Eval.create ~backend ~domains ~cache
+            ~prepare:(fun tiles ->
+              ( Tiling_ir.Transform.tile nest tiles,
+                Tiling_core.Sample.embed sample ~tiles ))
+            ()
+        in
+        let t0 = Unix.gettimeofday () in
+        Array.iter
+          (fun batch -> ignore (Tiling_search.Eval.evaluate_all eval batch))
+          all_batches;
+        let wall = Unix.gettimeofday () -. t0 in
+        Tiling_util.Par.set_strategy Tiling_util.Par.Pool;
+        let evals = Tiling_search.Eval.fresh eval in
+        let rate = float_of_int evals /. Float.max 1e-9 wall in
+        eval_rows :=
+          {
+            e_kernel = name;
+            e_size = n;
+            e_backend = backend.Tiling_search.Backend.name;
+            e_mode = mode;
+            e_residues = residues;
+            e_domains = domains;
+            e_evals = evals;
+            e_wall_s = wall;
+            e_evals_per_s = rate;
+          }
+          :: !eval_rows;
+        Fmt.pr "%-10s %-10s %-5s %-4s %7d %8d %10.3f %12.0f@."
+          (Printf.sprintf "%s_%d" name n)
+          backend.Tiling_search.Backend.name mode residues domains evals wall
+          rate
+      in
+      List.iter
+        (fun domains ->
+          (* cold then warm for the pool path; the spawn baseline runs on
+             the warm cache so the comparison isolates the batch plumbing. *)
+          measure ~mode:"pool" ~residues:"cold" ~domains;
+          measure ~mode:"pool" ~residues:"warm" ~domains;
+          if domains > 1 then measure ~mode:"spawn" ~residues:"warm" ~domains)
+        domain_counts)
+    configs
+
+(* ------------------------------------------------------------------ *)
 (* Differential fuzzer throughput: oracle trials per second             *)
 
 type fuzz_row = {

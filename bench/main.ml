@@ -22,7 +22,11 @@
        "search_throughput":
                   [ { "kernel": str, "n": int, "domains": int,
                       "evals": int, "wall_s": float,
-                      "evals_per_s": float }, ... ] } *)
+                      "evals_per_s": float }, ...
+                    (* eval-throughput rows additionally carry *)
+                    { "target": "eval-throughput", "backend": str,
+                      "mode": "pool"|"spawn",
+                      "shared_residues": "cold"|"warm", ... } ] } *)
 
 let targets : (string * (unit -> unit)) list =
   [
@@ -38,6 +42,7 @@ let targets : (string * (unit -> unit)) list =
     ("solver-accuracy", Experiments.solver_accuracy);
     ("equations", Experiments.equations);
     ("throughput", Experiments.throughput);
+    ("eval-throughput", Experiments.eval_throughput);
     ("fuzz-throughput", Experiments.fuzz_throughput);
     ("timing", Timing.run);
   ]
@@ -88,6 +93,22 @@ let json_of_throughput (r : Experiments.throughput_row) =
       ("evals_per_s", Float r.Experiments.t_evals_per_s);
     ]
 
+let json_of_eval_row (r : Experiments.eval_row) =
+  let open Tiling_obs.Json in
+  Obj
+    [
+      ("target", String "eval-throughput");
+      ("kernel", String r.Experiments.e_kernel);
+      ("n", Int r.Experiments.e_size);
+      ("backend", String r.Experiments.e_backend);
+      ("mode", String r.Experiments.e_mode);
+      ("shared_residues", String r.Experiments.e_residues);
+      ("domains", Int r.Experiments.e_domains);
+      ("evals", Int r.Experiments.e_evals);
+      ("wall_s", Float r.Experiments.e_wall_s);
+      ("evals_per_s", Float r.Experiments.e_evals_per_s);
+    ]
+
 let write_results timed =
   let open Tiling_obs.Json in
   let tilings =
@@ -98,6 +119,7 @@ let write_results timed =
   in
   let throughput =
     List.rev_map json_of_throughput !Experiments.throughput_rows
+    @ List.rev_map json_of_eval_row !Experiments.eval_rows
   in
   let fuzz = List.rev_map json_of_fuzz !Experiments.fuzz_rows in
   let doc =

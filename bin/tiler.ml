@@ -224,7 +224,7 @@ let list_cmd =
         Fmt.pr "%-9s %-5d %-22s %s@." s.name s.loops
           (String.concat "," (List.map string_of_int s.sizes))
           s.description)
-      Tiling_kernels.Kernels.all
+      (Tiling_kernels.Kernels.all @ Tiling_kernels.Kernels.extras)
   in
   Cmd.v (Cmd.info "list" ~doc:"List the paper's kernels")
     Term.(const run $ const ())
@@ -491,7 +491,7 @@ let fuzz_cmd =
     in
     Arg.(value & opt (some string) None & info [ "spec" ] ~docv:"KNOBS" ~doc)
   in
-  let run trials time_budget spec seed obs =
+  let run trials time_budget spec seed domains obs =
     let knobs =
       match spec with
       | None -> Ok Tiling_fuzz.Driver.default_knobs
@@ -504,7 +504,7 @@ let fuzz_cmd =
         if obs.metrics then Tiling_obs.Metrics.set_enabled true;
         if obs.trace_out <> None then Tiling_obs.Span.set_enabled true;
         let o =
-          Tiling_fuzz.Driver.run ~knobs ?time_budget ~trials ~seed ()
+          Tiling_fuzz.Driver.run ~knobs ?time_budget ~domains ~trials ~seed ()
         in
         Option.iter
           (fun file ->
@@ -591,7 +591,7 @@ let fuzz_cmd =
     Term.(
       ret
         (const run $ trials_arg $ time_budget_arg $ spec_arg $ seed_arg
-       $ obs_term))
+       $ domains_arg $ obs_term))
 
 let baselines_cmd =
   let run name size csize line assoc seed obs =

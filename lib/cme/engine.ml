@@ -15,6 +15,102 @@ let m_memo_hit = Metrics.counter "cme.residues.memo.hit"
 let m_memo_miss = Metrics.counter "cme.residues.memo.miss"
 let m_engines = Metrics.counter "cme.engines.created"
 
+(* ------------------------------------------------------------------ *)
+(* Cross-engine residue cache.
+
+   Residue images are keyed by canonical generator signatures, and those
+   signatures recur massively across the hundreds of engines a GA run
+   creates: the modulus is fixed by the cache configuration, and nearby
+   tile vectors produce overlapping generator sets.  Each engine keeps its
+   private (lock-free) table as an L1, but misses consult this shared,
+   sharded, bounded cache before recomputing.  Entries are immutable
+   [Residue_set.t] values, so sharing them across domains is safe; the
+   shards are mutex-protected and evict in FIFO insertion order, which
+   keeps long fuzz runs (thousands of distinct moduli and signatures) from
+   growing without bound.  Eviction only ever costs a recompute. *)
+
+module Shared_residues = struct
+  type key = int * (int * int) list (* modulus, canonical generators *)
+
+  type shard = {
+    lock : Mutex.t;
+    table : (key, Residue_set.t) Hashtbl.t;
+    order : key Queue.t; (* insertion order, for FIFO eviction *)
+  }
+
+  let shard_count = 16 (* power of two; low-bit mask below *)
+  let default_capacity = 4096
+  let capacity = Atomic.make default_capacity
+
+  let shards =
+    Array.init shard_count (fun _ ->
+        {
+          lock = Mutex.create ();
+          table = Hashtbl.create 64;
+          order = Queue.create ();
+        })
+
+  let m_hit = Metrics.counter "cme.residues.shared.hit"
+  let m_miss = Metrics.counter "cme.residues.shared.miss"
+  let m_evict = Metrics.counter "cme.residues.shared.evictions"
+
+  let shard_of key = shards.(Hashtbl.hash key land (shard_count - 1))
+
+  let per_shard_cap () = max 1 (Atomic.get capacity / shard_count)
+
+  let find key =
+    let s = shard_of key in
+    Mutex.protect s.lock (fun () ->
+        match Hashtbl.find_opt s.table key with
+        | Some _ as r ->
+            Metrics.incr m_hit;
+            r
+        | None ->
+            Metrics.incr m_miss;
+            None)
+
+  let evict_to s cap =
+    while Hashtbl.length s.table > cap do
+      let victim = Queue.pop s.order in
+      Hashtbl.remove s.table victim;
+      Metrics.incr m_evict
+    done
+
+  let add key value =
+    let s = shard_of key in
+    Mutex.protect s.lock (fun () ->
+        if not (Hashtbl.mem s.table key) then begin
+          Hashtbl.replace s.table key value;
+          Queue.push key s.order;
+          evict_to s (per_shard_cap ())
+        end)
+
+  let set_capacity n =
+    if n < 0 then invalid_arg "Shared_residues.set_capacity";
+    Atomic.set capacity n;
+    let cap = per_shard_cap () in
+    Array.iter
+      (fun s -> Mutex.protect s.lock (fun () -> evict_to s cap))
+      shards
+
+  let clear () =
+    Array.iter
+      (fun s ->
+        Mutex.protect s.lock (fun () ->
+            Hashtbl.reset s.table;
+            Queue.clear s.order))
+      shards
+
+  let length () =
+    Array.fold_left
+      (fun acc s -> acc + Mutex.protect s.lock (fun () -> Hashtbl.length s.table))
+      0 shards
+end
+
+let set_shared_residue_capacity = Shared_residues.set_capacity
+let clear_shared_residues = Shared_residues.clear
+let shared_residue_size = Shared_residues.length
+
 type outcome = Hit | Compulsory_miss | Replacement_miss
 
 type t = {
@@ -96,11 +192,20 @@ let residues t gens =
       r
   | None ->
       Metrics.incr m_memo_miss;
+      let skey = (t.modulus, key) in
       let r =
-        List.fold_left
-          (fun acc (step, count) -> Residue_set.sum_progression acc ~step ~count)
-          (Residue_set.singleton t.modulus 0)
-          key
+        match Shared_residues.find skey with
+        | Some r -> r
+        | None ->
+            let r =
+              List.fold_left
+                (fun acc (step, count) ->
+                  Residue_set.sum_progression acc ~step ~count)
+                (Residue_set.singleton t.modulus 0)
+                key
+            in
+            Shared_residues.add skey r;
+            r
       in
       Hashtbl.replace t.memo key r;
       r

@@ -60,4 +60,29 @@ val fallback_count : t -> int
 (** Number of replacement queries answered conservatively so far. *)
 
 val memo_size : t -> int
-(** Number of distinct residue images computed (ablation metric). *)
+(** Number of distinct residue images in this engine's private table
+    (ablation metric). *)
+
+(** {2 Cross-engine residue cache}
+
+    Canonical generator signatures recur across the hundreds of engines a
+    GA run creates (the modulus is fixed by the cache configuration and
+    nearby tile vectors share generators), so residue images are also
+    cached in a process-wide, sharded, mutex-protected table keyed by
+    [(modulus, canonical generators)].  Each engine's private table acts
+    as an L1 in front of it.  The shared cache is bounded and evicts in
+    FIFO insertion order; eviction only ever costs a recompute, never
+    correctness.  Hits, misses and evictions are counted in the
+    [cme.residues.shared.{hit,miss,evictions}] metrics. *)
+
+val set_shared_residue_capacity : int -> unit
+(** Bound the shared cache to roughly [n] entries (rounded up to at least
+    one entry per shard; default 4096), evicting immediately if the new
+    bound is tighter.  @raise Invalid_argument if [n < 0]. *)
+
+val clear_shared_residues : unit -> unit
+(** Empty the shared cache (benchmarks use this to measure cold-cache
+    evaluation; engines remain valid, their private tables untouched). *)
+
+val shared_residue_size : unit -> int
+(** Number of residue images currently in the shared cache. *)

@@ -52,17 +52,19 @@ let make_accs engine =
     (Array.length (Engine.nest engine).Tiling_ir.Nest.refs)
     (fun _ -> { a = 0; m = 0; c = 0 })
 
+(* A plain loop: the per-point closure an [Array.iteri] would allocate
+   here sat directly on the hot path (once per sampled point). *)
 let classify_point engine point accs =
-  Array.iteri
-    (fun r acc ->
-      acc.a <- acc.a + 1;
-      match Engine.classify engine point r with
-      | Engine.Hit -> ()
-      | Engine.Replacement_miss -> acc.m <- acc.m + 1
-      | Engine.Compulsory_miss ->
-          acc.m <- acc.m + 1;
-          acc.c <- acc.c + 1)
-    accs
+  for r = 0 to Array.length accs - 1 do
+    let acc = accs.(r) in
+    acc.a <- acc.a + 1;
+    match Engine.classify engine point r with
+    | Engine.Hit -> ()
+    | Engine.Replacement_miss -> acc.m <- acc.m + 1
+    | Engine.Compulsory_miss ->
+        acc.m <- acc.m + 1;
+        acc.c <- acc.c + 1
+  done
 
 let totals accs =
   let misses = Array.fold_left (fun s x -> s + x.m) 0 accs in
@@ -112,8 +114,21 @@ let sample ?(width = default_width) ?(confidence = default_confidence) ~seed eng
   let n = Stats.required_sample_size ~width ~confidence in
   let rng = Prng.create ~seed in
   let nest = Engine.nest engine in
-  let pts = Array.init n (fun _ -> Tiling_ir.Nest.random_point nest rng) in
-  sample_at ~confidence engine pts
+  (* One scratch buffer for every sampled point: the classification path
+     never retains the point (sources are copied), so there is no need to
+     materialise n fresh arrays.  The rng draws are identical to building
+     the points up front, point by point in order. *)
+  let scratch = Array.make (Tiling_ir.Nest.depth nest) 0 in
+  Tiling_obs.Span.with_ "cme.estimator.sample"
+    ~attrs:[ ("points", Tiling_obs.Json.Int n) ]
+    (fun () ->
+      classify_all engine
+        ~interval:(sampled_interval ~confidence)
+        (fun visit ->
+          for _ = 1 to n do
+            Tiling_ir.Nest.random_point_into nest rng scratch;
+            visit scratch
+          done))
 
 let json_of_interval (i : Stats.interval) =
   Tiling_obs.Json.Obj

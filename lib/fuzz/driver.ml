@@ -171,12 +171,14 @@ type outcome = {
    isolation, stable under time-budget truncation. *)
 let trial_rng ~seed index = Prng.create ~seed:(seed lxor ((index + 1) * 0x9E3779B9))
 
-let run ?(knobs = default_knobs) ?time_budget ?on_trial ~trials ~seed () =
+let run ?(knobs = default_knobs) ?time_budget ?on_trial ?(domains = 1) ~trials
+    ~seed () =
   Tiling_obs.Span.with_ "fuzz.run"
     ~attrs:
       [
         ("trials", Tiling_obs.Json.Int trials);
         ("seed", Tiling_obs.Json.Int seed);
+        ("domains", Tiling_obs.Json.Int domains);
       ]
     (fun () ->
       let t0 = Unix.gettimeofday () in
@@ -191,11 +193,13 @@ let run ?(knobs = default_knobs) ?time_budget ?on_trial ~trials ~seed () =
         | None -> false
         | Some b -> Unix.gettimeofday () -. t0 >= b
       in
-      let i = ref 0 in
-      while !i < trials && not (out_of_time ()) do
-        let index = !i in
-        let case = draw_case knobs (trial_rng ~seed index) in
-        let result = Oracle.check_case case in
+      (* Trials are checked in batches: the oracle runs for a whole batch in
+         parallel (each trial is independent — its generator depends only on
+         (seed, index)), then accounting, shrinking and [on_trial] replay
+         sequentially in index order, so the outcome is byte-identical to a
+         [domains = 1] run.  The time budget is tested between batches. *)
+      let batch = if domains > 1 then domains * 4 else 1 in
+      let account (index, case, result) =
         incr ran;
         Metrics.incr m_trials;
         accesses := !accesses + result.Oracle.accesses;
@@ -227,8 +231,18 @@ let run ?(knobs = default_knobs) ?time_budget ?on_trial ~trials ~seed () =
           Log.info (fun m ->
               m "%d/%d trials: %d agree, %d inconclusive, %d mismatches"
                 (index + 1) trials !agreed !inconclusive
-                (List.length !mismatches));
-        incr i
+                (List.length !mismatches))
+      in
+      let i = ref 0 in
+      while !i < trials && not (out_of_time ()) do
+        let lo = !i in
+        let hi = min trials (lo + batch) in
+        Array.init (hi - lo) (fun k -> lo + k)
+        |> Par.map ~domains (fun index ->
+               let case = draw_case knobs (trial_rng ~seed index) in
+               (index, case, Oracle.check_case case))
+        |> Array.iter account;
+        i := hi
       done;
       {
         trials_run = !ran;

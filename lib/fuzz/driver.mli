@@ -63,13 +63,20 @@ val run :
   ?knobs:knobs ->
   ?time_budget:float ->
   ?on_trial:(int -> Case.t -> Oracle.result -> unit) ->
+  ?domains:int ->
   trials:int ->
   seed:int ->
   unit ->
   outcome
 (** Runs up to [trials] trials (stopping early once [time_budget] seconds
     of wall clock have elapsed, if given) and minimizes every mismatch.
-    [on_trial] observes each trial as it completes (progress reporting). *)
+    [on_trial] observes each trial as it completes (progress reporting).
+
+    [domains] (default 1) fans the oracle checks out over the domain pool
+    in batches of [domains * 4] trials; accounting, shrinking and
+    [on_trial] still run sequentially in trial-index order, so the outcome
+    is byte-identical to a sequential run.  The time budget is tested
+    between batches rather than between trials. *)
 
 val load_corpus : string -> (Case.t list, string) result
 (** Parses a corpus file: one {!Case.to_string} line per entry, blank

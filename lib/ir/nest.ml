@@ -147,9 +147,9 @@ let iter_points t f =
   in
   go 0
 
-let random_point t rng =
+let random_point_into t rng point =
   let d = depth t in
-  let point = Array.make d 0 in
+  if Array.length point <> d then invalid_arg "random_point_into: depth mismatch";
   for l = 0 to d - 1 do
     match t.loops.(l).shape with
     | Range { lo; hi; step } ->
@@ -166,7 +166,11 @@ let random_point t rng =
             point.(ctrl) <- lo + ((v - lo) / tile * tile);
             point.(l) <- v
         | _ -> assert false)
-  done;
+  done
+
+let random_point t rng =
+  let point = Array.make (depth t) 0 in
+  random_point_into t rng point;
   point
 
 let address_form t r =

@@ -80,6 +80,13 @@ val random_point : t -> Tiling_util.Prng.t -> int array
     obtained by sampling the original loop value and deriving the tile
     coordinate. *)
 
+val random_point_into : t -> Tiling_util.Prng.t -> int array -> unit
+(** [random_point_into t rng point] is {!random_point} written into the
+    caller-provided buffer [point] (length {!depth}), drawing exactly the
+    same values from [rng]: sampling loops reuse one scratch buffer
+    instead of allocating a fresh array per point.
+    @raise Invalid_argument on a length mismatch. *)
+
 val address_form : t -> reference -> Affine.t
 (** Flattened byte-address function of a reference under the *current*
     layout and base of its array: an affine form over the nest's loop

@@ -31,8 +31,14 @@ type spec = {
 val all : spec list
 (** The seventeen kernels of table 1, in the paper's order. *)
 
+val extras : spec list
+(** Additional workloads beyond the paper's table (currently SOR, the
+    5-point stencil used by throughput benchmarks); kept separate so
+    [all] stays exactly the paper's kernel set. *)
+
 val find : string -> spec
-(** Lookup by (case-insensitive) name.  @raise Not_found. *)
+(** Lookup by (case-insensitive) name across [all] and [extras].
+    @raise Not_found. *)
 
 (** Individual builders (size = matrix order / plane size). *)
 
@@ -53,3 +59,4 @@ val dradbg1 : int -> Tiling_ir.Nest.t
 val dradbg2 : int -> Tiling_ir.Nest.t
 val dradfg1 : int -> Tiling_ir.Nest.t
 val dradfg2 : int -> Tiling_ir.Nest.t
+val sor : int -> Tiling_ir.Nest.t

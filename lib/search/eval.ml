@@ -10,7 +10,7 @@ type t = {
   domains : int;
   cache : Tiling_cache.Config.t;
   prepare : int array -> Tiling_ir.Nest.t * int array array;
-  memo : (int list, float) Memo.t;
+  memo : float Memo.t;
   fresh : int Atomic.t;
   hits : int Atomic.t;
 }
@@ -38,12 +38,15 @@ let compute t values =
   let nest, points = t.prepare values in
   t.backend.Backend.cost t.cache nest ~points
 
+let hit t =
+  ignore (Atomic.fetch_and_add t.hits 1);
+  Metrics.incr m_memo_hit
+
 let objective t values =
-  let key = Array.to_list values in
+  let key = Memo.Key.of_values values in
   match Memo.find_opt t.memo key with
   | Some v ->
-      ignore (Atomic.fetch_and_add t.hits 1);
-      Metrics.incr m_memo_hit;
+      hit t;
       v
   | None ->
       let v = compute t values in
@@ -57,25 +60,28 @@ let evaluate_all t candidates =
   Metrics.incr m_batches;
   (* Per-batch dedup: a GA generation revisits individuals freely, so cost
      each distinct memo-missing candidate exactly once (in first-occurrence
-     order, for a deterministic work list), fan those out over domains, then
-     read every individual's value back from the memo. *)
-  let seen = Hashtbl.create (Array.length candidates) in
+     order, for a deterministic work list) and fan those out over domains.
+     Every individual's value is served from the batch table built here —
+     keys are packed once per individual, and the batch never re-reads the
+     shared memo, so concurrent memo churn cannot invalidate a batch. *)
+  let n = Array.length candidates in
+  let keys = Array.map Memo.Key.of_values candidates in
+  let batch : float Memo.Table.t = Memo.Table.create n in
   let missing = ref [] in
-  Array.iter
-    (fun values ->
-      let key = Array.to_list values in
-      if not (Hashtbl.mem seen key) then begin
-        Hashtbl.replace seen key ();
+  Array.iteri
+    (fun i values ->
+      let key = keys.(i) in
+      if Memo.Table.mem batch key then hit t
+      else
         match Memo.find_opt t.memo key with
-        | Some _ ->
-            ignore (Atomic.fetch_and_add t.hits 1);
-            Metrics.incr m_memo_hit
-        | None -> missing := (key, values) :: !missing
-      end
-      else begin
-        ignore (Atomic.fetch_and_add t.hits 1);
-        Metrics.incr m_memo_hit
-      end)
+        | Some v ->
+            hit t;
+            Memo.Table.replace batch key v
+        | None ->
+            (* Placeholder so duplicates dedup (and count as hits);
+               overwritten with the computed cost below. *)
+            Memo.Table.replace batch key nan;
+            missing := (key, values) :: !missing)
     candidates;
   let missing = Array.of_list (List.rev !missing) in
   let costs =
@@ -83,10 +89,9 @@ let evaluate_all t candidates =
       (fun (_, values) -> compute t values)
       missing
   in
-  Array.iteri (fun i (key, _) -> Memo.set t.memo key costs.(i)) missing;
-  Array.map
-    (fun values ->
-      match Memo.find_opt t.memo (Array.to_list values) with
-      | Some v -> v
-      | None -> assert false (* every candidate was just memoized *))
-    candidates
+  Array.iteri
+    (fun i (key, _) ->
+      Memo.set t.memo key costs.(i);
+      Memo.Table.replace batch key costs.(i))
+    missing;
+  Array.map (fun key -> Memo.Table.find batch key) keys

@@ -38,10 +38,12 @@ val objective : t -> int array -> float
     {!Tiling_ga.Engine.run} and for serial searches. *)
 
 val evaluate_all : t -> int array array -> float array
-(** Score one generation: deduplicate, cost the distinct memo-missing
-    candidates in parallel over the service's domains, memoize, and read
-    every individual's value back.  Agrees with {!objective}
-    value-for-value. *)
+(** Score one generation: pack each candidate's memo key once,
+    deduplicate, cost the distinct memo-missing candidates in parallel
+    over the service's domains, memoize, and serve every individual's
+    value from the batch's own table (never by re-probing the shared memo,
+    so concurrent memo eviction cannot crash or skew a batch).  Agrees
+    with {!objective} value-for-value. *)
 
 val backend : t -> Backend.t
 val domains : t -> int

@@ -1,7 +1,45 @@
-type ('k, 'v) t = { table : ('k, 'v) Hashtbl.t; lock : Mutex.t }
+module Key = struct
+  type t = { hash : int; values : int array }
 
-let create ?(size = 512) () = { table = Hashtbl.create size; lock = Mutex.create () }
+  (* FNV-1a-style fold over the elements plus the length, strengthened
+     with an avalanche step per word: decoded candidate vectors are short
+     and their entries tiny (tile sizes, padding amounts), so a plain
+     multiplicative fold would cluster in the low bits. *)
+  let hash_values a =
+    let h = ref 0x811c9dc5 in
+    let mix x =
+      let x = x * 0x9E3779B1 in
+      let x = x lxor (x lsr 16) in
+      h := (!h lxor x) * 0x100000001b3
+    in
+    mix (Array.length a);
+    Array.iter mix a;
+    !h land max_int
 
-let find_opt t k = Mutex.protect t.lock (fun () -> Hashtbl.find_opt t.table k)
-let set t k v = Mutex.protect t.lock (fun () -> Hashtbl.replace t.table k v)
-let length t = Mutex.protect t.lock (fun () -> Hashtbl.length t.table)
+  let of_values values =
+    (* Copy: callers reuse and mutate candidate buffers freely. *)
+    let values = Array.copy values in
+    { hash = hash_values values; values }
+
+  let values k = k.values
+  let hash k = k.hash
+
+  let equal a b =
+    a.hash = b.hash
+    &&
+    let n = Array.length a.values in
+    n = Array.length b.values
+    &&
+    let rec go i = i = n || (a.values.(i) = b.values.(i) && go (i + 1)) in
+    go 0
+end
+
+module Table = Hashtbl.Make (Key)
+
+type 'v t = { table : 'v Table.t; lock : Mutex.t }
+
+let create ?(size = 512) () = { table = Table.create size; lock = Mutex.create () }
+
+let find_opt t k = Mutex.protect t.lock (fun () -> Table.find_opt t.table k)
+let set t k v = Mutex.protect t.lock (fun () -> Table.replace t.table k v)
+let length t = Mutex.protect t.lock (fun () -> Table.length t.table)

@@ -2,20 +2,42 @@
 
     Before the search refactor every optimizer carried its own ad-hoc
     [Hashtbl] (five copies, only one of them mutex-protected); this module
-    is the single shared implementation.  A plain hash table behind a
-    mutex: candidate evaluation dominates the runtime by orders of
-    magnitude, so lock contention on lookups is irrelevant, and the mutex
-    makes the table safe under {!Tiling_util.Par.map} domains. *)
+    is the single shared implementation: a hash table behind a mutex,
+    safe under {!Tiling_util.Par} domains.
 
-type ('k, 'v) t
+    Keys are packed, immutable snapshots of a decoded candidate vector
+    ({!Key.of_values}) carrying a precomputed hash.  The original [int
+    list] keys were rebuilt (twice!) per candidate per batch and
+    polymorphic-hashed on every probe; a packed key is allocated once per
+    candidate, hashed once, and compared word-by-word. *)
 
-val create : ?size:int -> unit -> ('k, 'v) t
+module Key : sig
+  type t
+
+  val of_values : int array -> t
+  (** Snapshot (copy) of [values] with its hash precomputed; safe to keep
+      after the caller mutates or reuses the input buffer. *)
+
+  val values : t -> int array
+  (** The snapshot itself — do not mutate. *)
+
+  val equal : t -> t -> bool
+  val hash : t -> int
+end
+
+module Table : Hashtbl.S with type key = Key.t
+(** Unsynchronised hash table over {!Key} — for single-threaded per-batch
+    scratch tables (see {!Eval.evaluate_all}). *)
+
+type 'v t
+
+val create : ?size:int -> unit -> 'v t
 (** [size] is the initial bucket count (default 512). *)
 
-val find_opt : ('k, 'v) t -> 'k -> 'v option
+val find_opt : 'v t -> Key.t -> 'v option
 
-val set : ('k, 'v) t -> 'k -> 'v -> unit
+val set : 'v t -> Key.t -> 'v -> unit
 (** Insert or replace. *)
 
-val length : ('k, 'v) t -> int
+val length : 'v t -> int
 (** Number of distinct keys stored. *)

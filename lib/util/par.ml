@@ -1,41 +1,91 @@
-let chunk_ns = Tiling_obs.Metrics.histogram "par.chunk_ns"
-let chunks = Tiling_obs.Metrics.counter "par.chunks"
+module Metrics = Tiling_obs.Metrics
+module Span = Tiling_obs.Span
+
+let chunk_ns = Metrics.histogram "par.chunk_ns"
+let chunks = Metrics.counter "par.chunks"
+
+type strategy = Pool | Spawn
+
+let strategy_ref = Atomic.make Pool
+let set_strategy s = Atomic.set strategy_ref s
+let strategy () = Atomic.get strategy_ref
+
+(* Aim for several chunks per domain so the dispenser can load-balance
+   work items of uneven cost, but never less than one item per chunk. *)
+let chunks_per_domain = 4
+
+(* Per-chunk instrumentation over [lo, hi).  The metrics and span paths
+   are independent: a spans-only run pays no [gettimeofday]/counter cost
+   and a metrics-only run records no span. *)
+let run_range f xs results failure c lo hi =
+  let body () =
+    try
+      for i = lo to hi - 1 do
+        results.(i) <- Some (f xs.(i))
+      done
+    with e -> ignore (Atomic.compare_and_set failure None (Some e))
+  in
+  let timed () =
+    if Metrics.enabled () then begin
+      let t0 = Unix.gettimeofday () in
+      body ();
+      Metrics.incr chunks;
+      Metrics.observe chunk_ns
+        (int_of_float ((Unix.gettimeofday () -. t0) *. 1e9))
+    end
+    else body ()
+  in
+  if Span.enabled () then
+    Span.with_ "par.chunk"
+      ~attrs:
+        [ ("chunk", Tiling_obs.Json.Int c); ("items", Tiling_obs.Json.Int (hi - lo)) ]
+      timed
+  else timed ()
+
+let finish results failure =
+  (match Atomic.get failure with Some e -> raise e | None -> ());
+  Array.map
+    (function Some v -> v | None -> assert false (* all chunks covered *))
+    results
+
+(* The pre-pool strategy, kept as the measurable baseline for
+   [bench eval-throughput]: [d - 1] fresh domains spawned and joined per
+   call, one static block per domain. *)
+let map_spawn ~domains f xs =
+  let n = Array.length xs in
+  let d = min domains n in
+  let results = Array.make n None in
+  let failure = Atomic.make None in
+  let run_block k =
+    let lo = k * n / d and hi = (k + 1) * n / d in
+    run_range f xs results failure k lo hi
+  in
+  let workers =
+    Array.init (d - 1) (fun k -> Domain.spawn (fun () -> run_block (k + 1)))
+  in
+  run_block 0;
+  Array.iter Domain.join workers;
+  finish results failure
+
+let map_pool ~domains f xs =
+  let n = Array.length xs in
+  let chunk = max 1 (n / (domains * chunks_per_domain)) in
+  let nchunks = (n + chunk - 1) / chunk in
+  let results = Array.make n None in
+  let failure = Atomic.make None in
+  let run_chunk c =
+    let lo = c * chunk in
+    run_range f xs results failure c lo (min n (lo + chunk))
+  in
+  Pool.run ~helpers:(domains - 1) ~nchunks run_chunk;
+  finish results failure
 
 let map ~domains f xs =
   let n = Array.length xs in
-  if domains <= 1 || n <= 1 then Array.map f xs
-  else begin
-    let d = min domains n in
-    let results = Array.make n None in
-    let failure = Atomic.make None in
-    let run_chunk k =
-      (* Block distribution: domain k handles [lo, hi). *)
-      let lo = k * n / d and hi = (k + 1) * n / d in
-      let body () =
-        try
-          for i = lo to hi - 1 do
-            results.(i) <- Some (f xs.(i))
-          done
-        with e -> ignore (Atomic.compare_and_set failure None (Some e))
-      in
-      if Tiling_obs.Metrics.enabled () || Tiling_obs.Span.enabled () then begin
-        let t0 = Unix.gettimeofday () in
-        Tiling_obs.Span.with_ "par.chunk"
-          ~attrs:[ ("chunk", Tiling_obs.Json.Int k); ("items", Tiling_obs.Json.Int (hi - lo)) ]
-          body;
-        Tiling_obs.Metrics.incr chunks;
-        Tiling_obs.Metrics.observe chunk_ns
-          (int_of_float ((Unix.gettimeofday () -. t0) *. 1e9))
-      end
-      else body ()
-    in
-    let workers = Array.init (d - 1) (fun k -> Domain.spawn (fun () -> run_chunk (k + 1))) in
-    run_chunk 0;
-    Array.iter Domain.join workers;
-    (match Atomic.get failure with Some e -> raise e | None -> ());
-    Array.map
-      (function Some v -> v | None -> assert false (* all chunks covered *))
-      results
-  end
+  if domains <= 1 || n <= 1 || Pool.in_worker () then Array.map f xs
+  else
+    match Atomic.get strategy_ref with
+    | Pool -> map_pool ~domains f xs
+    | Spawn -> map_spawn ~domains f xs
 
-let recommended_domains () = min 8 (Domain.recommended_domain_count ())
+let recommended_domains () = Pool.default_size ()

@@ -1,20 +1,46 @@
 (** Minimal fork-join parallelism over OCaml 5 domains.
 
-    Used to fan the GA's population evaluation out over cores: each
-    candidate tiling builds its own solver state, so the work units are
-    independent and embarrassingly parallel.  No external dependency —
-    plain [Domain.spawn] with block distribution. *)
+    Used to fan the GA's population evaluation (and the fuzzer's trial
+    batches) out over cores: each work unit builds its own solver state,
+    so the units are independent and embarrassingly parallel.
+
+    Since the persistent-pool rework, [map] is a thin facade over
+    {!Pool}: worker domains are spawned once per process and fed small
+    self-scheduled chunks, instead of [d - 1] fresh domains being spawned
+    and joined on every call.  The pre-pool behaviour is kept as the
+    {!Spawn} strategy so benchmarks can measure the difference. *)
 
 val map : domains:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [map ~domains f xs] is [Array.map f xs], computed by [domains] domains
     (the calling domain included).  [domains <= 1] degrades to the
-    sequential map.  [f] must be safe to run concurrently with itself.
-    Exceptions raised by [f] are re-raised in the caller.
+    sequential map, and a call made from inside a pool worker (a nested
+    parallel map) runs sequentially on that worker.  [f] must be safe to
+    run concurrently with itself.  Exceptions raised by [f] are re-raised
+    in the caller once the batch has completed.
 
-    When the {!Tiling_obs} registry or tracer is enabled, each parallel
-    chunk records its wall-clock into the [par.chunk_ns] histogram, bumps
-    the [par.chunks] counter and emits a [par.chunk] span on its domain's
-    track. *)
+    Results are written by item index, so the output — and everything
+    downstream of it — is byte-identical for any [domains] value and
+    either strategy.
+
+    When the {!Tiling_obs.Metrics} registry is enabled, each parallel
+    chunk records its wall-clock into the [par.chunk_ns] histogram and
+    bumps the [par.chunks] counter; when the {!Tiling_obs.Span} tracer is
+    enabled, each chunk emits a [par.chunk] span on its domain's track.
+    The two instrumentation paths are independent: neither pays the
+    other's cost. *)
+
+type strategy =
+  | Pool  (** persistent worker-domain pool, dynamic chunking (default) *)
+  | Spawn  (** legacy: spawn and join [d - 1] domains per call *)
+
+val set_strategy : strategy -> unit
+(** Select how [map] distributes batches.  [Spawn] exists for baseline
+    measurements ([bench eval-throughput]) and A/B debugging; results are
+    identical either way. *)
+
+val strategy : unit -> strategy
 
 val recommended_domains : unit -> int
-(** A sensible default: the machine's core count, capped at 8. *)
+(** A sensible default degree of parallelism: the [TILING_DOMAINS]
+    environment variable when set (validated; see {!Pool.default_size}),
+    otherwise the machine's recommended domain count capped at 8. *)

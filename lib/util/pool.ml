@@ -1,0 +1,213 @@
+module Metrics = Tiling_obs.Metrics
+
+let m_workers = Metrics.gauge "pool.workers"
+let m_tasks = Metrics.counter "pool.tasks"
+let m_chunks = Metrics.counter "pool.chunks"
+let m_queue_depth = Metrics.gauge "pool.queue.depth"
+let m_busy_ns = Metrics.histogram "pool.worker.busy_ns"
+
+let env_var = "TILING_DOMAINS"
+let max_domains = 128
+
+let env_override () =
+  match Sys.getenv_opt env_var with
+  | None | Some "" -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some d when d >= 1 && d <= max_domains -> Some d
+      | Some _ | None ->
+          invalid_arg
+            (Printf.sprintf "%s: expected an integer in [1, %d], got %S"
+               env_var max_domains s))
+
+let default_size () =
+  match env_override () with
+  | Some d -> d
+  | None -> min 8 (Domain.recommended_domain_count ())
+
+(* How many domains may usefully run at once: an explicit [TILING_DOMAINS]
+   wins, otherwise the hardware.  Running more mutator domains than cores
+   is always a loss in OCaml 5 — every minor collection synchronises all
+   running domains, so oversubscription turns each GC into a scheduler
+   round-trip — hence [run] clamps its helper count to this. *)
+let usable_parallelism () =
+  match env_override () with
+  | Some d -> d
+  | None -> Domain.recommended_domain_count ()
+
+(* One job at a time: a chunk dispenser.  [next] hands out chunk indices,
+   [remaining] counts completions; the domain that finishes the last chunk
+   signals [done_c]. *)
+type job = {
+  chunk : int -> unit; (* must not raise *)
+  nchunks : int;
+  next : int Atomic.t;
+  remaining : int Atomic.t;
+  done_m : Mutex.t;
+  done_c : Condition.t;
+  mutable finished : bool;
+}
+
+type state = {
+  m : Mutex.t; (* guards [job], [epoch], [quit], [workers] *)
+  work : Condition.t;
+  mutable job : job option;
+  mutable epoch : int; (* bumped once per submitted job *)
+  mutable quit : bool;
+  mutable workers : unit Domain.t list;
+  submit : Mutex.t; (* serialises concurrent [run] callers *)
+  mutable exit_hook : bool;
+}
+
+let st =
+  {
+    m = Mutex.create ();
+    work = Condition.create ();
+    job = None;
+    epoch = 0;
+    quit = false;
+    workers = [];
+    submit = Mutex.create ();
+    exit_hook = false;
+  }
+
+let worker_key = Domain.DLS.new_key (fun () -> false)
+let in_worker () = Domain.DLS.get worker_key
+
+(* True while this domain is inside [run]'s submit path.  A nested [run]
+   issued from a chunk executing on the submitting domain (workers have
+   their own flag) must degrade to inline execution: re-entering the
+   submit path would self-deadlock on [st.submit]. *)
+let active_key = Domain.DLS.new_key (fun () -> false)
+let size () = Mutex.protect st.m (fun () -> List.length st.workers)
+
+(* Claim and execute chunks until the dispenser is empty.  Safe to call on
+   an already-drained job: the claim just overshoots. *)
+let drain job =
+  let t0 = if Metrics.enabled () then Unix.gettimeofday () else 0. in
+  let worked = ref false in
+  let rec go () =
+    let c = Atomic.fetch_and_add job.next 1 in
+    if c < job.nchunks then begin
+      worked := true;
+      job.chunk c;
+      Metrics.incr m_chunks;
+      if Atomic.fetch_and_add job.remaining (-1) = 1 then begin
+        Mutex.lock job.done_m;
+        job.finished <- true;
+        Condition.broadcast job.done_c;
+        Mutex.unlock job.done_m
+      end;
+      go ()
+    end
+  in
+  go ();
+  if !worked && Metrics.enabled () then
+    Metrics.observe m_busy_ns
+      (int_of_float ((Unix.gettimeofday () -. t0) *. 1e9))
+
+let rec worker_loop epoch_seen =
+  Mutex.lock st.m;
+  while (not st.quit) && st.epoch = epoch_seen do
+    Condition.wait st.work st.m
+  done;
+  if st.quit then Mutex.unlock st.m
+  else begin
+    let epoch = st.epoch and job = st.job in
+    Mutex.unlock st.m;
+    (match job with Some j -> drain j | None -> ());
+    worker_loop epoch
+  end
+
+let worker () =
+  Domain.DLS.set worker_key true;
+  worker_loop 0
+
+let rec shutdown () =
+  Mutex.lock st.submit;
+  Mutex.lock st.m;
+  let ws = st.workers in
+  st.workers <- [];
+  st.quit <- true;
+  Condition.broadcast st.work;
+  Mutex.unlock st.m;
+  List.iter Domain.join ws;
+  Mutex.lock st.m;
+  st.quit <- false;
+  st.job <- None;
+  Mutex.unlock st.m;
+  if Metrics.enabled () then Metrics.set m_workers 0.;
+  Mutex.unlock st.submit
+
+(* Grow-only; called with [st.submit] held.  New workers start with
+   [epoch_seen = 0] and the epoch counter is never reset below its
+   high-water mark while workers are live, so a freshly spawned worker can
+   at worst re-drain an already-empty dispenser. *)
+and ensure helpers =
+  let want = min max_domains (max helpers (default_size () - 1)) in
+  Mutex.lock st.m;
+  let cur = List.length st.workers in
+  if want > cur then begin
+    if not st.exit_hook then begin
+      st.exit_hook <- true;
+      at_exit shutdown
+    end;
+    for _ = cur + 1 to want do
+      st.workers <- Domain.spawn worker :: st.workers
+    done;
+    if Metrics.enabled () then
+      Metrics.set m_workers (float_of_int (List.length st.workers))
+  end;
+  Mutex.unlock st.m
+
+let run ~helpers ~nchunks chunk =
+  let helpers = min helpers (usable_parallelism () - 1) in
+  if nchunks <= 0 then ()
+  else if
+    helpers <= 0 || nchunks = 1 || in_worker () || Domain.DLS.get active_key
+  then
+    for c = 0 to nchunks - 1 do
+      chunk c;
+      Metrics.incr m_chunks
+    done
+  else begin
+    Domain.DLS.set active_key true;
+    Mutex.lock st.submit;
+    Fun.protect
+      ~finally:(fun () ->
+        Mutex.unlock st.submit;
+        Domain.DLS.set active_key false)
+      (fun () ->
+        ensure helpers;
+        Metrics.incr m_tasks;
+        if Metrics.enabled () then
+          Metrics.set m_queue_depth (float_of_int nchunks);
+        let job =
+          {
+            chunk;
+            nchunks;
+            next = Atomic.make 0;
+            remaining = Atomic.make nchunks;
+            done_m = Mutex.create ();
+            done_c = Condition.create ();
+            finished = false;
+          }
+        in
+        Mutex.lock st.m;
+        st.job <- Some job;
+        st.epoch <- st.epoch + 1;
+        Condition.broadcast st.work;
+        Mutex.unlock st.m;
+        drain job;
+        Mutex.lock job.done_m;
+        while not job.finished do
+          Condition.wait job.done_c job.done_m
+        done;
+        Mutex.unlock job.done_m;
+        (* Drop the job reference so its captured arrays can be collected
+           while the pool idles. *)
+        Mutex.lock st.m;
+        st.job <- None;
+        Mutex.unlock st.m;
+        if Metrics.enabled () then Metrics.set m_queue_depth 0.)
+  end

@@ -1,0 +1,69 @@
+(** A lazily started, process-wide pool of long-lived worker domains.
+
+    {!Par.map} used to [Domain.spawn] and join [d - 1] fresh domains on
+    every batch — once per GA generation, per restart, per fuzz batch.
+    Domain creation and teardown are stop-the-world events in the OCaml
+    runtime, so on the small batches that dominate a converged search the
+    setup cost dwarfed the work.  This pool spawns its workers once, parks
+    them on a condition variable, and feeds them jobs made of small
+    self-scheduled chunks: each worker (and the submitting domain itself)
+    repeatedly claims the next unclaimed chunk with an atomic counter, so
+    a job whose chunks have wildly different costs no longer idles most
+    workers behind the slowest statically assigned block.
+
+    The pool is a singleton.  Concurrent {!run} calls from different
+    domains serialise on a submission lock; a {!run} issued from inside a
+    pool worker {e or} from a chunk executing on the submitting domain (a
+    nested, reentrant parallel map) degrades to running the chunks inline
+    on that domain, which keeps nesting deadlock-free and deterministic.
+
+    Observability ({!Tiling_obs.Metrics}, all under [pool.*]):
+    [pool.workers] (gauge, current worker count), [pool.tasks] (jobs
+    submitted), [pool.chunks] (chunks executed), [pool.queue.depth]
+    (gauge, chunks queued by the job being submitted) and
+    [pool.worker.busy_ns] (histogram, per-job busy time of each
+    participating domain). *)
+
+val default_size : unit -> int
+(** The pool's default total parallelism, {e including} the submitting
+    domain: the value of the [TILING_DOMAINS] environment variable when
+    set, otherwise the machine's recommended domain count capped at 8.
+
+    @raise Invalid_argument if [TILING_DOMAINS] is set to anything but an
+    integer in [\[1, 128\]]. *)
+
+val usable_parallelism : unit -> int
+(** The number of domains that may usefully run at once: the validated
+    [TILING_DOMAINS] override when set, otherwise the machine's
+    recommended domain count (uncapped).  {!run} clamps its helper count
+    so the job never runs on more domains than this — in OCaml 5 every
+    minor collection synchronises all running domains, so oversubscribing
+    the hardware turns each GC into a scheduler round-trip and is a pure
+    loss.  Setting [TILING_DOMAINS] above the core count overrides the
+    clamp (useful for exercising the pool deterministically in tests). *)
+
+val in_worker : unit -> bool
+(** Whether the calling domain is one of the pool's workers. *)
+
+val size : unit -> int
+(** Current number of live worker domains (0 before first use and after
+    {!shutdown}). *)
+
+val run : helpers:int -> nchunks:int -> (int -> unit) -> unit
+(** [run ~helpers ~nchunks chunk] executes [chunk 0 .. chunk (nchunks-1)],
+    dynamically distributed over the calling domain plus up to [helpers]
+    pool workers, and returns when every chunk has completed.  [helpers]
+    is first clamped to [usable_parallelism () - 1] (see
+    {!usable_parallelism}); the pool is then started (or grown) on demand
+    to [max helpers (default_size () - 1)] workers.
+
+    [chunk] must not raise — wrap the body and stash failures (see
+    {!Par.map}); it must be safe to run concurrently with itself.  When
+    [helpers <= 0], [nchunks <= 1] or the caller is itself a pool worker,
+    the chunks run inline on the calling domain. *)
+
+val shutdown : unit -> unit
+(** Join every worker and return the pool to its never-started state; the
+    next {!run} restarts it lazily.  Idempotent, and registered with
+    [at_exit] on first start so worker domains are joined before the
+    process exits.  Must not be called concurrently with {!run}. *)

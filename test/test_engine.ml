@@ -236,3 +236,63 @@ let suite =
       Alcotest.test_case "4-deep ADD vs simulator" `Quick
         test_four_deep_vs_simulator;
     ]
+
+(* --- shared residue cache -------------------------------------------- *)
+
+let est_center (e : Tiling_cme.Estimator.report) =
+  ( e.Tiling_cme.Estimator.miss_ratio.Tiling_util.Stats.center,
+    e.Tiling_cme.Estimator.replacement_ratio.Tiling_util.Stats.center )
+
+let test_shared_residues_cross_engine () =
+  Tiling_cme.Engine.set_shared_residue_capacity 4096;
+  Tiling_cme.Engine.clear_shared_residues ();
+  let nest = Tiling_kernels.Kernels.mm 16 in
+  let r1 =
+    est_center (Tiling_cme.Estimator.exact (Tiling_cme.Engine.create nest cache1k))
+  in
+  let after_first = Tiling_cme.Engine.shared_residue_size () in
+  Alcotest.(check bool) "first engine populates the shared cache" true
+    (after_first > 0);
+  (* A brand-new engine over the same nest re-derives the same generator
+     signatures, so it must hit the shared cache instead of growing it. *)
+  let r2 =
+    est_center (Tiling_cme.Estimator.exact (Tiling_cme.Engine.create nest cache1k))
+  in
+  Alcotest.(check int) "second engine adds no entries" after_first
+    (Tiling_cme.Engine.shared_residue_size ());
+  Alcotest.(check bool) "identical estimates" true (r1 = r2)
+
+let test_shared_residues_eviction_correct () =
+  let nest = Transform.tile (Tiling_kernels.Kernels.mm 12) [| 4; 6; 3 |] in
+  Fun.protect
+    ~finally:(fun () ->
+      Tiling_cme.Engine.set_shared_residue_capacity 4096;
+      Tiling_cme.Engine.clear_shared_residues ())
+    (fun () ->
+      Tiling_cme.Engine.set_shared_residue_capacity 4096;
+      Tiling_cme.Engine.clear_shared_residues ();
+      let full =
+        est_center
+          (Tiling_cme.Estimator.exact (Tiling_cme.Engine.create nest cache1k))
+      in
+      (* A pathologically tiny capacity forces constant eviction; results
+         must not change, only the hit rate. *)
+      Tiling_cme.Engine.set_shared_residue_capacity 1;
+      Tiling_cme.Engine.clear_shared_residues ();
+      let tiny =
+        est_center
+          (Tiling_cme.Estimator.exact (Tiling_cme.Engine.create nest cache1k))
+      in
+      Alcotest.(check bool) "eviction does not change results" true
+        (full = tiny);
+      Alcotest.(check bool) "capacity bound respected" true
+        (Tiling_cme.Engine.shared_residue_size () <= 16))
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "shared residues cross-engine" `Quick
+        test_shared_residues_cross_engine;
+      Alcotest.test_case "shared residues eviction-correct" `Quick
+        test_shared_residues_eviction_correct;
+    ]
