@@ -4,7 +4,7 @@
      dune exec bench/main.exe -- TARGET  -- one of: table2 fig8 fig9 table3
                                             table4 ga-convergence
                                             solver-accuracy equations
-                                            throughput timing
+                                            throughput timing serve-latency
 
    Besides the human-readable tables on stdout, every run writes
    BENCH_results.json in the current directory: a machine-readable record
@@ -26,7 +26,11 @@
                     (* eval-throughput rows additionally carry *)
                     { "target": "eval-throughput", "backend": str,
                       "mode": "pool"|"spawn",
-                      "shared_residues": "cold"|"warm", ... } ] } *)
+                      "shared_residues": "cold"|"warm", ... } ],
+       "serve_latency":
+                  [ { "kernel": str, "n": int, "phase": "cold"|"warm",
+                      "requests": int, "p50_ms": float, "p95_ms": float,
+                      "wall_s": float }, ... ] } *)
 
 let targets : (string * (unit -> unit)) list =
   [
@@ -45,6 +49,7 @@ let targets : (string * (unit -> unit)) list =
     ("eval-throughput", Experiments.eval_throughput);
     ("fuzz-throughput", Experiments.fuzz_throughput);
     ("timing", Timing.run);
+    ("serve-latency", Serve.run);
   ]
 
 let timed_run name f =
@@ -130,6 +135,7 @@ let write_results timed =
         ("tilings", List tilings);
         ("search_throughput", List throughput);
         ("fuzz_throughput", List fuzz);
+        ("serve_latency", List (List.rev_map Serve.json_of_row !Serve.rows));
       ]
   in
   let oc = open_out "BENCH_results.json" in

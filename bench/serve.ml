@@ -1,0 +1,123 @@
+(* serve-latency: end-to-end request latency against a live daemon.
+
+   Boots the daemon in-process on a throwaway Unix socket with a fresh
+   result store, then times [tile] requests for MM through the real wire
+   path (client -> NDJSON -> scheduler -> search -> response) in two
+   phases: store-cold (every request a distinct seed, so every candidate
+   evaluation reaches the backend) and store-warm (the same requests
+   again, answered out of the persistent store).  p50/p95 per phase land
+   in BENCH_results.json under "serve_latency". *)
+
+module Json = Tiling_obs.Json
+module Server = Tiling_server.Server
+module Client = Tiling_server.Client
+module Netio = Tiling_util.Netio
+
+type row = {
+  s_kernel : string;
+  s_n : int;
+  s_phase : string; (* "cold" | "warm" *)
+  s_requests : int;
+  s_p50_ms : float;
+  s_p95_ms : float;
+  s_wall_s : float;
+}
+
+let rows : row list ref = ref []
+
+let json_of_row r =
+  Json.Obj
+    [
+      ("kernel", Json.String r.s_kernel);
+      ("n", Json.Int r.s_n);
+      ("phase", Json.String r.s_phase);
+      ("requests", Json.Int r.s_requests);
+      ("p50_ms", Json.Float r.s_p50_ms);
+      ("p95_ms", Json.Float r.s_p95_ms);
+      ("wall_s", Json.Float r.s_wall_s);
+    ]
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0. else sorted.(min (n - 1) (n * q / 100))
+
+let temp_path suffix =
+  let f = Filename.temp_file "tiling_bench_serve" suffix in
+  Sys.remove f;
+  f
+
+let run () =
+  Fmt.pr "@.== serve-latency: daemon round-trip, store-cold vs store-warm ==@.";
+  let quick = Experiments.bench_quick () in
+  let kernel = "MM" in
+  let n = if quick then 12 else 32 in
+  let requests = if quick then 3 else 8 in
+  let sock = temp_path ".sock" and store = temp_path ".store" in
+  let cfg =
+    {
+      Server.default_config with
+      addr = Netio.Unix_sock sock;
+      store_path = Some store;
+      workers = 2;
+    }
+  in
+  let server = Thread.create (fun () -> ignore (Server.run cfg)) () in
+  let rec await tries =
+    if Sys.file_exists sock then ()
+    else if tries = 0 then failwith "daemon never bound its socket"
+    else (
+      Thread.delay 0.05;
+      await (tries - 1))
+  in
+  await 100;
+  let client =
+    match Client.connect (Netio.Unix_sock sock) with
+    | Ok c -> c
+    | Error m -> failwith m
+  in
+  let one seed =
+    let params =
+      [
+        ("kernel", Json.String kernel);
+        ("n", Json.Int n);
+        ("seed", Json.Int seed);
+      ]
+    in
+    let t0 = Unix.gettimeofday () in
+    (match Client.call client ~meth:"tile" ~params with
+    | Ok envelope -> (
+        match Client.result_of_response envelope with
+        | Ok _ -> ()
+        | Error e -> failwith e.Tiling_server.Protocol.message)
+    | Error m -> failwith m);
+    (Unix.gettimeofday () -. t0) *. 1e3
+  in
+  let phase name =
+    let t0 = Unix.gettimeofday () in
+    let lats = Array.init requests (fun i -> one (100 + i)) in
+    let wall = Unix.gettimeofday () -. t0 in
+    Array.sort compare lats;
+    let p50 = percentile lats 50 and p95 = percentile lats 95 in
+    Fmt.pr "%-4s n=%-3d %-5s %2d requests  p50 %8.1f ms  p95 %8.1f ms@." kernel
+      n name requests p50 p95;
+    rows :=
+      {
+        s_kernel = kernel;
+        s_n = n;
+        s_phase = name;
+        s_requests = requests;
+        s_p50_ms = p50;
+        s_p95_ms = p95;
+        s_wall_s = wall;
+      }
+      :: !rows
+  in
+  phase "cold";
+  phase "warm";
+  (match Client.call client ~meth:"shutdown" ~params:[] with
+  | Ok _ -> ()
+  | Error m -> Fmt.epr "shutdown: %s@." m);
+  Client.close client;
+  Thread.join server;
+  if Sys.file_exists store then Sys.remove store;
+  if Sys.file_exists sock then Sys.remove sock

@@ -26,6 +26,7 @@ let small_opts =
     restarts = 1;
     domains = 1;
     backend = Tiling_search.Backend.default;
+    on_eval = ignore;
   }
 
 let build name n = (Tiling_kernels.Kernels.find name).Tiling_kernels.Kernels.build n
@@ -64,6 +65,7 @@ let bench_table3 =
              restarts = 1;
              domains = 1;
              backend = Tiling_search.Backend.default;
+             on_eval = ignore;
            }
          in
          ignore

@@ -657,14 +657,213 @@ let baselines_cmd =
         (const run $ kernel_arg $ size_arg $ cache_size_arg $ line_arg
        $ assoc_arg $ seed_arg $ obs_term))
 
+(* ------------------------------------------------------------------ *)
+(* Daemon: serve and request (docs/SERVER.md)                           *)
+
+let socket_arg =
+  let doc =
+    "Daemon address: $(b,unix:PATH), $(b,tcp:HOST:PORT) or $(b,HOST:PORT) \
+     (defaults to the $(b,TILING_SOCKET) environment variable, else \
+     $(b,unix:tiler.sock))."
+  in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"ADDR" ~doc)
+
+let resolve_addr socket =
+  let spec =
+    match socket with
+    | Some s -> Some s
+    | None -> (
+        match Sys.getenv_opt "TILING_SOCKET" with
+        | Some s when String.trim s <> "" -> Some s
+        | _ -> None)
+  in
+  match spec with
+  | None -> Ok Tiling_server.Server.default_config.Tiling_server.Server.addr
+  | Some s -> Tiling_util.Netio.addr_of_string s
+
+let serve_cmd =
+  let workers_arg =
+    let doc = "Request-scheduler worker threads (each request still \
+               parallelises internally over $(b,--domains))." in
+    Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let queue_arg =
+    let doc = "Admission-queue capacity; requests beyond it are rejected \
+               with $(b,overloaded) and a retry hint." in
+    Arg.(value & opt int 64 & info [ "queue" ] ~docv:"N" ~doc)
+  in
+  let store_arg =
+    let doc = "Persistent result-store log (defaults to the \
+               $(b,TILING_STORE) environment variable; unset = no \
+               persistence)." in
+    Arg.(value & opt (some string) None & info [ "store" ] ~docv:"FILE" ~doc)
+  in
+  let deadline_arg =
+    let doc = "Default per-request deadline in seconds, for requests that \
+               carry no $(b,deadline_s) of their own." in
+    Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SEC" ~doc)
+  in
+  let max_line_arg =
+    let doc = "Request-line byte cap ($(b,payload_too_large) beyond)." in
+    Arg.(value & opt int (1 lsl 20) & info [ "max-line" ] ~docv:"BYTES" ~doc)
+  in
+  let run socket workers queue store deadline max_line domains obs =
+    match resolve_addr socket with
+    | Error m -> `Error (false, m)
+    | Ok addr -> (
+        (* A daemon with logging fully off is a black box; default to the
+           App level so the serving/draining lifecycle lines show. *)
+        Tiling_obs.Logging.setup
+          (match obs.log_level with None -> Some Logs.App | l -> l);
+        if obs.metrics then Tiling_obs.Metrics.set_enabled true;
+        if obs.trace_out <> None then Tiling_obs.Span.set_enabled true;
+        let store_path =
+          match store with
+          | Some _ -> store
+          | None -> (
+              match Sys.getenv_opt "TILING_STORE" with
+              | Some s when String.trim s <> "" -> Some s
+              | _ -> None)
+        in
+        let cfg =
+          {
+            Tiling_server.Server.addr;
+            workers;
+            capacity = queue;
+            store_path;
+            default_deadline_s = deadline;
+            domains;
+            max_line_bytes = max_line;
+          }
+        in
+        let r = Tiling_server.Server.run cfg in
+        Option.iter
+          (fun file ->
+            try Tiling_obs.Span.write_chrome file
+            with Sys_error m -> Fmt.epr "tiler: cannot write trace: %s@." m)
+          obs.trace_out;
+        if obs.metrics then
+          Fmt.epr "metrics: %a@." Tiling_obs.Json.pp
+            (Tiling_obs.Metrics.snapshot ());
+        match r with Ok () -> `Ok () | Error m -> `Error (false, m))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the tiling daemon: newline-delimited JSON requests over a \
+          Unix or TCP socket, with admission control and a persistent \
+          result store (see docs/SERVER.md)")
+    Term.(
+      ret
+        (const run $ socket_arg $ workers_arg $ queue_arg $ store_arg
+       $ deadline_arg $ max_line_arg $ domains_arg $ obs_term))
+
+let request_cmd =
+  let meth_arg =
+    let doc =
+      "Request method: analyze, tile, pad-tile, fuzz-case, stats or \
+       shutdown."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"METHOD" ~doc)
+  in
+  let opt_int names docv doc =
+    Arg.(value & opt (some int) None & info names ~docv ~doc)
+  in
+  let kernel_opt_arg =
+    let doc = "Kernel name (see $(b,tiler list))." in
+    Arg.(value & opt (some string) None & info [ "kernel" ] ~docv:"KERNEL" ~doc)
+  in
+  let backend_opt_arg =
+    let doc = "Candidate cost backend name (validated by the daemon)." in
+    Arg.(value & opt (some string) None & info [ "backend" ] ~docv:"BACKEND" ~doc)
+  in
+  let case_arg =
+    let doc = "Fuzz case repro line (for $(b,fuzz-case))." in
+    Arg.(value & opt (some string) None & info [ "case" ] ~docv:"LINE" ~doc)
+  in
+  let deadline_arg =
+    let doc = "Per-request deadline in seconds." in
+    Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SEC" ~doc)
+  in
+  let run socket meth kernel n csize line assoc seed backend tiles exact case
+      deadline =
+    match resolve_addr socket with
+    | Error m -> `Error (false, m)
+    | Ok addr -> (
+        let params =
+          List.filter_map Fun.id
+            [
+              Option.map (fun k -> ("kernel", Tiling_obs.Json.String k)) kernel;
+              Option.map (fun v -> ("n", Tiling_obs.Json.Int v)) n;
+              Option.map (fun v -> ("cache_size", Tiling_obs.Json.Int v)) csize;
+              Option.map (fun v -> ("line", Tiling_obs.Json.Int v)) line;
+              Option.map (fun v -> ("assoc", Tiling_obs.Json.Int v)) assoc;
+              Option.map (fun v -> ("seed", Tiling_obs.Json.Int v)) seed;
+              Option.map (fun b -> ("backend", Tiling_obs.Json.String b)) backend;
+              Option.map
+                (fun ts ->
+                  ( "tiles",
+                    Tiling_obs.Json.List
+                      (List.map (fun t -> Tiling_obs.Json.Int t) ts) ))
+                tiles;
+              (if exact then Some ("exact", Tiling_obs.Json.Bool true) else None);
+              Option.map (fun c -> ("case", Tiling_obs.Json.String c)) case;
+              Option.map (fun d -> ("deadline_s", Tiling_obs.Json.Float d)) deadline;
+            ]
+        in
+        match Tiling_server.Client.connect addr with
+        | Error m ->
+            Fmt.epr "tiler: cannot connect to %s: %s@."
+              (Tiling_util.Netio.addr_to_string addr)
+              m;
+            exit 1
+        | Ok client -> (
+            let resp = Tiling_server.Client.call client ~meth ~params in
+            Tiling_server.Client.close client;
+            match resp with
+            | Error m ->
+                Fmt.epr "tiler: %s@." m;
+                exit 1
+            | Ok envelope -> (
+                print_endline (Tiling_obs.Json.to_string envelope);
+                match Tiling_server.Client.result_of_response envelope with
+                | Ok _ -> `Ok ()
+                | Error _ -> exit 1)))
+  in
+  Cmd.v
+    (Cmd.info "request"
+       ~doc:
+         "Send one request to a running tiling daemon and print the JSON \
+          response (exit 0 on $(b,status=ok), 1 on a server-side error)")
+    Term.(
+      ret
+        (const run $ socket_arg $ meth_arg $ kernel_opt_arg
+       $ opt_int [ "n"; "size" ] "N" "Problem size N."
+       $ opt_int [ "cache" ] "BYTES" "Cache size in bytes."
+       $ opt_int [ "line" ] "BYTES" "Line size in bytes."
+       $ opt_int [ "assoc" ] "WAYS" "Associativity."
+       $ opt_int [ "seed" ] "SEED" "Random seed."
+       $ backend_opt_arg $ tiles_arg
+       $ Arg.(value & flag & info [ "exact" ] ~doc:"Exact CME enumeration.")
+       $ case_arg $ deadline_arg))
+
 let () =
   let doc = "near-optimal loop tiling by cache miss equations and a GA" in
   let info = Cmd.info "tiler" ~version:"1.0.0" ~doc in
+  let group =
+    Cmd.group info
+      [
+        list_cmd; show_cmd; simulate_cmd; analyze_cmd; equations_cmd;
+        tile_cmd; pad_cmd; pad_tile_cmd; joint_cmd; order_cmd;
+        codegen_cmd; trace_cmd; baselines_cmd; fuzz_cmd;
+        serve_cmd; request_cmd;
+      ]
+  in
+  (* Exit-code contract (docs/SERVER.md): 0 success, 1 runtime failure
+     (fuzz mismatches, server-side request errors), 2 argument or
+     validation errors, 125 unexpected exceptions. *)
   exit
-    (Cmd.eval
-       (Cmd.group info
-          [
-            list_cmd; show_cmd; simulate_cmd; analyze_cmd; equations_cmd;
-            tile_cmd; pad_cmd; pad_tile_cmd; joint_cmd; order_cmd;
-            codegen_cmd; trace_cmd; baselines_cmd; fuzz_cmd;
-          ]))
+    (match Cmd.eval_value group with
+    | Ok (`Ok ()) | Ok `Version | Ok `Help -> 0
+    | Error (`Parse | `Term) -> 2
+    | Error `Exn -> 125)

@@ -82,6 +82,7 @@ let pad_and_tile ?(topts = Tiler.default_opts) ?(popts = Padder.default_opts)
         (Transform.tile padded tiles, Sample.embed sample ~tiles))
       ()
   in
+  topts.Tiler.on_eval eval;
   let encoding = Tiling_ga.Encoding.make uppers in
   let ga =
     Tiling_search.Driver.best_of ~label:"optimizer" ~params:topts.Tiler.ga

@@ -10,6 +10,7 @@ type opts = {
   restarts : int;
   domains : int;
   backend : Tiling_search.Backend.t;
+  on_eval : Tiling_search.Eval.t -> unit;
 }
 
 let default_opts =
@@ -22,6 +23,7 @@ let default_opts =
     restarts = 3;
     domains = 1;
     backend = Tiling_search.Backend.default;
+    on_eval = ignore;
   }
 
 type outcome = {
@@ -85,6 +87,7 @@ let optimize ?(opts = default_opts) ?tiles nest cache =
         | Some tiles -> (Transform.tile padded tiles, Sample.embed sample ~tiles))
       ()
   in
+  opts.on_eval eval;
   let before = eval_current () in
   let ga =
     Tiling_search.Driver.best_of ~label:"padder" ~params:opts.ga

@@ -19,6 +19,9 @@ type opts = {
           candidates are evaluated on fresh nest clones, so results are
           identical for any value *)
   backend : Tiling_search.Backend.t;  (** candidate cost backend *)
+  on_eval : Tiling_search.Eval.t -> unit;
+      (** hook over the fresh evaluation service (persistent memo tier,
+          deadline probe); default [ignore] — see {!Tiler.opts} *)
 }
 
 val default_opts : opts

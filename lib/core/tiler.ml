@@ -12,6 +12,7 @@ type opts = {
   restarts : int;
   domains : int;
   backend : Tiling_search.Backend.t;
+  on_eval : Tiling_search.Eval.t -> unit;
 }
 
 let default_opts =
@@ -22,6 +23,7 @@ let default_opts =
     restarts = 3;
     domains = 1;
     backend = Tiling_search.Backend.default;
+    on_eval = ignore;
   }
 
 type outcome = {
@@ -57,6 +59,7 @@ let optimize ?(opts = default_opts) nest cache =
       ~prepare:(fun tiles -> (Transform.tile nest tiles, Sample.embed sample ~tiles))
       ()
   in
+  opts.on_eval eval;
   (* Independent GA restarts (objective cache shared): our exact
      conflict-aware objective is rougher than the paper's, so a single
      population occasionally converges into a poor basin.  Keep the best
@@ -199,6 +202,7 @@ let optimize_with_order ?(opts = default_opts) nest cache =
         (Transform.tile pnest tiles, embed_tiled pnest pts tiles))
       ()
   in
+  opts.on_eval eval;
   let ga =
     Tiling_search.Driver.best_of ~label:"tiler" ~params:opts.ga
       ~restarts:opts.restarts ~seed:opts.seed ~salt:0x2E7 ~encoding ~eval ()

@@ -24,6 +24,11 @@ type opts = {
       (** cost backend scoring each candidate — CME sampling by default;
           see {!Tiling_search.Backend} for the alternatives (exact CME
           enumeration, trace-driven cache simulation) *)
+  on_eval : Tiling_search.Eval.t -> unit;
+      (** called with the freshly created evaluation service before the
+          search starts — the daemon's hook for attaching a persistent
+          memo tier ({!Tiling_search.Memo.set_tier}) and a deadline probe
+          ({!Tiling_search.Eval.set_cancel}); default [ignore] *)
 }
 
 val default_opts : opts

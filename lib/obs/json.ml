@@ -102,10 +102,16 @@ let rec pp ppf = function
 
 exception Parse_error of string
 
-let of_string s =
+let default_max_depth = 512
+let default_max_size = 64 * 1024 * 1024
+
+let of_string ?(max_depth = default_max_depth) ?(max_size = default_max_size) s =
   let n = String.length s in
   let pos = ref 0 in
   let error fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt in
+  if n > max_size then
+    Error (Printf.sprintf "input too large (%d bytes, limit %d)" n max_size)
+  else
   let peek () = if !pos < n then Some s.[!pos] else None in
   let advance () = incr pos in
   let rec skip_ws () =
@@ -150,7 +156,19 @@ let of_string s =
           | Some 'u' ->
               advance ();
               if !pos + 4 > n then error "truncated \\u escape";
-              let code = int_of_string ("0x" ^ String.sub s !pos 4) in
+              let hex c =
+                match c with
+                | '0' .. '9' -> Char.code c - Char.code '0'
+                | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+                | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+                | _ -> error "bad \\u escape at offset %d" !pos
+              in
+              let code =
+                (hex s.[!pos] lsl 12)
+                lor (hex s.[!pos + 1] lsl 8)
+                lor (hex s.[!pos + 2] lsl 4)
+                lor hex s.[!pos + 3]
+              in
               pos := !pos + 4;
               (* Basic-multilingual-plane code points only; encode UTF-8. *)
               if code < 0x80 then Buffer.add_char buf (Char.chr code)
@@ -165,6 +183,9 @@ let of_string s =
               end;
               go ()
           | _ -> error "bad escape at offset %d" !pos)
+      | Some c when Char.code c < 0x20 ->
+          error "unescaped control character 0x%02x in string at offset %d"
+            (Char.code c) !pos
       | Some c ->
           Buffer.add_char buf c;
           advance ();
@@ -193,7 +214,9 @@ let of_string s =
       | Some i -> Int i
       | None -> error "bad number %S at offset %d" tok start
   in
-  let rec parse_value () =
+  let rec parse_value depth =
+    if depth >= max_depth then
+      error "nesting deeper than %d at offset %d" max_depth !pos;
     skip_ws ();
     match peek () with
     | None -> error "unexpected end of input"
@@ -211,7 +234,7 @@ let of_string s =
             let k = parse_string () in
             skip_ws ();
             expect ':';
-            let v = parse_value () in
+            let v = parse_value (depth + 1) in
             fields := (k, v) :: !fields;
             skip_ws ();
             match peek () with
@@ -231,7 +254,7 @@ let of_string s =
         else begin
           let items = ref [] in
           let rec items_loop () =
-            let v = parse_value () in
+            let v = parse_value (depth + 1) in
             items := v :: !items;
             skip_ws ();
             match peek () with
@@ -248,7 +271,7 @@ let of_string s =
     | Some _ -> parse_number ()
   in
   match
-    let v = parse_value () in
+    let v = parse_value 0 in
     skip_ws ();
     if !pos <> n then error "trailing garbage at offset %d" !pos;
     v

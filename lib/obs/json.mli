@@ -18,10 +18,26 @@ val to_string : t -> string
 val pp : t Fmt.t
 (** Indented, human-oriented rendering of the same tree. *)
 
-val of_string : string -> (t, string) result
-(** Recursive-descent parser for the subset [to_string] emits (all of
-    JSON minus surrogate-pair escapes).  Numbers with a [.], [e] or [E]
-    parse as [Float], others as [Int]. *)
+val default_max_depth : int
+(** 512 — see {!of_string}. *)
+
+val default_max_size : int
+(** 64 MiB — see {!of_string}. *)
+
+val of_string : ?max_depth:int -> ?max_size:int -> string -> (t, string) result
+(** Recursive-descent parser for all of JSON minus surrogate-pair
+    escapes.  Numbers with a [.], [e] or [E] parse as [Float], others as
+    [Int].
+
+    Hardened against hostile input — it never raises, whatever the bytes:
+    unterminated strings, objects and arrays, truncated or non-hex [\u]
+    escapes, bad literals and trailing garbage all return [Error] with an
+    offset-carrying message.  [max_depth] (default {!default_max_depth})
+    bounds bracket nesting so a ["[[[[..."] bomb cannot overflow the
+    stack; [max_size] (default {!default_max_size}) rejects oversized
+    payloads before any parsing work.  Servers reading untrusted bytes
+    should pass limits sized to their message budget (the tiling daemon
+    uses 1 MiB / depth 64, see docs/SERVER.md). *)
 
 val member : string -> t -> t option
 (** [member k (Obj _)] is the value bound to [k], if any; [None] on

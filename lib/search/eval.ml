@@ -5,6 +5,8 @@ let m_memo_hit = Metrics.counter "search.memo.hit"
 let m_memo_miss = Metrics.counter "search.memo.miss"
 let m_batches = Metrics.counter "search.eval.batches"
 
+exception Cancelled
+
 type t = {
   backend : Backend.t;
   domains : int;
@@ -13,6 +15,7 @@ type t = {
   memo : float Memo.t;
   fresh : int Atomic.t;
   hits : int Atomic.t;
+  mutable cancel : unit -> bool;
 }
 
 let create ?(backend = Backend.default) ?(domains = 1) ~cache ~prepare () =
@@ -24,15 +27,19 @@ let create ?(backend = Backend.default) ?(domains = 1) ~cache ~prepare () =
     memo = Memo.create ();
     fresh = Atomic.make 0;
     hits = Atomic.make 0;
+    cancel = (fun () -> false);
   }
 
 let backend t = t.backend
 let domains t = t.domains
+let memo t = t.memo
 let distinct t = Memo.length t.memo
 let fresh t = Atomic.get t.fresh
 let hits t = Atomic.get t.hits
+let set_cancel t f = t.cancel <- f
 
 let compute t values =
+  if t.cancel () then raise Cancelled;
   ignore (Atomic.fetch_and_add t.fresh 1);
   Metrics.incr m_memo_miss;
   let nest, points = t.prepare values in

@@ -14,6 +14,14 @@
 
 type t
 
+exception Cancelled
+(** Raised out of {!objective} / {!evaluate_all} when the service's
+    cancellation probe (see {!set_cancel}) reports true.  The check is
+    cooperative: it runs before each fresh backend evaluation, so a raise
+    surfaces within one candidate's cost of the probe flipping.  Memoized
+    state stays consistent — everything computed before the raise is
+    kept. *)
+
 val create :
   ?backend:Backend.t ->
   ?domains:int ->
@@ -47,6 +55,17 @@ val evaluate_all : t -> int array array -> float array
 
 val backend : t -> Backend.t
 val domains : t -> int
+
+val memo : t -> float Memo.t
+(** The service's objective memo — exposed so a host (the tiling daemon)
+    can attach a persistent tier ({!Memo.set_tier}) before the search
+    starts. *)
+
+val set_cancel : t -> (unit -> bool) -> unit
+(** Install a cancellation probe (default: never).  Must be cheap and
+    thread-safe; it is polled from every domain evaluating candidates.
+    When it returns true, the next fresh evaluation raises {!Cancelled} —
+    the daemon uses this for per-request deadlines. *)
 
 val distinct : t -> int
 (** Distinct candidates evaluated so far (memo size). *)

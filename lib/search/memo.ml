@@ -36,10 +36,37 @@ end
 
 module Table = Hashtbl.Make (Key)
 
-type 'v t = { table : 'v Table.t; lock : Mutex.t }
+type 'v tier = { find : Key.t -> 'v option; save : Key.t -> 'v -> unit }
 
-let create ?(size = 512) () = { table = Table.create size; lock = Mutex.create () }
+type 'v t = {
+  table : 'v Table.t;
+  lock : Mutex.t;
+  mutable tier : 'v tier option;
+}
 
-let find_opt t k = Mutex.protect t.lock (fun () -> Table.find_opt t.table k)
-let set t k v = Mutex.protect t.lock (fun () -> Table.replace t.table k v)
+let create ?(size = 512) () =
+  { table = Table.create size; lock = Mutex.create (); tier = None }
+
+let set_tier t tier = t.tier <- tier
+
+let find_opt t k =
+  match Mutex.protect t.lock (fun () -> Table.find_opt t.table k) with
+  | Some _ as r -> r
+  | None -> (
+      match t.tier with
+      | None -> None
+      | Some tier -> (
+          (* Tier lookups run outside the lock: they may do IO and must not
+             stall other domains probing the in-memory table.  A promoted
+             value is cached in the table but never re-saved. *)
+          match tier.find k with
+          | Some v as r ->
+              Mutex.protect t.lock (fun () -> Table.replace t.table k v);
+              r
+          | None -> None))
+
+let set t k v =
+  Mutex.protect t.lock (fun () -> Table.replace t.table k v);
+  match t.tier with None -> () | Some tier -> tier.save k v
+
 let length t = Mutex.protect t.lock (fun () -> Table.length t.table)

@@ -31,13 +31,25 @@ module Table : Hashtbl.S with type key = Key.t
 
 type 'v t
 
+type 'v tier = { find : Key.t -> 'v option; save : Key.t -> 'v -> unit }
+(** A second storage tier behind the in-memory table — typically the
+    daemon's disk-backed result store ({!Tiling_server.Store}).  [find]
+    and [save] must be thread-safe; both run outside the memo's lock. *)
+
 val create : ?size:int -> unit -> 'v t
 (** [size] is the initial bucket count (default 512). *)
 
+val set_tier : 'v t -> 'v tier option -> unit
+(** Attach (or detach) a backing tier.  {!find_opt} consults it on an
+    in-memory miss and promotes what it finds; {!set} writes through to
+    it.  Attach before sharing the memo across domains. *)
+
 val find_opt : 'v t -> Key.t -> 'v option
+(** In-memory table first; on a miss, the attached tier (if any), whose
+    hits are promoted into the table.  Promotions are not re-saved. *)
 
 val set : 'v t -> Key.t -> 'v -> unit
-(** Insert or replace. *)
+(** Insert or replace, writing through to the attached tier (if any). *)
 
 val length : 'v t -> int
 (** Number of distinct keys stored. *)

@@ -1,0 +1,65 @@
+module Json = Tiling_obs.Json
+module Netio = Tiling_util.Netio
+
+type t = { fd : Unix.file_descr; r : Netio.reader; mutable next_id : int }
+
+let connect addr =
+  Result.map
+    (fun fd -> { fd; r = Netio.reader fd; next_id = 1 })
+    (Netio.connect addr)
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let max_reply_bytes = 8 * 1024 * 1024
+
+let call t ~meth ~params =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let req =
+    Json.Obj
+      [
+        ("v", Json.Int Protocol.version);
+        ("id", Json.Int id);
+        ("method", Json.String meth);
+        ("params", Json.Obj params);
+      ]
+  in
+  match Netio.write_line t.fd (Json.to_string req) with
+  | Error m -> Error (Printf.sprintf "cannot send request: %s" m)
+  | Ok () -> (
+      match Netio.read_line ~max_bytes:max_reply_bytes t.r with
+      | `Eof -> Error "connection closed before the reply arrived"
+      | `Too_long ->
+          Error (Printf.sprintf "reply exceeds %d bytes" max_reply_bytes)
+      | `Line line ->
+          Result.map_error
+            (fun m -> Printf.sprintf "malformed reply: %s" m)
+            (Json.of_string line))
+
+let result_of_response j =
+  match Json.member "status" j with
+  | Some (Json.String "ok") ->
+      Ok (Option.value (Json.member "result" j) ~default:Json.Null)
+  | Some (Json.String "error") ->
+      let e = Option.value (Json.member "error" j) ~default:(Json.Obj []) in
+      let code =
+        match Json.member "code" e with
+        | Some (Json.String s) ->
+            Option.value (Protocol.code_of_string s) ~default:Protocol.Internal
+        | _ -> Protocol.Internal
+      in
+      let message =
+        match Json.member "message" e with
+        | Some (Json.String s) -> s
+        | _ -> "(no message)"
+      in
+      let retry_after_s =
+        match Json.member "retry_after_s" e with
+        | Some (Json.Float f) -> Some f
+        | Some (Json.Int i) -> Some (float_of_int i)
+        | _ -> None
+      in
+      Error (Protocol.err ?retry_after_s code message)
+  | _ ->
+      Error
+        (Protocol.err Protocol.Internal "malformed response: missing status")

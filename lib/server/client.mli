@@ -1,0 +1,27 @@
+(** Blocking client for the tiling daemon.
+
+    One connection, one request in flight: {!call} writes a single
+    request line and blocks until the matching response line arrives.
+    (The daemon supports pipelining — responses carry the request [id]
+    and may arrive out of order — but this client deliberately does not:
+    every CLI and test use is call-and-wait.) *)
+
+type t
+
+val connect : Tiling_util.Netio.addr -> (t, string) result
+val close : t -> unit
+
+val call :
+  t ->
+  meth:string ->
+  params:(string * Tiling_obs.Json.t) list ->
+  (Tiling_obs.Json.t, string) result
+(** Send one request and read back the full response envelope
+    ([{"v":1,"id":..,"status":..,..}]).  [Error] is a transport problem
+    (connection closed, oversized or malformed reply) — a server-side
+    error still comes back as [Ok envelope] with [status = "error"];
+    interpret it with {!result_of_response}. *)
+
+val result_of_response :
+  Tiling_obs.Json.t -> (Tiling_obs.Json.t, Protocol.error) result
+(** Split an envelope into its [result] payload or its decoded error. *)

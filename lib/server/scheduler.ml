@@ -1,0 +1,195 @@
+module Json = Tiling_obs.Json
+module Metrics = Tiling_obs.Metrics
+
+let m_rejected = Metrics.counter "server.admission.rejected"
+let m_ok = Metrics.counter "server.requests.ok"
+let m_error = Metrics.counter "server.requests.error"
+let m_timeout = Metrics.counter "server.requests.timeout"
+let m_latency = Metrics.histogram "server.request_ns"
+let g_depth = Metrics.gauge "server.queue.depth"
+
+type reject = Overloaded of float | Draining
+
+type job = {
+  work : cancelled:(unit -> bool) -> Json.t;
+  deliver : (Json.t, Protocol.error) result -> unit;
+  deadline : float option;
+  enqueued_at : float;
+}
+
+type t = {
+  queue : job Queue.t;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  capacity : int;
+  mutable closed : bool;
+  mutable threads : Thread.t list;
+  (* latency ring, guarded by [lock] *)
+  ring : float array;
+  mutable ring_len : int;
+  mutable ring_pos : int;
+  completed : int Atomic.t;
+  rejected : int Atomic.t;
+  timeouts : int Atomic.t;
+}
+
+let past deadline =
+  match deadline with Some d -> Unix.gettimeofday () > d | None -> false
+
+let record_latency t seconds =
+  Mutex.protect t.lock (fun () ->
+      t.ring.(t.ring_pos) <- seconds;
+      t.ring_pos <- (t.ring_pos + 1) mod Array.length t.ring;
+      t.ring_len <- min (t.ring_len + 1) (Array.length t.ring));
+  Metrics.observe m_latency (int_of_float (seconds *. 1e9))
+
+let run_job t job =
+  let finish result =
+    (match result with
+    | Ok _ -> Metrics.incr m_ok
+    | Error { Protocol.code = Protocol.Deadline_exceeded; _ } ->
+        Atomic.incr t.timeouts;
+        Metrics.incr m_timeout
+    | Error _ -> Metrics.incr m_error);
+    Atomic.incr t.completed;
+    record_latency t (Unix.gettimeofday () -. job.enqueued_at);
+    job.deliver result
+  in
+  if past job.deadline then
+    finish
+      (Error
+         (Protocol.err Protocol.Deadline_exceeded
+            "deadline expired while the request was queued"))
+  else
+    match job.work ~cancelled:(fun () -> past job.deadline) with
+    | result -> finish (Ok result)
+    | exception Tiling_search.Eval.Cancelled ->
+        finish
+          (Error (Protocol.err Protocol.Deadline_exceeded "deadline exceeded"))
+    | exception e ->
+        finish
+          (Error
+             (Protocol.err Protocol.Internal
+                (Printf.sprintf "request handler failed: %s" (Printexc.to_string e))))
+
+let worker t () =
+  let rec loop () =
+    let job =
+      Mutex.protect t.lock (fun () ->
+          let rec await () =
+            if not (Queue.is_empty t.queue) then begin
+              let job = Queue.pop t.queue in
+              Metrics.set g_depth (float_of_int (Queue.length t.queue));
+              Some job
+            end
+            else if t.closed then None
+            else begin
+              Condition.wait t.nonempty t.lock;
+              await ()
+            end
+          in
+          await ())
+    in
+    match job with
+    | Some job ->
+        run_job t job;
+        loop ()
+    | None -> ()
+  in
+  loop ()
+
+let create ?(workers = 2) ?(capacity = 64) () =
+  let workers = max 1 workers and capacity = max 1 capacity in
+  let t =
+    {
+      queue = Queue.create ();
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      capacity;
+      closed = false;
+      threads = [];
+      ring = Array.make 1024 0.;
+      ring_len = 0;
+      ring_pos = 0;
+      completed = Atomic.make 0;
+      rejected = Atomic.make 0;
+      timeouts = Atomic.make 0;
+    }
+  in
+  t.threads <- List.init workers (fun _ -> Thread.create (worker t) ());
+  t
+
+(* Backoff hint for a rejected client: the queue's expected service time
+   from recent latencies (median x queued-ahead / workers), clamped to a
+   sane range.  With no history yet, one second. *)
+let retry_after t =
+  let p50, _, samples =
+    (* inlined below to avoid forward reference *)
+    let sorted = Array.sub t.ring 0 t.ring_len in
+    Array.sort compare sorted;
+    if t.ring_len = 0 then (0., 0., 0)
+    else
+      ( sorted.(t.ring_len / 2),
+        sorted.(min (t.ring_len - 1) (t.ring_len * 95 / 100)),
+        t.ring_len )
+  in
+  if samples = 0 then 1.0
+  else
+    let nworkers = List.length t.threads in
+    Float.min 60. (Float.max 0.1 (p50 *. float_of_int (t.capacity / max 1 nworkers)))
+
+let submit t ?deadline_s ~work ~deliver () =
+  let verdict =
+    Mutex.protect t.lock (fun () ->
+        if t.closed then Error Draining
+        else if Queue.length t.queue >= t.capacity then begin
+          Atomic.incr t.rejected;
+          Metrics.incr m_rejected;
+          Error (Overloaded (retry_after t))
+        end
+        else begin
+          Queue.push
+            {
+              work;
+              deliver;
+              deadline = deadline_s;
+              enqueued_at = Unix.gettimeofday ();
+            }
+            t.queue;
+          Metrics.set g_depth (float_of_int (Queue.length t.queue));
+          Condition.signal t.nonempty;
+          Ok ()
+        end)
+  in
+  verdict
+
+let depth t = Mutex.protect t.lock (fun () -> Queue.length t.queue)
+let capacity t = t.capacity
+let workers t = List.length t.threads
+let completed t = Atomic.get t.completed
+let rejected t = Atomic.get t.rejected
+let timeouts t = Atomic.get t.timeouts
+
+let latency_ms t =
+  Mutex.protect t.lock (fun () ->
+      if t.ring_len = 0 then (0., 0., 0)
+      else begin
+        let sorted = Array.sub t.ring 0 t.ring_len in
+        Array.sort compare sorted;
+        let pick q = sorted.(min (t.ring_len - 1) (t.ring_len * q / 100)) in
+        (pick 50 *. 1e3, pick 95 *. 1e3, t.ring_len)
+      end)
+
+let drain t =
+  let threads =
+    Mutex.protect t.lock (fun () ->
+        if t.closed then []
+        else begin
+          t.closed <- true;
+          Condition.broadcast t.nonempty;
+          let ts = t.threads in
+          t.threads <- ts;
+          ts
+        end)
+  in
+  List.iter Thread.join threads

@@ -1,0 +1,70 @@
+(** The daemon's request scheduler: a bounded admission queue in front of
+    a fixed crew of worker threads.
+
+    Admission control is the contract that keeps the daemon stable under
+    overload: a request either gets a queue slot immediately or is
+    rejected immediately ([`Overloaded`] with a [retry_after_s] hint
+    derived from recent service times) — the queue never grows without
+    bound and a saturated daemon keeps answering in constant time.
+
+    Workers are OS threads, not domains: heavy requests parallelise
+    {e internally} over the process-wide {!Tiling_util.Pool} domains (the
+    PR-4 evaluation path), so worker threads exist to overlap requests
+    and keep admission/IO responsive, and the worker count stays small.
+
+    Deadlines are cooperative.  Each job's [cancelled] probe flips once
+    the deadline passes; handlers poll it (the search layer polls it
+    before every fresh candidate evaluation, see
+    {!Tiling_search.Eval.set_cancel}) and abandon work by raising
+    {!Tiling_search.Eval.Cancelled}, which the scheduler maps to a
+    [Deadline_exceeded] wire error.  A job whose deadline passed while it
+    was still queued is failed without running at all.
+
+    Metrics ([server.*]): [server.queue.depth] gauge,
+    [server.admission.rejected], [server.requests.ok] /
+    [.error] / [.timeout] counters, and the [server.request_ns]
+    histogram of end-to-end (enqueue-to-finish) latency. *)
+
+type t
+
+type reject =
+  | Overloaded of float  (** queue full; suggested retry backoff, seconds *)
+  | Draining             (** {!drain} has begun; no new work accepted *)
+
+val create : ?workers:int -> ?capacity:int -> unit -> t
+(** [workers] executor threads (default 2, min 1) over a queue of
+    [capacity] slots (default 64, min 1). *)
+
+val submit :
+  t ->
+  ?deadline_s:float ->
+  work:(cancelled:(unit -> bool) -> Tiling_obs.Json.t) ->
+  deliver:((Tiling_obs.Json.t, Protocol.error) result -> unit) ->
+  unit ->
+  (unit, reject) result
+(** Enqueue [work].  [deadline_s] is absolute (Unix time).  [deliver] is
+    called exactly once, from a worker thread, with the work's result —
+    or with [Deadline_exceeded] (queued past its deadline, or the work
+    raised {!Tiling_search.Eval.Cancelled}) or [Internal] (any other
+    exception; the daemon survives).  [deliver] must not raise. *)
+
+val depth : t -> int
+val capacity : t -> int
+val workers : t -> int
+
+val completed : t -> int
+(** Jobs delivered (ok, failed and timed out alike). *)
+
+val rejected : t -> int
+(** Admission rejects since creation. *)
+
+val timeouts : t -> int
+
+val latency_ms : t -> float * float * int
+(** [(p50, p95, samples)] over a ring of the most recent request
+    latencies (milliseconds, enqueue to delivery); [(0., 0., 0)] before
+    the first completion. *)
+
+val drain : t -> unit
+(** Stop admitting ({!submit} returns [Draining]), let the workers
+    finish everything already queued, and join them.  Idempotent. *)

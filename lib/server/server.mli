@@ -1,0 +1,36 @@
+(** The tiling daemon: accept loop, request handlers, and lifecycle.
+
+    [run config] binds the configured address and serves until a
+    [shutdown] request or a SIGTERM/SIGINT arrives, then drains: the
+    listener closes, queued requests finish, in-flight connections are
+    unblocked and joined, the result store is flushed and a Unix socket
+    path is unlinked.  Malformed input — bad JSON, bad envelopes, bad
+    parameters, oversized lines — is answered with a structured error (or
+    at worst drops that one connection); it never takes the daemon down.
+
+    Methods: [analyze], [tile], [pad-tile], [fuzz-case], [stats],
+    [shutdown].  The first four go through the {!Scheduler} (admission
+    control, deadlines); [stats] and [shutdown] are answered inline so
+    they work even when the queue is saturated.  The parameter schema of
+    each method is documented in docs/SERVER.md. *)
+
+type config = {
+  addr : Tiling_util.Netio.addr;
+  workers : int;        (** scheduler worker threads *)
+  capacity : int;       (** admission queue slots *)
+  store_path : string option;
+      (** result-store log; [None] = no persistence (per-request memo only) *)
+  default_deadline_s : float option;
+      (** applied to requests that carry no [deadline_s] of their own *)
+  domains : int;        (** OCaml domains per search ({!Tiling_util.Pool}) *)
+  max_line_bytes : int; (** request-line cap (payload_too_large beyond) *)
+}
+
+val default_config : config
+(** [unix:tiler.sock], 2 workers, 64 slots, no store, no deadline,
+    1 domain, 1 MiB lines. *)
+
+val run : config -> (unit, string) result
+(** Serve until shutdown; [Error] only for startup failures (bind or
+    store open).  Installs SIGTERM/SIGINT handlers and ignores
+    SIGPIPE. *)

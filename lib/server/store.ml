@@ -1,0 +1,277 @@
+module Memo = Tiling_search.Memo
+module Metrics = Tiling_obs.Metrics
+
+let m_hits = Metrics.counter "server.store.hits"
+let m_misses = Metrics.counter "server.store.misses"
+let m_appends = Metrics.counter "server.store.appends"
+let m_compactions = Metrics.counter "server.store.compactions"
+let g_entries = Metrics.gauge "server.store.entries"
+let g_records = Metrics.gauge "server.store.records"
+
+let header = "tiling-store/1"
+
+type t = {
+  path : string;
+  mutable oc : out_channel;
+  lock : Mutex.t;
+  tables : (string, float Memo.Table.t) Hashtbl.t;
+  mutable records : int;  (* data lines in the log, dead ones included *)
+  mutable live : int;
+  compact_min_dead : int;
+  skipped_on_load : int;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  appends : int Atomic.t;
+  compactions : int Atomic.t;
+}
+
+(* One record is one line: [r <fingerprint> <v1,v2,..> <cost>].  The
+   fingerprint is percent-escaped so whitespace and newlines can never
+   break framing; the cost is printed as a hex float ("%h") for exact
+   binary round-tripping. *)
+
+let escape s =
+  let plain c =
+    match c with ' ' | '\n' | '\r' | '\t' | '%' -> false | c -> Char.code c > 0x20
+  in
+  if String.for_all plain s && s <> "" then s
+  else begin
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        if plain c then Buffer.add_char buf c
+        else Buffer.add_string buf (Printf.sprintf "%%%02x" (Char.code c)))
+      s;
+    Buffer.contents buf
+  end
+
+let unescape s =
+  if not (String.contains s '%') then Some s
+  else
+    let buf = Buffer.create (String.length s) in
+    let n = String.length s in
+    let hex c =
+      match c with
+      | '0' .. '9' -> Some (Char.code c - Char.code '0')
+      | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+      | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+      | _ -> None
+    in
+    let rec go i =
+      if i >= n then Some (Buffer.contents buf)
+      else if s.[i] = '%' then
+        if i + 3 <= n then
+          match (hex s.[i + 1], hex s.[i + 2]) with
+          | Some hi, Some lo ->
+              Buffer.add_char buf (Char.chr ((hi lsl 4) lor lo));
+              go (i + 3)
+          | _ -> None
+        else None
+      else begin
+        Buffer.add_char buf s.[i];
+        go (i + 1)
+      end
+    in
+    go 0
+
+let values_to_string values =
+  String.concat "," (Array.to_list (Array.map string_of_int values))
+
+let values_of_string s =
+  let parts = String.split_on_char ',' s in
+  let ints = List.filter_map int_of_string_opt parts in
+  if List.length ints = List.length parts && parts <> [] then
+    Some (Array.of_list ints)
+  else None
+
+let record_line ~fingerprint key cost =
+  Printf.sprintf "r %s %s %h" (escape fingerprint)
+    (values_to_string (Memo.Key.values key))
+    cost
+
+let parse_record line =
+  match String.split_on_char ' ' line with
+  | [ "r"; fp; vals; cost ] -> (
+      match (unescape fp, values_of_string vals, float_of_string_opt cost) with
+      | Some fp, Some values, Some cost -> Some (fp, Memo.Key.of_values values, cost)
+      | _ -> None)
+  | _ -> None
+
+let table_for t fingerprint =
+  match Hashtbl.find_opt t.tables fingerprint with
+  | Some tbl -> tbl
+  | None ->
+      let tbl = Memo.Table.create 256 in
+      Hashtbl.add t.tables fingerprint tbl;
+      tbl
+
+let set_gauges t =
+  Metrics.set g_entries (float_of_int t.live);
+  Metrics.set g_records (float_of_int t.records)
+
+let compact_min_default () =
+  match Sys.getenv_opt "TILING_STORE_COMPACT_MIN" with
+  | Some s when String.trim s <> "" -> (
+      match int_of_string_opt (String.trim s) with
+      | Some v when v >= 1 -> v
+      | _ ->
+          invalid_arg
+            (Printf.sprintf "TILING_STORE_COMPACT_MIN=%S: expected a positive integer" s))
+  | _ -> 1024
+
+let open_ ?compact_min_dead ~path () =
+  let compact_min_dead =
+    match compact_min_dead with Some v -> v | None -> compact_min_default ()
+  in
+  let exists = Sys.file_exists path in
+  let load () =
+    let tables = Hashtbl.create 16 in
+    let records = ref 0 and live = ref 0 and skipped = ref 0 in
+    if exists then begin
+      let ic = open_in path in
+      (match input_line ic with
+      | h when h = header -> ()
+      | _ ->
+          close_in ic;
+          failwith (Printf.sprintf "%s: not a tiling store (bad header)" path)
+      | exception End_of_file -> close_in ic);
+      (try
+         while true do
+           let line = input_line ic in
+           if line <> "" then begin
+             incr records;
+             match parse_record line with
+             | Some (fp, key, cost) ->
+                 let tbl =
+                   match Hashtbl.find_opt tables fp with
+                   | Some tbl -> tbl
+                   | None ->
+                       let tbl = Memo.Table.create 256 in
+                       Hashtbl.add tables fp tbl;
+                       tbl
+                 in
+                 if not (Memo.Table.mem tbl key) then incr live;
+                 Memo.Table.replace tbl key cost
+             | None -> incr skipped
+           end
+         done
+       with End_of_file -> close_in ic)
+    end;
+    (tables, !records, !live, !skipped)
+  in
+  match load () with
+  | exception Failure m -> Error m
+  | exception Sys_error m -> Error m
+  | tables, records, live, skipped ->
+      let oc =
+        try Ok (open_out_gen [ Open_append; Open_creat ] 0o644 path)
+        with Sys_error m -> Error m
+      in
+      Result.map
+        (fun oc ->
+          if not exists then begin
+            output_string oc (header ^ "\n");
+            flush oc
+          end;
+          let t =
+            {
+              path;
+              oc;
+              lock = Mutex.create ();
+              tables;
+              records;
+              live;
+              compact_min_dead;
+              skipped_on_load = skipped;
+              hits = Atomic.make 0;
+              misses = Atomic.make 0;
+              appends = Atomic.make 0;
+              compactions = Atomic.make 0;
+            }
+          in
+          set_gauges t;
+          t)
+        oc
+
+let path t = t.path
+
+let fingerprint ~method_ ~kernel ~n ~cache ~backend ~seed =
+  Printf.sprintf "%s|%s|%d|%d:%d:%d|%s|%d" method_
+    (String.lowercase_ascii kernel)
+    n cache.Tiling_cache.Config.size cache.Tiling_cache.Config.line
+    cache.Tiling_cache.Config.assoc backend seed
+
+let find t ~fingerprint key =
+  let r =
+    Mutex.protect t.lock (fun () ->
+        match Hashtbl.find_opt t.tables fingerprint with
+        | None -> None
+        | Some tbl -> Memo.Table.find_opt tbl key)
+  in
+  (match r with
+  | Some _ ->
+      Atomic.incr t.hits;
+      Metrics.incr m_hits
+  | None ->
+      Atomic.incr t.misses;
+      Metrics.incr m_misses);
+  r
+
+let append t ~fingerprint key cost =
+  Atomic.incr t.appends;
+  Metrics.incr m_appends;
+  Mutex.protect t.lock (fun () ->
+      let tbl = table_for t fingerprint in
+      if not (Memo.Table.mem tbl key) then t.live <- t.live + 1;
+      Memo.Table.replace tbl key cost;
+      t.records <- t.records + 1;
+      output_string t.oc (record_line ~fingerprint key cost);
+      output_char t.oc '\n')
+
+let tier t ~fingerprint =
+  {
+    Memo.find = (fun key -> find t ~fingerprint key);
+    Memo.save = (fun key cost -> append t ~fingerprint key cost);
+  }
+
+(* Rewrite the log from the live tables through a temp file and an atomic
+   rename; callers hold [t.lock]. *)
+let compact_locked t =
+  let tmp = t.path ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc (header ^ "\n");
+  Hashtbl.iter
+    (fun fp tbl ->
+      Memo.Table.iter
+        (fun key cost ->
+          output_string oc (record_line ~fingerprint:fp key cost);
+          output_char oc '\n')
+        tbl)
+    t.tables;
+  close_out oc;
+  close_out t.oc;
+  Sys.rename tmp t.path;
+  t.oc <- open_out_gen [ Open_append ] 0o644 t.path;
+  t.records <- t.live;
+  Atomic.incr t.compactions;
+  Metrics.incr m_compactions
+
+let sync t =
+  Mutex.protect t.lock (fun () ->
+      if t.records - t.live >= t.compact_min_dead then compact_locked t
+      else flush t.oc;
+      set_gauges t)
+
+let close t =
+  Mutex.protect t.lock (fun () ->
+      flush t.oc;
+      close_out t.oc)
+
+let entries t = Mutex.protect t.lock (fun () -> t.live)
+let records t = Mutex.protect t.lock (fun () -> t.records)
+let fingerprints t = Mutex.protect t.lock (fun () -> Hashtbl.length t.tables)
+let hits t = Atomic.get t.hits
+let misses t = Atomic.get t.misses
+let appends t = Atomic.get t.appends
+let compactions t = Atomic.get t.compactions
+let skipped_on_load t = t.skipped_on_load

@@ -1,0 +1,88 @@
+(** The daemon's persistent result store: a disk-backed tier for the
+    {!Tiling_search.Memo} of every search the daemon runs.
+
+    PR 4 measured that >90% of candidate evaluations inside one search
+    are shared-cache hits — and a daemon sees the *same* searches again
+    across requests and restarts.  The store captures each fresh
+    candidate evaluation as one record in an append-only log, keyed by
+    the search's {e fingerprint} (a string digesting everything that
+    determines objective values: method, kernel, geometry, cache,
+    backend, seed) plus the packed candidate key.  A restarted daemon
+    loads the log once and then answers repeat queries without
+    re-solving a single candidate.
+
+    Properties:
+
+    - {b append-only}: a record is one text line; writes never touch
+      earlier bytes, so a crash can at worst truncate the final line;
+    - {b crash-safe load}: malformed or truncated lines are counted and
+      skipped, never fatal;
+    - {b periodic compaction}: when enough dead lines accumulate
+      (duplicate keys from concurrent same-fingerprint requests), the
+      log is rewritten through a temp file and atomically renamed.
+
+    All operations are thread-safe.  Store traffic is counted both in
+    local atomics (always on, served by [tiler request stats]) and in
+    the {!Tiling_obs.Metrics} registry under [server.store.*]. *)
+
+type t
+
+val open_ : ?compact_min_dead:int -> path:string -> unit -> (t, string) result
+(** Load (or create) the log at [path].  [compact_min_dead] is the dead-
+    record count that triggers compaction at the next {!sync} (default
+    1024, overridable with the [TILING_STORE_COMPACT_MIN] environment
+    variable).  Fails if the file exists but does not carry the store
+    header — the store never clobbers a foreign file. *)
+
+val path : t -> string
+
+val fingerprint :
+  method_:string ->
+  kernel:string ->
+  n:int ->
+  cache:Tiling_cache.Config.t ->
+  backend:string ->
+  seed:int ->
+  string
+(** The canonical search fingerprint, e.g.
+    ["tile|mm|64|8192:32:1|cme-sample|20020815"].  Everything the
+    objective value of a candidate depends on must be in here; GA
+    population parameters (restarts, generation counts) must not be —
+    they change which candidates are visited, never their values. *)
+
+val find : t -> fingerprint:string -> Tiling_search.Memo.Key.t -> float option
+(** Bumps the store hit/miss counters. *)
+
+val append : t -> fingerprint:string -> Tiling_search.Memo.Key.t -> float -> unit
+(** Record one evaluation (in memory immediately; on disk at the next
+    {!sync} / buffered-channel flush). *)
+
+val tier : t -> fingerprint:string -> float Tiling_search.Memo.tier
+(** The {!find}/{!append} pair curried over one fingerprint, shaped for
+    {!Tiling_search.Memo.set_tier}. *)
+
+val sync : t -> unit
+(** Flush buffered appends to disk and compact if enough dead records
+    accumulated.  The daemon calls this after every completed request. *)
+
+val close : t -> unit
+(** {!sync} then close the log.  The store must not be used after. *)
+
+(** {2 Introspection (for [stats] and tests)} *)
+
+val entries : t -> int  (** live records (distinct fingerprint+key pairs) *)
+
+val records : t -> int  (** log lines, dead ones included *)
+
+val fingerprints : t -> int
+
+val hits : t -> int
+
+val misses : t -> int
+
+val appends : t -> int
+
+val compactions : t -> int
+
+val skipped_on_load : t -> int
+(** Malformed/truncated lines tolerated by the last {!open_}. *)

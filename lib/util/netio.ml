@@ -1,0 +1,179 @@
+type addr = Unix_sock of string | Tcp of string * int
+
+let addr_of_string s =
+  let tcp host port =
+    match int_of_string_opt port with
+    | Some p when p > 0 && p < 65536 -> Ok (Tcp (host, p))
+    | _ -> Error (Printf.sprintf "bad TCP port %S in address %S" port s)
+  in
+  if s = "" then Error "empty address"
+  else if String.length s > 5 && String.sub s 0 5 = "unix:" then
+    Ok (Unix_sock (String.sub s 5 (String.length s - 5)))
+  else if String.length s > 4 && String.sub s 0 4 = "tcp:" then
+    let rest = String.sub s 4 (String.length s - 4) in
+    match String.rindex_opt rest ':' with
+    | Some i ->
+        tcp (String.sub rest 0 i) (String.sub rest (i + 1) (String.length rest - i - 1))
+    | None -> Error (Printf.sprintf "tcp address %S needs HOST:PORT" s)
+  else
+    (* HOST:PORT when everything after the last colon is digits and the
+       prefix contains no path separator; otherwise a socket path. *)
+    match String.rindex_opt s ':' with
+    | Some i
+      when (not (String.contains s '/'))
+           && i + 1 < String.length s
+           && String.for_all
+                (fun c -> c >= '0' && c <= '9')
+                (String.sub s (i + 1) (String.length s - i - 1)) ->
+        tcp (String.sub s 0 i) (String.sub s (i + 1) (String.length s - i - 1))
+    | _ -> Ok (Unix_sock s)
+
+let addr_to_string = function
+  | Unix_sock p -> "unix:" ^ p
+  | Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p
+
+let err_of_unix ctx = function
+  | Unix.Unix_error (e, _, arg) ->
+      Error
+        (Printf.sprintf "%s: %s%s" ctx (Unix.error_message e)
+           (if arg = "" then "" else " (" ^ arg ^ ")"))
+  | e -> Error (Printf.sprintf "%s: %s" ctx (Printexc.to_string e))
+
+let resolve host port =
+  if host = "" || host = "*" then Ok Unix.inet_addr_any
+  else
+    match Unix.inet_addr_of_string host with
+    | a -> Ok a
+    | exception _ -> (
+        match
+          Unix.getaddrinfo host (string_of_int port)
+            [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM ]
+        with
+        | { Unix.ai_addr = Unix.ADDR_INET (a, _); _ } :: _ -> Ok a
+        | _ -> Error (Printf.sprintf "cannot resolve host %S" host))
+
+let socket_addr = function
+  | Unix_sock path -> Ok (Unix.ADDR_UNIX path)
+  | Tcp (host, port) ->
+      Result.map (fun a -> Unix.ADDR_INET (a, port)) (resolve host port)
+
+(* A Unix socket file outlives its process; rebinding requires unlinking
+   it, which is only safe once nothing answers on it any more. *)
+let unlink_stale path =
+  if Sys.file_exists path then begin
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let live =
+      match Unix.connect probe (Unix.ADDR_UNIX path) with
+      | () -> true
+      | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) ->
+          false
+      | exception _ -> false
+    in
+    Unix.close probe;
+    if live then Error (Printf.sprintf "socket %s is already in use" path)
+    else begin
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      Ok ()
+    end
+  end
+  else Ok ()
+
+let listen ?(backlog = 64) addr =
+  let ( let* ) = Result.bind in
+  let* () = match addr with Unix_sock p -> unlink_stale p | Tcp _ -> Ok () in
+  let* sockaddr = socket_addr addr in
+  let domain = Unix.domain_of_sockaddr sockaddr in
+  let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+  match
+    (match addr with
+    | Tcp _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true
+    | Unix_sock _ -> ());
+    Unix.bind fd sockaddr;
+    Unix.listen fd backlog
+  with
+  | () -> Ok fd
+  | exception e ->
+      Unix.close fd;
+      err_of_unix ("listen on " ^ addr_to_string addr) e
+
+let connect addr =
+  let ( let* ) = Result.bind in
+  let* sockaddr = socket_addr addr in
+  let domain = Unix.domain_of_sockaddr sockaddr in
+  let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+  match Unix.connect fd sockaddr with
+  | () -> Ok fd
+  | exception e ->
+      Unix.close fd;
+      err_of_unix ("connect to " ^ addr_to_string addr) e
+
+(* ------------------------------------------------------------------ *)
+(* Bounded line IO                                                      *)
+
+type reader = {
+  fd : Unix.file_descr;
+  buf : Bytes.t;
+  mutable pos : int;  (** next unconsumed byte *)
+  mutable len : int;  (** valid bytes in [buf] *)
+  acc : Buffer.t;     (** line accumulated across refills *)
+}
+
+let reader ?(buf_bytes = 8192) fd =
+  { fd; buf = Bytes.create buf_bytes; pos = 0; len = 0; acc = Buffer.create 256 }
+
+let strip_cr s =
+  let n = String.length s in
+  if n > 0 && s.[n - 1] = '\r' then String.sub s 0 (n - 1) else s
+
+let read_line ~max_bytes r =
+  Buffer.clear r.acc;
+  let rec go () =
+    if r.pos >= r.len then begin
+      r.pos <- 0;
+      r.len <-
+        (match Unix.read r.fd r.buf 0 (Bytes.length r.buf) with
+        | n -> n
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> 0
+        | exception
+            Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE | Unix.EBADF), _, _)
+          -> -1);
+      if r.len < 0 then begin
+        r.len <- 0;
+        `Eof
+      end
+      else if r.len = 0 then `Eof
+      else go ()
+    end
+    else
+      match Bytes.index_from_opt r.buf r.pos '\n' with
+      | Some i when i < r.len ->
+          let chunk = Bytes.sub_string r.buf r.pos (i - r.pos) in
+          r.pos <- i + 1;
+          if Buffer.length r.acc + String.length chunk > max_bytes then `Too_long
+          else begin
+            Buffer.add_string r.acc chunk;
+            `Line (strip_cr (Buffer.contents r.acc))
+          end
+      | _ ->
+          let chunk_len = r.len - r.pos in
+          if Buffer.length r.acc + chunk_len > max_bytes then `Too_long
+          else begin
+            Buffer.add_subbytes r.acc r.buf r.pos chunk_len;
+            r.pos <- r.len;
+            go ()
+          end
+  in
+  go ()
+
+let write_line fd s =
+  let payload = Bytes.of_string (s ^ "\n") in
+  let total = Bytes.length payload in
+  let rec go off =
+    if off >= total then Ok ()
+    else
+      match Unix.write fd payload off (total - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception e -> err_of_unix "write" e
+  in
+  go 0

@@ -1,0 +1,51 @@
+(** Socket and line-IO helpers for the tiling daemon and its client.
+
+    The wire protocol (docs/SERVER.md) is newline-delimited JSON over a
+    Unix-domain or TCP stream; this module owns the transport plumbing —
+    address parsing, listener/connection setup, and bounded line reads
+    that cannot be blown up by a peer that never sends a newline.  No
+    threads here: blocking descriptors only, so the module stays usable
+    from plain CLI code and from the daemon's per-connection threads
+    alike. *)
+
+type addr =
+  | Unix_sock of string  (** path of a Unix-domain stream socket *)
+  | Tcp of string * int  (** host (name or dotted quad) and port *)
+
+val addr_of_string : string -> (addr, string) result
+(** Parses ["unix:PATH"], ["tcp:HOST:PORT"], ["HOST:PORT"] (digits after
+    the last colon) or a bare path (anything else). *)
+
+val addr_to_string : addr -> string
+(** Canonical rendering: ["unix:PATH"] or ["tcp:HOST:PORT"]. *)
+
+val listen : ?backlog:int -> addr -> (Unix.file_descr, string) result
+(** Bind and listen (backlog default 64).  For [Unix_sock], a stale
+    socket file left by a previous process is unlinked first, but only
+    after probing that nothing is accepting on it.  The descriptor has
+    close-on-exec set. *)
+
+val connect : addr -> (Unix.file_descr, string) result
+(** Blocking connect; resolves TCP hosts via [getaddrinfo]. *)
+
+(** {2 Bounded line IO}
+
+    A {!reader} buffers reads from a descriptor and hands out one
+    [\n]-terminated line at a time, refusing lines longer than the given
+    cap instead of buffering without bound. *)
+
+type reader
+
+val reader : ?buf_bytes:int -> Unix.file_descr -> reader
+
+val read_line :
+  max_bytes:int -> reader -> [ `Line of string | `Eof | `Too_long ]
+(** The next line, without its terminator (a final [\r] is stripped, so
+    both [\n] and [\r\n] framing work).  [`Too_long] is returned as soon
+    as [max_bytes] bytes arrive without a newline; the connection should
+    be dropped — the stream can no longer be re-synchronised.  A trailing
+    unterminated fragment at EOF is [`Eof]. *)
+
+val write_line : Unix.file_descr -> string -> (unit, string) result
+(** [s] plus [\n], written fully (retrying short writes).  [Error] on a
+    closed or broken peer ([EPIPE] etc.) rather than an exception. *)

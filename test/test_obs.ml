@@ -127,6 +127,67 @@ let test_span_disabled_records_nothing () =
   Alcotest.(check int) "nothing recorded" 0 (Span.events_recorded ())
 
 (* ------------------------------------------------------------------ *)
+(* Parser hardening: every malformed input is a structured [Error],     *)
+(* never an exception, and the resource caps actually bite.             *)
+
+let check_rejects name input =
+  match Json.of_string input with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.failf "%s: %S parsed but should not" name input
+
+let test_json_rejects_malformed () =
+  check_rejects "unterminated string" {|{"a": "xyz|};
+  check_rejects "unterminated object" {|{"a": 1|};
+  check_rejects "unterminated array" "[1,2";
+  check_rejects "missing colon" {|{"a" 1}|};
+  check_rejects "trailing garbage" "{} x";
+  check_rejects "bare word" "nul";
+  check_rejects "lonely escape" {|"\|};
+  check_rejects "bad unicode escape" {|"\uZZZZ"|};
+  check_rejects "truncated unicode escape" {|"\u00|};
+  check_rejects "control char in string" "\"a\nb\"";
+  check_rejects "empty input" "";
+  (* and the errors really are values, not escaping exceptions *)
+  match Json.of_string {|"\uD8|} with Error _ -> () | Ok _ -> Alcotest.fail "parsed"
+
+let test_json_accepts_escapes () =
+  match Json.of_string {|"A\t\"\\"|} with
+  | Ok (Json.String s) -> Alcotest.(check string) "decoded" "A\t\"\\" s
+  | Ok _ -> Alcotest.fail "wrong shape"
+  | Error m -> Alcotest.fail m
+
+let test_json_depth_cap () =
+  let nested d = String.make d '[' ^ String.make d ']' in
+  (match Json.of_string ~max_depth:10 (nested 10) with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "depth 10 under cap 10 rejected: %s" m);
+  (match Json.of_string ~max_depth:10 (nested 11) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "depth 11 over cap 10 accepted");
+  (* objects count too *)
+  match Json.of_string ~max_depth:3 {|{"a":{"b":{"c":{"d":1}}}}|} with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "object nesting over cap accepted"
+
+let test_json_size_cap () =
+  let big = Printf.sprintf {|{"k":%S}|} (String.make 100 'x') in
+  (match Json.of_string ~max_size:32 big with
+  | Error m ->
+      Alcotest.(check bool) "error has a message" true (String.length m > 0)
+  | Ok _ -> Alcotest.fail "oversized input accepted");
+  match Json.of_string ~max_size:(String.length big) big with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "input at the cap rejected: %s" m
+
+let test_json_default_depth_survives () =
+  (* a hostile 100k-deep input must neither parse nor blow the stack *)
+  let d = 100_000 in
+  let hostile = String.make d '[' in
+  match Json.of_string hostile with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated 100k-deep input accepted"
+
+(* ------------------------------------------------------------------ *)
 (* CLI --json contract                                                  *)
 
 let tiler_exe = Filename.concat (Filename.concat ".." "bin") "tiler.exe"
@@ -194,6 +255,13 @@ let suite =
       test_span_nesting_chrome_json;
     Alcotest.test_case "disabled spans record nothing" `Quick
       test_span_disabled_records_nothing;
+    Alcotest.test_case "parser rejects malformed input as values" `Quick
+      test_json_rejects_malformed;
+    Alcotest.test_case "parser decodes escapes" `Quick test_json_accepts_escapes;
+    Alcotest.test_case "nesting depth cap" `Quick test_json_depth_cap;
+    Alcotest.test_case "payload size cap" `Quick test_json_size_cap;
+    Alcotest.test_case "hostile deep input cannot blow the stack" `Quick
+      test_json_default_depth_survives;
     Alcotest.test_case "tiler analyze --json parses and matches human output"
       `Quick test_cli_json;
   ]

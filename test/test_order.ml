@@ -13,6 +13,7 @@ let fast_opts seed =
     restarts = 2;
     domains = 1;
     backend = Tiling_search.Backend.default;
+    on_eval = ignore;
   }
 
 let repl (r : Tiling_cme.Estimator.report) =

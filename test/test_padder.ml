@@ -16,6 +16,7 @@ let fast_opts seed =
     restarts = 2;
     domains = 1;
     backend = Tiling_search.Backend.default;
+    on_eval = ignore;
   }
 
 let repl r = r.Tiling_cme.Estimator.replacement_ratio.Tiling_util.Stats.center

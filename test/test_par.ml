@@ -41,6 +41,7 @@ let test_parallel_tiler_equivalent () =
       restarts = 1;
       domains;
       backend = Tiling_search.Backend.default;
+      on_eval = ignore;
     }
   in
   let seq = Tiling_core.Tiler.optimize ~opts:(opts 1) nest cache in

@@ -1,0 +1,463 @@
+(* The tiling daemon: store persistence and crash-safety, scheduler
+   admission control and deadlines, and one end-to-end socket session
+   against a live server. *)
+
+module Json = Tiling_obs.Json
+module Store = Tiling_server.Store
+module Scheduler = Tiling_server.Scheduler
+module Protocol = Tiling_server.Protocol
+module Server = Tiling_server.Server
+module Client = Tiling_server.Client
+module Netio = Tiling_util.Netio
+module Memo = Tiling_search.Memo
+module Eval = Tiling_search.Eval
+
+let get path json =
+  List.fold_left
+    (fun acc key -> match acc with Some j -> Json.member key j | None -> None)
+    (Some json) path
+
+let get_int path json =
+  match get path json with
+  | Some (Json.Int i) -> i
+  | _ -> Alcotest.failf "missing int at %s" (String.concat "." path)
+
+let temp_path suffix =
+  let f = Filename.temp_file "tiling_server_test" suffix in
+  Sys.remove f;
+  f
+
+let key values = Memo.Key.of_values values
+
+(* ------------------------------------------------------------------ *)
+(* Store                                                                *)
+
+let test_store_roundtrip () =
+  let path = temp_path ".store" in
+  let fp_plain = "tile|mm|32|8192:32:1|cme-sample|7" in
+  let fp_hostile = "weird fp\nwith spaces\tand%percent" in
+  (match Store.open_ ~path () with
+  | Error m -> Alcotest.fail m
+  | Ok s ->
+      Store.append s ~fingerprint:fp_plain (key [| 1; 2; 3 |]) 42.5;
+      Store.append s ~fingerprint:fp_plain (key [| -4; 0; 9 |]) 0x1.fp-3;
+      Store.append s ~fingerprint:fp_hostile (key [| 7 |]) 1e300;
+      Store.sync s;
+      Store.close s);
+  match Store.open_ ~path () with
+  | Error m -> Alcotest.fail m
+  | Ok s ->
+      Alcotest.(check int) "no skipped lines" 0 (Store.skipped_on_load s);
+      Alcotest.(check int) "3 live entries" 3 (Store.entries s);
+      Alcotest.(check int) "2 fingerprints" 2 (Store.fingerprints s);
+      Alcotest.(check (option (float 0.))) "exact float back"
+        (Some 42.5)
+        (Store.find s ~fingerprint:fp_plain (key [| 1; 2; 3 |]));
+      Alcotest.(check (option (float 0.))) "negative key values"
+        (Some 0x1.fp-3)
+        (Store.find s ~fingerprint:fp_plain (key [| -4; 0; 9 |]));
+      Alcotest.(check (option (float 0.))) "hostile fingerprint"
+        (Some 1e300)
+        (Store.find s ~fingerprint:fp_hostile (key [| 7 |]));
+      Alcotest.(check (option (float 0.))) "absent key"
+        None
+        (Store.find s ~fingerprint:fp_plain (key [| 9; 9; 9 |]));
+      Store.close s;
+      Sys.remove path
+
+let test_store_tolerates_truncation () =
+  let path = temp_path ".store" in
+  (match Store.open_ ~path () with
+  | Error m -> Alcotest.fail m
+  | Ok s ->
+      Store.append s ~fingerprint:"fp" (key [| 1 |]) 1.0;
+      Store.append s ~fingerprint:"fp" (key [| 2 |]) 2.0;
+      Store.sync s;
+      Store.close s);
+  (* simulate a crash mid-append: a final half-written line *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "r fp 3,3";
+  close_out oc;
+  (match Store.open_ ~path () with
+  | Error m -> Alcotest.fail m
+  | Ok s ->
+      Alcotest.(check int) "truncated line skipped" 1 (Store.skipped_on_load s);
+      Alcotest.(check int) "intact records survive" 2 (Store.entries s);
+      Alcotest.(check (option (float 0.))) "value intact" (Some 2.0)
+        (Store.find s ~fingerprint:"fp" (key [| 2 |]));
+      Store.close s);
+  Sys.remove path
+
+let test_store_refuses_foreign_file () =
+  let path = temp_path ".store" in
+  let oc = open_out path in
+  output_string oc "this is not a tiling store\n";
+  close_out oc;
+  (match Store.open_ ~path () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "opened a foreign file as a store");
+  Sys.remove path
+
+let test_store_compaction () =
+  let path = temp_path ".store" in
+  (match Store.open_ ~compact_min_dead:4 ~path () with
+  | Error m -> Alcotest.fail m
+  | Ok s ->
+      (* 6 appends, 2 distinct keys: 4 dead records trigger compaction *)
+      for i = 1 to 3 do
+        Store.append s ~fingerprint:"fp" (key [| 1 |]) (float_of_int i);
+        Store.append s ~fingerprint:"fp" (key [| 2 |]) (float_of_int (10 * i))
+      done;
+      Alcotest.(check int) "6 records before sync" 6 (Store.records s);
+      Store.sync s;
+      Alcotest.(check int) "compaction ran" 1 (Store.compactions s);
+      Alcotest.(check int) "log rewritten to live set" 2 (Store.records s);
+      Store.close s);
+  (match Store.open_ ~path () with
+  | Error m -> Alcotest.fail m
+  | Ok s ->
+      Alcotest.(check int) "compacted log loads clean" 0 (Store.skipped_on_load s);
+      Alcotest.(check (option (float 0.))) "last write wins" (Some 3.0)
+        (Store.find s ~fingerprint:"fp" (key [| 1 |]));
+      Alcotest.(check (option (float 0.))) "other key too" (Some 30.0)
+        (Store.find s ~fingerprint:"fp" (key [| 2 |]));
+      Store.close s);
+  Sys.remove path
+
+(* Save -> restart -> identical fitness, across every paper kernel: a
+   fresh evaluation service backed only by the reloaded store must
+   reproduce each candidate's objective bit-for-bit with zero fresh
+   backend evaluations. *)
+let test_memo_roundtrip_all_kernels () =
+  let kernels = Tiling_kernels.Kernels.all in
+  Alcotest.(check int) "the paper's 17 kernels" 17 (List.length kernels);
+  let n = 8 in
+  let cache = Tiling_cache.Config.make ~size:1024 ~line:32 ~assoc:1 () in
+  let backend = Tiling_search.Backend.sim in
+  let fp (spec : Tiling_kernels.Kernels.spec) =
+    Store.fingerprint ~method_:"memo-test" ~kernel:spec.name ~n ~cache
+      ~backend:backend.Tiling_search.Backend.name ~seed:42
+  in
+  let candidates (spec : Tiling_kernels.Kernels.spec) =
+    (* valid tile vectors for any loop bounds: fractions of each span *)
+    let spans = Tiling_ir.Transform.tile_spans (spec.build n) in
+    [
+      Array.map (fun s -> max 1 (s / 2)) spans;
+      Array.map (fun s -> max 1 (s / 3)) spans;
+      spans;
+    ]
+  in
+  let eval_with store (spec : Tiling_kernels.Kernels.spec) =
+    let nest = spec.build n in
+    let eval =
+      Eval.create ~backend ~cache
+        ~prepare:(fun tiles ->
+          (Tiling_ir.Transform.tile nest (Array.copy tiles), [||]))
+        ()
+    in
+    Memo.set_tier (Eval.memo eval) (Some (Store.tier store ~fingerprint:(fp spec)));
+    eval
+  in
+  let path = temp_path ".store" in
+  let first =
+    match Store.open_ ~path () with
+    | Error m -> Alcotest.fail m
+    | Ok store ->
+        let values =
+          List.map
+            (fun spec ->
+              let eval = eval_with store spec in
+              let vs = List.map (Eval.objective eval) (candidates spec) in
+              Alcotest.(check bool)
+                (spec.name ^ ": first run computes fresh")
+                true
+                (Eval.fresh eval > 0);
+              (spec.name, vs))
+            kernels
+        in
+        Store.sync store;
+        Store.close store;
+        values
+  in
+  match Store.open_ ~path () with
+  | Error m -> Alcotest.fail m
+  | Ok store ->
+      List.iter2
+        (fun spec (name, saved) ->
+          let eval = eval_with store spec in
+          let again = List.map (Eval.objective eval) (candidates spec) in
+          List.iter2
+            (fun a b ->
+              if a <> b then
+                Alcotest.failf "%s: fitness drifted across restart (%h vs %h)"
+                  name a b)
+            saved again;
+          Alcotest.(check int)
+            (name ^ ": zero fresh evaluations after restart")
+            0 (Eval.fresh eval))
+        kernels first;
+      Store.close store;
+      Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler                                                            *)
+
+let drain_error_code = function
+  | Ok _ -> Alcotest.fail "expected an error result"
+  | Error e -> e.Protocol.code
+
+let test_scheduler_backpressure () =
+  let sched = Scheduler.create ~workers:1 ~capacity:1 () in
+  let release = Atomic.make false in
+  let delivered = Atomic.make 0 in
+  let blocker ~cancelled:_ =
+    while not (Atomic.get release) do
+      Thread.yield ()
+    done;
+    Json.Null
+  in
+  let deliver _ = Atomic.incr delivered in
+  (* first job occupies the worker... *)
+  (match Scheduler.submit sched ~work:blocker ~deliver () with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "first job rejected");
+  (* give the worker time to pick it up, then fill the one queue slot *)
+  let rec wait_pickup tries =
+    if Scheduler.depth sched > 0 && tries > 0 then (
+      Thread.yield ();
+      Thread.delay 0.01;
+      wait_pickup (tries - 1))
+  in
+  wait_pickup 200;
+  (match Scheduler.submit sched ~work:blocker ~deliver () with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "queued job rejected");
+  (* ...and the next submission must bounce with a retry hint *)
+  (match Scheduler.submit sched ~work:blocker ~deliver () with
+  | Ok () -> Alcotest.fail "over-capacity job admitted"
+  | Error (Scheduler.Overloaded retry) ->
+      Alcotest.(check bool) "positive retry hint" true (retry > 0.)
+  | Error Scheduler.Draining -> Alcotest.fail "not draining yet");
+  Alcotest.(check int) "one admission reject" 1 (Scheduler.rejected sched);
+  Atomic.set release true;
+  Scheduler.drain sched;
+  Alcotest.(check int) "both admitted jobs delivered" 2 (Atomic.get delivered);
+  Alcotest.(check int) "completed counter" 2 (Scheduler.completed sched);
+  (* after drain: immediate Draining *)
+  match Scheduler.submit sched ~work:blocker ~deliver () with
+  | Error Scheduler.Draining -> ()
+  | _ -> Alcotest.fail "post-drain submission not refused"
+
+let test_scheduler_deadlines () =
+  let sched = Scheduler.create ~workers:1 ~capacity:8 () in
+  let results = Atomic.make [] in
+  let deliver r = Atomic.set results (r :: Atomic.get results) in
+  let ran = Atomic.make false in
+  (* already expired: must fail without running *)
+  (match
+     Scheduler.submit sched
+       ~deadline_s:(Unix.gettimeofday () -. 1.)
+       ~work:(fun ~cancelled:_ ->
+         Atomic.set ran true;
+         Json.Null)
+       ~deliver ()
+   with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "expired job rejected at admission");
+  (* cooperative cancellation: the work polls its probe and bails *)
+  (match
+     Scheduler.submit sched
+       ~deadline_s:(Unix.gettimeofday () +. 0.1)
+       ~work:(fun ~cancelled ->
+         while not (cancelled ()) do
+           Thread.delay 0.005
+         done;
+         raise Eval.Cancelled)
+       ~deliver ()
+   with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "cancellable job rejected at admission");
+  Scheduler.drain sched;
+  Alcotest.(check bool) "expired job never ran" false (Atomic.get ran);
+  Alcotest.(check int) "both count as timeouts" 2 (Scheduler.timeouts sched);
+  List.iter
+    (fun r ->
+      match drain_error_code r with
+      | Protocol.Deadline_exceeded -> ()
+      | c -> Alcotest.failf "wrong code %s" (Protocol.code_to_string c))
+    (Atomic.get results)
+
+let test_scheduler_survives_handler_crash () =
+  let sched = Scheduler.create ~workers:1 ~capacity:8 () in
+  let got = Atomic.make None in
+  (match
+     Scheduler.submit sched
+       ~work:(fun ~cancelled:_ -> failwith "handler bug")
+       ~deliver:(fun r -> Atomic.set got (Some r))
+       ()
+   with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "rejected");
+  Scheduler.drain sched;
+  match Atomic.get got with
+  | Some (Error e) when e.Protocol.code = Protocol.Internal -> ()
+  | _ -> Alcotest.fail "handler exception not mapped to internal error"
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end over a Unix socket                                        *)
+
+let call_ok client ~meth ~params =
+  match Client.call client ~meth ~params with
+  | Error m -> Alcotest.failf "%s: transport error: %s" meth m
+  | Ok envelope -> (
+      match Client.result_of_response envelope with
+      | Ok result -> result
+      | Error e ->
+          Alcotest.failf "%s: server error %s: %s" meth
+            (Protocol.code_to_string e.Protocol.code)
+            e.Protocol.message)
+
+let call_err client ~meth ~params =
+  match Client.call client ~meth ~params with
+  | Error m -> Alcotest.failf "%s: transport error: %s" meth m
+  | Ok envelope -> (
+      match Client.result_of_response envelope with
+      | Ok _ -> Alcotest.failf "%s: expected a server error" meth
+      | Error e -> e)
+
+let test_end_to_end () =
+  let sock = temp_path ".sock" in
+  let store = temp_path ".store" in
+  let cfg =
+    {
+      Server.default_config with
+      addr = Netio.Unix_sock sock;
+      store_path = Some store;
+      workers = 2;
+    }
+  in
+  let server = Thread.create (fun () -> Server.run cfg) () in
+  let rec await_socket tries =
+    if Sys.file_exists sock then ()
+    else if tries = 0 then Alcotest.fail "server never bound its socket"
+    else (
+      Thread.delay 0.05;
+      await_socket (tries - 1))
+  in
+  await_socket 100;
+  let client =
+    match Client.connect (Netio.Unix_sock sock) with
+    | Ok c -> c
+    | Error m -> Alcotest.failf "connect: %s" m
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Client.close client;
+      Thread.join server;
+      if Sys.file_exists store then Sys.remove store)
+  @@ fun () ->
+  let params =
+    [
+      ("kernel", Json.String "mm");
+      ("n", Json.Int 12);
+      ("seed", Json.Int 11);
+    ]
+  in
+  (* the daemon must agree with the one-shot CLI path, same seed *)
+  let served = call_ok client ~meth:"tile" ~params in
+  let direct =
+    let nest = (Tiling_kernels.Kernels.find "mm").build 12 in
+    let cache = Tiling_cache.Config.make ~size:8192 ~line:32 ~assoc:1 () in
+    let opts = { Tiling_core.Tiler.default_opts with seed = 11 } in
+    (Tiling_core.Tiler.optimize ~opts nest cache).Tiling_core.Tiler.tiles
+  in
+  (match get [ "outcome"; "tiles" ] served with
+  | Some (Json.List tiles) ->
+      let tiles =
+        List.map (function Json.Int i -> i | _ -> Alcotest.fail "tile") tiles
+      in
+      Alcotest.(check (list int))
+        "served tiles match the one-shot optimizer"
+        (Array.to_list direct) tiles
+  | _ -> Alcotest.fail "no tiles in tile result");
+  (* repeat request: answered from the persistent store *)
+  ignore (call_ok client ~meth:"tile" ~params);
+  let stats = call_ok client ~meth:"stats" ~params:[] in
+  Alcotest.(check int) "two requests completed" 2
+    (get_int [ "requests"; "completed" ] stats);
+  Alcotest.(check bool) "store warmed the repeat request" true
+    (get_int [ "store"; "hits" ] stats > 0);
+  Alcotest.(check bool) "store persisted evaluations" true
+    (get_int [ "store"; "appends" ] stats > 0);
+  (* error paths stay structured *)
+  let e = call_err client ~meth:"frobnicate" ~params:[] in
+  Alcotest.(check string) "unknown method" "unknown_method"
+    (Protocol.code_to_string e.Protocol.code);
+  let e =
+    call_err client ~meth:"tile" ~params:[ ("kernel", Json.String "zzz") ]
+  in
+  Alcotest.(check string) "bad kernel is bad_request" "bad_request"
+    (Protocol.code_to_string e.Protocol.code);
+  (* raw garbage on a second connection neither kills the daemon nor
+     goes unanswered *)
+  (match Netio.connect (Netio.Unix_sock sock) with
+  | Error m -> Alcotest.fail m
+  | Ok fd ->
+      (match Netio.write_line fd "this is not json" with
+      | Ok () -> ()
+      | Error m -> Alcotest.fail m);
+      let r = Netio.reader fd in
+      (match Netio.read_line ~max_bytes:65536 r with
+      | `Line l -> (
+          match Json.of_string l with
+          | Ok j ->
+              Alcotest.(check bool) "structured bad_request" true
+                (get [ "error"; "code" ] j = Some (Json.String "bad_request"))
+          | Error m -> Alcotest.fail m)
+      | _ -> Alcotest.fail "no reply to garbage");
+      Unix.close fd);
+  (* graceful shutdown over the wire *)
+  let r = call_ok client ~meth:"shutdown" ~params:[] in
+  Alcotest.(check bool) "acknowledged" true
+    (Json.member "stopping" r = Some (Json.Bool true));
+  Thread.join server;
+  Alcotest.(check bool) "socket unlinked on drain" false (Sys.file_exists sock)
+
+(* ------------------------------------------------------------------ *)
+(* Address parsing                                                      *)
+
+let test_addr_parsing () =
+  let ok s expect =
+    match Netio.addr_of_string s with
+    | Ok a -> Alcotest.(check string) s expect (Netio.addr_to_string a)
+    | Error m -> Alcotest.failf "%s: %s" s m
+  in
+  ok "unix:/tmp/t.sock" "unix:/tmp/t.sock";
+  ok "tcp:localhost:7070" "tcp:localhost:7070";
+  ok "localhost:7070" "tcp:localhost:7070";
+  ok "./relative.sock" "unix:./relative.sock";
+  ok "/abs/path.sock" "unix:/abs/path.sock";
+  match Netio.addr_of_string "tcp:nohost" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "tcp:nohost parsed"
+
+let suite =
+  [
+    Alcotest.test_case "store round-trips exactly" `Quick test_store_roundtrip;
+    Alcotest.test_case "store tolerates a truncated tail" `Quick
+      test_store_tolerates_truncation;
+    Alcotest.test_case "store refuses foreign files" `Quick
+      test_store_refuses_foreign_file;
+    Alcotest.test_case "store compacts dead records" `Quick test_store_compaction;
+    Alcotest.test_case "memo save/restart/identical fitness on all 17 kernels"
+      `Quick test_memo_roundtrip_all_kernels;
+    Alcotest.test_case "scheduler backpressure and drain" `Quick
+      test_scheduler_backpressure;
+    Alcotest.test_case "scheduler deadlines, queued and cooperative" `Quick
+      test_scheduler_deadlines;
+    Alcotest.test_case "handler crash maps to internal error" `Quick
+      test_scheduler_survives_handler_crash;
+    Alcotest.test_case "end-to-end daemon session over a Unix socket" `Quick
+      test_end_to_end;
+    Alcotest.test_case "address parsing" `Quick test_addr_parsing;
+  ]

@@ -14,6 +14,7 @@ let fast_opts seed =
     restarts = 2;
     domains = 1;
     backend = Tiling_search.Backend.default;
+    on_eval = ignore;
   }
 
 let test_t2d_removes_replacement () =
