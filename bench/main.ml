@@ -5,6 +5,7 @@
                                             table4 ga-convergence
                                             solver-accuracy equations
                                             throughput timing serve-latency
+                                            serve-telemetry
 
    Besides the human-readable tables on stdout, every run writes
    BENCH_results.json in the current directory: a machine-readable record
@@ -50,6 +51,7 @@ let targets : (string * (unit -> unit)) list =
     ("fuzz-throughput", Experiments.fuzz_throughput);
     ("timing", Timing.run);
     ("serve-latency", Serve.run);
+    ("serve-telemetry", Serve.run_telemetry);
   ]
 
 let timed_run name f =

@@ -121,3 +121,109 @@ let run () =
   Thread.join server;
   if Sys.file_exists store then Sys.remove store;
   if Sys.file_exists sock then Sys.remove sock
+
+(* serve-telemetry: what does the PR-6 telemetry stack cost?
+
+   Same in-process daemon and the same warm MM requests (store seeded by a
+   first pass), measured twice: with the metrics/events registries disabled
+   and no trace requested, then with both registries live and every request
+   carrying ["trace": true] — per-request span trees, progress
+   subscription plumbing and counters all engaged.  The two rows land in
+   "serve_latency" (phases "telemetry-off" / "telemetry-on"); the target
+   is a p50 regression under a few percent. *)
+let run_telemetry () =
+  Fmt.pr "@.== serve-telemetry: warm request latency, telemetry off vs on ==@.";
+  let quick = Experiments.bench_quick () in
+  let kernel = "MM" in
+  let n = if quick then 12 else 32 in
+  let requests = if quick then 8 else 40 in
+  let sock = temp_path ".sock" and store = temp_path ".store" in
+  let cfg =
+    {
+      Server.default_config with
+      addr = Netio.Unix_sock sock;
+      store_path = Some store;
+      workers = 2;
+    }
+  in
+  let server = Thread.create (fun () -> ignore (Server.run cfg)) () in
+  let rec await tries =
+    if Sys.file_exists sock then ()
+    else if tries = 0 then failwith "daemon never bound its socket"
+    else (
+      Thread.delay 0.05;
+      await (tries - 1))
+  in
+  await 100;
+  let client =
+    match Client.connect (Netio.Unix_sock sock) with
+    | Ok c -> c
+    | Error m -> failwith m
+  in
+  let one ~trace seed =
+    let params =
+      [
+        ("kernel", Json.String kernel);
+        ("n", Json.Int n);
+        ("seed", Json.Int seed);
+      ]
+      @ if trace then [ ("trace", Json.Bool true) ] else []
+    in
+    let t0 = Unix.gettimeofday () in
+    (match Client.call client ~meth:"tile" ~params with
+    | Ok envelope -> (
+        match Client.result_of_response envelope with
+        | Ok _ -> ()
+        | Error e -> failwith e.Tiling_server.Protocol.message)
+    | Error m -> failwith m);
+    (Unix.gettimeofday () -. t0) *. 1e3
+  in
+  (* Seed the store once so both measured phases run warm. *)
+  for i = 1 to requests do
+    ignore (one ~trace:false (100 + i))
+  done;
+  let phase name ~trace =
+    let t0 = Unix.gettimeofday () in
+    let lats = Array.init requests (fun i -> one ~trace (100 + 1 + i)) in
+    let wall = Unix.gettimeofday () -. t0 in
+    Array.sort compare lats;
+    let p50 = percentile lats 50 and p95 = percentile lats 95 in
+    Fmt.pr "%-4s n=%-3d %-13s %3d requests  p50 %7.2f ms  p95 %7.2f ms@."
+      kernel n name requests p50 p95;
+    rows :=
+      {
+        s_kernel = kernel;
+        s_n = n;
+        s_phase = name;
+        s_requests = requests;
+        s_p50_ms = p50;
+        s_p95_ms = p95;
+        s_wall_s = wall;
+      }
+      :: !rows;
+    p50
+  in
+  Tiling_obs.Metrics.set_enabled false;
+  Tiling_obs.Events.set_enabled false;
+  let off = phase "telemetry-off" ~trace:false in
+  Tiling_obs.Metrics.set_enabled true;
+  Tiling_obs.Events.set_enabled true;
+  let on = phase "telemetry-on" ~trace:false in
+  let traced = phase "telemetry-trace" ~trace:true in
+  Tiling_obs.Metrics.set_enabled false;
+  Tiling_obs.Events.set_enabled false;
+  if off > 0. then begin
+    (* The always-on cost (what `serve` pays unconditionally) vs the
+       per-request cost of asking for a full span tree. *)
+    Fmt.pr "metrics+events p50 overhead: %+.1f%% (target < 3%%)@."
+      (100. *. (on -. off) /. off);
+    Fmt.pr "per-request --trace p50 overhead: %+.1f%%@."
+      (100. *. (traced -. off) /. off)
+  end;
+  (match Client.call client ~meth:"shutdown" ~params:[] with
+  | Ok _ -> ()
+  | Error m -> Fmt.epr "shutdown: %s@." m);
+  Client.close client;
+  Thread.join server;
+  if Sys.file_exists store then Sys.remove store;
+  if Sys.file_exists sock then Sys.remove sock

@@ -13,6 +13,10 @@
      order       loop order searched together with tile sizes
      codegen     emit the (tiled) nest as C or Fortran
      baselines   compare search and analytic baselines on one kernel
+     serve       run the tiling daemon (docs/SERVER.md)
+     request     one request against a daemon (--trace, --progress)
+     metrics     one-shot OpenMetrics scrape of a daemon
+     top         live terminal view of a daemon
 
    The search/analysis subcommands take observability flags (see
    docs/OBSERVABILITY.md): --log-level for leveled stderr diagnostics,
@@ -707,45 +711,83 @@ let serve_cmd =
     let doc = "Request-line byte cap ($(b,payload_too_large) beyond)." in
     Arg.(value & opt int (1 lsl 20) & info [ "max-line" ] ~docv:"BYTES" ~doc)
   in
-  let run socket workers queue store deadline max_line domains obs =
+  let metrics_addr_arg =
+    let doc =
+      "Also serve $(b,GET /metrics) (OpenMetrics text, for Prometheus) on \
+       this address: $(b,tcp:HOST:PORT) or $(b,unix:PATH)."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "metrics-addr" ] ~docv:"ADDR" ~doc)
+  in
+  let events_out_arg =
+    let doc =
+      "Append every telemetry event (GA generations, search restarts, ...) \
+       to $(docv) as NDJSON (see docs/OBSERVABILITY.md)."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "events-out" ] ~docv:"FILE" ~doc)
+  in
+  let run socket workers queue store deadline max_line metrics_addr events_out
+      domains obs =
     match resolve_addr socket with
     | Error m -> `Error (false, m)
     | Ok addr -> (
-        (* A daemon with logging fully off is a black box; default to the
-           App level so the serving/draining lifecycle lines show. *)
-        Tiling_obs.Logging.setup
-          (match obs.log_level with None -> Some Logs.App | l -> l);
-        if obs.metrics then Tiling_obs.Metrics.set_enabled true;
-        if obs.trace_out <> None then Tiling_obs.Span.set_enabled true;
-        let store_path =
-          match store with
-          | Some _ -> store
-          | None -> (
-              match Sys.getenv_opt "TILING_STORE" with
-              | Some s when String.trim s <> "" -> Some s
-              | _ -> None)
-        in
-        let cfg =
-          {
-            Tiling_server.Server.addr;
-            workers;
-            capacity = queue;
-            store_path;
-            default_deadline_s = deadline;
-            domains;
-            max_line_bytes = max_line;
-          }
-        in
-        let r = Tiling_server.Server.run cfg in
-        Option.iter
-          (fun file ->
-            try Tiling_obs.Span.write_chrome file
-            with Sys_error m -> Fmt.epr "tiler: cannot write trace: %s@." m)
-          obs.trace_out;
-        if obs.metrics then
-          Fmt.epr "metrics: %a@." Tiling_obs.Json.pp
-            (Tiling_obs.Metrics.snapshot ());
-        match r with Ok () -> `Ok () | Error m -> `Error (false, m))
+        match
+          match metrics_addr with
+          | None -> Ok None
+          | Some s -> Result.map Option.some (Tiling_util.Netio.addr_of_string s)
+        with
+        | Error m -> `Error (false, m)
+        | Ok metrics_addr -> (
+            (* A daemon with logging fully off is a black box; default to the
+               App level so the serving/draining lifecycle lines show. *)
+            Tiling_obs.Logging.setup
+              (match obs.log_level with None -> Some Logs.App | l -> l);
+            (* The daemon's telemetry surfaces (stats, metrics, --trace,
+               progress streaming) are only as good as what is recorded, so
+               serving always records — the registries cost a few atomics
+               per event and nothing else. *)
+            Tiling_obs.Metrics.set_enabled true;
+            Tiling_obs.Events.set_enabled true;
+            if obs.trace_out <> None then Tiling_obs.Span.set_enabled true;
+            (match events_out with
+            | None -> ()
+            | Some file -> (
+                match Tiling_obs.Events.open_sink file with
+                | Ok () -> ()
+                | Error m ->
+                    Fmt.epr "tiler: cannot open events sink: %s@." m));
+            let store_path =
+              match store with
+              | Some _ -> store
+              | None -> (
+                  match Sys.getenv_opt "TILING_STORE" with
+                  | Some s when String.trim s <> "" -> Some s
+                  | _ -> None)
+            in
+            let cfg =
+              {
+                Tiling_server.Server.addr;
+                workers;
+                capacity = queue;
+                store_path;
+                default_deadline_s = deadline;
+                domains;
+                max_line_bytes = max_line;
+                metrics_addr;
+              }
+            in
+            let r = Tiling_server.Server.run cfg in
+            Tiling_obs.Events.close_sink ();
+            Option.iter
+              (fun file ->
+                try Tiling_obs.Span.write_chrome file
+                with Sys_error m -> Fmt.epr "tiler: cannot write trace: %s@." m)
+              obs.trace_out;
+            if obs.metrics then
+              Fmt.epr "metrics: %a@." Tiling_obs.Json.pp
+                (Tiling_obs.Metrics.snapshot ());
+            match r with Ok () -> `Ok () | Error m -> `Error (false, m)))
   in
   Cmd.v
     (Cmd.info "serve"
@@ -756,7 +798,92 @@ let serve_cmd =
     Term.(
       ret
         (const run $ socket_arg $ workers_arg $ queue_arg $ store_arg
-       $ deadline_arg $ max_line_arg $ domains_arg $ obs_term))
+       $ deadline_arg $ max_line_arg $ metrics_addr_arg $ events_out_arg
+       $ domains_arg $ obs_term))
+
+(* --- `request --trace` flame summary ------------------------------- *)
+
+(* The daemon's trace tree ({"trace_id","dropped","spans","total_us"},
+   node = {"name","ts_us","dur_us","attrs"?,"children"?}) aggregated by
+   span name at each level: counts, summed duration, share of the
+   request's wall clock. *)
+let print_flame ppf trace =
+  let module J = Tiling_obs.Json in
+  let num j = Option.value (Option.bind j J.to_float) ~default:0. in
+  let str j = match j with Some (J.String s) -> s | _ -> "?" in
+  let ilist j = match j with Some (J.List l) -> l | _ -> [] in
+  let total_us = num (J.member "total_us" trace) in
+  let spans = ilist (J.member "spans" trace) in
+  let dropped =
+    match J.member "dropped" trace with Some (J.Int d) -> d | _ -> 0
+  in
+  let children node = ilist (J.member "children" node) in
+  (* Group sibling spans by name, keeping first-seen order. *)
+  let group nodes =
+    let order = ref [] and tbl = Hashtbl.create 8 in
+    List.iter
+      (fun node ->
+        let name = str (J.member "name" node) in
+        let entry =
+          match Hashtbl.find_opt tbl name with
+          | Some e -> e
+          | None ->
+              let e = ref (0, 0., []) in
+              Hashtbl.add tbl name e;
+              order := name :: !order;
+              e
+        in
+        let count, dur, kids = !entry in
+        entry :=
+          ( count + 1,
+            dur +. num (J.member "dur_us" node),
+            List.rev_append (children node) kids ))
+      nodes;
+    List.rev_map (fun name -> (name, !(Hashtbl.find tbl name))) !order
+  in
+  let rec walk depth groups =
+    List.iter
+      (fun (name, (count, dur_us, kids)) ->
+        let pct = if total_us > 0. then 100. *. dur_us /. total_us else 0. in
+        Fmt.pf ppf "  %s%-*s %5dx %10.2f ms %5.1f%%@."
+          (String.make (2 * depth) ' ')
+          (max 1 (30 - 2 * depth))
+          name count (dur_us /. 1000.) pct;
+        walk (depth + 1) (group (List.rev kids)))
+      groups
+  in
+  Fmt.pf ppf "trace %.0f: %.2f ms wall clock%s@."
+    (num (J.member "trace_id" trace))
+    (total_us /. 1000.)
+    (if dropped > 0 then Printf.sprintf " (%d spans dropped)" dropped else "");
+  walk 0 (group spans);
+  (* Memo effectiveness, from the request.eval.stats instants. *)
+  let hits = ref 0 and fresh = ref 0 in
+  let rec scan node =
+    (if str (J.member "name" node) = "request.eval.stats" then
+       match J.member "attrs" node with
+       | Some attrs ->
+           hits := !hits + int_of_float (num (J.member "memo_hits" attrs));
+           fresh := !fresh + int_of_float (num (J.member "fresh" attrs))
+       | None -> ());
+    List.iter scan (children node)
+  in
+  List.iter scan spans;
+  if !hits + !fresh > 0 then
+    Fmt.pf ppf "  memo: %d hits, %d fresh (%.1f%% hit rate)@." !hits !fresh
+      (100. *. float_of_int !hits /. float_of_int (!hits + !fresh))
+
+let print_progress_event ev =
+  let module J = Tiling_obs.Json in
+  let kind =
+    match J.member "kind" ev with Some (J.String s) -> s | _ -> "?"
+  in
+  let attrs =
+    match J.member "attrs" ev with
+    | Some a -> " " ^ J.to_string a
+    | None -> ""
+  in
+  Fmt.epr "progress: %s%s@." kind attrs
 
 let request_cmd =
   let meth_arg =
@@ -785,8 +912,23 @@ let request_cmd =
     let doc = "Per-request deadline in seconds." in
     Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SEC" ~doc)
   in
+  let trace_arg =
+    let doc =
+      "Ask the daemon for the request's span tree (returned under \
+       $(b,result.trace)) and print a flame summary — queue wait, \
+       evaluation time, memo hit rate — to stderr."
+    in
+    Arg.(value & flag & info [ "trace" ] ~doc)
+  in
+  let progress_arg =
+    let doc =
+      "Stream the search's per-generation progress events to stderr while \
+       the request runs."
+    in
+    Arg.(value & flag & info [ "progress" ] ~doc)
+  in
   let run socket meth kernel n csize line assoc seed backend tiles exact case
-      deadline =
+      deadline trace progress =
     match resolve_addr socket with
     | Error m -> `Error (false, m)
     | Ok addr -> (
@@ -809,6 +951,9 @@ let request_cmd =
               (if exact then Some ("exact", Tiling_obs.Json.Bool true) else None);
               Option.map (fun c -> ("case", Tiling_obs.Json.String c)) case;
               Option.map (fun d -> ("deadline_s", Tiling_obs.Json.Float d)) deadline;
+              (if trace then Some ("trace", Tiling_obs.Json.Bool true) else None);
+              (if progress then Some ("progress", Tiling_obs.Json.Bool true)
+               else None);
             ]
         in
         match Tiling_server.Client.connect addr with
@@ -818,7 +963,12 @@ let request_cmd =
               m;
             exit 1
         | Ok client -> (
-            let resp = Tiling_server.Client.call client ~meth ~params in
+            let on_progress =
+              if progress then Some print_progress_event else None
+            in
+            let resp =
+              Tiling_server.Client.call ?on_progress client ~meth ~params
+            in
             Tiling_server.Client.close client;
             match resp with
             | Error m ->
@@ -827,7 +977,12 @@ let request_cmd =
             | Ok envelope -> (
                 print_endline (Tiling_obs.Json.to_string envelope);
                 match Tiling_server.Client.result_of_response envelope with
-                | Ok _ -> `Ok ()
+                | Ok result ->
+                    if trace then
+                      Option.iter
+                        (fun t -> print_flame Fmt.stderr t)
+                        (Tiling_obs.Json.member "trace" result);
+                    `Ok ()
                 | Error _ -> exit 1)))
   in
   Cmd.v
@@ -845,7 +1000,196 @@ let request_cmd =
        $ opt_int [ "seed" ] "SEED" "Random seed."
        $ backend_opt_arg $ tiles_arg
        $ Arg.(value & flag & info [ "exact" ] ~doc:"Exact CME enumeration.")
-       $ case_arg $ deadline_arg))
+       $ case_arg $ deadline_arg $ trace_arg $ progress_arg))
+
+(* One call against a running daemon, with the connection/error plumbing
+   shared by `tiler metrics` and `tiler top`. *)
+let daemon_call addr ~meth ~params =
+  match Tiling_server.Client.connect addr with
+  | Error m ->
+      Error
+        (Printf.sprintf "cannot connect to %s: %s"
+           (Tiling_util.Netio.addr_to_string addr)
+           m)
+  | Ok client -> (
+      let resp = Tiling_server.Client.call client ~meth ~params in
+      Tiling_server.Client.close client;
+      match resp with
+      | Error m -> Error m
+      | Ok envelope -> (
+          match Tiling_server.Client.result_of_response envelope with
+          | Ok result -> Ok result
+          | Error e -> Error e.Tiling_server.Protocol.message))
+
+let metrics_cmd =
+  let json_arg =
+    let doc =
+      "Print the raw registry snapshot as JSON instead of OpenMetrics text."
+    in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run socket json =
+    match resolve_addr socket with
+    | Error m -> `Error (false, m)
+    | Ok addr -> (
+        let fmt = if json then "json" else "openmetrics" in
+        match
+          daemon_call addr ~meth:"metrics"
+            ~params:[ ("format", Tiling_obs.Json.String fmt) ]
+        with
+        | Error m ->
+            Fmt.epr "tiler: %s@." m;
+            exit 1
+        | Ok result ->
+            (if json then
+               match Tiling_obs.Json.member "snapshot" result with
+               | Some snap -> print_endline (Tiling_obs.Json.to_string snap)
+               | None -> print_endline (Tiling_obs.Json.to_string result)
+             else
+               match Tiling_obs.Json.member "body" result with
+               | Some (Tiling_obs.Json.String body) -> print_string body
+               | _ -> print_endline (Tiling_obs.Json.to_string result));
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Scrape a running daemon's metrics once — OpenMetrics text by \
+          default, the JSON registry snapshot with $(b,--json)")
+    Term.(ret (const run $ socket_arg $ json_arg))
+
+(* --- `tiler top`: a live text view of the daemon ------------------- *)
+
+let render_top ppf stats metrics =
+  let module J = Tiling_obs.Json in
+  let num path j =
+    let rec go path j =
+      match path with
+      | [] -> J.to_float j
+      | k :: rest -> Option.bind (J.member k j) (go rest)
+    in
+    Option.value (go path j) ~default:0.
+  in
+  let int_ path j = int_of_float (num path j) in
+  let uptime = num [ "uptime_s" ] stats in
+  Fmt.pf ppf "tiler top — pid %d, up %.0fs, %d connections@."
+    (int_ [ "pid" ] stats) uptime
+    (int_ [ "connections" ] stats);
+  Fmt.pf ppf "queue     %d/%d slots, %d workers@."
+    (int_ [ "queue"; "depth" ] stats)
+    (int_ [ "queue"; "capacity" ] stats)
+    (int_ [ "queue"; "workers" ] stats);
+  Fmt.pf ppf "requests  %d completed, %d rejected, %d timeouts@."
+    (int_ [ "requests"; "completed" ] stats)
+    (int_ [ "requests"; "rejected" ] stats)
+    (int_ [ "requests"; "timeouts" ] stats);
+  Fmt.pf ppf "latency   p50 %.1f ms, p95 %.1f ms (%d samples)@."
+    (num [ "latency_ms"; "p50" ] stats)
+    (num [ "latency_ms"; "p95" ] stats)
+    (int_ [ "latency_ms"; "samples" ] stats);
+  (match J.member "store" stats with
+  | Some (J.Obj _ as store) ->
+      let hits = num [ "hits" ] store and misses = num [ "misses" ] store in
+      let rate =
+        if hits +. misses > 0. then 100. *. hits /. (hits +. misses) else 0.
+      in
+      Fmt.pf ppf "store     %d entries, %.0f hits / %.0f misses (%.1f%%)@."
+        (int_ [ "entries" ] store) hits misses rate
+  | _ -> Fmt.pf ppf "store     (none)@.");
+  (match metrics with
+  | None -> ()
+  | Some m ->
+      let workers = num [ "gauges"; "pool.workers" ] m in
+      let tasks = num [ "counters"; "pool.tasks" ] m in
+      let chunks = num [ "counters"; "pool.chunks" ] m in
+      if workers > 0. || tasks > 0. then
+        Fmt.pf ppf "pool      %.0f domains, %.0f jobs, %.0f chunks@." workers
+          tasks chunks);
+  (match J.member "inflight" stats with
+  | Some (J.List (_ :: _ as jobs)) ->
+      Fmt.pf ppf "in flight:@.";
+      List.iter
+        (fun job ->
+          Fmt.pf ppf "  %-10s queued %6.2fs  running %6.2fs@."
+            (match J.member "method" job with
+            | Some (J.String s) -> s
+            | _ -> "?")
+            (num [ "queued_s" ] job)
+            (num [ "running_s" ] job))
+        jobs
+  | _ -> Fmt.pf ppf "in flight: (idle)@.");
+  match J.member "events" stats with
+  | Some (J.List (_ :: _ as evs)) ->
+      Fmt.pf ppf "recent events:@.";
+      List.iter
+        (fun ev ->
+          Fmt.pf ppf "  [%d] %s%s@."
+            (int_ [ "seq" ] ev)
+            (match J.member "kind" ev with
+            | Some (J.String s) -> s
+            | _ -> "?")
+            (match J.member "attrs" ev with
+            | Some a -> " " ^ J.to_string a
+            | None -> ""))
+        evs
+  | _ -> ()
+
+let top_cmd =
+  let interval_arg =
+    let doc = "Seconds between refreshes." in
+    Arg.(value & opt float 2.0 & info [ "interval" ] ~docv:"SEC" ~doc)
+  in
+  let iterations_arg =
+    let doc = "Refresh this many times then exit (0 = run until ^C)." in
+    Arg.(value & opt int 0 & info [ "iterations" ] ~docv:"N" ~doc)
+  in
+  let events_arg =
+    let doc = "Recent telemetry events to show per refresh." in
+    Arg.(value & opt int 8 & info [ "events" ] ~docv:"N" ~doc)
+  in
+  let run socket interval iterations events =
+    match resolve_addr socket with
+    | Error m -> `Error (false, m)
+    | Ok addr ->
+        let interval = Float.max 0.1 interval in
+        let live = iterations <> 1 in
+        let rec loop i =
+          let stats =
+            daemon_call addr ~meth:"stats"
+              ~params:[ ("events", Tiling_obs.Json.Int events) ]
+          in
+          (match stats with
+          | Error m ->
+              Fmt.epr "tiler: %s@." m;
+              exit 1
+          | Ok stats ->
+              let metrics =
+                match
+                  daemon_call addr ~meth:"metrics"
+                    ~params:[ ("format", Tiling_obs.Json.String "json") ]
+                with
+                | Ok r -> Tiling_obs.Json.member "snapshot" r
+                | Error _ -> None
+              in
+              (* Clear the screen between refreshes only when looping. *)
+              if live then Fmt.pr "\027[2J\027[H";
+              render_top Fmt.stdout stats metrics;
+              Fmt.pr "%!");
+          if iterations = 0 || i < iterations then begin
+            Unix.sleepf interval;
+            loop (i + 1)
+          end
+        in
+        loop 1;
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live terminal view of a running daemon: queue depth, in-flight \
+          requests, latency, pool and store effectiveness, recent search \
+          events")
+    Term.(ret (const run $ socket_arg $ interval_arg $ iterations_arg $ events_arg))
 
 let () =
   let doc = "near-optimal loop tiling by cache miss equations and a GA" in
@@ -856,7 +1200,7 @@ let () =
         list_cmd; show_cmd; simulate_cmd; analyze_cmd; equations_cmd;
         tile_cmd; pad_cmd; pad_tile_cmd; joint_cmd; order_cmd;
         codegen_cmd; trace_cmd; baselines_cmd; fuzz_cmd;
-        serve_cmd; request_cmd;
+        serve_cmd; request_cmd; metrics_cmd; top_cmd;
       ]
   in
   (* Exit-code contract (docs/SERVER.md): 0 success, 1 runtime failure

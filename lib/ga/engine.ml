@@ -27,7 +27,12 @@ let default_params =
     elitism = true;
   }
 
-type generation_stats = { generation : int; best : float; average : float }
+type generation_stats = {
+  generation : int;
+  best : float;
+  average : float;
+  distinct : int;
+}
 
 type result = {
   best_genes : int array;
@@ -151,8 +156,22 @@ let run ?(params = default_params) ?on_generation ?evaluate_all ~encoding
       best_genes := Array.copy !pop.(!best_i)
     end;
     let avg = Array.fold_left ( +. ) 0. objs /. float_of_int n in
-    let stats = { generation = gen; best = objs.(!best_i); average = avg } in
+    let distinct =
+      let seen = Hashtbl.create n in
+      Array.iter (fun g -> Hashtbl.replace seen g ()) !pop;
+      Hashtbl.length seen
+    in
+    let stats = { generation = gen; best = objs.(!best_i); average = avg; distinct } in
     history := stats :: !history;
+    Tiling_obs.Events.emit "ga.generation"
+      ~attrs:
+        [
+          ("generation", Tiling_obs.Json.Int gen);
+          ("best", Tiling_obs.Json.Float stats.best);
+          ("average", Tiling_obs.Json.Float avg);
+          ("distinct", Tiling_obs.Json.Int distinct);
+          ("population", Tiling_obs.Json.Int n);
+        ];
     Option.iter (fun f -> f stats) on_generation;
     (* Fitness for minimisation: distance below the generation's worst,
        then Goldberg's linear scaling so the best individual receives about
@@ -227,6 +246,7 @@ let trace_generation (s : generation_stats) =
         ("generation", Tiling_obs.Json.Int s.generation);
         ("best", Tiling_obs.Json.Float s.best);
         ("average", Tiling_obs.Json.Float s.average);
+        ("distinct", Tiling_obs.Json.Int s.distinct);
       ]
 
 let to_json r =
@@ -247,6 +267,7 @@ let to_json r =
                    ("generation", Int s.generation);
                    ("best", Float s.best);
                    ("average", Float s.average);
+                   ("distinct", Int s.distinct);
                  ])
              r.history) );
     ]

@@ -30,6 +30,9 @@ type generation_stats = {
   generation : int;
   best : float;     (** lowest objective in the generation *)
   average : float;  (** population average objective *)
+  distinct : int;
+      (** distinct genotypes in the population — a cheap diversity gauge
+          (collapse toward 1 signals premature convergence) *)
 }
 
 type result = {
@@ -75,4 +78,9 @@ val run :
     [evaluate_all], when given, scores a whole generation of decoded
     individuals at once (e.g. in parallel over domains); it must agree
     with [objective] value-for-value — the engine itself never mixes the
-    two within a generation, but [objective] remains the reference. *)
+    two within a generation, but [objective] remains the reference.
+
+    Each generation additionally emits a ["ga.generation"] event
+    (best/average/distinct/population) through {!Tiling_obs.Events}, which
+    is how the daemon streams search progress to clients; with the journal
+    disabled and no listeners attached the emission is a few loads. *)

@@ -1,0 +1,129 @@
+type event = {
+  seq : int;
+  ts_us : float;
+  kind : string;
+  trace_id : int option;
+  attrs : (string * Json.t) list;
+}
+
+let enabled_flag = ref false
+let set_enabled b = enabled_flag := b
+let enabled () = !enabled_flag
+
+let lock = Mutex.create ()
+
+(* Circular buffer: event with sequence number [s] (1-based) lives at
+   index [(s - 1) mod capacity] until overwritten. *)
+let buf = ref (Array.make 1024 None)
+let total = ref 0 (* last sequence number handed out *)
+
+let set_capacity n =
+  let n = max 16 n in
+  Mutex.protect lock (fun () ->
+      buf := Array.make n None;
+      total := !total)
+
+let clear () =
+  Mutex.protect lock (fun () ->
+      Array.fill !buf 0 (Array.length !buf) None)
+
+let last_seq () = Mutex.protect lock (fun () -> !total)
+
+(* Subscribers are called synchronously on the emitting thread, outside the
+   ring lock; [subs_count] keeps the no-listener fast path allocation-free. *)
+let subs : (int * (event -> unit)) list ref = ref []
+let next_sub = ref 0
+let subs_count = Atomic.make 0
+
+let subscribe f =
+  Mutex.protect lock (fun () ->
+      incr next_sub;
+      subs := (!next_sub, f) :: !subs;
+      Atomic.set subs_count (List.length !subs);
+      !next_sub)
+
+let unsubscribe id =
+  Mutex.protect lock (fun () ->
+      subs := List.filter (fun (i, _) -> i <> id) !subs;
+      Atomic.set subs_count (List.length !subs))
+
+let to_json ev =
+  Json.Obj
+    ([
+       ("seq", Json.Int ev.seq);
+       ("ts_us", Json.Float ev.ts_us);
+       ("kind", Json.String ev.kind);
+     ]
+    @ (match ev.trace_id with
+      | Some t -> [ ("trace_id", Json.Int t) ]
+      | None -> [])
+    @ if ev.attrs = [] then [] else [ ("attrs", Json.Obj ev.attrs) ])
+
+(* Optional NDJSON sink: one [to_json] line per event, flushed per write so
+   a [tail -f] follows the search live. *)
+let sink : out_channel option ref = ref None
+let sink_active = ref false
+
+let open_sink path =
+  match open_out path with
+  | oc ->
+      Mutex.protect lock (fun () ->
+          (match !sink with Some old -> close_out_noerr old | None -> ());
+          sink := Some oc;
+          sink_active := true);
+      Ok ()
+  | exception Sys_error m -> Error m
+
+let close_sink () =
+  Mutex.protect lock (fun () ->
+      (match !sink with Some oc -> close_out_noerr oc | None -> ());
+      sink := None;
+      sink_active := false)
+
+let emit ?(attrs = []) kind =
+  if !enabled_flag || !sink_active || Atomic.get subs_count > 0 then begin
+    let trace_id =
+      match Span.current () with
+      | Some c -> Some c.Span.trace_id
+      | None -> None
+    in
+    let ev, listeners =
+      Mutex.protect lock (fun () ->
+          incr total;
+          let ev = { seq = !total; ts_us = Span.now_us (); kind; trace_id; attrs } in
+          if !enabled_flag then begin
+            let a = !buf in
+            a.((!total - 1) mod Array.length a) <- Some ev
+          end;
+          (match !sink with
+          | Some oc ->
+              output_string oc (Json.to_string (to_json ev));
+              output_char oc '\n';
+              flush oc
+          | None -> ());
+          (ev, !subs))
+    in
+    List.iter (fun (_, f) -> try f ev with _ -> ()) listeners
+  end
+
+let recent ?(since = 0) ?limit () =
+  let evs =
+    Mutex.protect lock (fun () ->
+        let a = !buf in
+        let cap = Array.length a in
+        let lo = max since (!total - cap) in
+        let out = ref [] in
+        for s = !total downto lo + 1 do
+          match a.((s - 1) mod cap) with
+          | Some ev when ev.seq = s -> out := ev :: !out
+          | _ -> ()
+        done;
+        !out)
+  in
+  match limit with
+  | None -> evs
+  | Some k when k >= List.length evs -> evs
+  | Some k ->
+      (* keep the newest k *)
+      let drop = List.length evs - k in
+      List.filteri (fun i _ -> i >= drop) evs

@@ -1,0 +1,59 @@
+(** A process-wide journal of discrete progress events (GA generations,
+    search restarts, store compactions): a bounded ring for polling
+    consumers ([tiler top], the [stats] wire method), synchronous
+    subscribers for streaming consumers (the daemon's [progress]
+    notifications), and an optional NDJSON sink for offline analysis.
+
+    Emission is guarded the same way as {!Metrics}: with the journal
+    disabled, no sink open and no subscribers, {!emit} is a few loads and a
+    branch.  Events emitted while a {!Span} trace context is ambient carry
+    that trace's id, which is how the daemon routes a search's progress to
+    the connection that requested it. *)
+
+type event = {
+  seq : int;  (** 1-based, process-wide, monotone *)
+  ts_us : float;  (** microseconds since {!Span.now_us}'s origin *)
+  kind : string;  (** e.g. ["ga.generation"], ["search.restart"] *)
+  trace_id : int option;  (** ambient {!Span} trace at emission time *)
+  attrs : (string * Json.t) list;
+}
+
+val set_enabled : bool -> unit
+(** Turn ring recording on or off (off by default).  Subscribers and the
+    sink receive events regardless — attaching one is already opt-in. *)
+
+val enabled : unit -> bool
+
+val set_capacity : int -> unit
+(** Resize the ring (default 1024, minimum 16).  Resizing drops buffered
+    events but preserves sequence numbering. *)
+
+val clear : unit -> unit
+(** Drop buffered events.  Sequence numbers keep counting. *)
+
+val emit : ?attrs:(string * Json.t) list -> string -> unit
+(** Record an event and deliver it to every subscriber (synchronously, on
+    the calling thread; subscriber exceptions are swallowed) and to the
+    sink if open. *)
+
+val recent : ?since:int -> ?limit:int -> unit -> event list
+(** Buffered events with [seq > since], oldest first, capped to the newest
+    [limit] when given.  Events that have been overwritten are silently
+    absent — compare [seq] gaps to detect loss. *)
+
+val last_seq : unit -> int
+(** The most recently assigned sequence number (0 if none yet). *)
+
+val subscribe : (event -> unit) -> int
+(** Register a callback; returns a token for {!unsubscribe}. *)
+
+val unsubscribe : int -> unit
+
+val open_sink : string -> (unit, string) result
+(** Start appending one NDJSON line per event to [path] (truncating any
+    existing file); replaces a previously open sink. *)
+
+val close_sink : unit -> unit
+
+val to_json : event -> Json.t
+(** [{"seq", "ts_us", "kind", "trace_id"?, "attrs"?}]. *)

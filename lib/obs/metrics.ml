@@ -78,6 +78,31 @@ let sorted_bindings table =
   let all = Hashtbl.fold (fun k v acc -> (k, v) :: acc) table [] in
   List.sort (fun (a, _) (b, _) -> compare a b) all
 
+let histogram_snapshot h =
+  let buckets =
+    Array.to_list h.buckets
+    |> List.mapi (fun i b -> (i, Atomic.get b))
+    |> List.filter (fun (_, c) -> c > 0)
+    |> List.map (fun (i, c) ->
+           Json.Obj [ ("le", Json.Int ((1 lsl i) - 1)); ("count", Json.Int c) ])
+  in
+  Json.Obj
+    [
+      ("count", Json.Int (Atomic.get h.h_count));
+      ("sum", Json.Int (Atomic.get h.h_sum));
+      ("buckets", Json.List buckets);
+    ]
+
+let names () =
+  Mutex.protect registry_lock (fun () ->
+      let of_table kind table =
+        Hashtbl.fold (fun k _ acc -> (k, kind) :: acc) table []
+      in
+      List.sort compare
+        (of_table `Counter counters
+        @ of_table `Gauge gauges
+        @ of_table `Histogram histograms))
+
 let snapshot () =
   Mutex.protect registry_lock (fun () ->
       let counters_json =
@@ -87,23 +112,7 @@ let snapshot () =
         List.map (fun (k, g) -> (k, Json.Float (Atomic.get g))) (sorted_bindings gauges)
       in
       let hist_json =
-        List.map
-          (fun (k, h) ->
-            let buckets =
-              Array.to_list h.buckets
-              |> List.mapi (fun i b -> (i, Atomic.get b))
-              |> List.filter (fun (_, c) -> c > 0)
-              |> List.map (fun (i, c) ->
-                     Json.Obj [ ("le", Json.Int ((1 lsl i) - 1)); ("count", Json.Int c) ])
-            in
-            ( k,
-              Json.Obj
-                [
-                  ("count", Json.Int (Atomic.get h.h_count));
-                  ("sum", Json.Int (Atomic.get h.h_sum));
-                  ("buckets", Json.List buckets);
-                ] ))
-          (sorted_bindings histograms)
+        List.map (fun (k, h) -> (k, histogram_snapshot h)) (sorted_bindings histograms)
       in
       Json.Obj
         [

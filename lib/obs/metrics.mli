@@ -49,4 +49,17 @@ val snapshot : unit -> Json.t
       "histograms": {name: {"count": int, "sum": int,
                             "buckets": [{"le": int, "count": int}, ...]}}}].
     A bucket's ["le"] is the inclusive upper bound [2^k - 1]; only occupied
-    buckets are listed. *)
+    buckets are listed.  Values are read whether or not recording is
+    enabled, so a registry that was never enabled snapshots to a stable
+    all-zero shape. *)
+
+val histogram_snapshot : histogram -> Json.t
+(** One histogram in the same shape as its {!snapshot} entry:
+    [{"count", "sum", "buckets": [{"le", "count"}...]}] with buckets in
+    ascending ["le"] order — lets a single instrument (e.g. the server's
+    request-latency histogram) be exported without a full snapshot. *)
+
+val names : unit -> (string * [ `Counter | `Gauge | `Histogram ]) list
+(** Every registered instrument name with its kind, sorted.  Instrument
+    names follow the [\[a-z0-9_.\]+] convention (dot-separated lowercase
+    segments); {!Tiling_obs.Openmetrics} relies on it. *)

@@ -1,0 +1,34 @@
+(** Dependency-free OpenMetrics (Prometheus text exposition) encoder over
+    {!Metrics.snapshot}.
+
+    Instrument names are mangled [.] -> [_] and prefixed with [tiling_]
+    (["server.request_ns"] -> [tiling_server_request_ns]); counters gain
+    the conventional [_total] suffix.  Histograms are emitted with
+    cumulative [le] buckets (upper bounds [2^k - 1], matching the
+    registry's power-of-two bucketing), a [+Inf] bucket equal to the total
+    count, and [_sum]/[_count] samples.  Output terminates with [# EOF]. *)
+
+val valid_name : string -> bool
+(** Whether [s] matches the documented instrument-name convention
+    [\[a-z0-9_.\]+] — names the encoder can mangle without escaping. *)
+
+val inventory : (string * string) list
+(** The audit table of every instrument name registered by the libraries,
+    with its HELP text.  [test/test_obs.ml] asserts the registry and this
+    table agree; keep both in sync when adding instruments. *)
+
+val help_of : string -> string
+(** HELP text for [name], with a loud placeholder for names missing from
+    {!inventory}. *)
+
+val sample_name : string -> string
+(** The mangled, prefixed sample name ([tiling_] + dots to underscores). *)
+
+val encode : Json.t -> string
+(** Render a {!Metrics.snapshot}-shaped document as OpenMetrics text. *)
+
+val render : unit -> string
+(** [encode (Metrics.snapshot ())]. *)
+
+val content_type : string
+(** The OpenMetrics HTTP [Content-Type] value. *)

@@ -13,10 +13,30 @@ let best_of ?(on_generation = Tiling_ga.Engine.trace_generation) ~label ~params
           (fun () ->
             Metrics.incr m_restarts;
             let rng = Tiling_util.Prng.create ~seed:(restart_seed ~seed ~salt r) in
-            Tiling_ga.Engine.run ~params ~encoding
-              ~objective:(Eval.objective eval)
-              ~evaluate_all:(Eval.evaluate_all eval)
-              ~on_generation ~rng ()))
+            let run =
+              Tiling_ga.Engine.run ~params ~encoding
+                ~objective:(Eval.objective eval)
+                ~evaluate_all:(Eval.evaluate_all eval)
+                ~on_generation ~rng ()
+            in
+            let hits = Eval.hits eval and fresh = Eval.fresh eval in
+            let hit_rate =
+              if hits + fresh = 0 then 0.
+              else float_of_int hits /. float_of_int (hits + fresh)
+            in
+            Tiling_obs.Events.emit "search.restart"
+              ~attrs:
+                [
+                  ("label", Tiling_obs.Json.String label);
+                  ("restart", Tiling_obs.Json.Int r);
+                  ("best", Tiling_obs.Json.Float run.Tiling_ga.Engine.best_objective);
+                  ("generations", Tiling_obs.Json.Int run.Tiling_ga.Engine.generations);
+                  ("converged", Tiling_obs.Json.Bool run.Tiling_ga.Engine.converged);
+                  ("memo_hits", Tiling_obs.Json.Int hits);
+                  ("memo_fresh", Tiling_obs.Json.Int fresh);
+                  ("memo_hit_rate", Tiling_obs.Json.Float hit_rate);
+                ];
+            run))
   in
   List.fold_left
     (fun (acc : Tiling_ga.Engine.result) (run : Tiling_ga.Engine.result) ->

@@ -29,5 +29,8 @@ val best_of :
     the lowest best objective, ties to the earliest restart.
 
     [label] names the observability artifacts: each restart runs under a
-    ["<label>.restart"] span and bumps the ["<label>.restarts"] counter.
-    [on_generation] defaults to {!Tiling_ga.Engine.trace_generation}. *)
+    ["<label>.restart"] span, bumps the ["<label>.restarts"] counter, and
+    emits a ["search.restart"] event through {!Tiling_obs.Events} carrying
+    the restart's best objective and the eval service's cumulative memo
+    hit rate.  [on_generation] defaults to
+    {!Tiling_ga.Engine.trace_generation}. *)

@@ -12,7 +12,7 @@ let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 
 let max_reply_bytes = 8 * 1024 * 1024
 
-let call t ~meth ~params =
+let call ?on_progress t ~meth ~params =
   let id = t.next_id in
   t.next_id <- id + 1;
   let req =
@@ -26,15 +26,27 @@ let call t ~meth ~params =
   in
   match Netio.write_line t.fd (Json.to_string req) with
   | Error m -> Error (Printf.sprintf "cannot send request: %s" m)
-  | Ok () -> (
-      match Netio.read_line ~max_bytes:max_reply_bytes t.r with
-      | `Eof -> Error "connection closed before the reply arrived"
-      | `Too_long ->
-          Error (Printf.sprintf "reply exceeds %d bytes" max_reply_bytes)
-      | `Line line ->
-          Result.map_error
-            (fun m -> Printf.sprintf "malformed reply: %s" m)
-            (Json.of_string line))
+  | Ok () ->
+      (* Progress notifications share the reply stream: any number of
+         [status:"progress"] lines precede the one final envelope. *)
+      let rec read_reply () =
+        match Netio.read_line ~max_bytes:max_reply_bytes t.r with
+        | `Eof -> Error "connection closed before the reply arrived"
+        | `Too_long ->
+            Error (Printf.sprintf "reply exceeds %d bytes" max_reply_bytes)
+        | `Line line -> (
+            match Json.of_string line with
+            | Error m -> Error (Printf.sprintf "malformed reply: %s" m)
+            | Ok j -> (
+                match Json.member "status" j with
+                | Some (Json.String "progress") ->
+                    (match (on_progress, Json.member "event" j) with
+                    | Some f, Some ev -> f ev
+                    | _ -> ());
+                    read_reply ()
+                | _ -> Ok j))
+      in
+      read_reply ()
 
 let result_of_response j =
   match Json.member "status" j with

@@ -12,6 +12,7 @@ val connect : Tiling_util.Netio.addr -> (t, string) result
 val close : t -> unit
 
 val call :
+  ?on_progress:(Tiling_obs.Json.t -> unit) ->
   t ->
   meth:string ->
   params:(string * Tiling_obs.Json.t) list ->
@@ -20,7 +21,13 @@ val call :
     ([{"v":1,"id":..,"status":..,..}]).  [Error] is a transport problem
     (connection closed, oversized or malformed reply) — a server-side
     error still comes back as [Ok envelope] with [status = "error"];
-    interpret it with {!result_of_response}. *)
+    interpret it with {!result_of_response}.
+
+    When the request opted into streaming (["progress": true]) the
+    daemon interleaves [status:"progress"] notification lines before the
+    final envelope; each one's [event] member is handed to
+    [on_progress] (and silently discarded without it) — [call] returns
+    only the final envelope either way. *)
 
 val result_of_response :
   Tiling_obs.Json.t -> (Tiling_obs.Json.t, Protocol.error) result

@@ -1,0 +1,100 @@
+module Netio = Tiling_util.Netio
+
+let log = Logs.Src.create "tiling.http" ~doc:"Metrics HTTP listener"
+
+module Log = (val Logs.src_log log)
+
+type t = {
+  lfd : Unix.file_descr;
+  addr : Netio.addr;
+  stop : bool Atomic.t;
+  mutable thread : Thread.t option;
+}
+
+let max_request_line = 4096
+let max_header_lines = 64
+
+let respond fd ~status ~content_type body =
+  let head =
+    Printf.sprintf
+      "HTTP/1.0 %s\r\n\
+       Content-Type: %s\r\n\
+       Content-Length: %d\r\n\
+       Connection: close\r\n\
+       \r\n"
+      status content_type (String.length body)
+  in
+  ignore (Netio.write_all fd (head ^ body))
+
+(* One tiny blocking exchange per connection: read the request line, drain
+   headers up to a cap, answer, close.  Scrapes are rare (one per Prometheus
+   interval) and the body is built outside any lock, so a single service
+   thread is plenty and a stalled scraper can at worst delay the next
+   scrape, never the daemon. *)
+let serve_conn body fd =
+  let r = Netio.reader fd in
+  (match Netio.read_line ~max_bytes:max_request_line r with
+  | `Line line -> (
+      let drain_headers () =
+        let rec go n =
+          if n < max_header_lines then
+            match Netio.read_line ~max_bytes:max_request_line r with
+            | `Line "" | `Eof | `Too_long -> ()
+            | `Line _ -> go (n + 1)
+        in
+        go 0
+      in
+      match String.split_on_char ' ' line with
+      | [ "GET"; path; _http ] ->
+          drain_headers ();
+          let path = match String.index_opt path '?' with
+            | Some i -> String.sub path 0 i
+            | None -> path
+          in
+          if path = "/metrics" then
+            respond fd ~status:"200 OK"
+              ~content_type:Tiling_obs.Openmetrics.content_type (body ())
+          else
+            respond fd ~status:"404 Not Found" ~content_type:"text/plain"
+              "only /metrics lives here\n"
+      | _ ->
+          respond fd ~status:"400 Bad Request" ~content_type:"text/plain"
+            "malformed request line\n")
+  | `Eof | `Too_long -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let accept_loop t body () =
+  while not (Atomic.get t.stop) do
+    match Unix.select [ t.lfd ] [] [] 0.2 with
+    | [], _, _ -> ()
+    | _ :: _, _, _ -> (
+        match Unix.accept ~cloexec:true t.lfd with
+        | fd, _ -> (
+            try serve_conn body fd
+            with e ->
+              Log.warn (fun m ->
+                  m "metrics connection failed: %s" (Printexc.to_string e));
+              (try Unix.close fd with Unix.Unix_error _ -> ()))
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | exception Unix.Unix_error _ -> ())
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let start ~addr ~body =
+  match Netio.listen addr with
+  | Error m -> Error m
+  | Ok lfd ->
+      let t = { lfd; addr; stop = Atomic.make false; thread = None } in
+      t.thread <- Some (Thread.create (accept_loop t body) ());
+      Log.info (fun m -> m "metrics on http://%s/metrics" (Netio.addr_to_string addr));
+      Ok t
+
+let stop t =
+  if not (Atomic.get t.stop) then begin
+    Atomic.set t.stop true;
+    Option.iter Thread.join t.thread;
+    (try Unix.close t.lfd with Unix.Unix_error _ -> ());
+    match t.addr with
+    | Netio.Unix_sock path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+    | Netio.Tcp _ -> ()
+  end

@@ -1,0 +1,26 @@
+(** A minimal HTTP/1.0 listener serving [GET /metrics] as OpenMetrics
+    text — the daemon's Prometheus scrape surface.
+
+    Deliberately tiny: one service thread, blocking IO via
+    {!Tiling_util.Netio}, [Connection: close] on every response, no
+    keep-alive, no TLS, nothing but [/metrics] (anything else is 404).
+    The listener shares nothing with the NDJSON wire socket; point
+    Prometheus at it with
+
+    {v scrape_configs:
+  - job_name: tiler
+    static_configs: [{targets: ["HOST:PORT"]}] v} *)
+
+type t
+
+val start :
+  addr:Tiling_util.Netio.addr ->
+  body:(unit -> string) ->
+  (t, string) result
+(** Bind [addr] and serve [body ()] (already-rendered OpenMetrics text,
+    re-rendered per request) at [GET /metrics].  [body] runs on the
+    listener thread and must not raise. *)
+
+val stop : t -> unit
+(** Stop accepting, join the service thread, close the listener (and
+    unlink a Unix socket path).  Idempotent. *)

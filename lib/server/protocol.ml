@@ -71,6 +71,15 @@ let ok_response ~id result =
       ("result", result);
     ]
 
+let progress_response ~id event =
+  Json.Obj
+    [
+      ("v", Json.Int version);
+      ("id", id);
+      ("status", Json.String "progress");
+      ("event", event);
+    ]
+
 let error_response ~id e =
   let fields =
     [

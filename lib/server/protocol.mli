@@ -60,6 +60,14 @@ val request_of_json : Tiling_obs.Json.t -> (request, error) result
 val ok_response : id:Tiling_obs.Json.t -> Tiling_obs.Json.t -> Tiling_obs.Json.t
 (** [ok_response ~id result] is the success envelope. *)
 
+val progress_response :
+  id:Tiling_obs.Json.t -> Tiling_obs.Json.t -> Tiling_obs.Json.t
+(** [progress_response ~id event] is an interim notification
+    [{"v", "id", "status":"progress", "event":{...}}] — zero or more may
+    precede the final ok/error response of a request that opted in with
+    ["progress": true].  [event] is an {!Tiling_obs.Events.to_json}
+    rendering. *)
+
 val error_response : id:Tiling_obs.Json.t -> error -> Tiling_obs.Json.t
 
 (** {2 Typed access to [params]}

@@ -1,5 +1,6 @@
 module Json = Tiling_obs.Json
 module Metrics = Tiling_obs.Metrics
+module Span = Tiling_obs.Span
 
 let m_rejected = Metrics.counter "server.admission.rejected"
 let m_ok = Metrics.counter "server.requests.ok"
@@ -15,7 +16,12 @@ type job = {
   deliver : (Json.t, Protocol.error) result -> unit;
   deadline : float option;
   enqueued_at : float;
+  label : string;
+  trace : Span.context option;
+  enq_us : float; (* Span.now_us at enqueue, for the queue-wait span *)
 }
+
+type inflight_entry = { i_label : string; i_started : float; i_queued_s : float }
 
 type t = {
   queue : job Queue.t;
@@ -31,6 +37,9 @@ type t = {
   completed : int Atomic.t;
   rejected : int Atomic.t;
   timeouts : int Atomic.t;
+  (* jobs currently executing on a worker, guarded by [lock] *)
+  running : (int, inflight_entry) Hashtbl.t;
+  next_job : int Atomic.t;
 }
 
 let past deadline =
@@ -44,7 +53,21 @@ let record_latency t seconds =
   Metrics.observe m_latency (int_of_float (seconds *. 1e9))
 
 let run_job t job =
+  let started = Unix.gettimeofday () in
+  let queued_s = started -. job.enqueued_at in
+  (* The queue phase ends here, whoever we are about to run (or fail): a
+     trace always decomposes into queue wait + run time. *)
+  (match job.trace with
+  | Some ctx ->
+      Span.record_at ctx "request.queue" ~ts_us:job.enq_us
+        ~dur_us:(Span.now_us () -. job.enq_us)
+  | None -> ());
+  let key = Atomic.fetch_and_add t.next_job 1 in
+  Mutex.protect t.lock (fun () ->
+      Hashtbl.replace t.running key
+        { i_label = job.label; i_started = started; i_queued_s = queued_s });
   let finish result =
+    Mutex.protect t.lock (fun () -> Hashtbl.remove t.running key);
     (match result with
     | Ok _ -> Metrics.incr m_ok
     | Error { Protocol.code = Protocol.Deadline_exceeded; _ } ->
@@ -61,7 +84,15 @@ let run_job t job =
          (Protocol.err Protocol.Deadline_exceeded
             "deadline expired while the request was queued"))
   else
-    match job.work ~cancelled:(fun () -> past job.deadline) with
+    let execute () =
+      match job.trace with
+      | Some ctx ->
+          Span.with_ambient (Some ctx) (fun () ->
+              Span.with_ "request.run" (fun () ->
+                  job.work ~cancelled:(fun () -> past job.deadline)))
+      | None -> job.work ~cancelled:(fun () -> past job.deadline)
+    in
+    match execute () with
     | result -> finish (Ok result)
     | exception Tiling_search.Eval.Cancelled ->
         finish
@@ -114,6 +145,8 @@ let create ?(workers = 2) ?(capacity = 64) () =
       completed = Atomic.make 0;
       rejected = Atomic.make 0;
       timeouts = Atomic.make 0;
+      running = Hashtbl.create 8;
+      next_job = Atomic.make 0;
     }
   in
   t.threads <- List.init workers (fun _ -> Thread.create (worker t) ());
@@ -138,7 +171,7 @@ let retry_after t =
     let nworkers = List.length t.threads in
     Float.min 60. (Float.max 0.1 (p50 *. float_of_int (t.capacity / max 1 nworkers)))
 
-let submit t ?deadline_s ~work ~deliver () =
+let submit t ?deadline_s ?(label = "?") ?trace ~work ~deliver () =
   let verdict =
     Mutex.protect t.lock (fun () ->
         if t.closed then Error Draining
@@ -154,6 +187,9 @@ let submit t ?deadline_s ~work ~deliver () =
               deliver;
               deadline = deadline_s;
               enqueued_at = Unix.gettimeofday ();
+              label;
+              trace;
+              enq_us = Span.now_us ();
             }
             t.queue;
           Metrics.set g_depth (float_of_int (Queue.length t.queue));
@@ -164,6 +200,16 @@ let submit t ?deadline_s ~work ~deliver () =
   verdict
 
 let depth t = Mutex.protect t.lock (fun () -> Queue.length t.queue)
+
+let inflight t =
+  let now = Unix.gettimeofday () in
+  Mutex.protect t.lock (fun () ->
+      Hashtbl.fold
+        (fun _ e acc -> (e.i_label, e.i_queued_s, now -. e.i_started) :: acc)
+        t.running [])
+  |> List.sort (fun (_, _, a) (_, _, b) -> compare b a)
+
+let latency_histogram () = Metrics.histogram_snapshot m_latency
 let capacity t = t.capacity
 let workers t = List.length t.threads
 let completed t = Atomic.get t.completed

@@ -38,6 +38,8 @@ val create : ?workers:int -> ?capacity:int -> unit -> t
 val submit :
   t ->
   ?deadline_s:float ->
+  ?label:string ->
+  ?trace:Tiling_obs.Span.context ->
   work:(cancelled:(unit -> bool) -> Tiling_obs.Json.t) ->
   deliver:((Tiling_obs.Json.t, Protocol.error) result -> unit) ->
   unit ->
@@ -46,7 +48,14 @@ val submit :
     called exactly once, from a worker thread, with the work's result —
     or with [Deadline_exceeded] (queued past its deadline, or the work
     raised {!Tiling_search.Eval.Cancelled}) or [Internal] (any other
-    exception; the daemon survives).  [deliver] must not raise. *)
+    exception; the daemon survives).  [deliver] must not raise.
+
+    [label] (typically the wire method) names the job in {!inflight}.
+    [trace], when given, is the request's root trace context: the worker
+    records the queue wait as a ["request.queue"] span, then runs [work]
+    under the context with a ["request.run"] span around it, so every span
+    and {!Tiling_obs.Events} emission inside the handler joins the
+    request's trace. *)
 
 val depth : t -> int
 val capacity : t -> int
@@ -64,6 +73,17 @@ val latency_ms : t -> float * float * int
 (** [(p50, p95, samples)] over a ring of the most recent request
     latencies (milliseconds, enqueue to delivery); [(0., 0., 0)] before
     the first completion. *)
+
+val inflight : t -> (string * float * float) list
+(** The jobs executing right now as [(label, queued_s, running_s)],
+    longest-running first. *)
+
+val latency_histogram : unit -> Tiling_obs.Json.t
+(** The full [server.request_ns] histogram in {!Tiling_obs.Metrics}
+    snapshot shape ([{"count", "sum", "buckets": [{"le", "count"}...]}]) —
+    percentiles beyond the ring's p50/p95 are computable from it without
+    an OpenMetrics scrape.  Stable all-zero shape when the metrics
+    registry is disabled or nothing completed yet. *)
 
 val drain : t -> unit
 (** Stop admitting ({!submit} returns [Draining]), let the workers

@@ -1,11 +1,15 @@
 module Json = Tiling_obs.Json
 module Metrics = Tiling_obs.Metrics
+module Span = Tiling_obs.Span
+module Events = Tiling_obs.Events
 module Netio = Tiling_util.Netio
 module Eval = Tiling_search.Eval
 module Memo = Tiling_search.Memo
 
 let m_accepted = Metrics.counter "server.connections.accepted"
 let m_bad_lines = Metrics.counter "server.protocol.bad_lines"
+let m_scrapes = Metrics.counter "server.metrics.scrapes"
+let m_progress = Metrics.counter "server.progress.sent"
 let g_connections = Metrics.gauge "server.connections"
 
 let log = Logs.Src.create "tiling.server" ~doc:"tiling daemon"
@@ -20,6 +24,7 @@ type config = {
   default_deadline_s : float option;
   domains : int;
   max_line_bytes : int;
+  metrics_addr : Netio.addr option;
 }
 
 let default_config =
@@ -31,6 +36,7 @@ let default_config =
     default_deadline_s = None;
     domains = 1;
     max_line_bytes = 1 lsl 20;
+    metrics_addr = None;
   }
 
 (* JSON nesting in requests never legitimately exceeds a handful of
@@ -127,6 +133,19 @@ let attach st ~fingerprint ~cancelled eval =
       Memo.set_tier (Eval.memo eval) (Some (Store.tier store ~fingerprint)))
     st.store
 
+(* Per-phase memo/store effectiveness, recorded into the request's trace
+   so `tiler request --trace` can print hit rates next to the flame. *)
+let eval_stats_instant ~phase eval =
+  if Span.tracing () then
+    Span.instant "request.eval.stats"
+      ~attrs:
+        [
+          ("phase", Json.String phase);
+          ("memo_hits", Json.Int (Eval.hits eval));
+          ("fresh", Json.Int (Eval.fresh eval));
+          ("distinct", Json.Int (Eval.distinct eval));
+        ]
+
 let sync_store st = Option.iter Store.sync st.store
 
 let setup_json (spec : Tiling_kernels.Kernels.spec) n
@@ -175,16 +194,21 @@ let handle_tile st params =
         Store.fingerprint ~method_:"tile" ~kernel:spec.name ~n ~cache
           ~backend:backend.Tiling_search.Backend.name ~seed
       in
+      let evals = ref [] in
       let opts =
         {
           Tiling_core.Tiler.default_opts with
           seed;
           domains = st.cfg.domains;
           backend;
-          on_eval = attach st ~fingerprint ~cancelled;
+          on_eval =
+            (fun eval ->
+              evals := eval :: !evals;
+              attach st ~fingerprint ~cancelled eval);
         }
       in
       let o = Tiling_core.Tiler.optimize ~opts nest cache in
+      List.iter (eval_stats_instant ~phase:"tile") !evals;
       sync_store st;
       Json.Obj (setup_json spec n cache @ [ ("outcome", Tiling_core.Tiler.to_json o) ]))
 
@@ -202,13 +226,17 @@ let handle_pad_tile st params =
           ~kernel:spec.name ~n ~cache
           ~backend:backend.Tiling_search.Backend.name ~seed
       in
+      let pad_evals = ref [] and tile_evals = ref [] in
       let popts =
         {
           Tiling_core.Padder.default_opts with
           seed;
           domains = st.cfg.domains;
           backend;
-          on_eval = attach st ~fingerprint:(fp "pad") ~cancelled;
+          on_eval =
+            (fun eval ->
+              pad_evals := eval :: !pad_evals;
+              attach st ~fingerprint:(fp "pad") ~cancelled eval);
         }
       in
       let topts =
@@ -217,10 +245,15 @@ let handle_pad_tile st params =
           seed;
           domains = st.cfg.domains;
           backend;
-          on_eval = attach st ~fingerprint:(fp "tile") ~cancelled;
+          on_eval =
+            (fun eval ->
+              tile_evals := eval :: !tile_evals;
+              attach st ~fingerprint:(fp "tile") ~cancelled eval);
         }
       in
       let o = Tiling_core.Optimizer.pad_then_tile ~topts ~popts nest cache in
+      List.iter (eval_stats_instant ~phase:"pad") !pad_evals;
+      List.iter (eval_stats_instant ~phase:"tile") !tile_evals;
       sync_store st;
       Json.Obj
         (setup_json spec n cache
@@ -257,8 +290,19 @@ let handle_fuzz_case _st params =
           ("accesses", Json.Int r.accesses);
         ])
 
-let stats_json st =
+let stats_json ?(events = 0) st =
   let p50, p95, samples = Scheduler.latency_ms st.sched in
+  let inflight =
+    List.map
+      (fun (label, queued_s, running_s) ->
+        Json.Obj
+          [
+            ("method", Json.String label);
+            ("queued_s", Json.Float queued_s);
+            ("running_s", Json.Float running_s);
+          ])
+      (Scheduler.inflight st.sched)
+  in
   let store =
     match st.store with
     | None -> Json.Null
@@ -277,7 +321,7 @@ let stats_json st =
           ]
   in
   Json.Obj
-    [
+    ([
       ("pid", Json.Int (Unix.getpid ()));
       ("version", Json.Int Protocol.version);
       ("uptime_s", Json.Float (Unix.gettimeofday () -. st.started_at));
@@ -302,9 +346,18 @@ let stats_json st =
             ("p95", Json.Float p95);
             ("samples", Json.Int samples);
           ] );
+      ("latency_ns_histogram", Scheduler.latency_histogram ());
+      ("inflight", Json.List inflight);
       ("connections", Json.Int (Mutex.protect st.clock (fun () -> Hashtbl.length st.conns)));
       ("store", store);
     ]
+    @
+    if events <= 0 then []
+    else
+      [
+        ( "events",
+          Json.List (List.map Events.to_json (Events.recent ~limit:events ())) );
+      ])
 
 (* ------------------------------------------------------------------ *)
 (* Dispatch                                                             *)
@@ -318,7 +371,42 @@ let handler_for = function
 
 let dispatch st conn (req : Protocol.request) =
   match req.meth with
-  | "stats" -> reply conn (Protocol.ok_response ~id:req.id (stats_json st))
+  | "stats" -> (
+      match P.int req.params "events" with
+      | Error m ->
+          reply conn
+            (Protocol.error_response ~id:req.id (Protocol.err Protocol.Bad_request m))
+      | Ok events ->
+          let events = Option.value events ~default:0 in
+          reply conn (Protocol.ok_response ~id:req.id (stats_json ~events st)))
+  | "metrics" -> (
+      Metrics.incr m_scrapes;
+      match P.string req.params "format" with
+      | Error m ->
+          reply conn
+            (Protocol.error_response ~id:req.id (Protocol.err Protocol.Bad_request m))
+      | Ok (Some "json") ->
+          reply conn
+            (Protocol.ok_response ~id:req.id
+               (Json.Obj
+                  [
+                    ("format", Json.String "json");
+                    ("snapshot", Metrics.snapshot ());
+                  ]))
+      | Ok (None | Some "openmetrics") ->
+          reply conn
+            (Protocol.ok_response ~id:req.id
+               (Json.Obj
+                  [
+                    ("format", Json.String "openmetrics");
+                    ("body", Json.String (Tiling_obs.Openmetrics.render ()));
+                  ]))
+      | Ok (Some other) ->
+          reply conn
+            (Protocol.error_response ~id:req.id
+               (Protocol.err Protocol.Bad_request
+                  (Printf.sprintf
+                     "unknown format %S (expected openmetrics or json)" other))))
   | "shutdown" ->
       reply conn
         (Protocol.ok_response ~id:req.id
@@ -347,31 +435,88 @@ let dispatch st conn (req : Protocol.request) =
           match
             let* work = handler st req.params in
             let* deadline_s = deadline in
-            Ok (work, deadline_s)
+            let* trace = P.bool req.params "trace" in
+            let* progress = P.bool req.params "progress" in
+            Ok
+              ( work,
+                deadline_s,
+                Option.value trace ~default:false,
+                Option.value progress ~default:false )
           with
           | Error m ->
               reply conn
                 (Protocol.error_response ~id:req.id
                    (Protocol.err Protocol.Bad_request m))
-          | Ok (work, deadline_s) -> (
+          | Ok (work, deadline_s, trace, progress) -> (
               let id = req.id in
+              (* One root context serves both opt-ins: spans accumulate in
+                 its buffer for the ["trace"] field, and its trace id is the
+                 routing key that picks this request's events out of the
+                 process-wide journal. *)
+              let tctx =
+                if trace || progress then Some (Span.start_trace ()) else None
+              in
+              let received_us = Span.now_us () in
               conn_begin conn;
+              let subscription =
+                match (tctx, progress) with
+                | Some ctx, true ->
+                    let tid = ctx.Span.trace_id in
+                    Some
+                      (Events.subscribe (fun ev ->
+                           if ev.Events.trace_id = Some tid then begin
+                             Metrics.incr m_progress;
+                             reply conn
+                               (Protocol.progress_response ~id
+                                  (Events.to_json ev))
+                           end))
+                | _ -> None
+              in
+              let close_trace result =
+                match tctx with
+                | None -> result
+                | Some ctx -> (
+                    match result with
+                    | Ok (Json.Obj fields) when trace ->
+                        let total_us = Span.now_us () -. received_us in
+                        let tree = Span.finish_trace ctx in
+                        let tree =
+                          match tree with
+                          | Json.Obj tfields ->
+                              Json.Obj
+                                (tfields @ [ ("total_us", Json.Float total_us) ])
+                          | other -> other
+                        in
+                        Ok (Json.Obj (fields @ [ ("trace", tree) ]))
+                    | result ->
+                        Span.discard_trace ctx;
+                        result)
+              in
               let deliver result =
-                (match result with
+                Option.iter Events.unsubscribe subscription;
+                (match close_trace result with
                 | Ok r -> reply conn (Protocol.ok_response ~id r)
                 | Error e -> reply conn (Protocol.error_response ~id e));
                 conn_end conn
               in
-              match Scheduler.submit st.sched ?deadline_s ~work ~deliver () with
+              let abandon () =
+                Option.iter Events.unsubscribe subscription;
+                Option.iter Span.discard_trace tctx;
+                conn_end conn
+              in
+              match
+                Scheduler.submit st.sched ?deadline_s ~label:req.meth
+                  ?trace:tctx ~work ~deliver ()
+              with
               | Ok () -> ()
               | Error (Scheduler.Overloaded retry_after_s) ->
-                  conn_end conn;
+                  abandon ();
                   reply conn
                     (Protocol.error_response ~id
                        (Protocol.err ~retry_after_s Protocol.Overloaded
                           "admission queue is full"))
               | Error Scheduler.Draining ->
-                  conn_end conn;
+                  abandon ();
                   reply conn
                     (Protocol.error_response ~id
                        (Protocol.err Protocol.Draining
@@ -450,7 +595,22 @@ let run cfg =
       | Error m ->
           (try Unix.close lfd with Unix.Unix_error _ -> ());
           Error (Printf.sprintf "cannot open store: %s" m)
-      | Ok store ->
+      | Ok store -> (
+          let http =
+            match cfg.metrics_addr with
+            | None -> Ok None
+            | Some addr ->
+                Result.map Option.some
+                  (Http.start ~addr ~body:(fun () ->
+                       Metrics.incr m_scrapes;
+                       Tiling_obs.Openmetrics.render ()))
+          in
+          match http with
+          | Error m ->
+              (try Unix.close lfd with Unix.Unix_error _ -> ());
+              Option.iter Store.close store;
+              Error (Printf.sprintf "cannot start metrics listener: %s" m)
+          | Ok http ->
           let stop = Atomic.make false in
           install_signals stop;
           let st =
@@ -512,6 +672,7 @@ let run cfg =
              everything already admitted finish, then unblock readers. *)
           Log.app (fun f -> f "draining");
           (try Unix.close lfd with Unix.Unix_error _ -> ());
+          Option.iter Http.stop http;
           Scheduler.drain st.sched;
           Mutex.protect st.clock (fun () ->
               Hashtbl.iter
@@ -529,4 +690,4 @@ let run cfg =
           | Netio.Unix_sock p -> ( try Sys.remove p with Sys_error _ -> ())
           | Netio.Tcp _ -> ());
           Log.app (fun f -> f "stopped");
-          Ok ())
+          Ok ()))

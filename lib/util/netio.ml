@@ -165,8 +165,8 @@ let read_line ~max_bytes r =
   in
   go ()
 
-let write_line fd s =
-  let payload = Bytes.of_string (s ^ "\n") in
+let write_all fd s =
+  let payload = Bytes.unsafe_of_string s in
   let total = Bytes.length payload in
   let rec go off =
     if off >= total then Ok ()
@@ -177,3 +177,5 @@ let write_line fd s =
       | exception e -> err_of_unix "write" e
   in
   go 0
+
+let write_line fd s = write_all fd (s ^ "\n")

@@ -49,3 +49,7 @@ val read_line :
 val write_line : Unix.file_descr -> string -> (unit, string) result
 (** [s] plus [\n], written fully (retrying short writes).  [Error] on a
     closed or broken peer ([EPIPE] etc.) rather than an exception. *)
+
+val write_all : Unix.file_descr -> string -> (unit, string) result
+(** [s] exactly as given, written fully — for protocols that frame their
+    own terminators (e.g. the HTTP metrics listener's [\r\n] headers). *)

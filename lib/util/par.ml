@@ -35,7 +35,7 @@ let run_range f xs results failure c lo hi =
     end
     else body ()
   in
-  if Span.enabled () then
+  if Span.tracing () then
     Span.with_ "par.chunk"
       ~attrs:
         [ ("chunk", Tiling_obs.Json.Int c); ("items", Tiling_obs.Json.Int (hi - lo)) ]
@@ -60,8 +60,13 @@ let map_spawn ~domains f xs =
     let lo = k * n / d and hi = (k + 1) * n / d in
     run_range f xs results failure k lo hi
   in
+  let ctx = Span.current () in
   let workers =
-    Array.init (d - 1) (fun k -> Domain.spawn (fun () -> run_block (k + 1)))
+    Array.init (d - 1) (fun k ->
+        Domain.spawn (fun () ->
+            match ctx with
+            | Some _ -> Span.with_ambient ctx (fun () -> run_block (k + 1))
+            | None -> run_block (k + 1)))
   in
   run_block 0;
   Array.iter Domain.join workers;

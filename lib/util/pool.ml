@@ -1,4 +1,5 @@
 module Metrics = Tiling_obs.Metrics
+module Span = Tiling_obs.Span
 
 let m_workers = Metrics.gauge "pool.workers"
 let m_tasks = Metrics.counter "pool.tasks"
@@ -46,6 +47,9 @@ type job = {
   done_m : Mutex.t;
   done_c : Condition.t;
   mutable finished : bool;
+  ctx : Span.context option;
+      (* submitter's ambient trace context, reinstalled on each helper
+         domain so chunk spans join the submitting request's trace *)
 }
 
 type state = {
@@ -115,7 +119,11 @@ let rec worker_loop epoch_seen =
   else begin
     let epoch = st.epoch and job = st.job in
     Mutex.unlock st.m;
-    (match job with Some j -> drain j | None -> ());
+    (match job with
+    | Some ({ ctx = Some _; _ } as j) ->
+        Span.with_ambient j.ctx (fun () -> drain j)
+    | Some j -> drain j
+    | None -> ());
     worker_loop epoch
   end
 
@@ -191,6 +199,7 @@ let run ~helpers ~nchunks chunk =
             done_m = Mutex.create ();
             done_c = Condition.create ();
             finished = false;
+            ctx = Span.current ();
           }
         in
         Mutex.lock st.m;

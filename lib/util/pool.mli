@@ -60,7 +60,11 @@ val run : helpers:int -> nchunks:int -> (int -> unit) -> unit
     [chunk] must not raise — wrap the body and stash failures (see
     {!Par.map}); it must be safe to run concurrently with itself.  When
     [helpers <= 0], [nchunks <= 1] or the caller is itself a pool worker,
-    the chunks run inline on the calling domain. *)
+    the chunks run inline on the calling domain.
+
+    If a {!Tiling_obs.Span} trace context is ambient on the submitting
+    thread it is reinstalled on every helper domain for the duration of
+    the job, so per-chunk spans join the submitting request's trace. *)
 
 val shutdown : unit -> unit
 (** Join every worker and return the pool to its never-started state; the

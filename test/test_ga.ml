@@ -90,7 +90,11 @@ let test_history_stats_consistent () =
   List.iter
     (fun s ->
       if s.Engine.best > s.Engine.average +. 1e-9 then
-        Alcotest.fail "generation best exceeds its average")
+        Alcotest.fail "generation best exceeds its average";
+      let pop = Engine.default_params.Engine.population in
+      if s.Engine.distinct < 1 || s.Engine.distinct > pop then
+        Alcotest.failf "distinct genotypes %d outside [1, %d]"
+          s.Engine.distinct pop)
     r.Engine.history
 
 let suite =

@@ -424,6 +424,233 @@ let test_end_to_end () =
   Alcotest.(check bool) "socket unlinked on drain" false (Sys.file_exists sock)
 
 (* ------------------------------------------------------------------ *)
+(* Telemetry: inflight tracking, metrics export, traces and progress    *)
+
+let test_scheduler_inflight () =
+  let sched = Scheduler.create ~workers:1 ~capacity:4 () in
+  let release = Atomic.make false in
+  let started = Atomic.make false in
+  (match
+     Scheduler.submit sched ~label:"blocker"
+       ~work:(fun ~cancelled:_ ->
+         Atomic.set started true;
+         while not (Atomic.get release) do
+           Thread.yield ()
+         done;
+         Json.Null)
+       ~deliver:(fun _ -> ())
+       ()
+   with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "rejected");
+  let rec await tries =
+    if (not (Atomic.get started)) && tries > 0 then (
+      Thread.delay 0.01;
+      await (tries - 1))
+  in
+  await 200;
+  (match Scheduler.inflight sched with
+  | [ (label, queued_s, running_s) ] ->
+      Alcotest.(check string) "label is the wire method" "blocker" label;
+      Alcotest.(check bool) "sane queue/run times" true
+        (queued_s >= 0. && running_s >= 0.)
+  | l -> Alcotest.failf "expected 1 inflight job, got %d" (List.length l));
+  Atomic.set release true;
+  Scheduler.drain sched;
+  Alcotest.(check int) "idle after drain" 0
+    (List.length (Scheduler.inflight sched))
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* One daemon exercising every PR-6 telemetry surface: the [metrics]
+   wire method in both formats, the HTTP scrape listener, the stats
+   histogram/inflight extensions (including the no-samples case), a
+   traced request whose span tree decomposes its latency, and progress
+   events streamed ahead of the final response. *)
+let test_telemetry_end_to_end () =
+  let sock = temp_path ".sock" in
+  let msock = temp_path ".msock" in
+  let store = temp_path ".store" in
+  Tiling_obs.Metrics.reset ();
+  Tiling_obs.Metrics.set_enabled true;
+  Tiling_obs.Events.set_enabled true;
+  Fun.protect ~finally:(fun () ->
+      Tiling_obs.Metrics.set_enabled false;
+      Tiling_obs.Events.set_enabled false;
+      Tiling_obs.Events.clear ();
+      Tiling_obs.Metrics.reset ())
+  @@ fun () ->
+  let cfg =
+    {
+      Server.default_config with
+      addr = Netio.Unix_sock sock;
+      store_path = Some store;
+      workers = 2;
+      metrics_addr = Some (Netio.Unix_sock msock);
+    }
+  in
+  let server = Thread.create (fun () -> Server.run cfg) () in
+  let rec await_socket tries =
+    if Sys.file_exists sock then ()
+    else if tries = 0 then Alcotest.fail "server never bound its socket"
+    else (
+      Thread.delay 0.05;
+      await_socket (tries - 1))
+  in
+  await_socket 100;
+  let client =
+    match Client.connect (Netio.Unix_sock sock) with
+    | Ok c -> c
+    | Error m -> Alcotest.failf "connect: %s" m
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Client.close client;
+      Thread.join server;
+      if Sys.file_exists store then Sys.remove store)
+  @@ fun () ->
+  (* stats before any scheduled request: the latency histogram exports
+     its stable empty shape (no samples ever observed) *)
+  let stats = call_ok client ~meth:"stats" ~params:[] in
+  Alcotest.(check int) "no latency samples yet" 0
+    (get_int [ "latency_ns_histogram"; "count" ] stats);
+  (match get [ "latency_ns_histogram"; "buckets" ] stats with
+  | Some (Json.List []) -> ()
+  | _ -> Alcotest.fail "empty histogram should have no buckets");
+  (match get [ "inflight" ] stats with
+  | Some (Json.List []) -> ()
+  | _ -> Alcotest.fail "nothing should be in flight");
+  (* a traced, progress-streaming tile request *)
+  let progress = ref [] in
+  let envelope =
+    match
+      Client.call client
+        ~on_progress:(fun ev -> progress := ev :: !progress)
+        ~meth:"tile"
+        ~params:
+          [
+            ("kernel", Json.String "mm");
+            ("n", Json.Int 12);
+            ("seed", Json.Int 11);
+            ("trace", Json.Bool true);
+            ("progress", Json.Bool true);
+          ]
+    with
+    | Ok e -> e
+    | Error m -> Alcotest.failf "traced tile: %s" m
+  in
+  let result =
+    match Client.result_of_response envelope with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "traced tile: %s" e.Protocol.message
+  in
+  (* progress notifications preceded the final response on the wire (the
+     client consumed them from the same stream before the envelope) *)
+  Alcotest.(check bool) "per-generation progress arrived" true
+    (List.exists
+       (fun ev -> get [ "kind" ] ev = Some (Json.String "ga.generation"))
+       !progress);
+  (* the span tree decomposes the request's latency: queue + run account
+     for the total wall clock within 5% *)
+  let trace =
+    match get [ "trace" ] result with
+    | Some t -> t
+    | None -> Alcotest.fail "no trace in result"
+  in
+  let fnum path j =
+    match get path j with
+    | Some v -> Option.get (Json.to_float v)
+    | None -> Alcotest.failf "missing %s" (String.concat "." path)
+  in
+  let total_us = fnum [ "total_us" ] trace in
+  let spans =
+    match get [ "spans" ] trace with
+    | Some (Json.List l) -> l
+    | _ -> Alcotest.fail "no spans"
+  in
+  let dur name =
+    match
+      List.find_opt
+        (fun s -> Json.member "name" s = Some (Json.String name))
+        spans
+    with
+    | Some s -> fnum [ "dur_us" ] s
+    | None -> Alcotest.failf "span %s missing" name
+  in
+  let accounted = dur "request.queue" +. dur "request.run" in
+  Alcotest.(check bool)
+    (Printf.sprintf "queue+run (%.0fus) within 5%% of total (%.0fus)"
+       accounted total_us)
+    true
+    (total_us > 0. && accounted >= 0.95 *. total_us
+   && accounted <= 1.05 *. total_us);
+  (* stats with the events param returns journal entries *)
+  let stats =
+    call_ok client ~meth:"stats" ~params:[ ("events", Json.Int 16) ]
+  in
+  (match get [ "events" ] stats with
+  | Some (Json.List (_ :: _)) -> ()
+  | _ -> Alcotest.fail "stats returned no events");
+  Alcotest.(check int) "one latency sample now" 1
+    (get_int [ "latency_ns_histogram"; "count" ] stats);
+  (* the metrics wire method, both formats *)
+  let om = call_ok client ~meth:"metrics" ~params:[] in
+  (match get [ "body" ] om with
+  | Some (Json.String body) ->
+      Alcotest.(check bool) "openmetrics body has requests counter" true
+        (contains body "tiling_server_requests_ok_total");
+      Alcotest.(check bool) "openmetrics body has request histogram" true
+        (contains body "tiling_server_request_ns_bucket");
+      Alcotest.(check bool) "openmetrics body terminates" true
+        (contains body "# EOF")
+  | _ -> Alcotest.fail "metrics: no body");
+  let js =
+    call_ok client ~meth:"metrics" ~params:[ ("format", Json.String "json") ]
+  in
+  (match get [ "snapshot"; "counters"; "server.requests.ok" ] js with
+  | Some (Json.Int n) -> Alcotest.(check bool) "ok counter moved" true (n >= 1)
+  | _ -> Alcotest.fail "metrics json: no snapshot");
+  let e =
+    call_err client ~meth:"metrics" ~params:[ ("format", Json.String "xml") ]
+  in
+  Alcotest.(check string) "unknown format is bad_request" "bad_request"
+    (Protocol.code_to_string e.Protocol.code);
+  (* the HTTP scrape listener on its own socket *)
+  (match Netio.connect (Netio.Unix_sock msock) with
+  | Error m -> Alcotest.failf "metrics listener: %s" m
+  | Ok fd ->
+      (match Netio.write_all fd "GET /metrics HTTP/1.0\r\nHost: x\r\n\r\n" with
+      | Ok () -> ()
+      | Error m -> Alcotest.fail m);
+      let r = Netio.reader fd in
+      let buf = Buffer.create 4096 in
+      let rec slurp () =
+        match Netio.read_line ~max_bytes:(1 lsl 20) r with
+        | `Line l ->
+            Buffer.add_string buf l;
+            Buffer.add_char buf '\n';
+            slurp ()
+        | `Eof | `Too_long -> ()
+      in
+      slurp ();
+      Unix.close fd;
+      let body = Buffer.contents buf in
+      Alcotest.(check bool) "HTTP 200" true (contains body "200 OK");
+      Alcotest.(check bool) "openmetrics content type" true
+        (contains body "application/openmetrics-text");
+      Alcotest.(check bool) "scrape body present" true
+        (contains body "tiling_server_requests_ok_total");
+      Alcotest.(check bool) "scrape terminates with EOF" true
+        (contains body "# EOF"));
+  (* shutdown also stops the HTTP listener and unlinks its socket *)
+  ignore (call_ok client ~meth:"shutdown" ~params:[]);
+  Thread.join server;
+  Alcotest.(check bool) "metrics socket unlinked" false (Sys.file_exists msock)
+
+(* ------------------------------------------------------------------ *)
 (* Address parsing                                                      *)
 
 let test_addr_parsing () =
@@ -459,5 +686,9 @@ let suite =
       test_scheduler_survives_handler_crash;
     Alcotest.test_case "end-to-end daemon session over a Unix socket" `Quick
       test_end_to_end;
+    Alcotest.test_case "scheduler tracks in-flight jobs" `Quick
+      test_scheduler_inflight;
+    Alcotest.test_case "telemetry end-to-end: metrics, traces, progress" `Quick
+      test_telemetry_end_to_end;
     Alcotest.test_case "address parsing" `Quick test_addr_parsing;
   ]
