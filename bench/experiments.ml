@@ -539,8 +539,13 @@ let eval_throughput () =
     [
       ("MM", 200, Tiling_search.Backend.cme_sample);
       ("SOR", 500, Tiling_search.Backend.cme_sample);
+      (* Triangular datapoint: the affine latest-source path instead of the
+         reuse-vector machinery — the throughput cost of exactness on
+         non-rectangular spaces. *)
+      ("LU", 100, Tiling_search.Backend.cme_sample);
       ("MM", 24, Tiling_search.Backend.sim);
       ("SOR", 48, Tiling_search.Backend.sim);
+      ("LU", 24, Tiling_search.Backend.sim);
     ]
   in
   let cache = Tiling_cache.Config.dm8k in

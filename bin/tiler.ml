@@ -13,6 +13,7 @@
      order       loop order searched together with tile sizes
      codegen     emit the (tiled) nest as C or Fortran
      baselines   compare search and analytic baselines on one kernel
+     oracle      exhaustive CME-vs-simulator check over the kernel suite
      serve       run the tiling daemon (docs/SERVER.md)
      request     one request against a daemon (--trace, --progress)
      metrics     one-shot OpenMetrics scrape of a daemon
@@ -491,7 +492,7 @@ let fuzz_cmd =
     let doc =
       "Comma-separated generator overrides, e.g. \
        $(b,depth=2,extent=8,line=32).  Knobs: depth, extent, arrays, refs, \
-       offset, coeff, step, sets, assoc, line (see docs/FUZZING.md)."
+       offset, coeff, step, sets, assoc, line, tri (see docs/FUZZING.md)."
     in
     Arg.(value & opt (some string) None & info [ "spec" ] ~docv:"KNOBS" ~doc)
   in
@@ -597,6 +598,98 @@ let fuzz_cmd =
         (const run $ trials_arg $ time_budget_arg $ spec_arg $ seed_arg
        $ domains_arg $ obs_term))
 
+let oracle_cmd =
+  let kernels_arg =
+    let doc =
+      "Kernels to check (default: the whole rotation, paper table plus \
+       extras)."
+    in
+    Arg.(value & pos_all string [] & info [] ~docv:"KERNEL" ~doc)
+  in
+  let oracle_size_arg =
+    let doc =
+      "Problem size N for every kernel (small: the oracle visits every \
+       iteration point)."
+    in
+    Arg.(value & opt int 12 & info [ "n"; "size" ] ~docv:"N" ~doc)
+  in
+  let run kernels size csize line assoc =
+    match build_cache csize line assoc with
+    | Error (`Msg m) -> `Error (false, m)
+    | Ok cache ->
+        let specs =
+          match kernels with
+          | [] -> Ok Tiling_kernels.Kernels.rotation
+          | names -> (
+              try
+                Ok
+                  (List.map
+                     (fun n ->
+                       match Tiling_kernels.Kernels.find n with
+                       | s -> s
+                       | exception Not_found -> raise (Failure n))
+                     names)
+              with Failure n ->
+                Error (Printf.sprintf "unknown kernel %S (try `tiler list')" n))
+        in
+        (match specs with
+        | Error m -> `Error (false, m)
+        | Ok specs ->
+            let failed = ref false in
+            List.iter
+              (fun (spec : Tiling_kernels.Kernels.spec) ->
+                let nest = spec.build size in
+                (* Untiled, then a canonical tiling: the tiled variant drives
+                   the Tile_ctrl/Tile_elem solver paths (including the affine
+                   ones) that the untiled nest never reaches. *)
+                let variants =
+                  let spans = Tiling_ir.Transform.tile_spans nest in
+                  [
+                    ("untiled", nest);
+                    ( "tiled",
+                      Tiling_ir.Transform.tile nest
+                        (Array.map (fun s -> min 4 s) spans) );
+                  ]
+                in
+                List.iter
+                  (fun (label, nest) ->
+                    let r = Tiling_fuzz.Oracle.check nest cache in
+                    let verdict =
+                      match r.Tiling_fuzz.Oracle.verdict with
+                      | Tiling_fuzz.Oracle.Agree -> "agree"
+                      | Tiling_fuzz.Oracle.Inconclusive _ ->
+                          "inconclusive (fallback-masked)"
+                      | Tiling_fuzz.Oracle.Mismatch _ ->
+                          failed := true;
+                          "MISMATCH"
+                    in
+                    Fmt.pr "%-9s n=%-4d %-8s %s (%d accesses, %d fallbacks)@."
+                      spec.name size label verdict
+                      r.Tiling_fuzz.Oracle.accesses
+                      r.Tiling_fuzz.Oracle.fallbacks;
+                    match r.Tiling_fuzz.Oracle.verdict with
+                    | Tiling_fuzz.Oracle.Mismatch _ ->
+                        Fmt.pr "%a@." Tiling_fuzz.Oracle.pp_result r
+                    | _ -> ())
+                  variants)
+              specs;
+            if !failed then begin
+              Fmt.pr "oracle: CME solver disagrees with the simulator@.";
+              exit 1
+            end;
+            Fmt.pr "oracle: solver and simulator agree on every kernel@.";
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "oracle"
+       ~doc:
+         "Exhaustive CME-vs-simulator check over the kernel suite (exit 1 on \
+          any fallback-free disagreement); the CI acceptance gate")
+    Term.(
+      ret
+        (const run $ kernels_arg $ oracle_size_arg $ cache_size_arg $ line_arg
+       $ assoc_arg))
+
 let baselines_cmd =
   let run name size csize line assoc seed obs =
     with_setup name size csize line assoc (fun _ n nest cache ->
@@ -621,6 +714,8 @@ let baselines_cmd =
             note "Coleman-McKinley" cm (eval cm);
             let sm = Tiling_baselines.Analytic.sarkar_megiddo nest cache in
             note "Sarkar-Megiddo" sm (eval sm);
+            let co = Tiling_baselines.Oblivious.tile_vector nest cache in
+            note "cache-oblivious" co (eval co);
             let untiled = Tiling_ir.Transform.tile_spans nest in
             note "untiled" untiled (eval untiled);
             let rows = List.rev !rows in
@@ -1199,7 +1294,7 @@ let () =
       [
         list_cmd; show_cmd; simulate_cmd; analyze_cmd; equations_cmd;
         tile_cmd; pad_cmd; pad_tile_cmd; joint_cmd; order_cmd;
-        codegen_cmd; trace_cmd; baselines_cmd; fuzz_cmd;
+        codegen_cmd; trace_cmd; baselines_cmd; fuzz_cmd; oracle_cmd;
         serve_cmd; request_cmd; metrics_cmd; top_cmd;
       ]
   in

@@ -1,0 +1,49 @@
+open Tiling_ir
+
+type t = { tiles : int array; splits : int; working_set : int }
+
+let working_set ~line ~elem forms tiles =
+  Array.fold_left
+    (fun acc form -> acc + (line * Analytic.footprint_lines ~line form ~elem tiles))
+    0 forms
+
+let plan (nest : Nest.t) (cache : Tiling_cache.Config.t) =
+  let spans = Transform.tile_spans nest in
+  let line = cache.Tiling_cache.Config.line in
+  let cache_bytes = cache.Tiling_cache.Config.size in
+  let elem = 8 in
+  let forms = Array.map (fun r -> Nest.address_form nest r) nest.Nest.refs in
+  let tiles = Array.copy spans in
+  let splits = ref 0 in
+  (* The cache-oblivious recursion halves the longest extent of the current
+     sub-box and recurses into both halves; the base case is the first box
+     whose working set fits the cache.  Every base-case box reached this way
+     has the same shape (halving is oblivious to position), so the recursion
+     is equivalent to tiling with that base-case shape — which is the vector
+     we emit.  Ties go to the outermost dimension, matching the canonical
+     presentation (split the slowest-varying loop first). *)
+  let longest () =
+    let best = ref (-1) in
+    Array.iteri
+      (fun l t -> if t > 1 && (!best < 0 || t > tiles.(!best)) then best := l)
+      tiles;
+    !best
+  in
+  let rec go () =
+    if working_set ~line ~elem forms tiles > cache_bytes then begin
+      let l = longest () in
+      if l >= 0 then begin
+        tiles.(l) <- (tiles.(l) + 1) / 2;
+        incr splits;
+        go ()
+      end
+    end
+  in
+  go ();
+  {
+    tiles;
+    splits = !splits;
+    working_set = working_set ~line ~elem forms tiles;
+  }
+
+let tile_vector nest cache = (plan nest cache).tiles

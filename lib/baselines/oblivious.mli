@@ -1,0 +1,32 @@
+(** Recursive cache-oblivious tiling baseline (Frigo et al.; PCOT is the
+    modern loop-nest incarnation).
+
+    A cache-oblivious divide-and-conquer knows nothing about the cache: it
+    halves the longest dimension of the iteration space and recurses until
+    the subproblem fits whatever cache it happens to run on.  Because the
+    halving sequence is independent of position, all base-case boxes share
+    one shape — so on a fixed cache the recursion behaves exactly like a
+    loop tiling with that base-case shape.  This module computes that
+    implied tile vector: it lets the cache-aware searches (GA, exhaustive,
+    analytic selectors) be compared against the cache-oblivious strategy on
+    the same objective, with the same evaluator.
+
+    The working-set model is the shared footprint estimate
+    ({!Analytic.footprint_lines}, summed over all references, 8-byte
+    elements) — capacity only, no conflict awareness, which is precisely
+    the gap a CME-driven search can exploit. *)
+
+type t = {
+  tiles : int array;   (** base-case extents, one per loop *)
+  splits : int;        (** halvings performed before the base case fit *)
+  working_set : int;   (** bytes the base case touches under the model *)
+}
+
+val plan : Tiling_ir.Nest.t -> Tiling_cache.Config.t -> t
+(** Halve the longest remaining dimension (ties to the outermost) until
+    the footprint fits the cache or every dimension has collapsed to 1.
+    Affine-bounded nests use their static spans — the recursion subdivides
+    the bounding box, as PCOT does for triangular spaces. *)
+
+val tile_vector : Tiling_ir.Nest.t -> Tiling_cache.Config.t -> int array
+(** [(plan nest cache).tiles], shaped like the other baseline selectors. *)

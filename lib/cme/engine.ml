@@ -121,6 +121,9 @@ type t = {
   modulus : int;  (* sets * line: addresses congruent mod this share a set *)
   tile_pairs : (int * int * int * int) array;
       (* (elem dim, ctrl dim, lower bound, tile) for every tiled loop pair *)
+  affine : bool;
+      (* any affine-bounded loop: reuse sources come from the exact
+         latest-source search; rectangular nests keep the vector path *)
   memo : ((int * int) list, Residue_set.t) Hashtbl.t;
   window_cap : int;
   mutable fallbacks : int;
@@ -131,11 +134,12 @@ let tile_pairs_of nest =
   Array.iteri
     (fun e (loop : Nest.loop) ->
       match loop.Nest.shape with
-      | Nest.Tile_elem { ctrl; tile; hi = _ } ->
+      | Nest.Tile_elem { ctrl; tile; _ } | Nest.Tile_elem_affine { ctrl; tile; _ }
+        ->
           (match nest.Nest.loops.(ctrl).Nest.shape with
           | Nest.Tile_ctrl { lo; _ } -> pairs := (e, ctrl, lo, tile) :: !pairs
           | _ -> assert false)
-      | Nest.Range _ | Nest.Tile_ctrl _ -> ())
+      | Nest.Range _ | Nest.Range_affine _ | Nest.Tile_ctrl _ -> ())
     nest.Nest.loops;
   Array.of_list !pairs
 
@@ -156,6 +160,7 @@ let create ?(window_cap = 512) nest cache =
         reuse = Tiling_reuse.Vectors.of_nest nest ~line;
         modulus = cache.Tiling_cache.Config.sets * line;
         tile_pairs = tile_pairs_of nest;
+        affine = Nest.has_affine nest;
         memo = Hashtbl.create 256;
         window_cap;
         fallbacks = 0;
@@ -448,6 +453,8 @@ let normalise_source t ~src_form ~line_a src ~dest ~first_nz =
       | Nest.Range _ | Nest.Tile_elem _ ->
           let lo', hi', step = Nest.bounds_at nest src q in
           src.(q) <- lo' + ((hi' - lo') / step * step)
+      | Nest.Range_affine _ | Nest.Tile_elem_affine _ ->
+          assert false (* affine nests take the latest-source search *)
     end
   done;
   (* Slide the innermost sub-line-stride dimension within the line.  When
@@ -483,26 +490,153 @@ let normalise_source t ~src_form ~line_a src ~dest ~first_nz =
 
 (* Lexicographic (execution-order) predecessor of a point, or [None] at
    the very first iteration: decrement the deepest decrementable loop and
-   reset everything deeper to its upper bound under the new prefix. *)
+   reset everything deeper to its upper bound under the new prefix.  Under
+   affine bounds a new prefix can leave an inner range empty; filling then
+   fails and the decrement continues (backtracking outward as needed). *)
 let exec_pred nest point =
   let d = Nest.depth nest in
   let p = Array.copy point in
+  let fill q0 =
+    let ok = ref true in
+    let q = ref q0 in
+    while !ok && !q < d do
+      let lo, hi, step = Nest.bounds_at nest p !q in
+      if hi < lo then ok := false
+      else begin
+        p.(!q) <- lo + ((hi - lo) / step * step);
+        incr q
+      end
+    done;
+    !ok
+  in
   let rec try_dim l =
     if l < 0 then None
     else begin
       let lo, _, step = Nest.bounds_at nest p l in
       if p.(l) - step >= lo then begin
         p.(l) <- p.(l) - step;
-        for q = l + 1 to d - 1 do
-          let lo', hi', step' = Nest.bounds_at nest p q in
-          p.(q) <- lo' + ((hi' - lo') / step' * step')
-        done;
-        Some p
+        if fill (l + 1) then Some p else try_dim l
       end
       else try_dim (l - 1)
     end
   in
   try_dim (d - 1)
+
+(* ------------------------------------------------------------------ *)
+(* Exact latest-source search for affine nests.
+
+   Triangular kernels reuse the same array through references that are not
+   uniformly generated — LU touches [a] both as [a(i,k)] and [a(i,j)] — so
+   no constant reuse vector reaches the cross-iteration source.  For affine
+   nests the static vector machinery is replaced by an exact per-point
+   search: candidate source points are enumerated in descending execution
+   order (outermost dimension first, each walking its dynamic lattice
+   downward), pruning any partial assignment whose address image cannot
+   reach the destination's memory line for any reference.  The first
+   complete point found carries the latest previous access to the line —
+   exactly the reuse source the CMEs want.  Any previous same-line access
+   makes the Hit test sound (LRU residency is measured from the access
+   itself); the latest one makes it exact.
+
+   Dimensions that influence neither any address nor any deeper bound are
+   collapsed to one representative value per subtree, since all their
+   values are equivalent.  The search is budgeted; exhaustion counts a
+   fallback and conservatively reports no source. *)
+
+exception Found_src of int array * int
+exception Budget
+
+let latest_source t ~dst ~line_a =
+  let nest = t.nest in
+  let d = Nest.depth nest in
+  let l_bytes = t.cache.Tiling_cache.Config.line in
+  let lo_addr = line_a * l_bytes in
+  let hi_addr = lo_addr + l_bytes - 1 in
+  let nrefs = Array.length t.forms in
+  let slo, shi = Nest.static_bounds nest in
+  let deps = Nest.affine_deps nest in
+  let influences =
+    (* value changes some deeper bound: affine dependence or tile window *)
+    Array.init d (fun l ->
+        deps.(l)
+        ||
+        match nest.Nest.loops.(l).Nest.shape with
+        | Nest.Tile_ctrl _ -> true
+        | _ -> false)
+  in
+  let addr_relevant =
+    Array.init d (fun l -> Array.exists (fun f -> Affine.coeff f l <> 0) t.forms)
+  in
+  (* Extreme contribution of dims [>= l] to each form over the static hull,
+     for pruning partial assignments. *)
+  let rem_lo = Array.make_matrix nrefs (d + 1) 0 in
+  let rem_hi = Array.make_matrix nrefs (d + 1) 0 in
+  for b = 0 to nrefs - 1 do
+    for l = d - 1 downto 0 do
+      let c = Affine.coeff t.forms.(b) l in
+      let x = c * slo.(l) and y = c * shi.(l) in
+      rem_lo.(b).(l) <- rem_lo.(b).(l + 1) + min x y;
+      rem_hi.(b).(l) <- rem_hi.(b).(l + 1) + max x y
+    done
+  done;
+  let partial = Array.init nrefs (fun b -> t.forms.(b).Affine.const) in
+  let feasible l =
+    let ok = ref false in
+    for b = 0 to nrefs - 1 do
+      if
+        (not !ok)
+        && partial.(b) + rem_lo.(b).(l) <= hi_addr
+        && partial.(b) + rem_hi.(b).(l) >= lo_addr
+      then ok := true
+    done;
+    !ok
+  in
+  let src = Array.make d 0 in
+  let budget = ref 200_000 in
+  let rec go l tight =
+    decr budget;
+    if !budget <= 0 then raise Budget;
+    if l = d then begin
+      (* A tight leaf is [dst] itself; same-point earlier references are
+         covered by the predecessor probe in [reuse_sources]. *)
+      if not tight then
+        for b = nrefs - 1 downto 0 do
+          if partial.(b) >= lo_addr && partial.(b) <= hi_addr then
+            raise (Found_src (Array.copy src, b))
+        done
+    end
+    else begin
+      let lo, hi, step = Nest.bounds_at nest src l in
+      if hi >= lo then begin
+        let top = lo + ((hi - lo) / step * step) in
+        let start = if tight then min top dst.(l) else top in
+        let collapse = (not influences.(l)) && not addr_relevant.(l) in
+        let v = ref start in
+        let continue_ = ref true in
+        while !continue_ && !v >= lo do
+          src.(l) <- !v;
+          for b = 0 to nrefs - 1 do
+            partial.(b) <- partial.(b) + (Affine.coeff t.forms.(b) l * !v)
+          done;
+          let tight' = tight && !v = dst.(l) in
+          if feasible (l + 1) then go (l + 1) tight';
+          for b = 0 to nrefs - 1 do
+            partial.(b) <- partial.(b) - (Affine.coeff t.forms.(b) l * !v)
+          done;
+          (* A collapsed dimension needs at most one tight and one
+             non-tight representative. *)
+          if collapse && not tight' then continue_ := false else v := !v - step
+        done
+      end
+    end
+  in
+  match go 0 true with
+  | () -> None
+  | exception Found_src (p, b) -> Some (p, b)
+  | exception Budget ->
+      t.fallbacks <- t.fallbacks + 1;
+      Metrics.incr m_fallbacks;
+      None
 
 let reuse_sources t point ref_id =
   let cfg = t.cache in
@@ -529,6 +663,12 @@ let reuse_sources t point ref_id =
       | Some p -> at_point p (Array.length t.forms)
       | None -> [])
   in
+  if t.affine then
+    pred_sources
+    @ (match latest_source t ~dst:point ~line_a with
+      | Some (p, b) -> [ (p, b) ]
+      | None -> [])
+  else
   let src = Array.make d 0 in
   pred_sources
   @ List.filter_map

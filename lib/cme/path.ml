@@ -4,7 +4,9 @@ let lattice_top ~lo ~hi ~step = lo + ((hi - lo) / step * step)
 
 (* During construction a box variant is an (origin, entries) pair; free
    tiled dimensions fork the variant list into full-tile and partial-tile
-   regions. *)
+   regions, and dimensions that affine bounds depend on fork into one
+   variant per value (pointwise pinning keeps the decomposition exact on
+   triangular spaces). *)
 type variant = { origin : int array; entries : Box.entry list }
 
 let finish v = { Box.origin = v.origin; entries = List.rev v.entries }
@@ -19,35 +21,69 @@ let set_origin v var value =
   origin.(var) <- value;
   { v with origin }
 
+let values ~lo ~hi ~step =
+  let n = if hi < lo then 0 else ((hi - lo) / step) + 1 in
+  List.init n (fun k -> lo + (k * step))
+
+let find_elem (nest : Nest.t) ctrl =
+  let elem = ref (-1) in
+  Array.iteri
+    (fun e (loop : Nest.loop) ->
+      match loop.shape with
+      | Nest.Tile_elem t when t.ctrl = ctrl -> elem := e
+      | Nest.Tile_elem_affine t when t.ctrl = ctrl -> elem := e
+      | _ -> ())
+    nest.loops;
+  assert (!elem >= 0);
+  !elem
+
+(* Whether a control loop and its element loop decompose with the
+   rectangular full/partial-tile fork.  Affine element bounds or an element
+   dimension that deeper bounds depend on force pointwise enumeration. *)
+let rect_pair (nest : Nest.t) ~deps ctrl =
+  let el = find_elem nest ctrl in
+  match nest.loops.(el).shape with
+  | Nest.Tile_elem _ -> not deps.(el)
+  | _ -> false
+
+(* Pin dimension [l] of variant [v].  All dimensions its bounds depend on
+   are already pinned in [v.origin] (deps are strictly outer and processed
+   first), so [Nest.bounds_at] evaluates them exactly.  A dimension deeper
+   bounds depend on is forked pointwise; otherwise it becomes one box
+   entry.  Empty dynamic ranges drop the variant. *)
+let expand_dim (nest : Nest.t) ~deps l v =
+  let lo, hi, step = Nest.bounds_at nest v.origin l in
+  if hi < lo then []
+  else if deps.(l) then
+    List.map (fun value -> set_origin v l value) (values ~lo ~hi ~step)
+  else
+    Option.to_list
+      (add_entry (set_origin v l lo) [ (l, step) ]
+         (Tiling_util.Intmath.range_count ~lo ~hi ~step))
+
 (* Extend every variant with the free dimension [l] covering its full
-   range.  Tile_ctrl dims are handled together with their element dim;
-   Tile_elem dims with a free ctrl are skipped here (covered at the ctrl).
-   [fixed] tells whether a dimension's value is already pinned by the
-   variant's origin. *)
-let rec add_free_dims (nest : Nest.t) ~fixed l variants =
+   range.  Rectangular Tile_ctrl dims are handled together with their
+   element dim; a Tile_ctrl whose element window is affine (or feeds
+   deeper affine bounds) is pinned pointwise on its own, and the element
+   is expanded at its own level — its bounds may read dims *between* the
+   control and the element (tiled LU's element [i] depends on element
+   [k]), which are only pinned by then.  [fixed] tells whether a
+   dimension's value is already pinned by the variant's origin. *)
+let rec add_free_dims (nest : Nest.t) ~deps ~fixed l variants =
   let d = Nest.depth nest in
   if l >= d then variants
   else
-    let next = add_free_dims nest ~fixed (l + 1) in
+    let next = add_free_dims nest ~deps ~fixed (l + 1) in
     match nest.loops.(l).shape with
     | _ when fixed.(l) -> next variants
-    | Nest.Range { lo; hi; step } ->
+    | Nest.Range { lo; hi; step } when not deps.(l) ->
         let count = Tiling_util.Intmath.range_count ~lo ~hi ~step in
         next
           (List.filter_map
              (fun v -> add_entry (set_origin v l lo) [ (l, step) ] count)
              variants)
-    | Nest.Tile_ctrl { lo; hi; tile } ->
-        (* Find the matching element loop. *)
-        let elem = ref (-1) in
-        Array.iteri
-          (fun e (loop : Nest.loop) ->
-            match loop.shape with
-            | Nest.Tile_elem t when t.ctrl = l -> elem := e
-            | _ -> ())
-          nest.loops;
-        let el = !elem in
-        assert (el >= 0);
+    | Nest.Tile_ctrl { lo; hi; tile } when rect_pair nest ~deps l ->
+        let el = find_elem nest l in
         fixed.(el) <- true;
         let span = hi - lo + 1 in
         let ntiles = Tiling_util.Intmath.ceil_div span tile in
@@ -77,16 +113,23 @@ let rec add_free_dims (nest : Nest.t) ~fixed l variants =
         let result = next variants' in
         fixed.(el) <- false;
         result
-    | Nest.Tile_elem { ctrl; tile; hi } ->
-        if not fixed.(ctrl) then next variants (* covered at the ctrl dim *)
-        else
-          next
-            (List.filter_map
-               (fun v ->
-                 let base = v.origin.(ctrl) in
-                 let top = min (base + tile - 1) hi in
-                 add_entry (set_origin v l base) [ (l, 1) ] (top - base + 1))
-               variants)
+    | Nest.Tile_ctrl { lo; hi; tile } ->
+        fixed.(l) <- true;
+        let cs = values ~lo ~hi ~step:tile in
+        let variants' =
+          List.concat_map
+            (fun v -> List.map (set_origin v l) cs)
+            variants
+        in
+        let result = next variants' in
+        fixed.(l) <- false;
+        result
+    | (Nest.Tile_elem { ctrl; _ } | Nest.Tile_elem_affine { ctrl; _ })
+      when not fixed.(ctrl) ->
+        next variants (* covered at the ctrl dim *)
+    | Nest.Range _ | Nest.Range_affine _ | Nest.Tile_elem _ | Nest.Tile_elem_affine _
+      ->
+        next (List.concat_map (expand_dim nest ~deps l) variants)
 
 (* Boxes with dims [< level] pinned to [prefix], dim [level] ranging over
    the lattice interval [iv_lo, iv_hi] (inclusive, on-step), dims beyond
@@ -95,33 +138,37 @@ let boxes_with_bounded_dim (nest : Nest.t) ~prefix ~level ~iv_lo ~iv_hi =
   let d = Nest.depth nest in
   if iv_hi < iv_lo then []
   else begin
+    let deps = Nest.affine_deps nest in
     let fixed = Array.init d (fun l -> l < level) in
     let origin = Array.make d 0 in
     Array.blit prefix 0 origin 0 level;
     let base = { origin; entries = [] } in
     let variants =
       match nest.loops.(level).shape with
-      | Nest.Range { lo = _; hi = _; step } ->
+      | (Nest.Range { step; _ } | Nest.Range_affine { step; _ }) when not deps.(level)
+        ->
           fixed.(level) <- true;
           let count = Tiling_util.Intmath.range_count ~lo:iv_lo ~hi:iv_hi ~step in
           Option.to_list (add_entry (set_origin base level iv_lo) [ (level, step) ] count)
-      | Nest.Tile_elem _ ->
+      | (Nest.Tile_elem _ | Nest.Tile_elem_affine _) when not deps.(level) ->
           fixed.(level) <- true;
           let count = iv_hi - iv_lo + 1 in
           Option.to_list (add_entry (set_origin base level iv_lo) [ (level, 1) ] count)
-      | Nest.Tile_ctrl { lo; hi; tile } ->
+      | Nest.Range { step; _ } | Nest.Range_affine { step; _ } ->
+          fixed.(level) <- true;
+          List.map
+            (fun value -> set_origin base level value)
+            (values ~lo:iv_lo ~hi:iv_hi ~step)
+      | Nest.Tile_elem _ | Nest.Tile_elem_affine _ ->
+          fixed.(level) <- true;
+          List.map
+            (fun value -> set_origin base level value)
+            (values ~lo:iv_lo ~hi:iv_hi ~step:1)
+      | Nest.Tile_ctrl { lo; hi; tile } when rect_pair nest ~deps level ->
           fixed.(level) <- true;
           (* Locate the element dim; tiles in the interval split into full
              tiles and (possibly) the loop's final partial tile. *)
-          let elem = ref (-1) in
-          Array.iteri
-            (fun e (loop : Nest.loop) ->
-              match loop.shape with
-              | Nest.Tile_elem t when t.ctrl = level -> elem := e
-              | _ -> ())
-            nest.loops;
-          let el = !elem in
-          assert (el >= 0);
+          let el = find_elem nest level in
           fixed.(el) <- true;
           let span = hi - lo + 1 in
           let rem = span mod tile in
@@ -143,15 +190,20 @@ let boxes_with_bounded_dim (nest : Nest.t) ~prefix ~level ~iv_lo ~iv_hi =
               add_entry v [ (el, 1) ] rem
           in
           List.filter_map Fun.id [ full; partial ]
+      | Nest.Tile_ctrl { tile; _ } ->
+          (* Pointwise control values; the element expands at its own
+             level once the dims its window reads are pinned. *)
+          fixed.(level) <- true;
+          List.map (set_origin base level) (values ~lo:iv_lo ~hi:iv_hi ~step:tile)
     in
-    List.map finish (add_free_dims nest ~fixed 0 variants)
+    List.map finish (add_free_dims nest ~deps ~fixed 0 variants)
   end
 
 let dim_step (nest : Nest.t) l =
   match nest.loops.(l).shape with
-  | Nest.Range { step; _ } -> step
+  | Nest.Range { step; _ } | Nest.Range_affine { step; _ } -> step
   | Nest.Tile_ctrl { tile; _ } -> tile
-  | Nest.Tile_elem _ -> 1
+  | Nest.Tile_elem _ | Nest.Tile_elem_affine _ -> 1
 
 let dim_bounds_at (nest : Nest.t) point l =
   let lo, hi, step = Nest.bounds_at nest point l in
@@ -193,6 +245,7 @@ let between (nest : Nest.t) ~src ~dst =
 
 let full_space (nest : Nest.t) =
   let d = Nest.depth nest in
+  let deps = Nest.affine_deps nest in
   let fixed = Array.make d false in
   let base = { origin = Array.make d 0; entries = [] } in
-  List.map finish (add_free_dims nest ~fixed 0 [ base ])
+  List.map finish (add_free_dims nest ~deps ~fixed 0 [ base ])

@@ -57,7 +57,21 @@ let emit_loops out ~names (nest : Nest.t) ~body =
             (Printf.sprintf
                "for (long %s = %s; %s <= (%s + %d < %d ? %s + %d : %d); %s++) {\n"
                loop.Nest.var cv loop.Nest.var cv (tile - 1) hi cv (tile - 1) hi
-               loop.Nest.var)))
+               loop.Nest.var)
+      | Nest.Range_affine { lo; hi; step } ->
+          let lo = affine_expr ~names lo and hi = affine_expr ~names hi in
+          Buffer.add_string out
+            (Printf.sprintf "for (long %s = %s; %s <= %s; %s += %d) {\n"
+               loop.Nest.var lo loop.Nest.var hi loop.Nest.var step)
+      | Nest.Tile_elem_affine { ctrl; tile; lo; hi } ->
+          let cv = names.(ctrl) in
+          let lo = affine_expr ~names lo and hi = affine_expr ~names hi in
+          Buffer.add_string out
+            (Printf.sprintf
+               "for (long %s = (%s > %s ? %s : %s); \
+                %s <= (%s + %d < %s ? %s + %d : %s); %s++) {\n"
+               loop.Nest.var cv lo cv lo loop.Nest.var cv (tile - 1) hi cv
+               (tile - 1) hi loop.Nest.var)))
     nest.Nest.loops;
   body (d + 1);
   for l = d - 1 downto 0 do

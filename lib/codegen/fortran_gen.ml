@@ -24,6 +24,24 @@ let subscript_expr ~names (f : Affine.t) =
   if const <> 0 || !first then term (string_of_int const);
   Buffer.contents buf
 
+(* Loop-bound expression: a value over the loop variables, no subscript
+   shift. *)
+let bound_expr ~names (f : Affine.t) =
+  let buf = Buffer.create 32 in
+  let first = ref true in
+  let term s =
+    if !first then first := false else Buffer.add_string buf " + ";
+    Buffer.add_string buf s
+  in
+  Array.iteri
+    (fun l c ->
+      if c <> 0 then
+        term
+          (if c = 1 then names.(l) else Printf.sprintf "%d*%s" c names.(l)))
+    f.Affine.coeffs;
+  if f.Affine.const <> 0 || !first then term (string_of_int f.Affine.const);
+  Buffer.contents buf
+
 let type_of elem = if elem = 4 then "real" else "double precision"
 
 let emit_subroutine ?name (nest : Nest.t) =
@@ -85,7 +103,17 @@ let emit_subroutine ?name (nest : Nest.t) =
           let cv = names.(ctrl) in
           line
             (Printf.sprintf "do %s = %s, min(%s + %d, %d)" loop.Nest.var cv cv
-               (tile - 1) hi))
+               (tile - 1) hi)
+      | Nest.Range_affine { lo; hi; step } ->
+          let lo = bound_expr ~names lo and hi = bound_expr ~names hi in
+          if step = 1 then line (Printf.sprintf "do %s = %s, %s" loop.Nest.var lo hi)
+          else line (Printf.sprintf "do %s = %s, %s, %d" loop.Nest.var lo hi step)
+      | Nest.Tile_elem_affine { ctrl; tile; lo; hi } ->
+          let cv = names.(ctrl) in
+          let lo = bound_expr ~names lo and hi = bound_expr ~names hi in
+          line
+            (Printf.sprintf "do %s = max(%s, %s), min(%s + %d, %s)" loop.Nest.var
+               cv lo cv (tile - 1) hi))
     nest.Nest.loops;
   (* Body. *)
   Array.iter

@@ -5,14 +5,17 @@ type t = { nest : Nest.t; points : int array array; los : int array }
 let create ?n ~seed nest =
   let n = match n with Some n -> n | None -> Tiling_cme.Estimator.default_points () in
   let rng = Tiling_util.Prng.create ~seed in
-  let los =
-    Array.map
-      (fun (l : Nest.loop) ->
-        match l.shape with
-        | Nest.Range { lo; _ } -> lo
-        | _ -> invalid_arg "Sample.create: nest must be untiled")
-      nest.Nest.loops
-  in
+  Array.iter
+    (fun (l : Nest.loop) ->
+      match l.shape with
+      | Nest.Range _ | Nest.Range_affine _ -> ()
+      | Nest.Tile_ctrl _ | Nest.Tile_elem _ | Nest.Tile_elem_affine _ ->
+          invalid_arg "Sample.create: nest must be untiled")
+    nest.Nest.loops;
+  (* Tile-control lattices anchor at the static lower bound (what
+     [Transform.tile] uses for affine loops too), so [embed] snaps each
+     sampled point to its control coordinates with these. *)
+  let los, _ = Nest.static_bounds nest in
   let points = Array.init n (fun _ -> Nest.random_point nest rng) in
   { nest; points; los }
 

@@ -147,32 +147,33 @@ let optimize_with_order ?(opts = default_opts) nest cache =
   let sample = Sample.create ?n:opts.sample_points ~seed:opts.seed nest in
   let spans = Transform.tile_spans nest in
   let nperms = factorial d in
-  (* Permuted nests and their reordered samples, one per permutation.
-     Built eagerly (interchange is cheap next to one candidate evaluation)
-     so candidate preparation is a read-only lookup — safe from any
-     domain. *)
+  (* Permuted nests and their reordered samples, one per *legal*
+     permutation: interchange rejects reorderings that would move an
+     affine-bounded loop above a loop its bounds depend on, so triangular
+     nests search a restricted order space.  Built eagerly (interchange is
+     cheap next to one candidate evaluation) so candidate preparation is a
+     read-only lookup — safe from any domain. *)
   let permuted =
-    Array.init nperms (fun idx ->
+    List.init nperms (fun idx ->
         let perm = permutation_of_index d idx in
-        let pnest = Transform.interchange nest perm in
-        (* the sample's points, reordered to the permuted loop order *)
-        let pts =
-          Array.map
-            (fun p -> Array.init d (fun i -> p.(perm.(i))))
-            (Sample.points sample)
-        in
-        (perm, pnest, pts))
+        match Transform.interchange nest perm with
+        | pnest ->
+            (* the sample's points, reordered to the permuted loop order *)
+            let pts =
+              Array.map
+                (fun p -> Array.init d (fun i -> p.(perm.(i))))
+                (Sample.points sample)
+            in
+            Some (perm, pnest, pts)
+        | exception Transform.Illegal _ -> None)
+    |> List.filter_map Fun.id |> Array.of_list
   in
+  let nlegal = Array.length permuted in
   let nest_for idx = permuted.(idx) in
   let embed_tiled pnest pts tiles =
-    let los =
-      Array.map
-        (fun (l : Tiling_ir.Nest.loop) ->
-          match l.Tiling_ir.Nest.shape with
-          | Tiling_ir.Nest.Range { lo; _ } -> lo
-          | _ -> assert false)
-        pnest.Tiling_ir.Nest.loops
-    in
+    (* static lower bounds: the anchors [Transform.tile] gives the
+       control lattices, for affine loops too *)
+    let los, _ = Tiling_ir.Nest.static_bounds pnest in
     Array.map
       (fun p ->
         let q = Array.make (2 * d) 0 in
@@ -186,7 +187,7 @@ let optimize_with_order ?(opts = default_opts) nest cache =
   (* Chromosomes: permutation index, then d tile sizes (permuted order,
      conservatively bounded by the largest span). *)
   let max_span = Array.fold_left max 1 spans in
-  let uppers = Array.append [| nperms |] (Array.make d max_span) in
+  let uppers = Array.append [| nlegal |] (Array.make d max_span) in
   let encoding = Tiling_ga.Encoding.make uppers in
   let prepared idx tiles =
     let _, pnest, pts = nest_for idx in

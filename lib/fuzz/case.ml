@@ -23,13 +23,13 @@ let to_string t =
   let s = t.spec in
   Printf.sprintf
     "seed=%d depth=%d extents=%s steps=%s narrays=%d nrefs=%d max_offset=%d \
-     max_coeff=%d write_ratio=%g align=%d sets=%d assoc=%d line=%d"
+     max_coeff=%d write_ratio=%g align=%d tri=%g sets=%d assoc=%d line=%d"
     t.seed s.Random_kernel.depth
     (ints_to_string s.Random_kernel.extents)
     (ints_to_string s.Random_kernel.steps)
     s.Random_kernel.narrays s.Random_kernel.nrefs s.Random_kernel.max_offset
     s.Random_kernel.max_coeff s.Random_kernel.write_ratio s.Random_kernel.align
-    t.sets t.assoc t.line
+    s.Random_kernel.tri_ratio t.sets t.assoc t.line
 
 let pp ppf t = Fmt.string ppf (to_string t)
 
@@ -87,6 +87,8 @@ let of_string line =
       let* max_offset = int "max_offset" in
       let* max_coeff = int "max_coeff" in
       let* write_ratio = float_def "write_ratio" 0.5 in
+      (* absent in pre-triangular corpora: default keeps old lines valid *)
+      let* tri_ratio = float_def "tri" 0. in
       let* sets = int "sets" in
       let* assoc = int "assoc" in
       let* line = int "line" in
@@ -106,6 +108,7 @@ let of_string line =
           max_coeff;
           write_ratio;
           align;
+          tri_ratio;
         }
       in
       let case = { spec; seed; sets; assoc; line } in

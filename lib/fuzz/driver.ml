@@ -24,6 +24,7 @@ type knobs = {
   max_sets : int;
   max_assoc : int;
   lines : int list;
+  max_tri_pct : int;
 }
 
 let default_knobs =
@@ -39,6 +40,7 @@ let default_knobs =
     max_sets = 32;
     max_assoc = 8;
     lines = [ 8; 16; 32; 64 ];
+    max_tri_pct = 0;
   }
 
 let knobs_of_string s =
@@ -96,11 +98,14 @@ let knobs_of_string s =
                    | "line" ->
                        let* v = pos_pow2 "line" v in
                        Ok { k with lines = [ v ] }
+                   | "tri" ->
+                       if v >= 0 && v <= 100 then Ok { k with max_tri_pct = v }
+                       else Error "tri must lie in [0, 100] (percent)"
                    | other ->
                        Error
                          (Printf.sprintf
                             "unknown knob %S (depth, extent, arrays, refs, \
-                             offset, coeff, step, sets, assoc, line)"
+                             offset, coeff, step, sets, assoc, line, tri)"
                             other))))
        (Ok default_knobs)
 
@@ -126,6 +131,12 @@ let draw_case knobs rng =
     if Prng.bool rng then 1 else Prng.int_in rng ~lo:1 ~hi:knobs.max_coeff
   in
   let write_ratio = [| 0.; 0.25; 0.5; 0.75; 1. |].(Prng.int rng 5) in
+  (* Drawn only when the knob is on, so rectangular streams are unchanged
+     and corpora recorded before triangular shapes existed still replay. *)
+  let tri_ratio =
+    if knobs.max_tri_pct = 0 then 0.
+    else float_of_int (Prng.int_in rng ~lo:0 ~hi:knobs.max_tri_pct) /. 100.
+  in
   let line = List.nth knobs.lines (Prng.int rng (List.length knobs.lines)) in
   let sets = pow2_upto rng knobs.max_sets in
   let assoc = pow2_upto rng knobs.max_assoc in
@@ -142,6 +153,7 @@ let draw_case knobs rng =
         max_coeff;
         write_ratio;
         align = line;
+        tri_ratio;
       };
     seed;
     sets;

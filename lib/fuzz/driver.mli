@@ -22,19 +22,25 @@ type knobs = {
   max_sets : int;     (** sets = 2^k up to this (power of two); 1 = fully assoc. *)
   max_assoc : int;    (** associativity = 2^k up to this (power of two) *)
   lines : int list;   (** line sizes to draw from (powers of two) *)
+  max_tri_pct : int;
+      (** [tri_ratio] drawn from [0, max_tri_pct] percent; [0] (the
+          default) draws nothing, keeping rectangular case streams
+          byte-identical to pre-triangular runs *)
 }
 
 val default_knobs : knobs
 (** depth <= 3, extents 2..10, <= 3 arrays, <= 5 refs, offsets <= 3,
     coefficients <= 3, steps <= 3, sets <= 32, assoc <= 8, lines
     {8, 16, 32, 64} — sweeping direct-mapped through fully-associative
-    geometries. *)
+    geometries.  Rectangular only ([max_tri_pct = 0]); pass [tri=...] to
+    {!knobs_of_string} to mix in triangular shapes. *)
 
 val knobs_of_string : string -> (knobs, string) result
 (** Comma-separated [key=value] overrides of {!default_knobs}: [depth],
     [extent] (max trip count), [arrays], [refs], [offset], [coeff],
-    [step], [sets], [assoc], [line] (pin a single line size).  Example:
-    ["depth=2,extent=8,line=32"]. *)
+    [step], [sets], [assoc], [line] (pin a single line size), [tri]
+    (max triangular probability, percent 0-100).  Example:
+    ["depth=2,extent=8,line=32,tri=60"]. *)
 
 val draw_case : knobs -> Tiling_util.Prng.t -> Case.t
 (** One random case under the knobs (exposed for tests).  Array bases are

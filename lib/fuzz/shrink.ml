@@ -78,6 +78,9 @@ let candidates (c : Case.t) =
          { s with Random_kernel.max_offset = s.Random_kernel.max_offset - 1 });
   if s.Random_kernel.write_ratio <> 0. then
     add (with_spec { s with Random_kernel.write_ratio = 0. });
+  (* Straighten triangular bounds back to rectangles. *)
+  if s.Random_kernel.tri_ratio <> 0. then
+    add (with_spec { s with Random_kernel.tri_ratio = 0. });
   List.rev !out
 
 let minimize ?(max_checks = 400) case =

@@ -24,26 +24,52 @@ type stmt = { array : Array_decl.t; subs : ix list; access : Nest.access }
 let load array subs = { array; subs; access = Nest.Read }
 let store array subs = { array; subs; access = Nest.Write }
 
+let index_of ~name names var =
+  let rec find l = function
+    | [] -> invalid_arg (Printf.sprintf "%s: unknown loop variable %s" name var)
+    | n :: rest -> if String.equal n var then l else find (l + 1) rest
+  in
+  find 0 (Array.to_list names)
+
+(* [shift] separates the two uses of an [ix]: subscripts shift 1-based source
+   indices to the 0-based subscripts the IR stores ([shift = -1]); loop
+   bounds are values, not subscripts, and keep their constant ([shift = 0]). *)
+let ix_to_affine ~name ~names ~shift ix =
+  let d = Array.length names in
+  let coeffs = Array.make d 0 in
+  List.iter
+    (fun (var, c) ->
+      let l = index_of ~name names var in
+      coeffs.(l) <- coeffs.(l) + c)
+    ix.vars;
+  Affine.make ~const:(ix.const + shift) coeffs
+
+let body_refs ~name ~names body =
+  Array.of_list
+    (List.map
+       (fun s ->
+         (s.array,
+          Array.of_list (List.map (ix_to_affine ~name ~names ~shift:(-1)) s.subs),
+          s.access))
+       body)
+
+let resolve_arrays ~name ?arrays body =
+  match arrays with
+  | Some arrays ->
+      List.iter
+        (fun s ->
+          if not (List.memq s.array arrays) then
+            invalid_arg (name ^ ": referenced array not in ~arrays"))
+        body;
+      arrays
+  | None ->
+      List.rev
+        (List.fold_left
+           (fun acc s -> if List.memq s.array acc then acc else s.array :: acc)
+           [] body)
+
 let nest ~name ~loops ?(steps = []) ?arrays ~body () =
-  let d = List.length loops in
   let names = Array.of_list (List.map (fun (n, _, _) -> n) loops) in
-  let index_of var =
-    let rec find l = function
-      | [] -> invalid_arg (Printf.sprintf "%s: unknown loop variable %s" name var)
-      | n :: rest -> if String.equal n var then l else find (l + 1) rest
-    in
-    find 0 (Array.to_list names)
-  in
-  let to_affine ix =
-    let coeffs = Array.make d 0 in
-    List.iter
-      (fun (var, c) ->
-        let l = index_of var in
-        coeffs.(l) <- coeffs.(l) + c)
-      ix.vars;
-    (* 1-based source index to 0-based stored subscript. *)
-    Affine.make ~const:(ix.const - 1) coeffs
-  in
   let loop_arr =
     Array.of_list
       (List.map
@@ -54,25 +80,27 @@ let nest ~name ~loops ?(steps = []) ?arrays ~body () =
            { Nest.var; shape = Nest.Range { lo; hi; step } })
          loops)
   in
-  let refs =
+  Nest.make ~name ~loops:loop_arr ~refs:(body_refs ~name ~names body)
+    ~arrays:(resolve_arrays ~name ?arrays body)
+
+let nest_affine ~name ~loops ?(steps = []) ?arrays ~body () =
+  let names = Array.of_list (List.map (fun (n, _, _) -> n) loops) in
+  let bound = ix_to_affine ~name ~names ~shift:0 in
+  let loop_arr =
     Array.of_list
       (List.map
-         (fun s -> (s.array, Array.of_list (List.map to_affine s.subs), s.access))
-         body)
+         (fun (var, lo, hi) ->
+           let step =
+             match List.assoc_opt var steps with Some s -> s | None -> 1
+           in
+           let lo = bound lo and hi = bound hi in
+           let shape =
+             if Affine.is_const lo && Affine.is_const hi then
+               Nest.Range { lo = lo.Affine.const; hi = hi.Affine.const; step }
+             else Nest.Range_affine { lo; hi; step }
+           in
+           { Nest.var; shape })
+         loops)
   in
-  let arrays =
-    match arrays with
-    | Some arrays ->
-        List.iter
-          (fun s ->
-            if not (List.memq s.array arrays) then
-              invalid_arg (name ^ ": referenced array not in ~arrays"))
-          body;
-        arrays
-    | None ->
-        List.rev
-          (List.fold_left
-             (fun acc s -> if List.memq s.array acc then acc else s.array :: acc)
-             [] body)
-  in
-  Nest.make ~name ~loops:loop_arr ~refs ~arrays
+  Nest.make ~name ~loops:loop_arr ~refs:(body_refs ~name ~names body)
+    ~arrays:(resolve_arrays ~name ?arrays body)

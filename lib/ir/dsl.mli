@@ -56,3 +56,28 @@ val nest :
     (their placement still shapes the address space, e.g. padding moves
     them). @raise Invalid_argument on unknown variables or rank
     mismatches. *)
+
+val nest_affine :
+  name:string ->
+  loops:(string * ix * ix) list ->
+  ?steps:(string * int) list ->
+  ?arrays:Array_decl.t list ->
+  body:stmt list ->
+  unit ->
+  Nest.t
+(** Like {!nest}, but bounds are index expressions over outer loop
+    variables, so triangular/trapezoidal nests read like the source:
+
+    {[
+      (* LU elimination updates *)
+      nest_affine ~name:"LU"
+        ~loops:
+          [ ("k", i 1, i (n - 1));
+            ("i", v "k" +! i 1, i n);
+            ("j", v "k" +! i 1, i n) ]
+        ~body:...
+    ]}
+
+    Bounds are loop *values* (no 1-based subscript shift applies); a loop
+    whose two bounds are constant folds to a plain [Range].  Validation is
+    {!Nest.make}'s: bounds may only reference strictly outer variables. *)

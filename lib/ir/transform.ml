@@ -1,3 +1,15 @@
+type illegal = { transform : string; reason : string }
+
+exception Illegal of illegal
+
+let illegal transform reason = raise (Illegal { transform; reason })
+
+let () =
+  Printexc.register_printer (function
+    | Illegal { transform; reason } ->
+        Some (Printf.sprintf "Transform.Illegal(%s: %s)" transform reason)
+    | _ -> None)
+
 let remap_refs refs ~new_depth ~remap =
   Array.map
     (fun (r : Nest.reference) ->
@@ -5,33 +17,77 @@ let remap_refs refs ~new_depth ~remap =
        r.Nest.access))
     refs
 
+(* Re-express a shape in a renumbered nest: control indices and the loop
+   variables of affine bounds both move through [remap]. *)
+let remap_shape shape ~new_depth ~remap =
+  match shape with
+  | Nest.Range _ | Nest.Tile_ctrl _ -> shape
+  | Nest.Range_affine { lo; hi; step } ->
+      Nest.Range_affine
+        { lo = Affine.extend lo ~new_depth ~remap;
+          hi = Affine.extend hi ~new_depth ~remap;
+          step }
+  | Nest.Tile_elem t -> Nest.Tile_elem { t with ctrl = remap t.ctrl }
+  | Nest.Tile_elem_affine { ctrl; tile; lo; hi } ->
+      Nest.Tile_elem_affine
+        { ctrl = remap ctrl;
+          tile;
+          lo = Affine.extend lo ~new_depth ~remap;
+          hi = Affine.extend hi ~new_depth ~remap }
+
+(* Dimensions the affine bounds of [shape] depend on (before remapping). *)
+let shape_deps shape =
+  match shape with
+  | Nest.Range _ | Nest.Tile_ctrl _ | Nest.Tile_elem _ -> []
+  | Nest.Range_affine { lo; hi; _ } | Nest.Tile_elem_affine { lo; hi; _ } ->
+      let deps = ref [] in
+      let mark (f : Affine.t) =
+        Array.iteri (fun q c -> if c <> 0 && not (List.mem q !deps) then deps := q :: !deps)
+          f.Affine.coeffs
+      in
+      mark lo;
+      mark hi;
+      !deps
+
 let strip_mine (nest : Nest.t) ~loop ~tile =
   let d = Nest.depth nest in
   if loop < 0 || loop >= d then invalid_arg "strip_mine: bad loop index";
-  let lo, hi =
+  let slo, shi = Nest.static_bounds nest in
+  let span =
     match nest.loops.(loop).shape with
-    | Nest.Range { lo; hi; step = 1 } -> (lo, hi)
-    | _ -> invalid_arg "strip_mine: loop must be a unit-step Range"
+    | Nest.Range { lo; hi; step = 1 } -> hi - lo + 1
+    | Nest.Range_affine { step = 1; _ } -> shi.(loop) - slo.(loop) + 1
+    | _ -> invalid_arg "strip_mine: loop must be a unit-step range"
   in
-  if tile < 1 || tile > hi - lo + 1 then invalid_arg "strip_mine: bad tile size";
-  let shift_ctrl c = if c >= loop then c + 1 else c in
+  if tile < 1 || tile > span then invalid_arg "strip_mine: bad tile size";
+  let remap l = if l >= loop then l + 1 else l in
   let reshape (l : Nest.loop) =
-    match l.shape with
-    | Nest.Tile_elem t -> { l with shape = Nest.Tile_elem { t with ctrl = shift_ctrl t.ctrl } }
-    | Nest.Range _ | Nest.Tile_ctrl _ -> l
+    { l with shape = remap_shape l.shape ~new_depth:(d + 1) ~remap }
   in
   let old_loop = nest.loops.(loop) in
   let ctrl =
-    { Nest.var = old_loop.var ^ old_loop.var; shape = Nest.Tile_ctrl { lo; hi; tile } }
+    { Nest.var = old_loop.var ^ old_loop.var;
+      shape = Nest.Tile_ctrl { lo = slo.(loop); hi = shi.(loop); tile } }
   in
-  let elem = { old_loop with shape = Nest.Tile_elem { ctrl = loop; tile; hi } } in
+  let elem =
+    { old_loop with
+      shape =
+        (match old_loop.shape with
+        | Nest.Range { hi; _ } -> Nest.Tile_elem { ctrl = loop; tile; hi }
+        | Nest.Range_affine { lo; hi; _ } ->
+            Nest.Tile_elem_affine
+              { ctrl = loop;
+                tile;
+                lo = Affine.extend lo ~new_depth:(d + 1) ~remap;
+                hi = Affine.extend hi ~new_depth:(d + 1) ~remap }
+        | _ -> assert false) }
+  in
   let loops =
     Array.concat
       [ Array.map reshape (Array.sub nest.loops 0 loop);
         [| ctrl; elem |];
         Array.map reshape (Array.sub nest.loops (loop + 1) (d - loop - 1)) ]
   in
-  let remap l = if l >= loop then l + 1 else l in
   Nest.make ~name:nest.name ~loops
     ~refs:(remap_refs nest.refs ~new_depth:(d + 1) ~remap)
     ~arrays:nest.arrays
@@ -45,17 +101,31 @@ let interchange (nest : Nest.t) perm =
       if l < 0 || l >= d || inv.(l) <> -1 then invalid_arg "interchange: not a permutation";
       inv.(l) <- p)
     perm;
+  let names = Nest.var_names nest in
   let loops =
     Array.map
       (fun l ->
         let loop = nest.loops.(l) in
-        match loop.Nest.shape with
-        | Nest.Tile_elem t ->
-            let ctrl = inv.(t.ctrl) in
-            if ctrl >= inv.(l) then
-              invalid_arg "interchange: element loop moved before its control loop";
-            { loop with Nest.shape = Nest.Tile_elem { t with ctrl } }
-        | Nest.Range _ | Nest.Tile_ctrl _ -> loop)
+        (* Dependent bounds pin an order: every loop a bound references must
+           stay strictly outside the loop it bounds, and element loops must
+           stay after their control loop.  Violations are rejected up front —
+           silently permuting would change the iteration space. *)
+        List.iter
+          (fun q ->
+            if inv.(q) >= inv.(l) then
+              illegal "interchange"
+                (Printf.sprintf "bound of %s depends on %s, which would no longer be outer"
+                   loop.Nest.var names.(q)))
+          (shape_deps loop.Nest.shape);
+        (match loop.Nest.shape with
+        | Nest.Tile_elem { ctrl; _ } | Nest.Tile_elem_affine { ctrl; _ } ->
+            if inv.(ctrl) >= inv.(l) then
+              illegal "interchange"
+                (Printf.sprintf "element loop %s moved before its control loop %s"
+                   loop.Nest.var names.(ctrl))
+        | Nest.Range _ | Nest.Range_affine _ | Nest.Tile_ctrl _ -> ());
+        { loop with
+          Nest.shape = remap_shape loop.Nest.shape ~new_depth:d ~remap:(fun q -> inv.(q)) })
       perm
   in
   Nest.make ~name:nest.name ~loops
@@ -63,11 +133,16 @@ let interchange (nest : Nest.t) perm =
     ~arrays:nest.arrays
 
 let tile_spans (nest : Nest.t) =
-  Array.map
-    (fun (l : Nest.loop) ->
-      match l.Nest.shape with
+  let slo, shi = Nest.static_bounds nest in
+  Array.mapi
+    (fun l (loop : Nest.loop) ->
+      match loop.Nest.shape with
       | Nest.Range { lo; hi; step = 1 } -> hi - lo + 1
-      | _ -> invalid_arg "tile: nest must consist of unit-step Range loops")
+      | Nest.Range_affine { step = 1; _ } ->
+          (* Tile windows run over the static interval hull; a tile of the
+             full static span leaves the loop effectively untiled. *)
+          shi.(l) - slo.(l) + 1
+      | _ -> invalid_arg "tile: nest must consist of unit-step range loops")
     nest.loops
 
 let tile (nest : Nest.t) tiles =
@@ -80,6 +155,8 @@ let tile (nest : Nest.t) tiles =
         invalid_arg
           (Printf.sprintf "tile: tile %d for loop %d out of [1, %d]" t l spans.(l)))
     tiles;
+  let slo, shi = Nest.static_bounds nest in
+  let remap l = d + l in
   let ctrl_loops =
     Array.mapi
       (fun l (loop : Nest.loop) ->
@@ -87,6 +164,9 @@ let tile (nest : Nest.t) tiles =
         | Nest.Range { lo; hi; step = _ } ->
             { Nest.var = loop.var ^ loop.var;
               shape = Nest.Tile_ctrl { lo; hi; tile = tiles.(l) } }
+        | Nest.Range_affine _ ->
+            { Nest.var = loop.var ^ loop.var;
+              shape = Nest.Tile_ctrl { lo = slo.(l); hi = shi.(l); tile = tiles.(l) } }
         | _ -> assert false)
       nest.loops
   in
@@ -96,6 +176,14 @@ let tile (nest : Nest.t) tiles =
         match loop.shape with
         | Nest.Range { lo = _; hi; step = _ } ->
             { loop with Nest.shape = Nest.Tile_elem { ctrl = l; tile = tiles.(l); hi } }
+        | Nest.Range_affine { lo; hi; step = _ } ->
+            { loop with
+              Nest.shape =
+                Nest.Tile_elem_affine
+                  { ctrl = l;
+                    tile = tiles.(l);
+                    lo = Affine.extend lo ~new_depth:(2 * d) ~remap;
+                    hi = Affine.extend hi ~new_depth:(2 * d) ~remap } }
         | _ -> assert false)
       nest.loops
   in
@@ -103,7 +191,7 @@ let tile (nest : Nest.t) tiles =
   Nest.make
     ~name:(nest.name ^ "_tiled")
     ~loops
-    ~refs:(remap_refs nest.refs ~new_depth:(2 * d) ~remap:(fun l -> d + l))
+    ~refs:(remap_refs nest.refs ~new_depth:(2 * d) ~remap)
     ~arrays:nest.arrays
 
 type padding = { inter : int array; intra : int array }

@@ -7,29 +7,48 @@
     [do i_l = ii_l, min (ii_l + T_l - 1, hi_l)].  Choosing
     [T_l = hi_l - lo_l + 1] leaves loop [l] effectively untiled (a single
     tile).  Tiling preserves the set of iteration points, hence compulsory
-    misses; only the traversal order changes. *)
+    misses; only the traversal order changes.
+
+    Affine ([Range_affine]) loops tile the same way, except the control loop
+    runs over the *static* interval hull of the dynamic range and the element
+    loop intersects its window with the dynamic bounds
+    ([Tile_elem_affine]) — windows outside the dynamic range are empty and
+    simply skipped, so the iteration-point set is still preserved. *)
+
+type illegal = { transform : string; reason : string }
+(** A transformation that would change the iteration space. *)
+
+exception Illegal of illegal
+(** Raised (instead of silently producing a wrong nest) when a requested
+    reordering breaks a dependence between bounds: moving a loop inside one
+    whose bound references it, or an element loop before its control loop.
+    Distinct from [Invalid_argument], which still signals malformed input
+    (non-permutations, out-of-range tiles, ...). *)
 
 val strip_mine : Nest.t -> loop:int -> tile:int -> Nest.t
-(** [strip_mine nest ~loop ~tile] splits one [Range] loop (unit step) into a
-    [Tile_ctrl]/[Tile_elem] pair at the same position.  Subscripts are
-    rewritten for the deeper nest. *)
+(** [strip_mine nest ~loop ~tile] splits one unit-step [Range] or
+    [Range_affine] loop into a control/element pair at the same position.
+    Subscripts and the affine bounds of every other loop are rewritten for
+    the deeper nest. *)
 
 val interchange : Nest.t -> int array -> Nest.t
 (** [interchange nest perm] reorders loops so that new position [p] holds
-    old loop [perm.(p)].  [perm] must be a permutation, must keep every
-    [Tile_elem] after its [Tile_ctrl], and must not reorder loops in a way
-    that changes the set of iteration points (shapes only depend on their
-    own ctrl, which the previous condition guarantees). *)
+    old loop [perm.(p)].  [perm] must be a permutation; it must keep every
+    element loop after its control loop and every affine-bounded loop inside
+    all the loops its bounds reference.
+    @raise Illegal when the reordering breaks one of those dependences. *)
 
 val tile : Nest.t -> int array -> Nest.t
 (** [tile nest tiles] applies the full tiling of the paper: all control
     loops first (in original loop order), then all element loops.
     [tiles.(l)] must lie in [\[1, span_l\]]; every loop of [nest] must be a
-    unit-step [Range].  [tile nest] on an already-tiled nest is rejected. *)
+    unit-step [Range] or [Range_affine].  [tile nest] on an already-tiled
+    nest is rejected. *)
 
 val tile_spans : Nest.t -> int array
 (** [tile_spans nest] is the search-space upper bound [U_l] for each loop:
-    the trip count of each (unit-step [Range]) loop. *)
+    the trip count of each unit-step loop ([Range_affine] loops use the
+    static span of their interval hull). *)
 
 type padding = { inter : int array; intra : int array }
 (** Padding parameters: [inter.(k)] extra bytes inserted before the [k]-th

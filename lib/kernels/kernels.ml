@@ -337,6 +337,67 @@ let sor n =
       ())
 
 (* ------------------------------------------------------------------ *)
+(* Triangular kernels: affine loop bounds (section 2.3 of the paper).   *)
+
+let lu n =
+  (* Right-looking LU elimination updates, the canonical triangular nest:
+     both inner loops start past the pivot row/column, so each outer step
+     shrinks the trailing submatrix being updated. *)
+  let a = arr "a" [| n; n |] in
+  Array_decl.place [ a ];
+  Dsl.(
+    nest_affine ~name:"LU"
+      ~loops:
+        [ ("k", i 1, i (n - 1));
+          ("i", v "k" +! i 1, i n);
+          ("j", v "k" +! i 1, i n) ]
+      ~body:
+        [
+          load a [ v "i"; v "k" ];
+          load a [ v "k"; v "j" ];
+          load a [ v "i"; v "j" ];
+          store a [ v "i"; v "j" ];
+        ]
+      ())
+
+let cholesky n =
+  (* Cholesky trailing-matrix updates: a two-level dependence chain
+     (j starts past k, i starts at j), exercising trapezoidal regions. *)
+  let a = arr "a" [| n; n |] in
+  Array_decl.place [ a ];
+  Dsl.(
+    nest_affine ~name:"CHOLESKY"
+      ~loops:
+        [ ("k", i 1, i (n - 1));
+          ("j", v "k" +! i 1, i n);
+          ("i", v "j", i n) ]
+      ~body:
+        [
+          load a [ v "i"; v "k" ];
+          load a [ v "j"; v "k" ];
+          load a [ v "i"; v "j" ];
+          store a [ v "i"; v "j" ];
+        ]
+      ())
+
+let syrk n =
+  (* Symmetric rank-k update on the lower triangle: only j <= i is
+     touched, halving the iteration space of MM. *)
+  let c = arr "c" [| n; n |] and a = arr "a" [| n; n |] in
+  Array_decl.place [ c; a ];
+  Dsl.(
+    nest_affine ~name:"SYRK"
+      ~loops:[ ("i", i 1, i n); ("j", i 1, v "i"); ("k", i 1, i n) ]
+      ~body:
+        [
+          load c [ v "i"; v "j" ];
+          load a [ v "i"; v "k" ];
+          load a [ v "j"; v "k" ];
+          store c [ v "i"; v "j" ];
+        ]
+      ())
+
+(* ------------------------------------------------------------------ *)
 
 type spec = {
   name : string;
@@ -388,8 +449,16 @@ let extras =
   [
     { name = "SOR"; description = "2D successive over-relaxation, 5-point stencil";
       loops = 2; sizes = [ 100; 500; 2000 ]; build = sor };
+    { name = "LU"; description = "LU elimination updates (triangular bounds)";
+      loops = 3; sizes = [ 16; 64; 200 ]; build = lu };
+    { name = "CHOLESKY"; description = "Cholesky trailing-matrix updates (triangular bounds)";
+      loops = 3; sizes = [ 16; 64; 200 ]; build = cholesky };
+    { name = "SYRK"; description = "symmetric rank-k update, lower triangle";
+      loops = 3; sizes = [ 16; 64; 200 ]; build = syrk };
   ]
+
+let rotation = all @ extras
 
 let find name =
   let target = String.lowercase_ascii name in
-  List.find (fun s -> String.lowercase_ascii s.name = target) (all @ extras)
+  List.find (fun s -> String.lowercase_ascii s.name = target) rotation

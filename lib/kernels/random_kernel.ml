@@ -10,6 +10,7 @@ type spec = {
   max_coeff : int;
   write_ratio : float;
   align : int;
+  tri_ratio : float;
 }
 
 let default_spec =
@@ -23,6 +24,7 @@ let default_spec =
     max_coeff = 1;
     write_ratio = 0.5;
     align = 1;
+    tri_ratio = 0.;
   }
 
 let uniform ?(spec = default_spec) ~extent () =
@@ -50,7 +52,9 @@ let validate spec =
   if spec.max_coeff < 1 then invalid_arg "Random_kernel: max_coeff must be >= 1";
   if not (spec.write_ratio >= 0. && spec.write_ratio <= 1.) then
     invalid_arg "Random_kernel: write_ratio must lie in [0, 1]";
-  if spec.align < 1 then invalid_arg "Random_kernel: align must be >= 1"
+  if spec.align < 1 then invalid_arg "Random_kernel: align must be >= 1";
+  if not (spec.tri_ratio >= 0. && spec.tri_ratio <= 1.) then
+    invalid_arg "Random_kernel: tri_ratio must lie in [0, 1]"
 
 let generate ?(spec = default_spec) ~seed () =
   validate spec;
@@ -63,8 +67,45 @@ let generate ?(spec = default_spec) ~seed () =
   let his =
     Array.init spec.depth (fun d -> lo + ((spec.extents.(d) - 1) * spec.steps.(d)))
   in
+  (* Triangular/trapezoidal shape choices.  Each non-outermost unit-step
+     loop may, with probability [tri_ratio], couple one bound to a random
+     outer variable [q]: either [lo = v_q + c0] (the upper bound then
+     shifts so the window keeps the requested trip count at [v_q]'s top —
+     nonempty for every outer value), or [hi = v_q] (nonempty because all
+     loops share the same static lower bound).  Nothing is drawn when
+     [tri_ratio = 0], so rectangular streams are byte-identical to
+     historical ones. *)
+  let tri = Array.make spec.depth `Rect in
+  if spec.tri_ratio > 0. then
+    for l = 1 to spec.depth - 1 do
+      if spec.steps.(l) = 1 && Tiling_util.Prng.bernoulli rng ~p:spec.tri_ratio
+      then begin
+        let q = Tiling_util.Prng.int rng l in
+        if Tiling_util.Prng.bool rng then
+          tri.(l) <- `Lo_dep (q, Tiling_util.Prng.int rng 2)
+        else tri.(l) <- `Hi_dep q
+      end
+    done;
+  (* Effective static upper bounds, outermost first (dependence chains
+     resolve because [q < l]); arrays are sized against these. *)
+  let shi = Array.make spec.depth 0 in
+  for l = 0 to spec.depth - 1 do
+    shi.(l) <-
+      (match tri.(l) with
+      | `Rect -> his.(l)
+      | `Lo_dep (q, c0) -> shi.(q) + c0 + spec.extents.(l) - 1
+      | `Hi_dep q -> shi.(q))
+  done;
   let loops =
-    Array.to_list (Array.mapi (fun d v -> (v, lo, his.(d))) var_names)
+    Array.to_list
+      (Array.mapi
+         (fun d name ->
+           match tri.(d) with
+           | `Rect -> (name, Dsl.i lo, Dsl.i his.(d))
+           | `Lo_dep (q, c0) ->
+               (name, Dsl.(v var_names.(q) +! i c0), Dsl.i shi.(d))
+           | `Hi_dep q -> (name, Dsl.i lo, Dsl.v var_names.(q)))
+         var_names)
   in
   let steps =
     Array.to_list (Array.mapi (fun d v -> (v, spec.steps.(d))) var_names)
@@ -88,7 +129,7 @@ let generate ?(spec = default_spec) ~seed () =
       (fun i (order, coeffs) ->
         let dims =
           Array.init spec.depth (fun d ->
-              (coeffs.(d) * his.(order.(d))) + spec.max_offset)
+              (coeffs.(d) * shi.(order.(d))) + spec.max_offset)
         in
         Array_decl.create (Printf.sprintf "arr%d" i) dims)
       shapes
@@ -113,4 +154,4 @@ let generate ?(spec = default_spec) ~seed () =
           Dsl.store a subs
         else Dsl.load a subs)
   in
-  Dsl.nest ~name:(Printf.sprintf "random_%d" seed) ~loops ~steps ~body ()
+  Dsl.nest_affine ~name:(Printf.sprintf "random_%d" seed) ~loops ~steps ~body ()

@@ -18,12 +18,21 @@ type spec = {
   max_coeff : int;      (** subscript coefficients drawn from [1..max] *)
   write_ratio : float;  (** probability a reference is a store, in [0,1] *)
   align : int;          (** array base alignment in bytes (1 = packed) *)
+  tri_ratio : float;
+      (** probability each non-outermost unit-step loop couples a bound to
+          an outer variable (triangular/trapezoidal shape), in [0,1].
+          With probability 1/2 the lower bound becomes [v_q + c0]
+          ([c0 in {0,1}], the upper bound shifted so the window keeps the
+          loop's trip count at [v_q]'s maximum), else the upper bound
+          becomes [v_q].  Both choices keep every dynamic range nonempty.
+          [0.] draws nothing and reproduces the historical rectangular
+          stream byte for byte. *)
 }
 
 val default_spec : spec
 (** depth 3, trip count 12 per loop, unit steps and coefficients, 2 arrays,
     4 references, offsets within 1, balanced loads/stores, packed
-    placement. *)
+    placement, rectangular bounds ([tri_ratio = 0.]). *)
 
 val uniform : ?spec:spec -> extent:int -> unit -> spec
 (** [uniform ~extent ()] is [spec] with every loop's trip count set to

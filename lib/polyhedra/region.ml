@@ -1,0 +1,76 @@
+open Tiling_ir
+
+let unit_coeffs ~dim l v =
+  Array.init dim (fun i -> if i = l then v else 0)
+
+(* Constraints [lo_form <= x_l] and [x_l <= hi_form] for one loop. *)
+let bound_constraints ~dim l (shape : Nest.shape) =
+  match shape with
+  | Nest.Range { lo; hi; _ } ->
+      [
+        Polyhedron.ge ~coeffs:(unit_coeffs ~dim l 1) ~const:(-lo);
+        Polyhedron.ge ~coeffs:(unit_coeffs ~dim l (-1)) ~const:hi;
+      ]
+  | Nest.Range_affine { lo; hi; _ } ->
+      let lo_c =
+        Array.init dim (fun i ->
+            (if i = l then 1 else 0) - Affine.coeff lo i)
+      in
+      let hi_c =
+        Array.init dim (fun i ->
+            Affine.coeff hi i - if i = l then 1 else 0)
+      in
+      [
+        Polyhedron.ge ~coeffs:lo_c ~const:(-lo.Affine.const);
+        Polyhedron.ge ~coeffs:hi_c ~const:hi.Affine.const;
+      ]
+  | Nest.Tile_ctrl _ | Nest.Tile_elem _ | Nest.Tile_elem_affine _ ->
+      assert false (* rejected by [check] below *)
+
+let check (nest : Nest.t) =
+  Array.iter
+    (fun (l : Nest.loop) ->
+      match l.Nest.shape with
+      | Nest.Range { step; _ } | Nest.Range_affine { step; _ } ->
+          if step <> 1 then
+            invalid_arg "Region.of_nest: strided loops are not supported"
+      | Nest.Tile_ctrl _ | Nest.Tile_elem _ | Nest.Tile_elem_affine _ ->
+          invalid_arg "Region.of_nest: tiled nests are not supported")
+    nest.Nest.loops
+
+let space_of nest =
+  check nest;
+  let dim = Nest.depth nest in
+  Polyhedron.of_constraints ~dim
+    (List.concat
+       (List.init dim (fun l ->
+            bound_constraints ~dim l nest.Nest.loops.(l).Nest.shape)))
+
+let of_nest (nest : Nest.t) =
+  check nest;
+  let dim = Nest.depth nest in
+  let deps = Nest.affine_deps nest in
+  let point = Array.make dim 0 in
+  (* Dimensions some affine bound depends on are pinned pointwise (one
+     equality per value, evaluated under the already-pinned outer deps);
+     every other dimension contributes its two bound faces.  The regions
+     partition the iteration space and each is convex. *)
+  let rec go l cons =
+    if l = dim then [ Polyhedron.of_constraints ~dim (List.rev cons) ]
+    else if deps.(l) then begin
+      let lo, hi, _ = Nest.bounds_at nest point l in
+      let n = if hi < lo then 0 else hi - lo + 1 in
+      List.concat_map
+        (fun k ->
+          let v = lo + k in
+          point.(l) <- v;
+          go (l + 1) (Polyhedron.eq ~coeffs:(unit_coeffs ~dim l 1) ~const:(-v) :: cons))
+        (List.init n Fun.id)
+    end
+    else
+      go (l + 1)
+        (List.rev_append
+           (bound_constraints ~dim l nest.Nest.loops.(l).Nest.shape)
+           cons)
+  in
+  List.filter Polyhedron.has_integer_point (go 0 [])

@@ -1,0 +1,25 @@
+(** Convex-region decomposition of (possibly triangular) iteration spaces.
+
+    Section 2.3 of the paper generates Cache Miss Equations per *convex
+    region* of a non-rectangular iteration space.  This module derives
+    those regions, as {!Polyhedron.t} values, straight from a nest's
+    bounds: affine lower/upper bounds are linear faces, and every
+    dimension that other bounds depend on is pinned pointwise (one
+    equality per value) so each region is convex and the regions partition
+    the space exactly.  A rectangular nest yields a single region.
+
+    This is the reference-layer counterpart of the production path slicer
+    ([Tiling_cme.Path.full_space]), which produces the same decomposition
+    as lattice boxes; differential tests check both against
+    [Nest.trip_count]. *)
+
+val of_nest : Tiling_ir.Nest.t -> Polyhedron.t list
+(** The convex regions of the nest's iteration space (nonempty ones only;
+    together they partition the space).  Only untiled, unit-step nests are
+    supported.
+    @raise Invalid_argument on tiled or strided nests. *)
+
+val space_of : Tiling_ir.Nest.t -> Polyhedron.t
+(** The whole iteration space as one polyhedron — affine bounds are linear
+    faces, so a perfect nest's space is always convex.  Same restrictions
+    as {!of_nest}. *)

@@ -15,11 +15,19 @@ let lex_sign delta =
    loop the span is the original loop's full extent: reuse may come from a
    different tile (the point solver re-derives the tile coordinates). *)
 let loop_info (nest : Nest.t) =
-  Array.map
-    (fun (l : Nest.loop) ->
+  let slo, shi = Nest.static_bounds nest in
+  Array.mapi
+    (fun lvl (l : Nest.loop) ->
       match l.shape with
       | Nest.Range { lo; hi; step } ->
           let trip = Tiling_util.Intmath.range_count ~lo ~hi ~step in
+          (step, trip, trip)
+      | Nest.Range_affine { step; _ } ->
+          (* Candidate enumeration works over the static hull; off-space
+             candidates are filtered by the point solver (mem_point). *)
+          let trip =
+            Tiling_util.Intmath.range_count ~lo:slo.(lvl) ~hi:shi.(lvl) ~step
+          in
           (step, trip, trip)
       | Nest.Tile_ctrl { lo; hi; tile } ->
           let trip = Tiling_util.Intmath.range_count ~lo ~hi ~step:tile in
@@ -30,7 +38,8 @@ let loop_info (nest : Nest.t) =
             | Nest.Tile_ctrl { lo; _ } -> lo
             | _ -> assert false
           in
-          (1, tile, hi - lo + 1))
+          (1, tile, hi - lo + 1)
+      | Nest.Tile_elem_affine { tile; _ } -> (1, tile, shi.(lvl) - slo.(lvl) + 1))
     nest.Nest.loops
 
 (* Inclusive multiplier range: all k with [lo <= coeff * k <= hi], clamped
@@ -54,7 +63,9 @@ let of_reference (nest : Nest.t) ~line (r : Nest.reference) =
   let has_tiles =
     Array.exists
       (fun (l : Nest.loop) ->
-        match l.shape with Nest.Tile_elem _ -> true | _ -> false)
+        match l.shape with
+        | Nest.Tile_elem _ | Nest.Tile_elem_affine _ -> true
+        | _ -> false)
       nest.Nest.loops
   in
   let seen = Hashtbl.create 64 in

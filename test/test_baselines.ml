@@ -106,6 +106,53 @@ let test_ga_beats_or_ties_analytic_on_mm () =
       Analytic.sarkar_megiddo nest cache;
     ]
 
+let test_oblivious_fits_and_is_valid () =
+  List.iter
+    (fun nest ->
+      List.iter
+        (fun (cache : Tiling_cache.Config.t) ->
+          let plan = Oblivious.plan nest cache in
+          Alcotest.(check bool) "valid tiles" true (valid_tiles nest plan.Oblivious.tiles);
+          (* The recursion stops exactly when the base case fits (or cannot
+             shrink further); a fitting base case with zero splits means the
+             whole space already fit. *)
+          let fits = plan.Oblivious.working_set <= cache.Tiling_cache.Config.size in
+          let collapsed = Array.for_all (fun t -> t = 1) plan.Oblivious.tiles in
+          Alcotest.(check bool) "fits or fully collapsed" true (fits || collapsed);
+          if plan.Oblivious.splits = 0 then
+            Alcotest.(check (array int)) "no splits = untiled"
+              (Transform.tile_spans nest) plan.Oblivious.tiles)
+        [
+          Tiling_cache.Config.dm8k;
+          Tiling_cache.Config.dm32k;
+          Tiling_cache.Config.make ~size:256 ~line:32 ();
+        ])
+    [
+      Tiling_kernels.Kernels.mm 100;
+      Tiling_kernels.Kernels.t2d 64;
+      Tiling_kernels.Kernels.lu 60;
+      Tiling_kernels.Kernels.cholesky 48;
+    ]
+
+let test_oblivious_halving_sequence () =
+  (* mm 64 with 3 arrays of 64x64 doubles: each halving of the longest
+     dimension must at least weakly shrink the modeled working set, and the
+     final vector is reachable from the spans by longest-first halvings. *)
+  let nest = Tiling_kernels.Kernels.mm 64 in
+  let cache = Tiling_cache.Config.make ~size:2048 ~line:32 () in
+  let plan = Oblivious.plan nest cache in
+  let spans = Transform.tile_spans nest in
+  let simulated = Array.copy spans in
+  for _ = 1 to plan.Oblivious.splits do
+    let l = ref 0 in
+    Array.iteri
+      (fun i t -> if t > simulated.(!l) then l := i)
+      simulated;
+    simulated.(!l) <- (simulated.(!l) + 1) / 2
+  done;
+  Alcotest.(check (array int)) "longest-first halvings" simulated
+    plan.Oblivious.tiles
+
 let suite =
   [
     Alcotest.test_case "exhaustive is optimal" `Slow test_exhaustive_is_optimal_small;
@@ -116,6 +163,10 @@ let suite =
     Alcotest.test_case "S&M capacity constraint" `Quick test_sm_respects_capacity;
     Alcotest.test_case "GA beats analytic on MM" `Slow
       test_ga_beats_or_ties_analytic_on_mm;
+    Alcotest.test_case "cache-oblivious base case fits" `Quick
+      test_oblivious_fits_and_is_valid;
+    Alcotest.test_case "cache-oblivious halving sequence" `Quick
+      test_oblivious_halving_sequence;
   ]
 
 let test_sa_and_tabu () =

@@ -57,7 +57,8 @@ let test_smoke_campaign () =
     o.Driver.mismatches
 
 (* The oracle on the paper's own kernels: exact CME counts must equal the
-   simulator per reference on every Table 1 kernel, at two geometries a
+   simulator per reference on every kernel in the rotation — Table 1 plus
+   the triangular extras (SOR, LU, Cholesky, syrk) — at two geometries a
    world apart (tiny direct-mapped; larger 4-way). *)
 let test_paper_kernels_agree () =
   let geometries =
@@ -77,7 +78,48 @@ let test_paper_kernels_agree () =
           | Oracle.Mismatch _ ->
               Alcotest.failf "%s disagrees:@ %a" s.name Oracle.pp_result r)
         geometries)
-    Tiling_kernels.Kernels.all
+    Tiling_kernels.Kernels.rotation
+
+let test_triangular_smoke_campaign () =
+  (* The triangular generator under the oracle: with tri=100 most drawn
+     cases carry affine bounds, driving the latest-source solver path. *)
+  let knobs =
+    match Driver.knobs_of_string "tri=100" with
+    | Ok k -> k
+    | Error m -> Alcotest.fail m
+  in
+  let o = Driver.run ~knobs ~trials:40 ~seed:13 () in
+  Alcotest.(check int) "40 trials ran" 40 o.Driver.trials_run;
+  List.iter
+    (fun (m : Driver.mismatch) ->
+      Alcotest.failf "triangular fuzz mismatch (trial %d): shrunk to %s"
+        m.Driver.trial
+        (Case.to_string m.Driver.shrunk))
+    o.Driver.mismatches
+
+let test_tri_knob_off_preserves_streams () =
+  (* tri=0 must not consume generator draws: the drawn cases are the exact
+     cases a pre-triangular build drew, so old campaign seeds and corpus
+     shrinks stay reproducible. *)
+  let rng = Prng.create ~seed:29 in
+  let with_default = List.init 20 (fun _ -> Driver.draw_case Driver.default_knobs rng) in
+  let knobs =
+    match Driver.knobs_of_string "tri=0" with
+    | Ok k -> k
+    | Error m -> Alcotest.fail m
+  in
+  let rng' = Prng.create ~seed:29 in
+  let with_explicit_zero = List.init 20 (fun _ -> Driver.draw_case knobs rng') in
+  List.iter2
+    (fun a b ->
+      Alcotest.(check string) "identical case" (Case.to_string a)
+        (Case.to_string b))
+    with_default with_explicit_zero;
+  List.iter
+    (fun c ->
+      Alcotest.(check (float 0.)) "tri_ratio stays 0" 0.
+        c.Case.spec.Tiling_kernels.Random_kernel.tri_ratio)
+    with_default
 
 let test_shrinker_only_shrinks () =
   (* On an agreeing case the shrinker must return it unchanged after one
@@ -96,9 +138,15 @@ let test_knobs_parse () =
       Alcotest.(check int) "depth" 2 k.Driver.max_depth;
       Alcotest.(check int) "extent" 8 k.Driver.max_extent;
       Alcotest.(check (list int)) "line pinned" [ 32 ] k.Driver.lines);
+  (match Driver.knobs_of_string "depth=2,tri=45" with
+  | Error m -> Alcotest.fail m
+  | Ok k -> Alcotest.(check int) "tri percent" 45 k.Driver.max_tri_pct);
   (match Driver.knobs_of_string "line=33" with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "non-power-of-two line accepted");
+  (match Driver.knobs_of_string "tri=101" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "tri > 100 accepted");
   match Driver.knobs_of_string "bogus=1" with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "unknown knob accepted"
@@ -143,6 +191,10 @@ let suite =
     Alcotest.test_case "case round-trips" `Quick test_case_round_trip;
     Alcotest.test_case "run is deterministic" `Quick test_run_deterministic;
     Alcotest.test_case "smoke campaign agrees" `Slow test_smoke_campaign;
+    Alcotest.test_case "triangular smoke campaign agrees" `Slow
+      test_triangular_smoke_campaign;
+    Alcotest.test_case "tri=0 preserves rectangular streams" `Quick
+      test_tri_knob_off_preserves_streams;
     Alcotest.test_case "paper kernels agree" `Slow test_paper_kernels_agree;
     Alcotest.test_case "shrinker no-op on agreement" `Quick
       test_shrinker_only_shrinks;

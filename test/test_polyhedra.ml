@@ -149,6 +149,53 @@ let prop_elimination_sound =
       let q = Polyhedron.eliminate p (dim - 1) in
       List.for_all (fun pt -> Polyhedron.contains q pt) (Polyhedron.integer_points p))
 
+(* ------------------------------------------------------------------ *)
+(* Region decomposition of iteration spaces (paper section 2.3)         *)
+
+let test_region_rectangular_single () =
+  let nest = Tiling_kernels.Kernels.matmul 6 in
+  let regions = Region.of_nest nest in
+  Alcotest.(check int) "one region" 1 (List.length regions);
+  Alcotest.(check int)
+    "covers the space"
+    (Tiling_ir.Nest.trip_count nest)
+    (Polyhedron.count_integer_points (List.hd regions))
+
+let check_partition name nest =
+  let regions = Region.of_nest nest in
+  let total =
+    List.fold_left (fun s r -> s + Polyhedron.count_integer_points r) 0 regions
+  in
+  Alcotest.(check int)
+    (name ^ ": regions partition the space")
+    (Tiling_ir.Nest.trip_count nest)
+    total;
+  (* Disjointness: no iteration point may fall in two regions, or the
+     per-region CME counts would double-count its accesses. *)
+  Tiling_ir.Nest.iter_points nest (fun p ->
+      let owners =
+        List.fold_left
+          (fun n r -> if Polyhedron.contains r p then n + 1 else n)
+          0 regions
+      in
+      Alcotest.(check int) (name ^ ": each point in one region") 1 owners);
+  Alcotest.(check int)
+    (name ^ ": whole space is convex")
+    (Tiling_ir.Nest.trip_count nest)
+    (Polyhedron.count_integer_points (Region.space_of nest))
+
+let test_region_partition_triangular () =
+  check_partition "lu" (Tiling_kernels.Kernels.lu 8);
+  check_partition "cholesky" (Tiling_kernels.Kernels.cholesky 8);
+  check_partition "syrk" (Tiling_kernels.Kernels.syrk 7)
+
+let test_region_rejects_tiled () =
+  let nest = Tiling_kernels.Kernels.matmul 8 in
+  let tiled = Tiling_ir.Transform.tile nest [| 4; 4; 4 |] in
+  Alcotest.check_raises "tiled nests rejected"
+    (Invalid_argument "Region.of_nest: tiled nests are not supported")
+    (fun () -> ignore (Region.of_nest tiled))
+
 let suite =
   [
     Alcotest.test_case "box membership" `Quick test_box_contains;
@@ -163,4 +210,10 @@ let suite =
       test_var_bounds_with_equality;
     qcheck prop_count_matches_bruteforce;
     qcheck prop_elimination_sound;
+    Alcotest.test_case "region: rectangular nest is one region" `Quick
+      test_region_rectangular_single;
+    Alcotest.test_case "region: triangular kernels partition" `Quick
+      test_region_partition_triangular;
+    Alcotest.test_case "region: tiled nests rejected" `Quick
+      test_region_rejects_tiled;
   ]

@@ -173,11 +173,53 @@ let test_exact_and_sim_backends_search_identically () =
     e.Tiling_core.Tiler.ga.Tiling_ga.Engine.best_objective
     s.Tiling_core.Tiler.ga.Tiling_ga.Engine.best_objective
 
+let test_triangular_sim_agrees_with_exact_cme () =
+  (* The affine generalization's acceptance gate: on the non-rectangular
+     kernels the exact CME enumeration must reproduce the simulator's cost
+     bit for bit, untiled and tiled, at more than one geometry (the reuse
+     structure changes completely between direct-mapped and 2-way). *)
+  let geometries =
+    [
+      Tiling_cache.Config.make ~size:512 ~line:32 ();
+      Tiling_cache.Config.make ~size:1024 ~line:32 ~assoc:2 ();
+    ]
+  in
+  List.iter
+    (fun (name, build) ->
+      let base = build 10 in
+      List.iter
+        (fun cache ->
+          List.iter
+            (fun tiles ->
+              let nest =
+                match tiles with
+                | None -> base
+                | Some t -> Tiling_ir.Transform.tile base t
+              in
+              let s = Backend.(sim.cost) cache nest ~points:[||] in
+              let e = Backend.(cme_exact.cost) cache nest ~points:[||] in
+              Alcotest.(check (float 0.))
+                (Fmt.str "%s %s on %a" name
+                   (match tiles with
+                   | None -> "untiled"
+                   | Some t -> Fmt.str "tiles [%a]" Fmt.(array ~sep:(any ",") int) t)
+                   Tiling_cache.Config.pp cache)
+                e s)
+            [ None; Some [| 4; 4; 4 |]; Some [| 3; 5; 2 |] ])
+        geometries)
+    [
+      ("lu", Tiling_kernels.Kernels.lu);
+      ("cholesky", Tiling_kernels.Kernels.cholesky);
+      ("syrk", Tiling_kernels.Kernels.syrk);
+    ]
+
 let suite =
   [
     Alcotest.test_case "backend lookup" `Quick test_backend_of_string;
     Alcotest.test_case "sim = exact CME on small kernel" `Quick
       test_sim_agrees_with_exact_cme;
+    Alcotest.test_case "sim = exact CME on triangular kernels" `Quick
+      test_triangular_sim_agrees_with_exact_cme;
     Alcotest.test_case "eval memo & batch dedup" `Quick test_eval_memo_and_dedup;
     Alcotest.test_case "restart seed derivation" `Quick test_restart_seed_is_stable;
     Alcotest.test_case "order search domain invariance" `Slow

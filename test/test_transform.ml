@@ -73,11 +73,12 @@ let test_interchange_validation () =
      Alcotest.fail "non-permutation accepted"
    with Invalid_argument _ -> ());
   let tiled = Transform.tile nest [| 2; 2; 2 |] in
-  (* moving an element loop before its control loop must fail *)
+  (* moving an element loop before its control loop must fail, with the
+     typed error naming the transform *)
   try
     ignore (Transform.interchange tiled [| 3; 0; 1; 2; 4; 5 |]);
     Alcotest.fail "elem before ctrl accepted"
-  with Invalid_argument _ -> ()
+  with Transform.Illegal { transform = "interchange"; _ } -> ()
 
 let test_interchange_tiled_ok () =
   (* The canonical tiled order (all ctrl, all elem) can be legally permuted
