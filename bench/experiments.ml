@@ -500,6 +500,9 @@ type eval_row = {
   e_evals : int;
   e_wall_s : float;
   e_evals_per_s : float;
+  e_fallbacks : int;
+      (* symbolic-backend evaluations that fell back to sampling during
+         this run (0 for every other backend) *)
 }
 
 let eval_rows : eval_row list ref = ref []
@@ -526,8 +529,8 @@ let candidate_batches ~spans ~batches ~batch_size ~seed =
 
 let eval_throughput () =
   Fmt.pr "@.== Eval throughput: evaluate_all evals/sec, pool vs spawn ==@.";
-  Fmt.pr "%-10s %-10s %-5s %-4s %7s %8s %10s %12s@." "Kernel_N" "backend"
-    "mode" "res" "domains" "evals" "wall (s)" "evals/sec";
+  Fmt.pr "%-10s %-10s %-5s %-4s %7s %8s %10s %12s %5s@." "Kernel_N" "backend"
+    "mode" "res" "domains" "evals" "wall (s)" "evals/sec" "fb";
   let quick = bench_quick () in
   let domain_counts = if quick then [ 1; 4 ] else [ 1; 2; 4; 8 ] in
   let batches = if quick then 8 else 24 in
@@ -537,20 +540,30 @@ let eval_throughput () =
      problem sizes; cme-sample scales with the sample, not the space. *)
   let configs =
     [
-      ("MM", 200, Tiling_search.Backend.cme_sample);
-      ("SOR", 500, Tiling_search.Backend.cme_sample);
+      ("MM", 200, Tiling_search.Backend.cme_sample, batches);
+      ("SOR", 500, Tiling_search.Backend.cme_sample, batches);
       (* Triangular datapoint: the affine latest-source path instead of the
          reuse-vector machinery — the throughput cost of exactness on
          non-rectangular spaces. *)
-      ("LU", 100, Tiling_search.Backend.cme_sample);
-      ("MM", 24, Tiling_search.Backend.sim);
-      ("SOR", 48, Tiling_search.Backend.sim);
-      ("LU", 24, Tiling_search.Backend.sim);
+      ("LU", 100, Tiling_search.Backend.cme_sample, batches);
+      ("MM", 24, Tiling_search.Backend.sim, batches);
+      ("SOR", 48, Tiling_search.Backend.sim, batches);
+      ("LU", 24, Tiling_search.Backend.sim, batches);
+      (* Closed-form backend: whole-space censuses, so far fewer candidates
+         per measurement; MM exercises the aggregator (or its budget
+         fallback) on the paper's primary kernel, LU is the guaranteed
+         fallback-rate datapoint (triangular => every eval samples). *)
+      ("MM", 200, Tiling_search.Backend.symbolic, 2);
+      ("MM", 64, Tiling_search.Backend.symbolic, 2);
+      ("LU", 100, Tiling_search.Backend.symbolic, 2);
     ]
   in
+  let fallback_counter = Tiling_obs.Metrics.counter "symbolic.fallbacks" in
+  let metrics_were = Tiling_obs.Metrics.enabled () in
+  Tiling_obs.Metrics.set_enabled true;
   let cache = Tiling_cache.Config.dm8k in
   List.iter
-    (fun (name, n, backend) ->
+    (fun (name, n, backend, batches) ->
       let nest = build name n in
       let sample = Tiling_core.Sample.create ~n:sample_points ~seed nest in
       let spans = Tiling_ir.Transform.tile_spans nest in
@@ -573,6 +586,7 @@ let eval_throughput () =
                 Tiling_core.Sample.embed sample ~tiles ))
             ()
         in
+        let fb0 = Tiling_obs.Metrics.counter_value fallback_counter in
         let t0 = Unix.gettimeofday () in
         Array.iter
           (fun batch -> ignore (Tiling_search.Eval.evaluate_all eval batch))
@@ -580,6 +594,9 @@ let eval_throughput () =
         let wall = Unix.gettimeofday () -. t0 in
         Tiling_util.Par.set_strategy Tiling_util.Par.Pool;
         let evals = Tiling_search.Eval.fresh eval in
+        let fallbacks =
+          Tiling_obs.Metrics.counter_value fallback_counter - fb0
+        in
         let rate = float_of_int evals /. Float.max 1e-9 wall in
         eval_rows :=
           {
@@ -592,12 +609,13 @@ let eval_throughput () =
             e_evals = evals;
             e_wall_s = wall;
             e_evals_per_s = rate;
+            e_fallbacks = fallbacks;
           }
           :: !eval_rows;
-        Fmt.pr "%-10s %-10s %-5s %-4s %7d %8d %10.3f %12.0f@."
+        Fmt.pr "%-10s %-10s %-5s %-4s %7d %8d %10.3f %12.0f %5d@."
           (Printf.sprintf "%s_%d" name n)
           backend.Tiling_search.Backend.name mode residues domains evals wall
-          rate
+          rate fallbacks
       in
       List.iter
         (fun domains ->
@@ -607,7 +625,8 @@ let eval_throughput () =
           measure ~mode:"pool" ~residues:"warm" ~domains;
           if domains > 1 then measure ~mode:"spawn" ~residues:"warm" ~domains)
         domain_counts)
-    configs
+    configs;
+  Tiling_obs.Metrics.set_enabled metrics_were
 
 (* ------------------------------------------------------------------ *)
 (* Differential fuzzer throughput: oracle trials per second             *)

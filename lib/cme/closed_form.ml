@@ -1,0 +1,331 @@
+open Tiling_ir
+open Tiling_util
+
+module Metrics = Tiling_obs.Metrics
+
+let m_rows = Metrics.counter "symbolic.rows"
+let m_row_memo_hit = Metrics.counter "symbolic.rows.memo.hit"
+let m_extrapolated = Metrics.counter "symbolic.rows.extrapolated"
+let m_classified = Metrics.counter "symbolic.points.classified"
+
+type reason = [ `Affine | `Budget ]
+
+let pp_reason ppf = function
+  | `Affine -> Fmt.string ppf "affine-coupled loop bounds"
+  | `Budget -> Fmt.string ppf "classification budget exhausted"
+
+exception Out_of_budget
+
+(* Packed per-row outcome counts: for each reference, misses and
+   compulsory misses summed over the row's points. *)
+type row_counts = { rc_m : int array; rc_c : int array }
+
+let add_row_counts ~into:(m, c) rc =
+  Array.iteri (fun r x -> m.(r) <- m.(r) + x) rc.rc_m;
+  Array.iteri (fun r x -> c.(r) <- c.(r) + x) rc.rc_c
+
+(* The address step of reference [r] along one box entry: moving the
+   entry's counter by 1 moves every target variable by its increment. *)
+let entry_step form (e : Box.entry) =
+  List.fold_left
+    (fun acc (var, inc) -> acc + (Affine.coeff form var * inc))
+    0 e.Box.targets
+
+(* Outcome period of a box entry: the smallest counter shift that moves
+   every reference's address by a multiple of the cache modulus.  Each
+   per-reference period divides the modulus, so the lcm does too. *)
+let entry_period forms modulus (e : Box.entry) =
+  Array.fold_left
+    (fun acc form ->
+      let s = Intmath.pos_mod (entry_step form e) modulus in
+      if s = 0 then acc else Intmath.lcm acc (modulus / Intmath.gcd s modulus))
+    1 forms
+
+(* How far (in entry counters) a reuse source can sit from its destination
+   along this entry: bounds the boundary zone where sources fall out of
+   the iteration space and the outcome pattern is not yet periodic. *)
+let entry_reach reuse (e : Box.entry) =
+  Array.fold_left
+    (fun acc vs ->
+      List.fold_left
+        (fun acc (v : Tiling_reuse.Vectors.t) ->
+          List.fold_left
+            (fun acc (var, inc) ->
+              if v.delta.(var) = 0 then acc
+              else max acc (Intmath.ceil_div (abs v.delta.(var)) (max 1 (abs inc))))
+            acc e.Box.targets)
+        acc vs)
+    1 reuse
+
+type ctx = {
+  engine : Engine.t;
+  nrefs : int;
+  forms : Affine.t array;
+  modulus : int;
+  budget : int ref; (* remaining (point, ref) classifications *)
+}
+
+(* Classify one point (all references) into [m]/[c], charging the budget. *)
+let classify_point ctx point (m, c) =
+  if !(ctx.budget) < ctx.nrefs then raise Out_of_budget;
+  ctx.budget := !(ctx.budget) - ctx.nrefs;
+  Metrics.add m_classified ctx.nrefs;
+  for r = 0 to ctx.nrefs - 1 do
+    match Engine.classify ctx.engine point r with
+    | Engine.Hit -> ()
+    | Engine.Replacement_miss -> m.(r) <- m.(r) + 1
+    | Engine.Compulsory_miss ->
+        m.(r) <- m.(r) + 1;
+        c.(r) <- c.(r) + 1
+  done
+
+(* Classify point and record the per-ref outcome triple into [out] at
+   index [t] (2 bits per outcome, packed as an int array row). *)
+let classify_into ctx point outcomes t (m, c) =
+  if !(ctx.budget) < ctx.nrefs then raise Out_of_budget;
+  ctx.budget := !(ctx.budget) - ctx.nrefs;
+  Metrics.add m_classified ctx.nrefs;
+  let row = outcomes.(t) in
+  for r = 0 to ctx.nrefs - 1 do
+    let o = Engine.classify ctx.engine point r in
+    (match o with
+    | Engine.Hit -> ()
+    | Engine.Replacement_miss -> m.(r) <- m.(r) + 1
+    | Engine.Compulsory_miss ->
+        m.(r) <- m.(r) + 1;
+        c.(r) <- c.(r) + 1);
+    row.(r) <- (match o with Engine.Hit -> 0 | Engine.Replacement_miss -> 1 | Engine.Compulsory_miss -> 2)
+  done
+
+(* One row: the innermost entry of a box swept over [0, n) with every
+   outer entry pinned.  [base] is the row's origin iteration point.
+   Short rows are classified exhaustively (exact).  Long rows classify a
+   prefix and a suffix window of [w] points each and extrapolate the
+   middle from the prefix's trailing pattern of period [pi], provided the
+   pattern is self-consistent across both windows; otherwise the row is
+   classified exhaustively.  The windows cover the source reach, so at
+   validated sizes the middle is in the periodic interior regime. *)
+let row_counts ctx ~base ~(inner : Box.entry) ~pi ~reach =
+  let n = inner.Box.count in
+  let m = Array.make ctx.nrefs 0 and c = Array.make ctx.nrefs 0 in
+  let point = Array.copy base in
+  let set_point t =
+    Array.blit base 0 point 0 (Array.length base);
+    List.iter
+      (fun (var, inc) -> point.(var) <- point.(var) + (inc * t))
+      inner.Box.targets
+  in
+  let w = (2 * pi) + reach + 4 in
+  if n <= (2 * w) + pi then begin
+    (* Exhaustive (and exact): the whole row fits in the windows. *)
+    for t = 0 to n - 1 do
+      set_point t;
+      classify_point ctx point (m, c)
+    done;
+    { rc_m = m; rc_c = c }
+  end
+  else begin
+    let outcomes = Array.init n (fun _ -> [||]) in
+    let classify_range a b =
+      for t = a to b - 1 do
+        if outcomes.(t) = [||] then begin
+          outcomes.(t) <- Array.make ctx.nrefs 0;
+          set_point t;
+          classify_into ctx point outcomes t (m, c)
+        end
+      done
+    in
+    classify_range 0 w;
+    classify_range (n - w) n;
+    (* Pattern base: the last [pi] outcomes of the prefix window. *)
+    let pat_base = w - pi in
+    let pat t = outcomes.(pat_base + Intmath.pos_mod (t - pat_base) pi) in
+    let consistent =
+      (* Prefix must already be periodic over its last 2*pi, and the
+         suffix window's leading 2*pi must continue the same pattern. *)
+      let ok = ref true in
+      for t = w - (2 * pi) to w - 1 do
+        if outcomes.(t) <> pat t then ok := false
+      done;
+      for t = n - w to min (n - 1) (n - w + (2 * pi) - 1) do
+        if outcomes.(t) <> pat t then ok := false
+      done;
+      !ok
+    in
+    if consistent then begin
+      Metrics.incr m_extrapolated;
+      (* Middle [w, n - w): per pattern slot, closed-form occurrence
+         count times the slot's outcome. *)
+      for s = 0 to pi - 1 do
+        (* Occurrences of slot [s] (offset from pat_base mod pi) among
+           t in [w, n - w). *)
+        let first =
+          let d = Intmath.pos_mod (pat_base + s - w) pi in
+          w + d
+        in
+        if first < n - w then begin
+          let occ = ((n - w - 1 - first) / pi) + 1 in
+          let row = outcomes.(pat_base + s) in
+          for r = 0 to ctx.nrefs - 1 do
+            match row.(r) with
+            | 0 -> ()
+            | 1 -> m.(r) <- m.(r) + occ
+            | _ ->
+                m.(r) <- m.(r) + occ;
+                c.(r) <- c.(r) + occ
+          done
+        end
+      done;
+      { rc_m = m; rc_c = c }
+    end
+    else begin
+      (* The row is not in the periodic regime: classify what is left. *)
+      classify_range w (n - w);
+      { rc_m = m; rc_c = c }
+    end
+  end
+
+(* Row signature for the cross-row memo: two rows whose references start
+   at the same addresses modulo the cache modulus and whose outer
+   counters sit at the same (period-capped) distances from their entry
+   bounds classify identically — path generator counts beyond an entry's
+   period only grow residue images that are already saturated.  Distances
+   below the cap are kept exact, so small spaces never share falsely. *)
+let row_signature ctx ~base ~outer_ts ~outer_caps =
+  let sig_ = ref [] in
+  for r = ctx.nrefs - 1 downto 0 do
+    sig_ := Intmath.pos_mod (Affine.eval ctx.forms.(r) base) ctx.modulus :: !sig_
+  done;
+  List.iteri
+    (fun i (t, n) ->
+      let cap = outer_caps.(i) in
+      sig_ := min t cap :: min (n - 1 - t) cap :: !sig_)
+    outer_ts;
+  !sig_
+
+let estimate ?(budget = 2_000_000) engine =
+  let nest = Engine.nest engine in
+  let cache = Engine.cache engine in
+  if Nest.has_affine nest then Error `Affine
+  else begin
+    let nrefs = Array.length nest.Nest.refs in
+    let forms = Array.map (Nest.address_form nest) nest.Nest.refs in
+    let modulus =
+      cache.Tiling_cache.Config.sets * cache.Tiling_cache.Config.line
+    in
+    let reuse = Engine.reuse_vectors engine in
+    let ctx =
+      {
+        engine;
+        nrefs;
+        forms;
+        modulus;
+        budget = ref budget;
+      }
+    in
+    let boxes = Path.full_space nest in
+    let total_points =
+      List.fold_left (fun acc b -> acc + Box.points b) 0 boxes
+    in
+    (* Visiting a row costs real work (a signature and a memo probe) even
+       when its classification is shared, so a space whose row count alone
+       rivals the budget can never come in under it — refuse upfront
+       instead of grinding to the same answer. *)
+    let total_rows =
+      List.fold_left
+        (fun acc (b : Box.t) ->
+          match List.rev b.Box.entries with
+          | [] -> acc + 1
+          | inner :: _ -> acc + (Box.points b / max 1 inner.Box.count))
+        0 boxes
+    in
+    if total_rows > budget / 4 then Error `Budget
+    else begin
+    let m = Array.make nrefs 0 and c = Array.make nrefs 0 in
+    let fallbacks_before = Engine.fallback_count engine in
+    match
+      List.iter
+        (fun (box : Box.t) ->
+          match List.rev box.Box.entries with
+          | [] ->
+              (* Degenerate box: a single iteration point. *)
+              Metrics.incr m_rows;
+              classify_point ctx box.Box.origin (m, c)
+          | inner :: outers_rev ->
+              let outers = Array.of_list (List.rev outers_rev) in
+              let pi = entry_period forms modulus inner in
+              let reach =
+                List.fold_left
+                  (fun acc (e : Box.entry) -> max acc (entry_reach reuse e))
+                  1
+                  (inner :: Array.to_list outers)
+              in
+              let outer_caps =
+                Array.map
+                  (fun e -> entry_period forms modulus e + reach + 4)
+                  outers
+              in
+              let memo : (int list, row_counts) Hashtbl.t =
+                Hashtbl.create 64
+              in
+              let base = Array.copy box.Box.origin in
+              let ts = Array.make (Array.length outers) 0 in
+              (* A variable may be moved by several entries (a tile-control
+                 counter and the element counter both shift the element
+                 variable), so the row base is origin plus the sum of every
+                 outer entry's contribution — never a per-entry reset. *)
+              let set_base () =
+                Array.blit box.Box.origin 0 base 0 (Array.length base);
+                Array.iteri
+                  (fun j (e : Box.entry) ->
+                    List.iter
+                      (fun (var, inc) ->
+                        base.(var) <- base.(var) + (inc * ts.(j)))
+                      e.Box.targets)
+                  outers
+              in
+              let rec rows i =
+                if i = Array.length outers then begin
+                  Metrics.incr m_rows;
+                  set_base ();
+                  let outer_ts =
+                    List.init (Array.length outers) (fun j ->
+                        (ts.(j), outers.(j).Box.count))
+                  in
+                  let key = row_signature ctx ~base ~outer_ts ~outer_caps in
+                  let rc =
+                    match Hashtbl.find_opt memo key with
+                    | Some rc ->
+                        Metrics.incr m_row_memo_hit;
+                        rc
+                    | None ->
+                        let rc = row_counts ctx ~base ~inner ~pi ~reach in
+                        Hashtbl.replace memo key rc;
+                        rc
+                  in
+                  add_row_counts ~into:(m, c) rc
+                end
+                else
+                  for t = 0 to outers.(i).Box.count - 1 do
+                    ts.(i) <- t;
+                    rows (i + 1)
+                  done
+              in
+              rows 0)
+        boxes
+    with
+    | () ->
+        let per_ref =
+          Array.init nrefs (fun r ->
+              {
+                Estimator.r_accesses = total_points;
+                r_misses = m.(r);
+                r_compulsory = c.(r);
+              })
+        in
+        Ok
+          (Estimator.census_report ~points:total_points ~per_ref
+             ~fallbacks:(Engine.fallback_count engine - fallbacks_before))
+    | exception Out_of_budget -> Error `Budget
+    end
+  end

@@ -1,0 +1,50 @@
+(** Closed-form aggregation of the Cache Miss Equations.
+
+    Where {!Estimator.exact} classifies every iteration point and
+    {!Estimator.sample} classifies a 164-point random sample, this solver
+    aggregates whole-space replacement counts analytically.  The iteration
+    space is sliced into the path slicer's convex boxes ({!Path.full_space});
+    inside a box every reference's address is affine in the box's lattice
+    coordinates, so along the innermost entry the per-point outcome vector is
+    eventually periodic with period dividing
+
+      [pi = lcm over refs of M / gcd(step_r, M)],   [M = sets * line]
+
+    (shifting the counter by [pi] moves every address by a multiple of the
+    cache modulus, leaving every interference residue — and hence every
+    replacement-polyhedron emptiness answer — unchanged).  Each row therefore
+    needs only a prefix and a suffix window of real {!Engine.classify} calls,
+    wide enough to absorb boundary effects (reuse-source reach); the middle
+    is extrapolated as closed-form occurrence counts of the validated
+    pattern, and the extrapolation is only applied when the observed windows
+    actually exhibit the period (otherwise the row is classified
+    exhaustively, keeping the result a true census).  Rows whose reference
+    addresses agree modulo [M] and whose outer counters sit at the same
+    period-capped boundary distances share one classification through a
+    per-box memo, collapsing the outer dimensions the same way.
+
+    Set-associative caches need no special casing here: periodicity is a
+    property of the address lattice, not of the eviction rule, so the same
+    argument covers the engine's k-way distinct-line counting.
+
+    The solver refuses (rather than degrades) when its premises fail:
+    [`Affine] for nests with affine-coupled loop bounds (row shape varies
+    pointwise, the box decomposition pins dimensions and the row lattice
+    argument no longer amortises), [`Budget] when the number of real
+    classifications exceeds the budget (degenerate geometries where the
+    period is as long as the rows).  The [symbolic] search backend catches
+    both and falls back to sampling, counting [symbolic.fallbacks]. *)
+
+type reason = [ `Affine | `Budget ]
+
+val pp_reason : reason Fmt.t
+
+val estimate :
+  ?budget:int -> Engine.t -> (Estimator.report, reason) result
+(** Whole-space census of the nest: identical totals to {!Estimator.exact}
+    wherever the periodicity validation accepts, at a cost proportional to
+    boundary windows instead of the full trip count.  [budget] caps the
+    number of (point, reference) classifications spent (default 2e6);
+    exceeding it returns [Error `Budget].  The report's [fallbacks] field
+    counts the engine's conservative answers during this call, exactly as
+    the sampling estimators do. *)

@@ -92,9 +92,30 @@ let count_interference_points nest cache ~src ~src_ref ~dst ~dst_ref =
     0
     (replacement_polyhedra nest cache ~src ~src_ref ~dst ~dst_ref)
 
+(* Associativity lattice: every integer point of a replacement polyhedron
+   carries a wrap value [w], and the interfering memory line it witnesses
+   is exactly [set + w * sets] — the lattice of same-set addresses stacked
+   by [w].  Distinct interfering lines on the edge are therefore the
+   distinct [w] values across all polyhedra (the destination's own line is
+   already carved out by the below/above halves), and a k-way cache evicts
+   the reused line iff at least [k] of them collide in the set.  Counting
+   stops at [cap]: one collision beyond [assoc - 1] already decides the
+   miss. *)
+let distinct_interfering_lines ?(cap = max_int) nest cache ~src ~src_ref ~dst
+    ~dst_ref =
+  let seen : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (p : Polyhedron.t) ->
+      let w = p.Polyhedron.dim - 1 in
+      if Hashtbl.length seen < cap then
+        List.iter
+          (fun pt -> Hashtbl.replace seen pt.(w) ())
+          (Polyhedron.integer_points p))
+    (replacement_polyhedra nest cache ~src ~src_ref ~dst ~dst_ref);
+  min cap (Hashtbl.length seen)
+
 let classify nest cache point ref_id =
-  if cache.Tiling_cache.Config.assoc <> 1 then
-    invalid_arg "Symbolic.classify: direct-mapped caches only";
+  let assoc = cache.Tiling_cache.Config.assoc in
   (* Reuse the engine's vector generation and source normalisation so any
      disagreement isolates the replacement-query machinery. *)
   let engine = Engine.create nest cache in
@@ -103,10 +124,9 @@ let classify nest cache point ref_id =
   else if
     List.exists
       (fun (src, src_ref) ->
-        not
-          (List.exists Polyhedron.has_integer_point
-             (replacement_polyhedra nest cache ~src ~src_ref ~dst:point
-                ~dst_ref:ref_id)))
+        distinct_interfering_lines ~cap:assoc nest cache ~src ~src_ref
+          ~dst:point ~dst_ref:ref_id
+        < assoc)
       sources
   then Hit
   else Replacement_miss

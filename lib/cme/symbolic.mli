@@ -17,8 +17,15 @@
     enumeration machinery of {!Tiling_polyhedra.Polyhedron}.  It is
     exponential and only usable on small kernels — which is the paper's
     motivation for the fast solver ({!Engine}); the test suite checks that
-    both agree point by point.  Direct-mapped caches only (the paper's
-    "first method [...] can only be applied to direct-mapped caches"). *)
+    both agree point by point.
+
+    Set-associative caches go through the associativity lattice: the wrap
+    variable [w] of each integer solution names the interfering memory
+    line [set + w * sets], so the distinct [w] values across an edge's
+    polyhedra are exactly the lattice collisions in the destination's set,
+    and a k-way LRU cache evicts the reused line iff at least [k] of them
+    occur ({!distinct_interfering_lines}).  [assoc = 1] degenerates to the
+    paper's direct-mapped emptiness test. *)
 
 type outcome = Hit | Compulsory_miss | Replacement_miss
 
@@ -29,9 +36,25 @@ val classify :
   int ->
   outcome
 (** [classify nest cache point ref_id] decides the access outcome by
-    building and solving the equations.  Requires [cache.assoc = 1].
+    building and solving the equations: the access hits iff some reuse
+    source's edge has fewer than [cache.assoc] distinct interfering lines.
     Uses the same reuse vectors and source normalisation as {!Engine}, so
     discrepancies with it isolate the replacement-query machinery. *)
+
+val distinct_interfering_lines :
+  ?cap:int ->
+  Tiling_ir.Nest.t ->
+  Tiling_cache.Config.t ->
+  src:int array ->
+  src_ref:int ->
+  dst:int array ->
+  dst_ref:int ->
+  int
+(** Distinct interfering memory lines on one reuse edge, counted as the
+    distinct wrap values across the edge's replacement polyhedra (the
+    associativity-lattice construction).  Counting stops at [cap]
+    (default unbounded); callers deciding a k-way miss pass [~cap:assoc].
+    The destination's own line never counts. *)
 
 val replacement_polyhedra :
   Tiling_ir.Nest.t ->

@@ -33,8 +33,43 @@ let sim =
         float_of_int (Tiling_cache.Sim.replacement report.Tiling_trace.Run.total));
   }
 
+let m_fallbacks = Tiling_obs.Metrics.counter "symbolic.fallbacks"
+
+let symbolic =
+  {
+    name = "symbolic";
+    cost =
+      (fun cache nest ~points ->
+        let engine = Tiling_cme.Engine.create nest cache in
+        (* A search evaluates hundreds of candidates, so per-candidate
+           latency must stay bounded: give the aggregator a much tighter
+           work budget than the oracle default and sample when it trips. *)
+        match Tiling_cme.Closed_form.estimate ~budget:150_000 engine with
+        | Ok report ->
+            float_of_int (Tiling_cme.Estimator.replacement report)
+        | Error reason ->
+            Tiling_obs.Metrics.incr m_fallbacks;
+            Logs.debug (fun m ->
+                m "symbolic backend falling back to sampling (%a) on %s"
+                  Tiling_cme.Closed_form.pp_reason reason
+                  nest.Tiling_ir.Nest.name);
+            let report = Tiling_cme.Estimator.sample_at engine points in
+            (* The closed form reports whole-space counts; keep fallback
+               candidates on the same scale so one search never compares
+               sampled against census magnitudes. *)
+            let scale =
+              if report.Tiling_cme.Estimator.accesses = 0 then 0.
+              else
+                float_of_int
+                  (Tiling_ir.Nest.trip_count nest
+                  * Array.length nest.Tiling_ir.Nest.refs)
+                /. float_of_int report.Tiling_cme.Estimator.accesses
+            in
+            float_of_int (Tiling_cme.Estimator.replacement report) *. scale);
+  }
+
 let default = cme_sample
-let all = [ cme_sample; cme_exact; sim ]
+let all = [ cme_sample; cme_exact; sim; symbolic ]
 let names = List.map (fun b -> b.name) all
 
 let of_string s =

@@ -39,6 +39,15 @@ val sim : t
     ground-truth oracle the CME backends are validated against.
     Name: ["sim"]. *)
 
+val symbolic : t
+(** Closed-form CME aggregation ({!Tiling_cme.Closed_form.estimate}):
+    whole-space replacement counts from boundary-window classification plus
+    periodic extrapolation — census accuracy without census cost.  Nests the
+    closed form refuses (affine-coupled bounds, budget blowout) fall back to
+    the embedded sample, scaled to whole-space magnitude so objectives stay
+    comparable within one search; each fallback increments the
+    [symbolic.fallbacks] metric.  Name: ["symbolic"]. *)
+
 val default : t
 (** [cme_sample]. *)
 

@@ -47,13 +47,20 @@ type 'v t = {
 let create ?(size = 512) () =
   { table = Table.create size; lock = Mutex.create (); tier = None }
 
-let set_tier t tier = t.tier <- tier
+(* [tier] is written by the daemon while other domains are already probing
+   the memo (the disk store attaches once the request's fingerprint is
+   known), so every access goes through [t.lock]; each operation reads the
+   field exactly once and then works on its snapshot. *)
+let set_tier t tier = Mutex.protect t.lock (fun () -> t.tier <- tier)
 
 let find_opt t k =
-  match Mutex.protect t.lock (fun () -> Table.find_opt t.table k) with
-  | Some _ as r -> r
+  let hit, tier =
+    Mutex.protect t.lock (fun () -> (Table.find_opt t.table k, t.tier))
+  in
+  match hit with
+  | Some _ -> hit
   | None -> (
-      match t.tier with
+      match tier with
       | None -> None
       | Some tier -> (
           (* Tier lookups run outside the lock: they may do IO and must not
@@ -66,7 +73,11 @@ let find_opt t k =
           | None -> None))
 
 let set t k v =
-  Mutex.protect t.lock (fun () -> Table.replace t.table k v);
-  match t.tier with None -> () | Some tier -> tier.save k v
+  let tier =
+    Mutex.protect t.lock (fun () ->
+        Table.replace t.table k v;
+        t.tier)
+  in
+  match tier with None -> () | Some tier -> tier.save k v
 
 let length t = Mutex.protect t.lock (fun () -> Table.length t.table)

@@ -154,7 +154,10 @@ let create ?(workers = 2) ?(capacity = 64) () =
 
 (* Backoff hint for a rejected client: the queue's expected service time
    from recent latencies (median x queued-ahead / workers), clamped to a
-   sane range.  With no history yet, one second. *)
+   sane range.  Uses the live queue depth, not the configured capacity, so
+   the hint shrinks as the backlog drains.  With no history yet, one
+   second.  Runs lock-free: [submit] calls it with [t.lock] already held,
+   and a racy external read only skews an advisory hint. *)
 let retry_after t =
   let p50, _, samples =
     (* inlined below to avoid forward reference *)
@@ -168,8 +171,11 @@ let retry_after t =
   in
   if samples = 0 then 1.0
   else
-    let nworkers = List.length t.threads in
-    Float.min 60. (Float.max 0.1 (p50 *. float_of_int (t.capacity / max 1 nworkers)))
+    let nworkers = max 1 (List.length t.threads) in
+    let queued_ahead = Queue.length t.queue in
+    Float.min 60.
+      (Float.max 0.1
+         (p50 *. float_of_int (queued_ahead + 1) /. float_of_int nworkers))
 
 let submit t ?deadline_s ?(label = "?") ?trace ~work ~deliver () =
   let verdict =
@@ -234,7 +240,7 @@ let drain t =
           t.closed <- true;
           Condition.broadcast t.nonempty;
           let ts = t.threads in
-          t.threads <- ts;
+          t.threads <- [];
           ts
         end)
   in

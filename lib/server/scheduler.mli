@@ -59,7 +59,17 @@ val submit :
 
 val depth : t -> int
 val capacity : t -> int
+
 val workers : t -> int
+(** Live worker threads: the configured count until {!drain}, 0 after
+    (the drain joins the crew and clears the roster). *)
+
+val retry_after : t -> float
+(** The backoff hint attached to [Overloaded] rejects: median recent
+    service time times the requests queued ahead, divided by the worker
+    count, clamped to [0.1, 60] seconds (1s before any completion).  The
+    hint tracks the live queue depth, so it shrinks as the backlog
+    drains. *)
 
 val completed : t -> int
 (** Jobs delivered (ok, failed and timed out alike). *)
@@ -87,4 +97,7 @@ val latency_histogram : unit -> Tiling_obs.Json.t
 
 val drain : t -> unit
 (** Stop admitting ({!submit} returns [Draining]), let the workers
-    finish everything already queued, and join them.  Idempotent. *)
+    finish everything already queued, and join them.  The thread roster
+    is cleared under the lock before joining, so {!workers} and
+    {!retry_after} never report a crew that is shutting down.
+    Idempotent. *)

@@ -1,0 +1,171 @@
+(* The closed-form aggregator must be a census: identical totals to
+   Estimator.exact wherever it accepts, refusal (never silent degradation)
+   where its periodicity premises fail.  The backend built on it must agree
+   with cme-exact and the simulator on the rectangular rotation kernels. *)
+
+open Tiling_cme
+
+let check_census name nest cache =
+  let exact = Estimator.exact (Engine.create nest cache) in
+  match Closed_form.estimate (Engine.create nest cache) with
+  | Error reason ->
+      Alcotest.failf "%s: closed form refused (%a)" name Closed_form.pp_reason
+        reason
+  | Ok r ->
+      Alcotest.(check int)
+        (name ^ ": points") exact.Estimator.points r.Estimator.points;
+      Alcotest.(check int)
+        (name ^ ": accesses") exact.Estimator.accesses r.Estimator.accesses;
+      Alcotest.(check int)
+        (name ^ ": misses") exact.Estimator.misses r.Estimator.misses;
+      Alcotest.(check int)
+        (name ^ ": compulsory") exact.Estimator.compulsory
+        r.Estimator.compulsory;
+      Array.iteri
+        (fun i (c : Estimator.ref_counts) ->
+          let c' = r.Estimator.per_ref.(i) in
+          Alcotest.(check int)
+            (Printf.sprintf "%s: ref %d misses" name i)
+            c.Estimator.r_misses c'.Estimator.r_misses)
+        exact.Estimator.per_ref
+
+let geometries =
+  [
+    ("dm256", Tiling_cache.Config.make ~size:256 ~line:32 ());
+    ("dm1k", Tiling_cache.Config.make ~size:1024 ~line:32 ());
+  ]
+
+let test_census_matches_exact () =
+  List.iter
+    (fun (cname, cache) ->
+      List.iter
+        (fun (kname, nest) ->
+          check_census (kname ^ "/" ^ cname) nest cache)
+        [
+          ("mm8", Tiling_kernels.Kernels.mm 8);
+          ("mm12", Tiling_kernels.Kernels.mm 12);
+          ("t2d16", Tiling_kernels.Kernels.t2d 16);
+          ("jacobi3d8", Tiling_kernels.Kernels.jacobi3d 8);
+        ])
+    geometries
+
+let test_census_matches_exact_tiled () =
+  (* Three tilings per geometry, including a ragged one: tiled nests have
+     multi-entry boxes and exercise the outer-dimension memo. *)
+  List.iter
+    (fun (cname, cache) ->
+      List.iter
+        (fun tiles ->
+          let nest = Tiling_ir.Transform.tile (Tiling_kernels.Kernels.mm 8) tiles in
+          check_census
+            (Printf.sprintf "mm8[%d,%d,%d]/%s" tiles.(0) tiles.(1) tiles.(2)
+               cname)
+            nest cache)
+        [ [| 2; 2; 8 |]; [| 4; 8; 4 |]; [| 3; 5; 7 |] ])
+    geometries
+
+let test_census_associative () =
+  let cache = Tiling_cache.Config.make ~size:512 ~line:32 ~assoc:2 () in
+  check_census "mm8/2-way" (Tiling_kernels.Kernels.mm 8) cache
+
+let test_census_larger_than_exhaustive_window () =
+  (* Size chosen so rows are long enough that the middle is genuinely
+     extrapolated (n >> 2w + pi for this geometry), not just re-censused. *)
+  let cache = Tiling_cache.Config.make ~size:256 ~line:16 () in
+  check_census "t2d96" (Tiling_kernels.Kernels.t2d 96) cache
+
+let test_refuses_affine () =
+  (* Triangular nests carry affine-coupled bounds: the closed form must
+     refuse them, which is what trips the backend's sampling fallback. *)
+  let nest = Tiling_kernels.Kernels.lu 12 in
+  let cache = Tiling_cache.Config.make ~size:256 ~line:32 () in
+  match Closed_form.estimate (Engine.create nest cache) with
+  | Error `Affine -> ()
+  | Error `Budget -> Alcotest.fail "expected `Affine, got `Budget"
+  | Ok _ -> Alcotest.fail "closed form accepted a triangular nest"
+
+let test_refuses_budget () =
+  let nest = Tiling_kernels.Kernels.mm 8 in
+  let cache = Tiling_cache.Config.make ~size:256 ~line:32 () in
+  match Closed_form.estimate ~budget:10 (Engine.create nest cache) with
+  | Error `Budget -> ()
+  | Error `Affine -> Alcotest.fail "expected `Budget, got `Affine"
+  | Ok _ -> Alcotest.fail "budget of 10 classifications was not exhausted"
+
+let test_backend_registered () =
+  (match Tiling_search.Backend.of_string "symbolic" with
+  | Ok b ->
+      Alcotest.(check string) "name" "symbolic" b.Tiling_search.Backend.name
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool)
+    "listed" true
+    (List.mem "symbolic" Tiling_search.Backend.names)
+
+let test_backend_matches_exact () =
+  (* Rectangular rotation kernels at 2 geometries x 3 tilings: the symbolic
+     backend's objective equals cme-exact's (both whole-space censuses). *)
+  let symbolic = Tiling_search.Backend.symbolic in
+  let exact = Tiling_search.Backend.cme_exact in
+  List.iter
+    (fun (_, cache) ->
+      List.iter
+        (fun tiles ->
+          let nest =
+            Tiling_ir.Transform.tile (Tiling_kernels.Kernels.t2d 16) tiles
+          in
+          let cs = symbolic.Tiling_search.Backend.cost cache nest ~points:[||] in
+          let ce = exact.Tiling_search.Backend.cost cache nest ~points:[||] in
+          Alcotest.(check (float 0.0))
+            (Printf.sprintf "t2d16[%d,%d]" tiles.(0) tiles.(1))
+            ce cs)
+        [ [| 4; 4 |]; [| 8; 2 |]; [| 5; 7 |] ])
+    geometries
+
+let test_backend_fallback_on_triangular () =
+  (* On a triangular nest the backend must fall back to sampling (finite
+     cost from the embedded sample) and bump symbolic.fallbacks. *)
+  let nest = Tiling_kernels.Kernels.lu 12 in
+  let cache = Tiling_cache.Config.make ~size:256 ~line:32 () in
+  let points =
+    Array.init 64 (fun i ->
+        let rng = Tiling_util.Prng.create ~seed:(1000 + i) in
+        Tiling_ir.Nest.random_point nest rng)
+  in
+  let fallbacks = Tiling_obs.Metrics.counter "symbolic.fallbacks" in
+  Tiling_obs.Metrics.set_enabled true;
+  let before = Tiling_obs.Metrics.counter_value fallbacks in
+  let cost =
+    Fun.protect
+      ~finally:(fun () -> Tiling_obs.Metrics.set_enabled false)
+      (fun () ->
+        Tiling_search.Backend.symbolic.Tiling_search.Backend.cost cache nest
+          ~points)
+  in
+  let after = Tiling_obs.Metrics.counter_value fallbacks in
+  Alcotest.(check bool) "fallback counted" true (after > before);
+  Alcotest.(check bool) "finite cost" true (Float.is_finite cost);
+  (* Whole-space scaling: the fallback cost must be on census magnitude,
+     i.e. bounded by total accesses. *)
+  let total =
+    float_of_int
+      (Tiling_ir.Nest.trip_count nest * Array.length nest.Tiling_ir.Nest.refs)
+  in
+  Alcotest.(check bool) "census-scale" true (cost >= 0. && cost <= total)
+
+let suite =
+  [
+    Alcotest.test_case "census = exact (rect kernels)" `Slow
+      test_census_matches_exact;
+    Alcotest.test_case "census = exact (tiled)" `Slow
+      test_census_matches_exact_tiled;
+    Alcotest.test_case "census = exact (2-way)" `Slow test_census_associative;
+    Alcotest.test_case "census = exact (extrapolated rows)" `Slow
+      test_census_larger_than_exhaustive_window;
+    Alcotest.test_case "refuses affine nests" `Quick test_refuses_affine;
+    Alcotest.test_case "refuses on budget" `Quick test_refuses_budget;
+    Alcotest.test_case "backend registered" `Quick test_backend_registered;
+    Alcotest.test_case "backend = cme-exact on rotation" `Slow
+      test_backend_matches_exact;
+    Alcotest.test_case "backend falls back on triangular" `Quick
+      test_backend_fallback_on_triangular;
+  ]

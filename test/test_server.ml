@@ -248,6 +248,69 @@ let test_scheduler_backpressure () =
   | Error Scheduler.Draining -> ()
   | _ -> Alcotest.fail "post-drain submission not refused"
 
+let test_scheduler_retry_hint_tracks_depth () =
+  let sched = Scheduler.create ~workers:1 ~capacity:8 () in
+  let deliver _ = () in
+  (* seed the latency ring with one completion of measurable duration so
+     the hint formula has a p50 to work from *)
+  (match
+     Scheduler.submit sched
+       ~work:(fun ~cancelled:_ ->
+         Thread.delay 0.2;
+         Json.Null)
+       ~deliver ()
+   with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "warm-up job rejected");
+  let rec wait_done tries =
+    if Scheduler.completed sched < 1 && tries > 0 then (
+      Thread.delay 0.01;
+      wait_done (tries - 1))
+  in
+  wait_done 500;
+  Alcotest.(check int) "warm-up completed" 1 (Scheduler.completed sched);
+  let hint_empty = Scheduler.retry_after sched in
+  (* occupy the worker... *)
+  let release = Atomic.make false in
+  let blocker ~cancelled:_ =
+    while not (Atomic.get release) do
+      Thread.yield ()
+    done;
+    Json.Null
+  in
+  (match Scheduler.submit sched ~work:blocker ~deliver () with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "blocker rejected");
+  let rec wait_pickup tries =
+    if Scheduler.depth sched > 0 && tries > 0 then (
+      Thread.delay 0.01;
+      wait_pickup (tries - 1))
+  in
+  wait_pickup 200;
+  (* ...then grow the backlog and watch the hint grow with it.  The old
+     bug multiplied p50 by the configured capacity, so the hint sat at
+     the same (inflated) value at every depth. *)
+  let hint_at_depth d =
+    while Scheduler.depth sched < d do
+      match Scheduler.submit sched ~work:blocker ~deliver () with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "queued job rejected"
+    done;
+    Scheduler.retry_after sched
+  in
+  let h1 = hint_at_depth 1 in
+  let h3 = hint_at_depth 3 in
+  Alcotest.(check bool) "hint grows with backlog" true (h3 > h1);
+  Alcotest.(check bool) "deep hint above empty-queue hint" true
+    (h3 > hint_empty);
+  (* capacity 8 x p50 ~0.2s would put the buggy hint at ~1.6s even with
+     nothing queued; the depth-based hint stays near p50 *)
+  Alcotest.(check bool) "empty-queue hint is small" true (hint_empty < 0.5);
+  Atomic.set release true;
+  Scheduler.drain sched;
+  (* drain clears the roster before joining: report no crew, not a dead one *)
+  Alcotest.(check int) "no workers after drain" 0 (Scheduler.workers sched)
+
 let test_scheduler_deadlines () =
   let sched = Scheduler.create ~workers:1 ~capacity:8 () in
   let results = Atomic.make [] in
@@ -680,6 +743,8 @@ let suite =
       `Quick test_memo_roundtrip_all_kernels;
     Alcotest.test_case "scheduler backpressure and drain" `Quick
       test_scheduler_backpressure;
+    Alcotest.test_case "retry hint tracks queue depth, drain clears roster"
+      `Quick test_scheduler_retry_hint_tracks_depth;
     Alcotest.test_case "scheduler deadlines, queued and cooperative" `Quick
       test_scheduler_deadlines;
     Alcotest.test_case "handler crash maps to internal error" `Quick

@@ -60,13 +60,29 @@ let test_against_simulator () =
   Alcotest.(check int) "symbolic misses = simulator misses"
     sim.Tiling_trace.Run.total.Tiling_cache.Sim.misses !misses
 
-let test_rejects_associative () =
-  let nest = Tiling_kernels.Kernels.mm 6 in
+let test_associative_agreement () =
+  (* The associativity lattice: distinct wrap values = distinct interfering
+     lines, so a 2-way cache needs two of them to evict.  Must agree with
+     the fast engine's own k-way counting. *)
   let c2 = Tiling_cache.Config.make ~size:256 ~line:32 ~assoc:2 () in
-  try
-    ignore (Symbolic.classify nest c2 [| 1; 1; 1 |] 0);
-    Alcotest.fail "associative cache accepted"
-  with Invalid_argument _ -> ()
+  let nest = Tiling_kernels.Kernels.mm 6 in
+  let mism, total = agree_on nest c2 in
+  Alcotest.(check int) (Printf.sprintf "0 of %d disagree (2-way)" total) 0 mism
+
+let test_associative_distinct_lines_cap () =
+  (* The cap never changes the decision threshold: capped at k, the count
+     is min k (true count). *)
+  let c2 = Tiling_cache.Config.make ~size:256 ~line:32 ~assoc:2 () in
+  let nest = Tiling_kernels.Kernels.mm 6 in
+  let src = [| 3; 2; 1 |] and dst = [| 3; 2; 2 |] in
+  let full =
+    Symbolic.distinct_interfering_lines nest c2 ~src ~src_ref:0 ~dst ~dst_ref:0
+  in
+  let capped =
+    Symbolic.distinct_interfering_lines ~cap:2 nest c2 ~src ~src_ref:0 ~dst
+      ~dst_ref:0
+  in
+  Alcotest.(check int) "capped = min cap full" (min 2 full) capped
 
 let test_polyhedra_structure () =
   (* For a same-iteration reuse edge in MM the path is two references at
@@ -115,7 +131,10 @@ let suite =
     Alcotest.test_case "T2D agreement" `Slow test_t2d_agreement;
     Alcotest.test_case "tiled agreement" `Slow test_tiled_agreement;
     Alcotest.test_case "matches simulator" `Slow test_against_simulator;
-    Alcotest.test_case "rejects associative caches" `Quick test_rejects_associative;
+    Alcotest.test_case "associative agreement (2-way)" `Slow
+      test_associative_agreement;
+    Alcotest.test_case "distinct-lines cap" `Quick
+      test_associative_distinct_lines_cap;
     Alcotest.test_case "polyhedra structure" `Quick test_polyhedra_structure;
     Alcotest.test_case "interference counting" `Quick test_interference_counting;
     qcheck prop_random_tilings_agree;
