@@ -493,6 +493,7 @@ let throughput () =
 type eval_row = {
   e_kernel : string;
   e_size : int;
+  e_cache_size : int; (* cache capacity in bytes *)
   e_backend : string;
   e_mode : string; (* "pool" | "spawn" *)
   e_residues : string; (* "cold" | "warm" *)
@@ -538,32 +539,39 @@ let eval_throughput () =
   let sample_points = 32 in
   (* sim replays the full iteration space per candidate, so it gets small
      problem sizes; cme-sample scales with the sample, not the space. *)
+  let dm8k = Tiling_cache.Config.dm8k in
+  let dm1k = Tiling_cache.Config.dm1k in
   let configs =
     [
-      ("MM", 200, Tiling_search.Backend.cme_sample, batches);
-      ("SOR", 500, Tiling_search.Backend.cme_sample, batches);
+      ("MM", 200, Tiling_search.Backend.cme_sample, batches, dm8k);
+      ("SOR", 500, Tiling_search.Backend.cme_sample, batches, dm8k);
       (* Triangular datapoint: the affine latest-source path instead of the
          reuse-vector machinery — the throughput cost of exactness on
          non-rectangular spaces. *)
-      ("LU", 100, Tiling_search.Backend.cme_sample, batches);
-      ("MM", 24, Tiling_search.Backend.sim, batches);
-      ("SOR", 48, Tiling_search.Backend.sim, batches);
-      ("LU", 24, Tiling_search.Backend.sim, batches);
-      (* Closed-form backend: whole-space censuses, so far fewer candidates
-         per measurement; MM exercises the aggregator (or its budget
-         fallback) on the paper's primary kernel, LU is the guaranteed
-         fallback-rate datapoint (triangular => every eval samples). *)
-      ("MM", 200, Tiling_search.Backend.symbolic, 2);
-      ("MM", 64, Tiling_search.Backend.symbolic, 2);
-      ("LU", 100, Tiling_search.Backend.symbolic, 2);
+      ("LU", 100, Tiling_search.Backend.cme_sample, batches, dm8k);
+      (* Same-series baseline for the symbolic MM_64 rows below. *)
+      ("MM", 64, Tiling_search.Backend.cme_sample, batches, dm8k);
+      ("MM", 24, Tiling_search.Backend.sim, batches, dm8k);
+      ("SOR", 48, Tiling_search.Backend.sim, batches, dm8k);
+      ("LU", 24, Tiling_search.Backend.sim, batches, dm8k);
+      (* Closed-form backend: bounded-mode estimates; MM exercises the
+         probe-row aggregator on the paper's primary kernel (rectangular =>
+         zero fallbacks, enforced below in quick mode), LU is the
+         guaranteed fallback-rate datapoint (triangular => every eval
+         samples).  The dm1k rows are the small-modulus series the CI
+         smoke gates on. *)
+      ("MM", 200, Tiling_search.Backend.symbolic, 2, dm8k);
+      ("MM", 64, Tiling_search.Backend.symbolic, 2, dm8k);
+      ("MM", 64, Tiling_search.Backend.symbolic, 2, dm1k);
+      ("LU", 100, Tiling_search.Backend.symbolic, 2, dm8k);
     ]
   in
   let fallback_counter = Tiling_obs.Metrics.counter "symbolic.fallbacks" in
   let metrics_were = Tiling_obs.Metrics.enabled () in
   Tiling_obs.Metrics.set_enabled true;
-  let cache = Tiling_cache.Config.dm8k in
+  let rows_before = !eval_rows in
   List.iter
-    (fun (name, n, backend, batches) ->
+    (fun (name, n, backend, batches, cache) ->
       let nest = build name n in
       let sample = Tiling_core.Sample.create ~n:sample_points ~seed nest in
       let spans = Tiling_ir.Transform.tile_spans nest in
@@ -602,6 +610,7 @@ let eval_throughput () =
           {
             e_kernel = name;
             e_size = n;
+            e_cache_size = cache.Tiling_cache.Config.size;
             e_backend = backend.Tiling_search.Backend.name;
             e_mode = mode;
             e_residues = residues;
@@ -613,7 +622,7 @@ let eval_throughput () =
           }
           :: !eval_rows;
         Fmt.pr "%-10s %-10s %-5s %-4s %7d %8d %10.3f %12.0f %5d@."
-          (Printf.sprintf "%s_%d" name n)
+          (Printf.sprintf "%s_%d/%dk" name n (cache.Tiling_cache.Config.size / 1024))
           backend.Tiling_search.Backend.name mode residues domains evals wall
           rate fallbacks
       in
@@ -626,7 +635,40 @@ let eval_throughput () =
           if domains > 1 then measure ~mode:"spawn" ~residues:"warm" ~domains)
         domain_counts)
     configs;
-  Tiling_obs.Metrics.set_enabled metrics_were
+  Tiling_obs.Metrics.set_enabled metrics_were;
+  (* Quick mode doubles as the CI smoke, so it gates two regressions the
+     human-readable table would merely display: the symbolic backend must
+     never fall back on rectangular MM candidates (the bounded mode only
+     errors on affine nests), and per-evaluation latency must stay within
+     an order of magnitude of the measured envelope — a refusal or probe
+     regression shows up as a 100-1000x blowup, far outside machine
+     noise. *)
+  if quick then begin
+    let this_run =
+      let before = rows_before in
+      List.filteri (fun i _ -> i < List.length !eval_rows - List.length before)
+        !eval_rows
+    in
+    List.iter
+      (fun r ->
+        if r.e_backend = "symbolic" then begin
+          if r.e_kernel = "MM" && r.e_fallbacks > 0 then
+            failwith
+              (Printf.sprintf
+                 "eval-throughput gate: symbolic backend fell back %d times \
+                  on MM_%d (expected 0 on rectangular nests)"
+                 r.e_fallbacks r.e_size);
+          let per_eval = r.e_wall_s /. float_of_int (max 1 r.e_evals) in
+          let bound = if r.e_kernel = "LU" then 0.25 else 0.10 in
+          if per_eval > bound then
+            failwith
+              (Printf.sprintf
+                 "eval-throughput gate: symbolic %s_%d spent %.3f s/eval \
+                  (bound %.2f): refusal path or probe budget regressed"
+                 r.e_kernel r.e_size per_eval bound)
+        end)
+      this_run
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Differential fuzzer throughput: oracle trials per second             *)

@@ -31,7 +31,11 @@
        "serve_latency":
                   [ { "kernel": str, "n": int, "phase": "cold"|"warm",
                       "requests": int, "p50_ms": float, "p95_ms": float,
-                      "wall_s": float }, ... ] } *)
+                      "wall_s": float }, ... ] }
+
+   Partial runs merge into the existing file rather than replacing it:
+   sections (and the per-target partitions of "search_throughput") keep
+   their previous rows unless this run re-measured them. *)
 
 let targets : (string * (unit -> unit)) list =
   [
@@ -107,6 +111,7 @@ let json_of_eval_row (r : Experiments.eval_row) =
       ("target", String "eval-throughput");
       ("kernel", String r.Experiments.e_kernel);
       ("n", Int r.Experiments.e_size);
+      ("cache_size", Int r.Experiments.e_cache_size);
       ("backend", String r.Experiments.e_backend);
       ("mode", String r.Experiments.e_mode);
       ("shared_residues", String r.Experiments.e_residues);
@@ -117,28 +122,98 @@ let json_of_eval_row (r : Experiments.eval_row) =
       ("fallbacks", Int r.Experiments.e_fallbacks);
     ]
 
+(* A partial run (e.g. `bench/main.exe -- serve-latency`) must not wipe
+   the series other targets produced on earlier runs, so writing merges
+   with the previous BENCH_results.json: a section (or, for the shared
+   [search_throughput] array, a target-tagged partition of it) is only
+   replaced when the current run produced rows for it; [targets] and
+   [tilings] merge row-wise by key, newest wins. *)
+let read_previous () =
+  match open_in_bin "BENCH_results.json" with
+  | exception Sys_error _ -> None
+  | ic ->
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      close_in ic;
+      (match Tiling_obs.Json.of_string s with
+      | Ok doc -> Some doc
+      | Error msg ->
+          Fmt.epr "ignoring unreadable BENCH_results.json (%s)@." msg;
+          None)
+
+let prev_section prev key =
+  match prev with
+  | None -> []
+  | Some doc -> (
+      match Tiling_obs.Json.member key doc with
+      | Some (Tiling_obs.Json.List rows) -> rows
+      | _ -> [])
+
+let str_member k row =
+  match Tiling_obs.Json.member k row with
+  | Some (Tiling_obs.Json.String s) -> Some s
+  | _ -> None
+
+(* Old rows not superseded by a new row with the same key, then the new
+   rows: series keep their history across partial runs. *)
+let merge_rows ~key old_rows new_rows =
+  let new_keys = List.map key new_rows in
+  List.filter (fun r -> not (List.mem (key r) new_keys)) old_rows @ new_rows
+
 let write_results timed =
   let open Tiling_obs.Json in
+  let prev = read_previous () in
+  let keep_unless_empty key fresh =
+    if fresh = [] then prev_section prev key else fresh
+  in
   let tilings =
     Hashtbl.fold
       (fun (_, _, cache_size) r acc -> json_of_tiling r cache_size :: acc)
       Experiments.tile_cache []
     |> List.sort compare
   in
-  let throughput =
-    List.rev_map json_of_throughput !Experiments.throughput_rows
-    @ List.rev_map json_of_eval_row !Experiments.eval_rows
+  let tilings =
+    merge_rows
+      ~key:(fun r ->
+        (str_member "kernel" r, member "n" r, member "cache_size" r))
+      (prev_section prev "tilings") tilings
   in
-  let fuzz = List.rev_map json_of_fuzz !Experiments.fuzz_rows in
+  let targets =
+    merge_rows ~key:(str_member "name") (prev_section prev "targets")
+      (List.rev timed)
+  in
+  (* search_throughput holds two series distinguished by the "target"
+     tag; each is replaced only when this run re-measured it. *)
+  let eval_tagged r = str_member "target" r = Some "eval-throughput" in
+  let old_plain, old_eval =
+    List.partition (fun r -> not (eval_tagged r)) (prev_section prev "search_throughput")
+  in
+  let throughput =
+    (match List.rev_map json_of_throughput !Experiments.throughput_rows with
+    | [] -> old_plain
+    | fresh -> fresh)
+    @
+    match List.rev_map json_of_eval_row !Experiments.eval_rows with
+    | [] -> old_eval
+    | fresh -> fresh
+  in
+  let fuzz =
+    keep_unless_empty "fuzz_throughput"
+      (List.rev_map json_of_fuzz !Experiments.fuzz_rows)
+  in
+  let serve =
+    keep_unless_empty "serve_latency"
+      (List.rev_map Serve.json_of_row !Serve.rows)
+  in
   let doc =
     Obj
       [
         ("schema", String "tiling-bench/1");
-        ("targets", List (List.rev timed));
+        ("targets", List targets);
         ("tilings", List tilings);
         ("search_throughput", List throughput);
         ("fuzz_throughput", List fuzz);
-        ("serve_latency", List (List.rev_map Serve.json_of_row !Serve.rows));
+        ("serve_latency", List serve);
       ]
   in
   let oc = open_out "BENCH_results.json" in
@@ -146,7 +221,7 @@ let write_results timed =
   output_char oc '\n';
   close_out oc;
   Fmt.pr "wrote BENCH_results.json (%d targets, %d tilings)@."
-    (List.length timed) (List.length tilings)
+    (List.length targets) (List.length tilings)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

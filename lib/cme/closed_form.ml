@@ -7,14 +7,32 @@ let m_rows = Metrics.counter "symbolic.rows"
 let m_row_memo_hit = Metrics.counter "symbolic.rows.memo.hit"
 let m_extrapolated = Metrics.counter "symbolic.rows.extrapolated"
 let m_classified = Metrics.counter "symbolic.points.classified"
+let m_parallel = Metrics.counter "symbolic.rows.parallel"
+let m_probed = Metrics.counter "symbolic.rows.probed"
+let m_ref_exhaustive = Metrics.counter "symbolic.rows.ref_exhaustive"
 
 type reason = [ `Affine | `Budget ]
+type mode = Census | Bounded
 
 let pp_reason ppf = function
   | `Affine -> Fmt.string ppf "affine-coupled loop bounds"
   | `Budget -> Fmt.string ppf "classification budget exhausted"
 
 exception Out_of_budget
+
+(* Tuning constants.  [census_period_cap] bounds the sound per-row period
+   the Census mode will extrapolate from: entries whose residue period
+   exceeds it are classified exhaustively (windows wide enough to prove
+   the period would rival the rows themselves).  The [bounded_*] constants
+   shape the search backend's probe mode: a handful of stratified rows per
+   box, each classified over a short prefix and extrapolated from its
+   trailing pattern. *)
+let census_period_cap = 32
+let bounded_row_points = 8
+let bounded_period_cap = 4
+let bounded_exact_points = 512
+let bounded_exact_rows = 512
+let parallel_min_rows = 128
 
 (* Packed per-row outcome counts: for each reference, misses and
    compulsory misses summed over the row's points. *)
@@ -24,6 +42,10 @@ let add_row_counts ~into:(m, c) rc =
   Array.iteri (fun r x -> m.(r) <- m.(r) + x) rc.rc_m;
   Array.iteri (fun r x -> c.(r) <- c.(r) + x) rc.rc_c
 
+let add_row_counts_scaled ~into:(m, c) rc occ =
+  Array.iteri (fun r x -> m.(r) <- m.(r) + (x * occ)) rc.rc_m;
+  Array.iteri (fun r x -> c.(r) <- c.(r) + (x * occ)) rc.rc_c
+
 (* The address step of reference [r] along one box entry: moving the
    entry's counter by 1 moves every target variable by its increment. *)
 let entry_step form (e : Box.entry) =
@@ -31,9 +53,15 @@ let entry_step form (e : Box.entry) =
     (fun acc (var, inc) -> acc + (Affine.coeff form var * inc))
     0 e.Box.targets
 
-(* Outcome period of a box entry: the smallest counter shift that moves
-   every reference's address by a multiple of the cache modulus.  Each
-   per-reference period divides the modulus, so the lcm does too. *)
+(* Residue period of a box entry: the smallest counter shift that moves
+   every reference's address by a multiple of the cache modulus [M = sets
+   * line].  Shifting by it leaves every set index, every line offset and
+   every interference residue unchanged, so past the reuse reach the
+   outcome vector of the row is provably periodic with this period.  Note
+   the set-space collapse for line-aligned steps: when [s = k * line],
+   [M / gcd (s, M) = sets / gcd (k, sets)] — the line-offset component
+   divides out and the byte-space period already *is* the set-space
+   period, at most [sets] instead of [sets * line]. *)
 let entry_period forms modulus (e : Box.entry) =
   Array.fold_left
     (fun acc form ->
@@ -41,36 +69,82 @@ let entry_period forms modulus (e : Box.entry) =
       if s = 0 then acc else Intmath.lcm acc (modulus / Intmath.gcd s modulus))
     1 forms
 
+(* Set-space period candidate of a single reference along an entry: its
+   line offset cycles with [line / gcd (s, line)] while its set index (for
+   line-aligned steps) cycles with the full byte period.  The minimum is
+   the natural first guess for the reference's *observed* outcome period —
+   interference from the other references can stretch it, so the bounded
+   probe mode only uses it as a ladder candidate to be validated against
+   classified points, never as a proof. *)
+let ref_period ~modulus ~line step =
+  let s = Intmath.pos_mod step modulus in
+  if s = 0 then 1
+  else
+    let byte = modulus / Intmath.gcd s modulus in
+    if s mod line = 0 then byte
+    else min byte (line / Intmath.gcd s line)
+
+(* Per-variable reach of the reuse sources: the farthest (in iterations of
+   that variable) any reuse vector displaces its source.  Hoisted out of
+   the per-entry fold so [entry_reach_of] touches each entry target once
+   instead of re-walking every reference's vector list per target. *)
+let max_deltas depth reuse =
+  let d = Array.make (max 1 depth) 0 in
+  Array.iter
+    (fun vs ->
+      List.iter
+        (fun (v : Tiling_reuse.Vectors.t) ->
+          Array.iteri (fun i x -> if abs x > d.(i) then d.(i) <- abs x) v.delta)
+        vs)
+    reuse;
+  d
+
 (* How far (in entry counters) a reuse source can sit from its destination
    along this entry: bounds the boundary zone where sources fall out of
    the iteration space and the outcome pattern is not yet periodic. *)
+let entry_reach_of ~max_deltas (e : Box.entry) =
+  List.fold_left
+    (fun acc (var, inc) ->
+      if var >= Array.length max_deltas || max_deltas.(var) = 0 then acc
+      else max acc (Intmath.ceil_div max_deltas.(var) (max 1 (abs inc))))
+    1 e.Box.targets
+
 let entry_reach reuse (e : Box.entry) =
-  Array.fold_left
-    (fun acc vs ->
-      List.fold_left
-        (fun acc (v : Tiling_reuse.Vectors.t) ->
-          List.fold_left
-            (fun acc (var, inc) ->
-              if v.delta.(var) = 0 then acc
-              else max acc (Intmath.ceil_div (abs v.delta.(var)) (max 1 (abs inc))))
-            acc e.Box.targets)
-        acc vs)
-    1 reuse
+  (* Exposed for tests; [estimate] hoists [max_deltas] once per call. *)
+  let depth =
+    Array.fold_left
+      (fun acc vs ->
+        List.fold_left
+          (fun acc (v : Tiling_reuse.Vectors.t) ->
+            max acc (Array.length v.delta))
+          acc vs)
+      0 reuse
+  in
+  entry_reach_of ~max_deltas:(max_deltas depth reuse) e
 
 type ctx = {
   engine : Engine.t;
   nrefs : int;
   forms : Affine.t array;
   modulus : int;
-  budget : int ref; (* remaining (point, ref) classifications *)
+  line : int;
+  budget : int Atomic.t;
+      (* remaining (point, ref) classifications, shared across domains *)
 }
+
+let charge ctx =
+  Metrics.incr m_classified;
+  if Atomic.fetch_and_add ctx.budget (-1) < 1 then raise Out_of_budget
+
+let code_of = function
+  | Engine.Hit -> 0
+  | Engine.Replacement_miss -> 1
+  | Engine.Compulsory_miss -> 2
 
 (* Classify one point (all references) into [m]/[c], charging the budget. *)
 let classify_point ctx point (m, c) =
-  if !(ctx.budget) < ctx.nrefs then raise Out_of_budget;
-  ctx.budget := !(ctx.budget) - ctx.nrefs;
-  Metrics.add m_classified ctx.nrefs;
   for r = 0 to ctx.nrefs - 1 do
+    charge ctx;
     match Engine.classify ctx.engine point r with
     | Engine.Hit -> ()
     | Engine.Replacement_miss -> m.(r) <- m.(r) + 1
@@ -79,35 +153,31 @@ let classify_point ctx point (m, c) =
         c.(r) <- c.(r) + 1
   done
 
-(* Classify point and record the per-ref outcome triple into [out] at
-   index [t] (2 bits per outcome, packed as an int array row). *)
-let classify_into ctx point outcomes t (m, c) =
-  if !(ctx.budget) < ctx.nrefs then raise Out_of_budget;
-  ctx.budget := !(ctx.budget) - ctx.nrefs;
-  Metrics.add m_classified ctx.nrefs;
-  let row = outcomes.(t) in
-  for r = 0 to ctx.nrefs - 1 do
-    let o = Engine.classify ctx.engine point r in
-    (match o with
-    | Engine.Hit -> ()
-    | Engine.Replacement_miss -> m.(r) <- m.(r) + 1
-    | Engine.Compulsory_miss ->
-        m.(r) <- m.(r) + 1;
-        c.(r) <- c.(r) + 1);
-    row.(r) <- (match o with Engine.Hit -> 0 | Engine.Replacement_miss -> 1 | Engine.Compulsory_miss -> 2)
-  done
-
+(* ------------------------------------------------------------------ *)
 (* One row: the innermost entry of a box swept over [0, n) with every
-   outer entry pinned.  [base] is the row's origin iteration point.
-   Short rows are classified exhaustively (exact).  Long rows classify a
-   prefix and a suffix window of [w] points each and extrapolate the
-   middle from the prefix's trailing pattern of period [pi], provided the
-   pattern is self-consistent across both windows; otherwise the row is
-   classified exhaustively.  The windows cover the source reach, so at
-   validated sizes the middle is in the periodic interior regime. *)
-let row_counts ctx ~base ~(inner : Box.entry) ~pi ~reach =
+   outer entry pinned, classified independently per reference.
+
+   Census rows with a provable period [pi <= census_period_cap] classify
+   a prefix and a suffix window of [w = 2*pi + reach + 4] points and, per
+   reference, extrapolate the middle from the smallest period the full
+   verified span supports.  Soundness: past the reach the outcome
+   sequence is pi-periodic (the residue argument above), and observing
+   p-periodicity over a span of length [2*pi >= pi + p] inside the
+   windows pins every middle outcome to a window slot through the
+   pi-translates.  The period ladder is per reference — one reference
+   with a long observed period no longer forces the others (or the whole
+   row) through the exhaustive path.  Entries whose period exceeds the
+   cap are classified exhaustively, so the census stays exact always.
+
+   Probe rows (the bounded backend mode) classify only a short prefix and
+   extrapolate the rest of the row from the prefix's trailing pattern —
+   deterministic, structurally bounded at [bounded_row_points]
+   classifications per reference, and approximate by design (the ladder
+   is seeded with the reference's set-space period candidate). *)
+let row_counts ctx ~row_mode ~base ~(inner : Box.entry) ~pi ~reach =
   let n = inner.Box.count in
-  let m = Array.make ctx.nrefs 0 and c = Array.make ctx.nrefs 0 in
+  let nrefs = ctx.nrefs in
+  let m = Array.make nrefs 0 and c = Array.make nrefs 0 in
   let point = Array.copy base in
   let set_point t =
     Array.blit base 0 point 0 (Array.length base);
@@ -115,75 +185,131 @@ let row_counts ctx ~base ~(inner : Box.entry) ~pi ~reach =
       (fun (var, inc) -> point.(var) <- point.(var) + (inc * t))
       inner.Box.targets
   in
-  let w = (2 * pi) + reach + 4 in
-  if n <= (2 * w) + pi then begin
-    (* Exhaustive (and exact): the whole row fits in the windows. *)
-    for t = 0 to n - 1 do
-      set_point t;
-      classify_point ctx point (m, c)
-    done;
-    { rc_m = m; rc_c = c }
-  end
-  else begin
-    let outcomes = Array.init n (fun _ -> [||]) in
-    let classify_range a b =
-      for t = a to b - 1 do
-        if outcomes.(t) = [||] then begin
-          outcomes.(t) <- Array.make ctx.nrefs 0;
-          set_point t;
-          classify_into ctx point outcomes t (m, c)
-        end
-      done
-    in
-    classify_range 0 w;
-    classify_range (n - w) n;
-    (* Pattern base: the last [pi] outcomes of the prefix window. *)
-    let pat_base = w - pi in
-    let pat t = outcomes.(pat_base + Intmath.pos_mod (t - pat_base) pi) in
-    let consistent =
-      (* Prefix must already be periodic over its last 2*pi, and the
-         suffix window's leading 2*pi must continue the same pattern. *)
-      let ok = ref true in
-      for t = w - (2 * pi) to w - 1 do
-        if outcomes.(t) <> pat t then ok := false
-      done;
-      for t = n - w to min (n - 1) (n - w + (2 * pi) - 1) do
-        if outcomes.(t) <> pat t then ok := false
-      done;
-      !ok
-    in
-    if consistent then begin
-      Metrics.incr m_extrapolated;
-      (* Middle [w, n - w): per pattern slot, closed-form occurrence
-         count times the slot's outcome. *)
-      for s = 0 to pi - 1 do
-        (* Occurrences of slot [s] (offset from pat_base mod pi) among
-           t in [w, n - w). *)
-        let first =
-          let d = Intmath.pos_mod (pat_base + s - w) pi in
-          w + d
-        in
-        if first < n - w then begin
-          let occ = ((n - w - 1 - first) / pi) + 1 in
-          let row = outcomes.(pat_base + s) in
-          for r = 0 to ctx.nrefs - 1 do
-            match row.(r) with
-            | 0 -> ()
-            | 1 -> m.(r) <- m.(r) + occ
-            | _ ->
-                m.(r) <- m.(r) + occ;
-                c.(r) <- c.(r) + occ
-          done
-        end
-      done;
-      { rc_m = m; rc_c = c }
-    end
+  let codes = Array.make_matrix n nrefs (-1) in
+  let get t r =
+    let v = codes.(t).(r) in
+    if v >= 0 then v
     else begin
-      (* The row is not in the periodic regime: classify what is left. *)
-      classify_range w (n - w);
-      { rc_m = m; rc_c = c }
+      charge ctx;
+      set_point t;
+      let v = code_of (Engine.classify ctx.engine point r) in
+      codes.(t).(r) <- v;
+      v
     end
-  end
+  in
+  let add r v occ =
+    match v with
+    | 0 -> ()
+    | 1 -> m.(r) <- m.(r) + occ
+    | _ ->
+        m.(r) <- m.(r) + occ;
+        c.(r) <- c.(r) + occ
+  in
+  let sum_range r a b =
+    for t = a to b - 1 do
+      add r (get t r) 1
+    done
+  in
+  (* Is reference [r]'s classified outcome sequence [p]-periodic over
+     [a, b)?  Pattern slots are anchored at [pat_base = anchor - p], so
+     checks on disjoint windows stay phase-aligned across the gap. *)
+  let matches_pattern r ~anchor ~p a b =
+    let pat_base = anchor - p in
+    let ok = ref true in
+    let t = ref a in
+    while !ok && !t < b do
+      if
+        codes.(!t).(r)
+        <> codes.(pat_base + Intmath.pos_mod (!t - pat_base) p).(r)
+      then ok := false;
+      incr t
+    done;
+    !ok
+  in
+  (* Closed-form occurrence extrapolation of pattern slot outcomes over
+     [lo, hi), pattern anchored before [anchor]. *)
+  let extrapolate r ~anchor ~p ~lo ~hi =
+    let pat_base = anchor - p in
+    for s = 0 to p - 1 do
+      let first = lo + Intmath.pos_mod (pat_base + s - lo) p in
+      if first < hi then begin
+        let occ = ((hi - 1 - first) / p) + 1 in
+        add r codes.(pat_base + s).(r) occ
+      end
+    done
+  in
+  (match row_mode with
+  | `Census ->
+      let w = (2 * pi) + reach + 4 in
+      if pi > census_period_cap || n <= (2 * w) + 2 then
+        (* Exhaustive (and exact): no coverable period, or the whole row
+           fits in the windows anyway. *)
+        for r = 0 to nrefs - 1 do
+          sum_range r 0 n
+        done
+      else
+        for r = 0 to nrefs - 1 do
+          for t = 0 to w - 1 do
+            ignore (get t r)
+          done;
+          for t = n - w to n - 1 do
+            ignore (get t r)
+          done;
+          sum_range r 0 w;
+          sum_range r (n - w) n;
+          (* Per-reference period ladder: the smallest p whose pattern the
+             full [2*pi] verified span exhibits (that span length is what
+             makes the extrapolation sound, see above).  The suffix-head
+             check is belt and braces against an underestimated reach. *)
+          let rec find p =
+            if p > pi then None
+            else if
+              matches_pattern r ~anchor:w ~p (w - (2 * pi)) w
+              && matches_pattern r ~anchor:w ~p (n - w)
+                   (min n (n - w + (2 * p)))
+            then Some p
+            else find (p + 1)
+          in
+          match find 1 with
+          | Some p ->
+              Metrics.incr m_extrapolated;
+              extrapolate r ~anchor:w ~p ~lo:w ~hi:(n - w)
+          | None ->
+              (* Inconsistent windows (reach underestimate): classify this
+                 reference (alone) exhaustively, keeping the census
+                 exact. *)
+              Metrics.incr m_ref_exhaustive;
+              sum_range r w (n - w)
+        done
+  | `Probe ->
+      let wp = bounded_row_points in
+      for r = 0 to nrefs - 1 do
+        if n <= wp then sum_range r 0 n
+        else begin
+          sum_range r 0 wp;
+          (* Best-effort period from the prefix tail alone, seeding the
+             ladder with the reference's set-space candidate; the default
+             (the full trailing window) keeps the fill deterministic when
+             no shorter period shows. *)
+          let cand =
+            ref_period ~modulus:ctx.modulus ~line:ctx.line
+              (entry_step ctx.forms.(r) inner)
+          in
+          let try_p p =
+            2 * p <= wp && matches_pattern r ~anchor:wp ~p (wp - (2 * p)) wp
+          in
+          let rec find p =
+            if p > bounded_period_cap then
+              if cand > bounded_period_cap && try_p cand then cand
+              else bounded_period_cap
+            else if try_p p then p
+            else find (p + 1)
+          in
+          let p = find 1 in
+          extrapolate r ~anchor:wp ~p ~lo:wp ~hi:n
+        end
+      done);
+  { rc_m = m; rc_c = c }
 
 (* Row signature for the cross-row memo: two rows whose references start
    at the same addresses modulo the cache modulus and whose outer
@@ -194,7 +320,8 @@ let row_counts ctx ~base ~(inner : Box.entry) ~pi ~reach =
 let row_signature ctx ~base ~outer_ts ~outer_caps =
   let sig_ = ref [] in
   for r = ctx.nrefs - 1 downto 0 do
-    sig_ := Intmath.pos_mod (Affine.eval ctx.forms.(r) base) ctx.modulus :: !sig_
+    sig_ :=
+      Intmath.pos_mod (Affine.eval ctx.forms.(r) base) ctx.modulus :: !sig_
   done;
   List.iteri
     (fun i (t, n) ->
@@ -203,129 +330,376 @@ let row_signature ctx ~base ~outer_ts ~outer_caps =
     outer_ts;
   !sig_
 
-let estimate ?(budget = 2_000_000) engine =
+(* ------------------------------------------------------------------ *)
+(* Box walkers.                                                        *)
+
+(* Static per-box analysis shared by the walkers. *)
+type box_plan = {
+  box : Box.t;
+  inner : Box.entry option;
+  outers : Box.entry array;
+  pi : int; (* residue period of the inner entry *)
+  reach : int;
+  outer_caps : int array;
+  rows : int; (* product of outer entry counts *)
+}
+
+let plan_box forms modulus reuse_max_deltas (box : Box.t) =
+  match List.rev box.Box.entries with
+  | [] ->
+      {
+        box;
+        inner = None;
+        outers = [||];
+        pi = 1;
+        reach = 1;
+        outer_caps = [||];
+        rows = 1;
+      }
+  | inner :: outers_rev ->
+      let outers = Array.of_list (List.rev outers_rev) in
+      let pi = entry_period forms modulus inner in
+      let reach =
+        Array.fold_left
+          (fun acc e -> max acc (entry_reach_of ~max_deltas:reuse_max_deltas e))
+          (entry_reach_of ~max_deltas:reuse_max_deltas inner)
+          outers
+      in
+      let outer_caps =
+        Array.map (fun e -> entry_period forms modulus e + reach + 4) outers
+      in
+      let rows =
+        Array.fold_left (fun acc (e : Box.entry) -> acc * e.Box.count) 1 outers
+      in
+      { box; inner = Some inner; outers; pi; reach; outer_caps; rows }
+
+(* Minimal classification cost of one row of this plan (used by the
+   upfront budget guard, before any classification work). *)
+let plan_row_cost plan =
+  match plan.inner with
+  | None -> 1
+  | Some inner ->
+      let n = inner.Box.count in
+      if plan.pi > census_period_cap then n
+      else
+        let w = (2 * plan.pi) + plan.reach + 4 in
+        min n ((2 * w) + 2)
+
+(* Row base: origin plus the sum of every outer entry's contribution.  A
+   variable may be moved by several entries (a tile-control counter and
+   the element counter both shift the element variable), so this is never
+   a per-entry reset. *)
+let base_of plan ts =
+  let base = Array.copy plan.box.Box.origin in
+  Array.iteri
+    (fun j (e : Box.entry) ->
+      List.iter
+        (fun (var, inc) -> base.(var) <- base.(var) + (inc * ts.(j)))
+        e.Box.targets)
+    plan.outers;
+  base
+
+(* Census walk of one box, outer counters of the outermost entry
+   restricted to [lo, hi) (the parallel unit of work).  The memo is
+   per-invocation: parallel chunks keep private shards and merge counts,
+   never memo entries, so sharing is an optimisation that cannot change
+   the sums. *)
+let census_walk_range ctx plan ~memo ~counts ~lo ~hi =
+  match plan.inner with
+  | None ->
+      Metrics.incr m_rows;
+      classify_point ctx plan.box.Box.origin counts
+  | Some inner ->
+      let nout = Array.length plan.outers in
+      let ts = Array.make nout 0 in
+      let rec rows i =
+        if i = nout then begin
+          Metrics.incr m_rows;
+          let base = base_of plan ts in
+          let outer_ts =
+            List.init nout (fun j -> (ts.(j), plan.outers.(j).Box.count))
+          in
+          let key =
+            row_signature ctx ~base ~outer_ts ~outer_caps:plan.outer_caps
+          in
+          let rc =
+            match Hashtbl.find_opt memo key with
+            | Some rc ->
+                Metrics.incr m_row_memo_hit;
+                rc
+            | None ->
+                let rc =
+                  row_counts ctx ~row_mode:`Census ~base ~inner ~pi:plan.pi
+                    ~reach:plan.reach
+                in
+                Hashtbl.replace memo key rc;
+                rc
+          in
+          add_row_counts ~into:counts rc
+        end
+        else begin
+          let l = if i = 0 then lo else 0
+          and h = if i = 0 then hi else plan.outers.(i).Box.count in
+          for t = l to h - 1 do
+            ts.(i) <- t;
+            rows (i + 1)
+          done
+        end
+      in
+      rows 0
+
+(* ------------------------------------------------------------------ *)
+(* Estimation drivers.                                                 *)
+
+let census_estimate ~budget ~domains engine plans ~nrefs ~forms ~modulus ~line
+    ~total_points =
+  (* Visiting a row costs real work (a signature and a memo probe) even
+     when its classification is shared, so a space whose row count alone
+     rivals the budget can never come in under it — refuse upfront
+     instead of grinding to the same answer. *)
+  let total_rows = List.fold_left (fun acc p -> acc + p.rows) 0 plans in
+  if total_rows > budget / 4 then Error `Budget
+  else begin
+    (* Second upfront guard, still before any classification: even with
+       perfect memo sharing, at least one row per distinct residue tuple
+       must be classified, and each costs at least its boundary windows
+       (or the whole row, when no coverable period exists).  The
+       distinct-row count is estimated per entry as min (count, residue
+       period); entries that move the same variables can overlap, so
+       sharing-rich tiled nests may be overestimated — the guard only
+       refuses when even this floor exceeds the budget, where grinding
+       was hopeless anyway. *)
+    let min_cost =
+      List.fold_left
+        (fun acc p ->
+          let distinct =
+            Array.fold_left
+              (fun acc (e : Box.entry) ->
+                acc * min e.Box.count (entry_period forms modulus e))
+              1 p.outers
+          in
+          acc + (distinct * nrefs * plan_row_cost p))
+        0 plans
+    in
+    if min_cost > budget then Error `Budget
+    else begin
+      let nest = Engine.nest engine in
+      let cache = Engine.cache engine in
+      let shared_budget = Atomic.make budget in
+      let main_ctx =
+        { engine; nrefs; forms; modulus; line; budget = shared_budget }
+      in
+      let m = Array.make nrefs 0 and c = Array.make nrefs 0 in
+      let fallbacks_before = Engine.fallback_count engine in
+      let extra_fallbacks = ref 0 in
+      let walk_box plan =
+        let n0 =
+          if Array.length plan.outers = 0 then 1
+          else plan.outers.(0).Box.count
+        in
+        let want_parallel =
+          domains > 1 && n0 >= 2 && plan.rows >= parallel_min_rows
+        in
+        if not want_parallel then begin
+          let memo = Hashtbl.create 64 in
+          census_walk_range main_ctx plan ~memo ~counts:(m, c) ~lo:0 ~hi:n0
+        end
+        else begin
+          (* Parallel row walks: chunk the outermost entry over the pool.
+             Each chunk classifies with its own engine (engines keep
+             private memo tables and are not shared across domains) and
+             its own memo shard and accumulators; the shared budget is the
+             only cross-domain state.  Counts are integers, so merging in
+             chunk order makes the census byte-identical to the
+             sequential walk whenever the budget does not trip. *)
+          let nchunks = min n0 (domains * 4) in
+          let chunk_m = Array.init nchunks (fun _ -> Array.make nrefs 0) in
+          let chunk_c = Array.init nchunks (fun _ -> Array.make nrefs 0) in
+          let chunk_fb = Array.make nchunks 0 in
+          let chunk_exn : exn option array = Array.make nchunks None in
+          Metrics.add m_parallel plan.rows;
+          Tiling_util.Pool.run ~helpers:(domains - 1) ~nchunks (fun i ->
+              try
+                let lo = i * n0 / nchunks and hi = (i + 1) * n0 / nchunks in
+                if lo < hi then begin
+                  let eng =
+                    Engine.create ~window_cap:(Engine.window_cap engine) nest
+                      cache
+                  in
+                  let ctx =
+                    {
+                      engine = eng;
+                      nrefs;
+                      forms;
+                      modulus;
+                      line;
+                      budget = shared_budget;
+                    }
+                  in
+                  let memo = Hashtbl.create 64 in
+                  census_walk_range ctx plan ~memo
+                    ~counts:(chunk_m.(i), chunk_c.(i))
+                    ~lo ~hi;
+                  chunk_fb.(i) <- Engine.fallback_count eng
+                end
+              with e -> chunk_exn.(i) <- Some e);
+          Array.iter (function Some e -> raise e | None -> ()) chunk_exn;
+          for i = 0 to nchunks - 1 do
+            add_row_counts ~into:(m, c)
+              { rc_m = chunk_m.(i); rc_c = chunk_c.(i) };
+            extra_fallbacks := !extra_fallbacks + chunk_fb.(i)
+          done
+        end
+      in
+      match List.iter walk_box plans with
+      | () ->
+          let per_ref =
+            Array.init nrefs (fun r ->
+                {
+                  Estimator.r_accesses = total_points;
+                  r_misses = m.(r);
+                  r_compulsory = c.(r);
+                })
+          in
+          Ok
+            (Estimator.census_report ~points:total_points ~per_ref
+               ~fallbacks:
+                 (Engine.fallback_count engine - fallbacks_before
+                 + !extra_fallbacks))
+      | exception Out_of_budget -> Error `Budget
+    end
+  end
+
+let bounded_estimate ~budget engine plans ~nrefs ~forms ~modulus ~line
+    ~total_points =
+  (* The bounded mode never refuses for cost: its work is structurally
+     bounded (a handful of probe rows, each classifying a short prefix),
+     so the internal budget is effectively unlimited. *)
+  let ctx =
+    { engine; nrefs; forms; modulus; line; budget = Atomic.make max_int }
+  in
+  let k_total = max 1 (min 16 (budget / 75_000)) in
+  let m = Array.make nrefs 0 and c = Array.make nrefs 0 in
+  let fallbacks_before = Engine.fallback_count engine in
+  (* Boxes carrying a sliver of the space (partial-tile remainders) are
+     not worth their own probe rows: they are handled in a second pass by
+     applying the per-reference miss rates observed on the probed boxes.
+     Points covered by real walks in the first pass are tracked so the
+     rates have a denominator. *)
+  let sliver_cutoff =
+    (* Only spaces big enough that exactness was never on the table get
+       the sliver shortcut; small spaces walk every box for real. *)
+    if total_points > 65_536 then total_points / 16 else 0
+  in
+  let covered = ref 0 in
+  let slivers = ref [] in
+  let walk_plan plan =
+    let points = Box.points plan.box in
+    covered := !covered + points;
+    match plan.inner with
+    | None ->
+        Metrics.incr m_rows;
+        classify_point ctx plan.box.Box.origin (m, c)
+    | Some inner ->
+        if points <= bounded_exact_points && plan.rows <= bounded_exact_rows
+        then begin
+          (* Small boxes are censused exactly, so the backend stays
+             equal to cme-exact on every test-sized kernel. *)
+          let memo = Hashtbl.create 64 in
+          let n0 =
+            if Array.length plan.outers = 0 then 1
+            else plan.outers.(0).Box.count
+          in
+          census_walk_range ctx plan ~memo ~counts:(m, c) ~lo:0 ~hi:n0
+        end
+        else begin
+          (* Stratified diagonal probe rows: probe [i] pins every outer
+             counter to the midpoint of its [i]-th stratum, so a few
+             rows sweep the interior of every outer dimension at once.
+             Each probe stands for an equal share of the box's rows; the
+             remainder rows go to the earliest probes, keeping the
+             weights (and the estimate) deterministic. *)
+          let kb =
+            max 1 (min plan.rows (k_total * points / max 1 total_points))
+          in
+          let nout = Array.length plan.outers in
+          for i = 0 to kb - 1 do
+            Metrics.incr m_rows;
+            Metrics.incr m_probed;
+            let ts =
+              Array.init nout (fun j ->
+                  let n = plan.outers.(j).Box.count in
+                  ((2 * i) + 1) * n / (2 * kb))
+            in
+            let base = base_of plan ts in
+            let rc =
+              row_counts ctx ~row_mode:`Probe ~base ~inner ~pi:plan.pi
+                ~reach:plan.reach
+            in
+            let occ =
+              (plan.rows / kb) + (if i < plan.rows mod kb then 1 else 0)
+            in
+            add_row_counts_scaled ~into:(m, c) rc occ
+          done
+        end
+  in
+  List.iter
+    (fun plan ->
+      let points = Box.points plan.box in
+      if points < sliver_cutoff then slivers := (plan, points) :: !slivers
+      else walk_plan plan)
+    plans;
+  (match !slivers with
+  | [] -> ()
+  | slivers ->
+      if !covered = 0 then
+        (* Nothing big enough to probe (a space made only of slivers):
+           walk them all for real. *)
+        List.iter (fun (plan, _) -> walk_plan plan) slivers
+      else begin
+        let rep = !covered in
+        let base_m = Array.copy m and base_c = Array.copy c in
+        List.iter
+          (fun (_, points) ->
+            for r = 0 to nrefs - 1 do
+              m.(r) <- m.(r) + (((base_m.(r) * points) + (rep / 2)) / rep);
+              c.(r) <- c.(r) + (((base_c.(r) * points) + (rep / 2)) / rep)
+            done)
+          slivers
+      end);
+  let per_ref =
+    Array.init nrefs (fun r ->
+        {
+          Estimator.r_accesses = total_points;
+          r_misses = m.(r);
+          r_compulsory = c.(r);
+        })
+  in
+  Ok
+    (Estimator.census_report ~points:total_points ~per_ref
+       ~fallbacks:(Engine.fallback_count engine - fallbacks_before))
+
+let estimate ?(budget = 2_000_000) ?(mode = Census) ?(domains = 1) engine =
   let nest = Engine.nest engine in
   let cache = Engine.cache engine in
   if Nest.has_affine nest then Error `Affine
   else begin
     let nrefs = Array.length nest.Nest.refs in
     let forms = Array.map (Nest.address_form nest) nest.Nest.refs in
-    let modulus =
-      cache.Tiling_cache.Config.sets * cache.Tiling_cache.Config.line
-    in
+    let line = cache.Tiling_cache.Config.line in
+    let modulus = cache.Tiling_cache.Config.sets * line in
     let reuse = Engine.reuse_vectors engine in
-    let ctx =
-      {
-        engine;
-        nrefs;
-        forms;
-        modulus;
-        budget = ref budget;
-      }
-    in
+    let reuse_max_deltas = max_deltas (Nest.depth nest) reuse in
     let boxes = Path.full_space nest in
+    let plans = List.map (plan_box forms modulus reuse_max_deltas) boxes in
     let total_points =
       List.fold_left (fun acc b -> acc + Box.points b) 0 boxes
     in
-    (* Visiting a row costs real work (a signature and a memo probe) even
-       when its classification is shared, so a space whose row count alone
-       rivals the budget can never come in under it — refuse upfront
-       instead of grinding to the same answer. *)
-    let total_rows =
-      List.fold_left
-        (fun acc (b : Box.t) ->
-          match List.rev b.Box.entries with
-          | [] -> acc + 1
-          | inner :: _ -> acc + (Box.points b / max 1 inner.Box.count))
-        0 boxes
-    in
-    if total_rows > budget / 4 then Error `Budget
-    else begin
-    let m = Array.make nrefs 0 and c = Array.make nrefs 0 in
-    let fallbacks_before = Engine.fallback_count engine in
-    match
-      List.iter
-        (fun (box : Box.t) ->
-          match List.rev box.Box.entries with
-          | [] ->
-              (* Degenerate box: a single iteration point. *)
-              Metrics.incr m_rows;
-              classify_point ctx box.Box.origin (m, c)
-          | inner :: outers_rev ->
-              let outers = Array.of_list (List.rev outers_rev) in
-              let pi = entry_period forms modulus inner in
-              let reach =
-                List.fold_left
-                  (fun acc (e : Box.entry) -> max acc (entry_reach reuse e))
-                  1
-                  (inner :: Array.to_list outers)
-              in
-              let outer_caps =
-                Array.map
-                  (fun e -> entry_period forms modulus e + reach + 4)
-                  outers
-              in
-              let memo : (int list, row_counts) Hashtbl.t =
-                Hashtbl.create 64
-              in
-              let base = Array.copy box.Box.origin in
-              let ts = Array.make (Array.length outers) 0 in
-              (* A variable may be moved by several entries (a tile-control
-                 counter and the element counter both shift the element
-                 variable), so the row base is origin plus the sum of every
-                 outer entry's contribution — never a per-entry reset. *)
-              let set_base () =
-                Array.blit box.Box.origin 0 base 0 (Array.length base);
-                Array.iteri
-                  (fun j (e : Box.entry) ->
-                    List.iter
-                      (fun (var, inc) ->
-                        base.(var) <- base.(var) + (inc * ts.(j)))
-                      e.Box.targets)
-                  outers
-              in
-              let rec rows i =
-                if i = Array.length outers then begin
-                  Metrics.incr m_rows;
-                  set_base ();
-                  let outer_ts =
-                    List.init (Array.length outers) (fun j ->
-                        (ts.(j), outers.(j).Box.count))
-                  in
-                  let key = row_signature ctx ~base ~outer_ts ~outer_caps in
-                  let rc =
-                    match Hashtbl.find_opt memo key with
-                    | Some rc ->
-                        Metrics.incr m_row_memo_hit;
-                        rc
-                    | None ->
-                        let rc = row_counts ctx ~base ~inner ~pi ~reach in
-                        Hashtbl.replace memo key rc;
-                        rc
-                  in
-                  add_row_counts ~into:(m, c) rc
-                end
-                else
-                  for t = 0 to outers.(i).Box.count - 1 do
-                    ts.(i) <- t;
-                    rows (i + 1)
-                  done
-              in
-              rows 0)
-        boxes
-    with
-    | () ->
-        let per_ref =
-          Array.init nrefs (fun r ->
-              {
-                Estimator.r_accesses = total_points;
-                r_misses = m.(r);
-                r_compulsory = c.(r);
-              })
-        in
-        Ok
-          (Estimator.census_report ~points:total_points ~per_ref
-             ~fallbacks:(Engine.fallback_count engine - fallbacks_before))
-    | exception Out_of_budget -> Error `Budget
-    end
+    match mode with
+    | Census ->
+        census_estimate ~budget ~domains engine plans ~nrefs ~forms ~modulus
+          ~line ~total_points
+    | Bounded ->
+        bounded_estimate ~budget engine plans ~nrefs ~forms ~modulus ~line
+          ~total_points
   end

@@ -152,6 +152,77 @@ let test_backend_fallback_on_triangular () =
   in
   Alcotest.(check bool) "census-scale" true (cost >= 0. && cost <= total)
 
+let test_entry_reach_pinned () =
+  (* The reach values drive window sizing (hoisted to one per-nest pass
+     over the reuse vectors); pin them so a hoisting or reuse-analysis
+     change that silently widens or narrows boundary windows is caught. *)
+  let reaches nest =
+    let engine = Engine.create nest Tiling_cache.Config.dm8k in
+    let reuse = Engine.reuse_vectors engine in
+    List.map
+      (fun box ->
+        List.map (Closed_form.entry_reach reuse) box.Box.entries)
+      (Path.full_space (Engine.nest engine))
+  in
+  Alcotest.(check (list (list int)))
+    "mm8" [ [ 7; 1; 7 ] ]
+    (reaches (Tiling_kernels.Kernels.mm 8));
+  Alcotest.(check (list (list int)))
+    "jacobi3d8" [ [ 2; 5; 5 ] ]
+    (reaches (Tiling_kernels.Kernels.jacobi3d 8));
+  Alcotest.(check (list (list int)))
+    "mm8 tiled [2,2,8]"
+    [ [ 4; 7; 1; 1; 7 ] ]
+    (reaches
+       (Tiling_ir.Transform.tile (Tiling_kernels.Kernels.mm 8) [| 2; 2; 8 |]))
+
+let test_census_dm8k_matches_exact () =
+  (* Flagship geometry: at dm8k the inner-row period lcm is 1024, far past
+     the extrapolation cap, so the census must degrade to an exhaustive
+     (still exact) walk — per reference — without a single fallback. *)
+  let cache = Tiling_cache.Config.dm8k in
+  let nest = Tiling_kernels.Kernels.mm 20 in
+  let fallbacks = Tiling_obs.Metrics.counter "symbolic.fallbacks" in
+  Tiling_obs.Metrics.set_enabled true;
+  let before = Tiling_obs.Metrics.counter_value fallbacks in
+  Fun.protect
+    ~finally:(fun () -> Tiling_obs.Metrics.set_enabled false)
+    (fun () -> check_census "mm20/dm8k" nest cache);
+  Alcotest.(check int)
+    "symbolic.fallbacks unchanged" before
+    (Tiling_obs.Metrics.counter_value fallbacks)
+
+let test_census_parallel_identical () =
+  (* Pool-parallel row walks must be byte-identical to the sequential
+     census: every field of the report, not just the totals. *)
+  let cache = Tiling_cache.Config.dm8k in
+  let nest = Tiling_kernels.Kernels.mm 32 in
+  let run domains =
+    match Closed_form.estimate ~domains (Engine.create nest cache) with
+    | Error reason ->
+        Alcotest.failf "domains=%d refused (%a)" domains Closed_form.pp_reason
+          reason
+    | Ok r -> r
+  in
+  let seq = run 1 and par = run 4 in
+  Alcotest.(check int) "points" seq.Estimator.points par.Estimator.points;
+  Alcotest.(check int) "accesses" seq.Estimator.accesses par.Estimator.accesses;
+  Alcotest.(check int) "misses" seq.Estimator.misses par.Estimator.misses;
+  Alcotest.(check int)
+    "compulsory" seq.Estimator.compulsory par.Estimator.compulsory;
+  Alcotest.(check int)
+    "fallbacks" seq.Estimator.fallbacks par.Estimator.fallbacks;
+  Array.iteri
+    (fun i (c : Estimator.ref_counts) ->
+      let c' = par.Estimator.per_ref.(i) in
+      Alcotest.(check int)
+        (Printf.sprintf "ref %d misses" i)
+        c.Estimator.r_misses c'.Estimator.r_misses;
+      Alcotest.(check int)
+        (Printf.sprintf "ref %d compulsory" i)
+        c.Estimator.r_compulsory c'.Estimator.r_compulsory)
+    seq.Estimator.per_ref
+
 let suite =
   [
     Alcotest.test_case "census = exact (rect kernels)" `Slow
@@ -168,4 +239,9 @@ let suite =
       test_backend_matches_exact;
     Alcotest.test_case "backend falls back on triangular" `Quick
       test_backend_fallback_on_triangular;
+    Alcotest.test_case "entry reach pinned" `Quick test_entry_reach_pinned;
+    Alcotest.test_case "census = exact at dm8k, no fallback" `Slow
+      test_census_dm8k_matches_exact;
+    Alcotest.test_case "parallel census identical" `Slow
+      test_census_parallel_identical;
   ]
