@@ -5,7 +5,7 @@
                                             table4 ga-convergence
                                             solver-accuracy equations
                                             throughput timing serve-latency
-                                            serve-telemetry
+                                            serve-telemetry serve-fanout
 
    Besides the human-readable tables on stdout, every run writes
    BENCH_results.json in the current directory: a machine-readable record
@@ -31,6 +31,12 @@
        "serve_latency":
                   [ { "kernel": str, "n": int, "phase": "cold"|"warm",
                       "requests": int, "p50_ms": float, "p95_ms": float,
+                      "wall_s": float }, ... ],
+       "serve_fanout":
+                  [ { "topology": "single"|"router+2"|"router+4",
+                      "phase": "cold"|"warm"|"coalesce"|"failover",
+                      "clients": int, "requests": int, "p50_ms": float,
+                      "p95_ms": float, "coalesce_hits": int,
                       "wall_s": float }, ... ] }
 
    Partial runs merge into the existing file rather than replacing it:
@@ -56,6 +62,7 @@ let targets : (string * (unit -> unit)) list =
     ("timing", Timing.run);
     ("serve-latency", Serve.run);
     ("serve-telemetry", Serve.run_telemetry);
+    ("serve-fanout", Serve.run_fanout);
   ]
 
 let timed_run name f =
@@ -205,6 +212,10 @@ let write_results timed =
     keep_unless_empty "serve_latency"
       (List.rev_map Serve.json_of_row !Serve.rows)
   in
+  let fanout =
+    keep_unless_empty "serve_fanout"
+      (List.rev_map Serve.json_of_fan_row !Serve.fanout_rows)
+  in
   let doc =
     Obj
       [
@@ -214,6 +225,7 @@ let write_results timed =
         ("search_throughput", List throughput);
         ("fuzz_throughput", List fuzz);
         ("serve_latency", List serve);
+        ("serve_fanout", List fanout);
       ]
   in
   let oc = open_out "BENCH_results.json" in

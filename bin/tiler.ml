@@ -838,8 +838,30 @@ let serve_cmd =
     Arg.(
       value & opt (some string) None & info [ "events-out" ] ~docv:"FILE" ~doc)
   in
+  let router_arg =
+    let doc =
+      "Run as a fleet router instead of a worker daemon: shard searching \
+       requests across the $(b,--worker) daemons by fingerprint hash, \
+       coalesce identical in-flight requests, fail crashed workers over \
+       to the next live node (see docs/SERVER.md, Fleet mode).  Ignores \
+       the evaluation flags ($(b,--workers), $(b,--queue), $(b,--store), \
+       $(b,--deadline), $(b,--domains))."
+    in
+    Arg.(value & flag & info [ "router" ] ~doc)
+  in
+  let worker_addr_arg =
+    let doc =
+      "Worker daemon address for $(b,--router) mode (repeatable): \
+       $(b,unix:PATH), $(b,tcp:HOST:PORT) or $(b,HOST:PORT)."
+    in
+    Arg.(value & opt_all string [] & info [ "worker" ] ~docv:"ADDR" ~doc)
+  in
+  let health_period_arg =
+    let doc = "Seconds between worker health sweeps in $(b,--router) mode." in
+    Arg.(value & opt float 2.0 & info [ "health-period" ] ~docv:"SEC" ~doc)
+  in
   let run socket workers queue store deadline max_line metrics_addr events_out
-      domains obs =
+      router worker_addrs health_period domains obs =
     match resolve_addr socket with
     | Error m -> `Error (false, m)
     | Ok addr -> (
@@ -868,27 +890,51 @@ let serve_cmd =
                 | Ok () -> ()
                 | Error m ->
                     Fmt.epr "tiler: cannot open events sink: %s@." m));
-            let store_path =
-              match store with
-              | Some _ -> store
-              | None -> (
-                  match Sys.getenv_opt "TILING_STORE" with
-                  | Some s when String.trim s <> "" -> Some s
-                  | _ -> None)
+            let r =
+              if router then begin
+                let rec addrs_of = function
+                  | [] -> Ok []
+                  | s :: rest ->
+                      Result.bind (Tiling_util.Netio.addr_of_string s)
+                        (fun a -> Result.map (fun r -> a :: r) (addrs_of rest))
+                in
+                match addrs_of worker_addrs with
+                | Error m -> Error m
+                | Ok [] ->
+                    Error "serve --router needs at least one --worker ADDR"
+                | Ok worker_addrs ->
+                    Tiling_fleet.Router.run
+                      {
+                        Tiling_fleet.Router.addr;
+                        workers = worker_addrs;
+                        health_period_s = health_period;
+                        io_timeout_s = 2.0;
+                        max_line_bytes = max_line;
+                        metrics_addr;
+                      }
+              end
+              else begin
+                let store_path =
+                  match store with
+                  | Some _ -> store
+                  | None -> (
+                      match Sys.getenv_opt "TILING_STORE" with
+                      | Some s when String.trim s <> "" -> Some s
+                      | _ -> None)
+                in
+                Tiling_server.Server.run
+                  {
+                    Tiling_server.Server.addr;
+                    workers;
+                    capacity = queue;
+                    store_path;
+                    default_deadline_s = deadline;
+                    domains;
+                    max_line_bytes = max_line;
+                    metrics_addr;
+                  }
+              end
             in
-            let cfg =
-              {
-                Tiling_server.Server.addr;
-                workers;
-                capacity = queue;
-                store_path;
-                default_deadline_s = deadline;
-                domains;
-                max_line_bytes = max_line;
-                metrics_addr;
-              }
-            in
-            let r = Tiling_server.Server.run cfg in
             Tiling_obs.Events.close_sink ();
             Option.iter
               (fun file ->
@@ -905,11 +951,13 @@ let serve_cmd =
        ~doc:
          "Run the tiling daemon: newline-delimited JSON requests over a \
           Unix or TCP socket, with admission control and a persistent \
-          result store (see docs/SERVER.md)")
+          result store — or, with $(b,--router), the fleet router in \
+          front of a set of such daemons (see docs/SERVER.md)")
     Term.(
       ret
         (const run $ socket_arg $ workers_arg $ queue_arg $ store_arg
        $ deadline_arg $ max_line_arg $ metrics_addr_arg $ events_out_arg
+       $ router_arg $ worker_addr_arg $ health_period_arg
        $ domains_arg $ obs_term))
 
 (* --- `request --trace` flame summary ------------------------------- *)
@@ -1038,8 +1086,17 @@ let request_cmd =
     in
     Arg.(value & flag & info [ "progress" ] ~doc)
   in
+  let retries_arg =
+    let doc =
+      "Retry up to $(docv) times when the daemon answers $(b,overloaded), \
+       sleeping the server's $(b,retry_after_s) hint (with jitter) between \
+       attempts; transport failures reconnect and retry the same way.  \
+       Default 0: fail on the first reject."
+    in
+    Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N" ~doc)
+  in
   let run socket meth kernel n csize line assoc seed backend tiles exact case
-      deadline trace progress =
+      deadline trace progress retries =
     match resolve_addr socket with
     | Error m -> `Error (false, m)
     | Ok addr -> (
@@ -1067,34 +1124,64 @@ let request_cmd =
                else None);
             ]
         in
-        match Tiling_server.Client.connect addr with
-        | Error m ->
-            Fmt.epr "tiler: cannot connect to %s: %s@."
-              (Tiling_util.Netio.addr_to_string addr)
-              m;
-            exit 1
-        | Ok client -> (
-            let on_progress =
-              if progress then Some print_progress_event else None
-            in
-            let resp =
-              Tiling_server.Client.call ?on_progress client ~meth ~params
-            in
-            Tiling_server.Client.close client;
-            match resp with
-            | Error m ->
-                Fmt.epr "tiler: %s@." m;
-                exit 1
-            | Ok envelope -> (
-                print_endline (Tiling_obs.Json.to_string envelope);
-                match Tiling_server.Client.result_of_response envelope with
-                | Ok result ->
-                    if trace then
-                      Option.iter
-                        (fun t -> print_flame Fmt.stderr t)
-                        (Tiling_obs.Json.member "trace" result);
-                    `Ok ()
-                | Error _ -> exit 1)))
+        let on_progress =
+          if progress then Some print_progress_event else None
+        in
+        let backoff = Tiling_fleet.Backoff.create () in
+        let connect () =
+          match Tiling_server.Client.connect addr with
+          | Error m ->
+              Fmt.epr "tiler: cannot connect to %s: %s@."
+                (Tiling_util.Netio.addr_to_string addr)
+                m;
+              exit 1
+          | Ok client -> client
+        in
+        let sleep_before_retry ?hint ~why used =
+          let delay = Tiling_fleet.Backoff.next ?hint backoff in
+          Fmt.epr "tiler: %s; retrying in %.1fs (%d/%d)@." why delay used
+            retries;
+          Unix.sleepf delay
+        in
+        let finish envelope =
+          print_endline (Tiling_obs.Json.to_string envelope);
+          match Tiling_server.Client.result_of_response envelope with
+          | Ok result ->
+              if trace then
+                Option.iter
+                  (fun t -> print_flame Fmt.stderr t)
+                  (Tiling_obs.Json.member "trace" result);
+              `Ok ()
+          | Error _ -> exit 1
+        in
+        let rec attempt client left =
+          let resp =
+            Tiling_server.Client.call ?on_progress client ~meth ~params
+          in
+          match resp with
+          | Error m when left > 0 ->
+              (* Transport trouble (daemon restarting, connection torn):
+                 reconnect on a fresh socket for the next try. *)
+              Tiling_server.Client.close client;
+              sleep_before_retry ~why:m (retries - left + 1);
+              attempt (connect ()) (left - 1)
+          | Error m ->
+              Tiling_server.Client.close client;
+              Fmt.epr "tiler: %s@." m;
+              exit 1
+          | Ok envelope -> (
+              match Tiling_server.Client.result_of_response envelope with
+              | Error { Tiling_server.Protocol.code = Tiling_server.Protocol.Overloaded;
+                        retry_after_s; _ }
+                when left > 0 ->
+                  sleep_before_retry ?hint:retry_after_s ~why:"overloaded"
+                    (retries - left + 1);
+                  attempt client (left - 1)
+              | _ ->
+                  Tiling_server.Client.close client;
+                  finish envelope)
+        in
+        attempt (connect ()) (max 0 retries))
   in
   Cmd.v
     (Cmd.info "request"
@@ -1111,7 +1198,7 @@ let request_cmd =
        $ opt_int [ "seed" ] "SEED" "Random seed."
        $ backend_opt_arg $ tiles_arg
        $ Arg.(value & flag & info [ "exact" ] ~doc:"Exact CME enumeration.")
-       $ case_arg $ deadline_arg $ trace_arg $ progress_arg))
+       $ case_arg $ deadline_arg $ trace_arg $ progress_arg $ retries_arg))
 
 (* One call against a running daemon, with the connection/error plumbing
    shared by `tiler metrics` and `tiler top`. *)

@@ -1,0 +1,30 @@
+type t = {
+  base : float;
+  cap : float;
+  rng : Random.State.t;
+  mutable attempt : int;
+}
+
+let create ?(base = 0.5) ?(cap = 30.) ?seed () =
+  let rng =
+    match seed with
+    | Some s -> Random.State.make [| s |]
+    | None -> Random.State.make_self_init ()
+  in
+  { base = Float.max 0.001 base; cap = Float.max 0.001 cap; rng; attempt = 0 }
+
+let next ?hint t =
+  let target =
+    match hint with
+    | Some h when h > 0. -> h
+    | _ -> t.base *. (2. ** float_of_int t.attempt)
+  in
+  let target = Float.min t.cap target in
+  t.attempt <- t.attempt + 1;
+  (* Full jitter would allow near-zero sleeps that defeat the server's
+     hint; half jitter keeps the herd spread while honoring at least
+     half the suggested wait. *)
+  target *. (0.5 +. Random.State.float t.rng 0.5)
+
+let reset t = t.attempt <- 0
+let attempts t = t.attempt

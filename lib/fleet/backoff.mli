@@ -1,0 +1,26 @@
+(** Jittered exponential backoff for clients retrying an [overloaded]
+    daemon.
+
+    The wait before attempt [k] (0-based) targets [base * 2^k], capped at
+    [cap] — unless the server supplied a [retry_after_s] hint, which
+    takes precedence (the daemon computes it from its live queue and
+    recent service times, so it beats any client-side guess).  Either
+    way the actual sleep is jittered uniformly into [0.5, 1.0] x target,
+    de-synchronising a herd of rejected clients without ever sleeping
+    less than half the server's ask. *)
+
+type t
+
+val create : ?base:float -> ?cap:float -> ?seed:int -> unit -> t
+(** [base] defaults to 0.5s, [cap] to 30s.  [seed] pins the jitter
+    stream for tests; without it the state is self-initialised. *)
+
+val next : ?hint:float -> t -> float
+(** The next sleep in seconds (advances the attempt counter).  [hint] is
+    the server's [retry_after_s] when the reject carried one; values
+    [<= 0.] are ignored. *)
+
+val reset : t -> unit
+(** Back to attempt 0 — call after a success. *)
+
+val attempts : t -> int

@@ -1,0 +1,64 @@
+module Metrics = Tiling_obs.Metrics
+
+(* Same instrument names as lib/server's Scheduler: the registry interns
+   by name, and a process never double-counts — a group merged here
+   reaches the worker daemon as a single request. *)
+let m_hits = Metrics.counter "fleet.coalesce.hits"
+let g_waiters = Metrics.gauge "fleet.coalesce.waiters"
+
+type 'a waiter = coalesced:bool -> 'a -> unit
+
+type 'a group = { mutable members : 'a waiter list (* reverse join order *) }
+
+type 'a t = {
+  lock : Mutex.t;
+  groups : (string, 'a group) Hashtbl.t;
+  hits : int Atomic.t;
+  mutable waiting : int;
+}
+
+let create () =
+  {
+    lock = Mutex.create ();
+    groups = Hashtbl.create 16;
+    hits = Atomic.make 0;
+    waiting = 0;
+  }
+
+let join t ~key waiter =
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.groups key with
+      | None ->
+          Hashtbl.add t.groups key { members = [ waiter ] };
+          `Leader
+      | Some g ->
+          g.members <- waiter :: g.members;
+          Atomic.incr t.hits;
+          Metrics.incr m_hits;
+          t.waiting <- t.waiting + 1;
+          Metrics.set g_waiters (float_of_int t.waiting);
+          `Attached)
+
+let settle t ~key v =
+  let members =
+    Mutex.protect t.lock (fun () ->
+        match Hashtbl.find_opt t.groups key with
+        | None -> []
+        | Some g ->
+            Hashtbl.remove t.groups key;
+            let ms = List.rev g.members in
+            t.waiting <- t.waiting - (List.length ms - 1);
+            Metrics.set g_waiters (float_of_int t.waiting);
+            ms)
+  in
+  match members with
+  | [] -> 0
+  | leader :: rest ->
+      let coalesced = rest <> [] in
+      leader ~coalesced v;
+      List.iter (fun w -> w ~coalesced:true v) rest;
+      List.length members
+
+let inflight t = Mutex.protect t.lock (fun () -> Hashtbl.length t.groups)
+let hits t = Atomic.get t.hits
+let waiting t = Mutex.protect t.lock (fun () -> t.waiting)

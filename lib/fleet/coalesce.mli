@@ -1,0 +1,37 @@
+(** In-flight request coalescing: a keyed table of request groups where
+    the first joiner (the {e leader}) does the work and everyone who
+    joins before it finishes shares the result.
+
+    The router keys groups by {!Key.coalesce_key}; the single-daemon
+    equivalent lives inside [Tiling_server.Scheduler] (waiter lists on
+    queued jobs) — both bump the same [fleet.coalesce.hits] counter and
+    [fleet.coalesce.waiters] gauge, which is safe because the metrics
+    registry interns instruments by name and a group merged at the
+    router arrives downstream as one request. *)
+
+type 'a waiter = coalesced:bool -> 'a -> unit
+(** Delivery callback.  [coalesced] is true for {e every} member of a
+    group that ended up sharing (leader included), false for a group of
+    one. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val join : 'a t -> key:string -> 'a waiter -> [ `Leader | `Attached ]
+(** [`Leader]: a new group was opened — the caller must perform the work
+    and {!settle} the key (on success {e and} on failure, or the group
+    leaks and later joiners hang).  [`Attached]: the waiter was added to
+    an existing group and will be called from the leader's {!settle}. *)
+
+val settle : 'a t -> key:string -> 'a -> int
+(** Close the group and deliver [v] to every member in join order,
+    leader first.  Returns the group size (0 if the key was not open —
+    e.g. settled twice).  Waiters run on the caller's thread and must
+    not raise. *)
+
+val inflight : 'a t -> int  (** open groups *)
+
+val hits : 'a t -> int  (** joins that attached rather than led *)
+
+val waiting : 'a t -> int  (** waiters currently attached *)

@@ -1,0 +1,43 @@
+(* Rendezvous (highest-random-weight) hashing over node name strings.
+
+   Each (node, key) pair gets a pseudo-random 64-bit score; a key's owner
+   is the highest-scoring node.  Removing a node only re-homes the keys
+   it owned (their other scores are untouched), and adding one only
+   steals the keys it now wins — the minimal-reshuffle property the
+   router's failover leans on, with no ring state to maintain. *)
+
+let fnv_offset_basis = -3750763034362895579L (* 14695981039346656037 *)
+let fnv_prime = 1099511628211L
+
+let fnv1a64 s =
+  let h = ref fnv_offset_basis in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) fnv_prime)
+    s;
+  !h
+
+(* FNV is fast but its low bits mix poorly; push the hash through the
+   splitmix64 finalizer so score comparisons see avalanche-quality bits. *)
+let splitmix64 z =
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let score ~node ~key = splitmix64 (fnv1a64 (node ^ "\000" ^ key))
+
+let rank ~nodes ~key =
+  nodes
+  |> List.map (fun node -> (score ~node ~key, node))
+  |> List.sort (fun (sa, na) (sb, nb) ->
+         match Int64.unsigned_compare sb sa with
+         | 0 -> String.compare na nb
+         | c -> c)
+  |> List.map snd
+
+let owner ~nodes ~key =
+  match rank ~nodes ~key with [] -> None | n :: _ -> Some n

@@ -1,0 +1,21 @@
+(** Rendezvous (highest-random-weight) hashing: deterministic key-to-node
+    placement with minimal reshuffle on membership change.
+
+    Every (node, key) pair is scored independently (FNV-1a 64 of
+    [node ^ "\000" ^ key], finalized with splitmix64); a key belongs to
+    its highest-scoring node.  Because scores don't depend on the member
+    set, losing a node re-homes only that node's keys — the failover
+    property the fleet router relies on: a worker crash reshuffles
+    nothing on the survivors, and the crashed worker's keys fall to
+    their (already determined) second choice. *)
+
+val score : node:string -> key:string -> int64
+(** The pair's score — compared {e unsigned}. Exposed for tests. *)
+
+val rank : nodes:string list -> key:string -> string list
+(** All [nodes] ordered best-first for [key] (ties, improbable, broken
+    by node name).  The head is the owner; the tail is the retry order
+    on failure. *)
+
+val owner : nodes:string list -> key:string -> string option
+(** [None] only when [nodes] is empty. *)

@@ -1,0 +1,117 @@
+module Json = Tiling_obs.Json
+module Metrics = Tiling_obs.Metrics
+module Netio = Tiling_util.Netio
+module Protocol = Tiling_server.Protocol
+
+let m_checks = Metrics.counter "fleet.health.checks"
+let m_failures = Metrics.counter "fleet.health.failures"
+
+type t = {
+  addr : Netio.addr;
+  name : string;  (* canonical addr string: the rendezvous node id *)
+  lock : Mutex.t;
+  mutable up : bool;
+  mutable failures : int;
+  mutable last_ok_at : float;
+  mutable forwards : int;
+}
+
+let make addr =
+  {
+    addr;
+    name = Netio.addr_to_string addr;
+    lock = Mutex.create ();
+    (* Optimistic until the first health sweep: a router booted moments
+       before its workers shouldn't fail its first requests. *)
+    up = true;
+    failures = 0;
+    last_ok_at = 0.;
+    forwards = 0;
+  }
+
+let addr t = t.addr
+let name t = t.name
+let up t = Mutex.protect t.lock (fun () -> t.up)
+let failures t = Mutex.protect t.lock (fun () -> t.failures)
+let forwards t = Mutex.protect t.lock (fun () -> t.forwards)
+let last_ok_at t = Mutex.protect t.lock (fun () -> t.last_ok_at)
+
+let mark_up t =
+  Mutex.protect t.lock (fun () ->
+      t.up <- true;
+      t.last_ok_at <- Unix.gettimeofday ())
+
+let mark_down t =
+  Mutex.protect t.lock (fun () ->
+      t.up <- false;
+      t.failures <- t.failures + 1);
+  Metrics.incr m_failures
+
+let count_forward t = Mutex.protect t.lock (fun () -> t.forwards <- t.forwards + 1)
+
+let dial ?timeout_s t =
+  match Netio.connect t.addr with
+  | Error _ as e -> e
+  | Ok fd ->
+      (match timeout_s with
+      | Some s when s > 0. -> (
+          try
+            Unix.setsockopt_float fd Unix.SO_RCVTIMEO s;
+            Unix.setsockopt_float fd Unix.SO_SNDTIMEO s
+          with Unix.Unix_error _ -> ())
+      | _ -> ());
+      Ok fd
+
+let max_stats_bytes = 1 lsl 20
+
+(* One [stats] round trip under a receive timeout: proves the daemon is
+   not just accepting but answering. *)
+let check ?(timeout_s = 2.0) t =
+  Metrics.incr m_checks;
+  let probe () =
+    match dial ~timeout_s t with
+    | Error m -> Error m
+    | Ok fd ->
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            let req =
+              Json.Obj
+                [
+                  ("v", Json.Int Protocol.version);
+                  ("id", Json.Int 0);
+                  ("method", Json.String "stats");
+                ]
+            in
+            match Netio.write_line fd (Json.to_string req) with
+            | Error m -> Error m
+            | Ok () -> (
+                match
+                  Netio.read_line ~max_bytes:max_stats_bytes (Netio.reader fd)
+                with
+                | `Line _ -> Ok ()
+                | `Eof -> Error "closed during health check"
+                | `Too_long -> Error "oversized stats reply"
+                | exception Unix.Unix_error (e, _, _) ->
+                    Error (Unix.error_message e)))
+  in
+  match probe () with
+  | Ok () ->
+      mark_up t;
+      true
+  | Error _ ->
+      mark_down t;
+      false
+
+let to_json t =
+  Mutex.protect t.lock (fun () ->
+      Json.Obj
+        [
+          ("addr", Json.String t.name);
+          ("up", Json.Bool t.up);
+          ("failures", Json.Int t.failures);
+          ("forwards", Json.Int t.forwards);
+          ( "last_ok_s_ago",
+            if t.last_ok_at = 0. then Json.Null
+            else Json.Float (Unix.gettimeofday () -. t.last_ok_at) );
+        ])

@@ -1,0 +1,43 @@
+(** One worker daemon as the router sees it: an address plus live health
+    state.
+
+    Health is probed with a [stats] round trip under a socket receive
+    timeout ({!check}), and updated opportunistically by the forwarding
+    path ({!mark_up} on a served response, {!mark_down} on a transport
+    failure) — a crash is usually noticed by the request that hit it,
+    not by the next periodic sweep.  A down worker stays in the
+    rendezvous node set (placement must not reshuffle) but is skipped in
+    the retry order until a probe succeeds.
+
+    Metrics: [fleet.health.checks], [fleet.health.failures]. *)
+
+type t
+
+val make : Tiling_util.Netio.addr -> t
+(** Starts optimistically [up] so a router booted moments before its
+    workers doesn't fail its first requests. *)
+
+val addr : t -> Tiling_util.Netio.addr
+
+val name : t -> string
+(** Canonical address string — the node id fed to {!Rendezvous}. *)
+
+val up : t -> bool
+val failures : t -> int
+val forwards : t -> int
+val last_ok_at : t -> float  (** 0. before the first success *)
+
+val mark_up : t -> unit
+val mark_down : t -> unit
+val count_forward : t -> unit
+
+val dial : ?timeout_s:float -> t -> (Unix.file_descr, string) result
+(** Connect; with [timeout_s], arm [SO_RCVTIMEO]/[SO_SNDTIMEO] so a hung
+    peer cannot wedge the caller (used by health checks — the forward
+    path runs untimed and relies on EOF from a dead peer). *)
+
+val check : ?timeout_s:float -> t -> bool
+(** Probe and update health; [true] when the worker answered. *)
+
+val to_json : t -> Tiling_obs.Json.t
+(** Health snapshot for the router's [stats] response. *)

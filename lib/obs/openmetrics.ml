@@ -75,6 +75,18 @@ let inventory =
     ("server.store.hits", "Requests answered from the persistent store");
     ("server.store.misses", "Store lookups that missed");
     ("server.store.records", "Records in the store file (including superseded)");
+    ("server.store.refreshes", "Store reconciliations with the shared log");
+    (* fleet.* — coalescing, router, worker health (docs/SERVER.md) *)
+    ("fleet.coalesce.hits", "Requests attached to an identical in-flight request");
+    ("fleet.coalesce.waiters", "Requests currently waiting on a coalesced evaluation");
+    ("fleet.health.checks", "Worker health probes performed by the router");
+    ("fleet.health.failures", "Worker health probes or forwards that failed");
+    ("fleet.router.backpressure", "Worker overloaded/draining responses relayed upstream");
+    ("fleet.router.failed", "Requests that exhausted every worker");
+    ("fleet.router.forwarded", "Requests forwarded to a worker and answered");
+    ("fleet.router.requests", "Requests received by the router");
+    ("fleet.router.retries", "Failovers to the next worker after a transport failure");
+    ("fleet.workers.up", "Workers currently passing health checks");
   ]
 
 let help_of name =

@@ -1,20 +1,112 @@
 module Json = Tiling_obs.Json
 module Netio = Tiling_util.Netio
 
-type t = { fd : Unix.file_descr; r : Netio.reader; mutable next_id : int }
+(* One in-flight request: filled in by whichever thread happens to be
+   reading when its final envelope arrives. *)
+type slot = {
+  mutable outcome : (Json.t, string) result option;
+  on_progress : (Json.t -> unit) option;
+}
+
+type t = {
+  fd : Unix.file_descr;
+  r : Netio.reader;
+  lock : Mutex.t;  (* guards everything mutable below *)
+  turn : Condition.t;  (* "a response landed / the reader seat is free" *)
+  wlock : Mutex.t;  (* one request line at a time *)
+  mutable next_id : int;
+  pending : (int, slot) Hashtbl.t;
+  mutable reading : bool;  (* some caller currently owns the socket read *)
+  mutable dead : string option;  (* sticky transport failure *)
+}
 
 let connect addr =
   Result.map
-    (fun fd -> { fd; r = Netio.reader fd; next_id = 1 })
+    (fun fd ->
+      {
+        fd;
+        r = Netio.reader fd;
+        lock = Mutex.create ();
+        turn = Condition.create ();
+        wlock = Mutex.create ();
+        next_id = 1;
+        pending = Hashtbl.create 4;
+        reading = false;
+        dead = None;
+      })
     (Netio.connect addr)
 
-let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+let close t =
+  (try Unix.close t.fd with Unix.Unix_error _ -> ());
+  (* Unstick any caller parked in [call]: the reader among them will see
+     the closed descriptor as EOF/EBADF and mark the client dead. *)
+  Mutex.protect t.lock (fun () -> Condition.broadcast t.turn)
 
 let max_reply_bytes = 8 * 1024 * 1024
 
+(* Process one received line while holding [t.lock].  Progress
+   notifications are routed by id to their request's [on_progress]; the
+   callback itself runs outside the lock (returned as a thunk) so a slow
+   consumer never stalls other callers' deliveries. *)
+let process_line t line =
+  match Json.of_string line with
+  | Error m ->
+      (* The stream cannot be re-synchronised after a malformed line. *)
+      t.dead <- Some (Printf.sprintf "malformed reply: %s" m);
+      None
+  | Ok j -> (
+      let rid =
+        match Json.member "id" j with Some (Json.Int i) -> Some i | _ -> None
+      in
+      let slot = Option.bind rid (Hashtbl.find_opt t.pending) in
+      match Json.member "status" j with
+      | Some (Json.String "progress") -> (
+          match (slot, Json.member "event" j) with
+          | Some { on_progress = Some f; _ }, Some ev -> Some (fun () -> f ev)
+          | _ -> None)
+      | _ ->
+          (match (rid, slot) with
+          | Some rid, Some slot ->
+              slot.outcome <- Some (Ok j);
+              Hashtbl.remove t.pending rid
+          | _ ->
+              (* A final envelope for nobody (an unsolicited or duplicate
+                 id): dropping it is the only safe move. *)
+              ());
+          None)
+
+let read_one t =
+  (* Socket read happens with [t.lock] released — that's the whole point
+     of the reader-seat dance: exactly one thread blocks on the socket
+     while the rest park on [turn]. *)
+  Mutex.unlock t.lock;
+  let received =
+    match Netio.read_line ~max_bytes:max_reply_bytes t.r with
+    | `Eof -> Error "connection closed before the reply arrived"
+    | `Too_long -> Error (Printf.sprintf "reply exceeds %d bytes" max_reply_bytes)
+    | `Line line -> Ok line
+    | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  in
+  Mutex.lock t.lock;
+  let notify =
+    match received with
+    | Error m ->
+        t.dead <- Some m;
+        None
+    | Ok line -> process_line t line
+  in
+  Condition.broadcast t.turn;
+  notify
+
 let call ?on_progress t ~meth ~params =
-  let id = t.next_id in
-  t.next_id <- id + 1;
+  let id, slot =
+    Mutex.protect t.lock (fun () ->
+        let id = t.next_id in
+        t.next_id <- id + 1;
+        let slot = { outcome = None; on_progress } in
+        Hashtbl.replace t.pending id slot;
+        (id, slot))
+  in
   let req =
     Json.Obj
       [
@@ -24,29 +116,56 @@ let call ?on_progress t ~meth ~params =
         ("params", Json.Obj params);
       ]
   in
-  match Netio.write_line t.fd (Json.to_string req) with
-  | Error m -> Error (Printf.sprintf "cannot send request: %s" m)
+  let sent =
+    Mutex.protect t.wlock (fun () ->
+        match Netio.write_line t.fd (Json.to_string req) with
+        | Ok () -> Ok ()
+        | Error m -> Error (Printf.sprintf "cannot send request: %s" m)
+        | exception Unix.Unix_error (e, _, _) ->
+            Error
+              (Printf.sprintf "cannot send request: %s" (Unix.error_message e)))
+  in
+  match sent with
+  | Error m ->
+      Mutex.protect t.lock (fun () -> Hashtbl.remove t.pending id);
+      Error m
   | Ok () ->
-      (* Progress notifications share the reply stream: any number of
-         [status:"progress"] lines precede the one final envelope. *)
-      let rec read_reply () =
-        match Netio.read_line ~max_bytes:max_reply_bytes t.r with
-        | `Eof -> Error "connection closed before the reply arrived"
-        | `Too_long ->
-            Error (Printf.sprintf "reply exceeds %d bytes" max_reply_bytes)
-        | `Line line -> (
-            match Json.of_string line with
-            | Error m -> Error (Printf.sprintf "malformed reply: %s" m)
-            | Ok j -> (
-                match Json.member "status" j with
-                | Some (Json.String "progress") ->
-                    (match (on_progress, Json.member "event" j) with
-                    | Some f, Some ev -> f ev
-                    | _ -> ());
-                    read_reply ()
-                | _ -> Ok j))
+      (* Await our slot.  Responses may arrive in any order (the daemon
+         pipelines); whichever caller holds the reader seat demuxes by id
+         and wakes everyone, so a caller can be handed its response by a
+         thread that was reading for its own. *)
+      let rec await () =
+        match slot.outcome with
+        | Some r ->
+            Mutex.unlock t.lock;
+            r
+        | None -> (
+            match t.dead with
+            | Some m ->
+                Hashtbl.remove t.pending id;
+                Mutex.unlock t.lock;
+                Error m
+            | None ->
+                if t.reading then begin
+                  Condition.wait t.turn t.lock;
+                  await ()
+                end
+                else begin
+                  t.reading <- true;
+                  let notify = read_one t in
+                  t.reading <- false;
+                  match notify with
+                  | None -> await ()
+                  | Some f ->
+                      (* run the progress callback unlocked, then resume *)
+                      Mutex.unlock t.lock;
+                      f ();
+                      Mutex.lock t.lock;
+                      await ()
+                end)
       in
-      read_reply ()
+      Mutex.lock t.lock;
+      await ()
 
 let result_of_response j =
   match Json.member "status" j with

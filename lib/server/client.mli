@@ -1,10 +1,15 @@
 (** Blocking client for the tiling daemon.
 
-    One connection, one request in flight: {!call} writes a single
-    request line and blocks until the matching response line arrives.
-    (The daemon supports pipelining — responses carry the request [id]
-    and may arrive out of order — but this client deliberately does not:
-    every CLI and test use is call-and-wait.) *)
+    {!call} writes a single request line and blocks until the matching
+    response line arrives — but the connection is shared: any number of
+    threads may {!call} on one {!t} concurrently, and responses are
+    demultiplexed by request [id], so pipelined out-of-order replies (a
+    quick [stats] overtaking a long [tile]) reach the right caller.
+    Internally, exactly one of the blocked callers at a time holds the
+    socket-read seat and routes whatever envelope arrives; everyone else
+    parks on a condition variable.  A transport failure (EOF, oversized
+    or malformed line) is sticky and fails all pending and future calls
+    on the connection. *)
 
 type t
 
@@ -25,9 +30,9 @@ val call :
 
     When the request opted into streaming (["progress": true]) the
     daemon interleaves [status:"progress"] notification lines before the
-    final envelope; each one's [event] member is handed to
-    [on_progress] (and silently discarded without it) — [call] returns
-    only the final envelope either way. *)
+    final envelope; each one's [event] member is handed to this
+    request's [on_progress] (routed by [id]; silently discarded without
+    a callback) — [call] returns only the final envelope either way. *)
 
 val result_of_response :
   Tiling_obs.Json.t -> (Tiling_obs.Json.t, Protocol.error) result

@@ -62,14 +62,22 @@ let request_of_json j =
       | None -> Error (err Bad_request "missing envelope version v"))
   | _ -> Error (err Bad_request "request must be a JSON object")
 
-let ok_response ~id result =
+(* [coalesced] marks every member of a request group that shared one
+   evaluation (docs/SERVER.md "Fleet mode"): the flag sits between
+   [status] and the payload so the envelopes of all members stay
+   byte-identical modulo [id]. *)
+let coalesced_field coalesced =
+  if coalesced then [ ("coalesced", Json.Bool true) ] else []
+
+let ok_response ~id ?(coalesced = false) result =
   Json.Obj
-    [
-      ("v", Json.Int version);
-      ("id", id);
-      ("status", Json.String "ok");
-      ("result", result);
-    ]
+    ([
+       ("v", Json.Int version);
+       ("id", id);
+       ("status", Json.String "ok");
+     ]
+    @ coalesced_field coalesced
+    @ [ ("result", result) ])
 
 let progress_response ~id event =
   Json.Obj
@@ -80,7 +88,7 @@ let progress_response ~id event =
       ("event", event);
     ]
 
-let error_response ~id e =
+let error_response ~id ?(coalesced = false) e =
   let fields =
     [
       ("code", Json.String (code_to_string e.code));
@@ -92,12 +100,13 @@ let error_response ~id e =
     | None -> []
   in
   Json.Obj
-    [
-      ("v", Json.Int version);
-      ("id", id);
-      ("status", Json.String "error");
-      ("error", Json.Obj fields);
-    ]
+    ([
+       ("v", Json.Int version);
+       ("id", id);
+       ("status", Json.String "error");
+     ]
+    @ coalesced_field coalesced
+    @ [ ("error", Json.Obj fields) ])
 
 module Params = struct
   let typed name conv params key =

@@ -57,8 +57,13 @@ val request_of_json : Tiling_obs.Json.t -> (request, error) result
     whatever [id] could be salvaged (via {!error_response}'s [id]
     argument the caller still echoes it). *)
 
-val ok_response : id:Tiling_obs.Json.t -> Tiling_obs.Json.t -> Tiling_obs.Json.t
-(** [ok_response ~id result] is the success envelope. *)
+val ok_response :
+  id:Tiling_obs.Json.t -> ?coalesced:bool -> Tiling_obs.Json.t -> Tiling_obs.Json.t
+(** [ok_response ~id result] is the success envelope.  [coalesced]
+    (default false) adds ["coalesced": true] between [status] and
+    [result]: the request shared one evaluation with concurrent identical
+    requests, so every envelope of the group is byte-identical modulo
+    [id] (docs/SERVER.md "Fleet mode"). *)
 
 val progress_response :
   id:Tiling_obs.Json.t -> Tiling_obs.Json.t -> Tiling_obs.Json.t
@@ -68,7 +73,10 @@ val progress_response :
     ["progress": true].  [event] is an {!Tiling_obs.Events.to_json}
     rendering. *)
 
-val error_response : id:Tiling_obs.Json.t -> error -> Tiling_obs.Json.t
+val error_response :
+  id:Tiling_obs.Json.t -> ?coalesced:bool -> error -> Tiling_obs.Json.t
+(** [coalesced] as in {!ok_response}: a coalesced group that fails shares
+    one error the same way it would have shared one result. *)
 
 (** {2 Typed access to [params]}
 

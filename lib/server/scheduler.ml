@@ -9,11 +9,22 @@ let m_timeout = Metrics.counter "server.requests.timeout"
 let m_latency = Metrics.histogram "server.request_ns"
 let g_depth = Metrics.gauge "server.queue.depth"
 
+(* Shared with the fleet router's Coalesce table: the registry interns by
+   name, so both layers bump the same instruments and a process hosting
+   both (tests, the fanout bench) still counts each coalesce event once —
+   a request group merged at the router reaches a worker as one request. *)
+let m_coalesce_hits = Metrics.counter "fleet.coalesce.hits"
+let g_coalesce_waiters = Metrics.gauge "fleet.coalesce.waiters"
+
 type reject = Overloaded of float | Draining
+
+type deliver = coalesced:bool -> (Json.t, Protocol.error) result -> unit
 
 type job = {
   work : cancelled:(unit -> bool) -> Json.t;
-  deliver : (Json.t, Protocol.error) result -> unit;
+  deliver : deliver;
+  mutable waiters : deliver list;  (* coalesced requests; guarded by [lock] *)
+  key : string option;  (* coalescing fingerprint, when dedupable *)
   deadline : float option;
   enqueued_at : float;
   label : string;
@@ -37,6 +48,11 @@ type t = {
   completed : int Atomic.t;
   rejected : int Atomic.t;
   timeouts : int Atomic.t;
+  coalesced : int Atomic.t;  (* requests attached as waiters, ever *)
+  mutable waiting : int;  (* waiters currently attached; guarded by [lock] *)
+  (* keyed jobs that are queued or running, so an identical request can
+     attach instead of consuming a slot; guarded by [lock] *)
+  coalescing : (string, job) Hashtbl.t;
   (* jobs currently executing on a worker, guarded by [lock] *)
   running : (int, inflight_entry) Hashtbl.t;
   next_job : int Atomic.t;
@@ -67,7 +83,21 @@ let run_job t job =
       Hashtbl.replace t.running key
         { i_label = job.label; i_started = started; i_queued_s = queued_s });
   let finish result =
-    Mutex.protect t.lock (fun () -> Hashtbl.remove t.running key);
+    (* Detach the coalescing entry and collect the waiters under the
+       lock, so no request can attach once delivery has begun: a group
+       either shares this result or starts a fresh evaluation. *)
+    let waiters =
+      Mutex.protect t.lock (fun () ->
+          Hashtbl.remove t.running key;
+          (match job.key with
+          | Some k -> Hashtbl.remove t.coalescing k
+          | None -> ());
+          let ws = job.waiters in
+          job.waiters <- [];
+          t.waiting <- t.waiting - List.length ws;
+          Metrics.set g_coalesce_waiters (float_of_int t.waiting);
+          ws)
+    in
     (match result with
     | Ok _ -> Metrics.incr m_ok
     | Error { Protocol.code = Protocol.Deadline_exceeded; _ } ->
@@ -76,7 +106,10 @@ let run_job t job =
     | Error _ -> Metrics.incr m_error);
     Atomic.incr t.completed;
     record_latency t (Unix.gettimeofday () -. job.enqueued_at);
-    job.deliver result
+    (* Every member of a coalesced group is flagged — the leader included —
+       so the group's envelopes are byte-identical modulo request id. *)
+    job.deliver ~coalesced:(waiters <> []) result;
+    List.iter (fun d -> d ~coalesced:true result) (List.rev waiters)
   in
   if past job.deadline then
     finish
@@ -145,6 +178,9 @@ let create ?(workers = 2) ?(capacity = 64) () =
       completed = Atomic.make 0;
       rejected = Atomic.make 0;
       timeouts = Atomic.make 0;
+      coalesced = Atomic.make 0;
+      waiting = 0;
+      coalescing = Hashtbl.create 16;
       running = Hashtbl.create 8;
       next_job = Atomic.make 0;
     }
@@ -177,33 +213,46 @@ let retry_after t =
       (Float.max 0.1
          (p50 *. float_of_int (queued_ahead + 1) /. float_of_int nworkers))
 
-let submit t ?deadline_s ?(label = "?") ?trace ~work ~deliver () =
-  let verdict =
-    Mutex.protect t.lock (fun () ->
-        if t.closed then Error Draining
-        else if Queue.length t.queue >= t.capacity then begin
-          Atomic.incr t.rejected;
-          Metrics.incr m_rejected;
-          Error (Overloaded (retry_after t))
-        end
-        else begin
-          Queue.push
-            {
-              work;
-              deliver;
-              deadline = deadline_s;
-              enqueued_at = Unix.gettimeofday ();
-              label;
-              trace;
-              enq_us = Span.now_us ();
-            }
-            t.queue;
-          Metrics.set g_depth (float_of_int (Queue.length t.queue));
-          Condition.signal t.nonempty;
-          Ok ()
-        end)
-  in
-  verdict
+let submit t ?deadline_s ?(label = "?") ?trace ?key ~work ~deliver () =
+  Mutex.protect t.lock (fun () ->
+      if t.closed then Error Draining
+      else
+        match Option.bind key (Hashtbl.find_opt t.coalescing) with
+        | Some leader ->
+            (* Identical request already queued or running: share its
+               result instead of evaluating again or taking a slot. *)
+            leader.waiters <- deliver :: leader.waiters;
+            Atomic.incr t.coalesced;
+            Metrics.incr m_coalesce_hits;
+            t.waiting <- t.waiting + 1;
+            Metrics.set g_coalesce_waiters (float_of_int t.waiting);
+            Ok ()
+        | None ->
+            if Queue.length t.queue >= t.capacity then begin
+              Atomic.incr t.rejected;
+              Metrics.incr m_rejected;
+              Error (Overloaded (retry_after t))
+            end
+            else begin
+              let job =
+                {
+                  work;
+                  deliver;
+                  waiters = [];
+                  key;
+                  deadline = deadline_s;
+                  enqueued_at = Unix.gettimeofday ();
+                  label;
+                  trace;
+                  enq_us = Span.now_us ();
+                }
+              in
+              Queue.push job t.queue;
+              Option.iter (fun k -> Hashtbl.replace t.coalescing k job) key;
+              Metrics.set g_depth (float_of_int (Queue.length t.queue));
+              Condition.signal t.nonempty;
+              Ok ()
+            end)
 
 let depth t = Mutex.protect t.lock (fun () -> Queue.length t.queue)
 
@@ -221,6 +270,8 @@ let workers t = List.length t.threads
 let completed t = Atomic.get t.completed
 let rejected t = Atomic.get t.rejected
 let timeouts t = Atomic.get t.timeouts
+let coalesced t = Atomic.get t.coalesced
+let waiting t = Mutex.protect t.lock (fun () -> t.waiting)
 
 let latency_ms t =
   Mutex.protect t.lock (fun () ->

@@ -20,16 +20,32 @@
     [Deadline_exceeded] wire error.  A job whose deadline passed while it
     was still queued is failed without running at all.
 
-    Metrics ([server.*]): [server.queue.depth] gauge,
+    In-flight coalescing (docs/SERVER.md "Fleet mode"): a request
+    submitted with a [key] — the {!Store.fingerprint} of a searching
+    request — attaches as a {e waiter} to an already queued or running
+    job with the same key instead of consuming a queue slot.  The group
+    evaluates once and every member's [deliver] receives the same result
+    with [coalesced = true], so the daemon answers N identical concurrent
+    searches with one evaluation.
+
+    Metrics ([server.*] and [fleet.*]): [server.queue.depth] gauge,
     [server.admission.rejected], [server.requests.ok] /
-    [.error] / [.timeout] counters, and the [server.request_ns]
-    histogram of end-to-end (enqueue-to-finish) latency. *)
+    [.error] / [.timeout] counters, the [server.request_ns]
+    histogram of end-to-end (enqueue-to-finish) latency, plus
+    [fleet.coalesce.hits] (requests attached as waiters) and the
+    [fleet.coalesce.waiters] gauge (waiters attached right now). *)
 
 type t
 
 type reject =
   | Overloaded of float  (** queue full; suggested retry backoff, seconds *)
   | Draining             (** {!drain} has begun; no new work accepted *)
+
+type deliver = coalesced:bool -> (Tiling_obs.Json.t, Protocol.error) result -> unit
+(** Result sink for one request.  [coalesced] is true for {e every}
+    member of a request group that shared one evaluation — the leader
+    included — so the group's response envelopes stay byte-identical
+    modulo request id.  A request that ran alone gets [coalesced:false]. *)
 
 val create : ?workers:int -> ?capacity:int -> unit -> t
 (** [workers] executor threads (default 2, min 1) over a queue of
@@ -40,8 +56,9 @@ val submit :
   ?deadline_s:float ->
   ?label:string ->
   ?trace:Tiling_obs.Span.context ->
+  ?key:string ->
   work:(cancelled:(unit -> bool) -> Tiling_obs.Json.t) ->
-  deliver:((Tiling_obs.Json.t, Protocol.error) result -> unit) ->
+  deliver:deliver ->
   unit ->
   (unit, reject) result
 (** Enqueue [work].  [deadline_s] is absolute (Unix time).  [deliver] is
@@ -49,6 +66,15 @@ val submit :
     or with [Deadline_exceeded] (queued past its deadline, or the work
     raised {!Tiling_search.Eval.Cancelled}) or [Internal] (any other
     exception; the daemon survives).  [deliver] must not raise.
+
+    [key], when given, makes the request coalescible: if a job with the
+    same key is queued or running, this request's [deliver] is attached
+    to it as a waiter and [Ok ()] is returned without consuming a queue
+    slot — no second evaluation happens, and the shared result (success
+    {e or} failure) reaches every waiter with [coalesced:true].  Callers
+    must fold anything that changes the answer or the response shape
+    (deadline, trace/progress opt-ins) into the key — or pass no key at
+    all — so only requests that can share an envelope verbatim coalesce.
 
     [label] (typically the wire method) names the job in {!inflight}.
     [trace], when given, is the request's root trace context: the worker
@@ -78,6 +104,14 @@ val rejected : t -> int
 (** Admission rejects since creation. *)
 
 val timeouts : t -> int
+
+val coalesced : t -> int
+(** Requests ever attached as waiters to another job ([fleet.coalesce.hits]
+    seen by this scheduler).  A group of N identical requests counts
+    N-1 here and 1 in {!completed}. *)
+
+val waiting : t -> int
+(** Waiters attached to queued or running jobs right now. *)
 
 val latency_ms : t -> float * float * int
 (** [(p50, p95, samples)] over a ring of the most recent request

@@ -87,7 +87,11 @@ let conn_wait_idle c =
 (* ------------------------------------------------------------------ *)
 (* Handlers.  Each handler validates [params] on the connection thread
    and returns the actual work as a closure — parameter mistakes are
-   answered immediately and never consume a queue slot. *)
+   answered immediately and never consume a queue slot — plus, for the
+   searching methods, the {!Store.fingerprint} that keys in-flight
+   coalescing: the fingerprint pins every input that changes the answer
+   (kernel, n, cache geometry, backend, seed), so two requests with the
+   same key can share one evaluation and one response body. *)
 
 let ( let* ) = Result.bind
 
@@ -133,6 +137,11 @@ let attach st ~fingerprint ~cancelled eval =
       Memo.set_tier (Eval.memo eval) (Some (Store.tier store ~fingerprint)))
     st.store
 
+(* Fold appends from other daemons sharing this store file into our
+   tables before a search starts, so a fleet worker answers a repeat
+   search warm even when a sibling process computed it. *)
+let refresh_store st = Option.iter Store.refresh st.store
+
 (* Per-phase memo/store effectiveness, recorded into the request's trace
    so `tiler request --trace` can print hit rates next to the flame. *)
 let eval_stats_instant ~phase eval =
@@ -170,100 +179,109 @@ let handle_analyze _st params =
   let exact = Option.value exact ~default:false
   and seed = Option.value seed ~default:20020815 in
   Ok
-    (fun ~cancelled:_ ->
-      let nest =
-        match tiles with
-        | None -> nest
-        | Some tiles -> Tiling_ir.Transform.tile nest (Array.of_list tiles)
-      in
-      let engine = Tiling_cme.Engine.create nest cache in
-      let report =
-        if exact then Tiling_cme.Estimator.exact engine
-        else Tiling_cme.Estimator.sample ~seed engine
-      in
-      Json.Obj
-        (setup_json spec n cache
-        @ [ ("report", Tiling_cme.Estimator.to_json report) ]))
+    ( (fun ~cancelled:_ ->
+        let nest =
+          match tiles with
+          | None -> nest
+          | Some tiles -> Tiling_ir.Transform.tile nest (Array.of_list tiles)
+        in
+        let engine = Tiling_cme.Engine.create nest cache in
+        let report =
+          if exact then Tiling_cme.Estimator.exact engine
+          else Tiling_cme.Estimator.sample ~seed engine
+        in
+        Json.Obj
+          (setup_json spec n cache
+          @ [ ("report", Tiling_cme.Estimator.to_json report) ])),
+      None )
 
 let handle_tile st params =
   let* spec, n, nest, cache = kernel_setup params in
   let* seed, backend = search_opts params in
+  let fingerprint =
+    Store.fingerprint ~method_:"tile" ~kernel:spec.name ~n ~cache
+      ~backend:backend.Tiling_search.Backend.name ~seed
+  in
   Ok
-    (fun ~cancelled ->
-      let fingerprint =
-        Store.fingerprint ~method_:"tile" ~kernel:spec.name ~n ~cache
-          ~backend:backend.Tiling_search.Backend.name ~seed
-      in
-      let evals = ref [] in
-      let opts =
-        {
-          Tiling_core.Tiler.default_opts with
-          seed;
-          domains = st.cfg.domains;
-          backend;
-          on_eval =
-            (fun eval ->
-              evals := eval :: !evals;
-              attach st ~fingerprint ~cancelled eval);
-        }
-      in
-      let o = Tiling_core.Tiler.optimize ~opts nest cache in
-      List.iter (eval_stats_instant ~phase:"tile") !evals;
-      sync_store st;
-      Json.Obj (setup_json spec n cache @ [ ("outcome", Tiling_core.Tiler.to_json o) ]))
+    ( (fun ~cancelled ->
+        refresh_store st;
+        let evals = ref [] in
+        let opts =
+          {
+            Tiling_core.Tiler.default_opts with
+            seed;
+            domains = st.cfg.domains;
+            backend;
+            on_eval =
+              (fun eval ->
+                evals := eval :: !evals;
+                attach st ~fingerprint ~cancelled eval);
+          }
+        in
+        let o = Tiling_core.Tiler.optimize ~opts nest cache in
+        List.iter (eval_stats_instant ~phase:"tile") !evals;
+        sync_store st;
+        Json.Obj
+          (setup_json spec n cache @ [ ("outcome", Tiling_core.Tiler.to_json o) ])),
+      Some fingerprint )
 
 let handle_pad_tile st params =
   let* spec, n, nest, cache = kernel_setup params in
   let* seed, backend = search_opts params in
+  (* Two search phases, two fingerprints: candidate values in the
+     tile phase depend on the padding chosen, but that padding is
+     itself a deterministic function of the fingerprinted inputs. *)
+  let fp phase =
+    Store.fingerprint
+      ~method_:("pad-tile." ^ phase)
+      ~kernel:spec.name ~n ~cache
+      ~backend:backend.Tiling_search.Backend.name ~seed
+  in
   Ok
-    (fun ~cancelled ->
-      (* Two search phases, two fingerprints: candidate values in the
-         tile phase depend on the padding chosen, but that padding is
-         itself a deterministic function of the fingerprinted inputs. *)
-      let fp phase =
-        Store.fingerprint
-          ~method_:("pad-tile." ^ phase)
-          ~kernel:spec.name ~n ~cache
-          ~backend:backend.Tiling_search.Backend.name ~seed
-      in
-      let pad_evals = ref [] and tile_evals = ref [] in
-      let popts =
-        {
-          Tiling_core.Padder.default_opts with
-          seed;
-          domains = st.cfg.domains;
-          backend;
-          on_eval =
-            (fun eval ->
-              pad_evals := eval :: !pad_evals;
-              attach st ~fingerprint:(fp "pad") ~cancelled eval);
-        }
-      in
-      let topts =
-        {
-          Tiling_core.Tiler.default_opts with
-          seed;
-          domains = st.cfg.domains;
-          backend;
-          on_eval =
-            (fun eval ->
-              tile_evals := eval :: !tile_evals;
-              attach st ~fingerprint:(fp "tile") ~cancelled eval);
-        }
-      in
-      let o = Tiling_core.Optimizer.pad_then_tile ~topts ~popts nest cache in
-      List.iter (eval_stats_instant ~phase:"pad") !pad_evals;
-      List.iter (eval_stats_instant ~phase:"tile") !tile_evals;
-      sync_store st;
-      Json.Obj
-        (setup_json spec n cache
-        @ [ ("outcome", Tiling_core.Optimizer.combined_to_json o) ]))
+    ( (fun ~cancelled ->
+        refresh_store st;
+        let pad_evals = ref [] and tile_evals = ref [] in
+        let popts =
+          {
+            Tiling_core.Padder.default_opts with
+            seed;
+            domains = st.cfg.domains;
+            backend;
+            on_eval =
+              (fun eval ->
+                pad_evals := eval :: !pad_evals;
+                attach st ~fingerprint:(fp "pad") ~cancelled eval);
+          }
+        in
+        let topts =
+          {
+            Tiling_core.Tiler.default_opts with
+            seed;
+            domains = st.cfg.domains;
+            backend;
+            on_eval =
+              (fun eval ->
+                tile_evals := eval :: !tile_evals;
+                attach st ~fingerprint:(fp "tile") ~cancelled eval);
+          }
+        in
+        let o = Tiling_core.Optimizer.pad_then_tile ~topts ~popts nest cache in
+        List.iter (eval_stats_instant ~phase:"pad") !pad_evals;
+        List.iter (eval_stats_instant ~phase:"tile") !tile_evals;
+        sync_store st;
+        Json.Obj
+          (setup_json spec n cache
+          @ [ ("outcome", Tiling_core.Optimizer.combined_to_json o) ])),
+      (* The whole combined request is the coalescible unit; its key must
+         differ from a plain "tile" of the same setup, hence the method
+         prefix carried by the phase fingerprints. *)
+      Some (fp "pad") )
 
 let handle_fuzz_case _st params =
   let* line = P.require (P.string params "case") "case" in
   let* case = Tiling_fuzz.Case.of_string line in
   Ok
-    (fun ~cancelled:_ ->
+    ( (fun ~cancelled:_ ->
       let r = Tiling_fuzz.Oracle.check_case case in
       let triple (a, m, c) = Json.List [ Json.Int a; Json.Int m; Json.Int c ] in
       let delta (d : Tiling_fuzz.Oracle.ref_delta) =
@@ -288,7 +306,8 @@ let handle_fuzz_case _st params =
           ("fallbacks", Json.Int r.fallbacks);
           ("points", Json.Int r.points);
           ("accesses", Json.Int r.accesses);
-        ])
+        ]),
+      None )
 
 let stats_json ?(events = 0) st =
   let p50, p95, samples = Scheduler.latency_ms st.sched in
@@ -338,6 +357,8 @@ let stats_json ?(events = 0) st =
             ("completed", Json.Int (Scheduler.completed st.sched));
             ("rejected", Json.Int (Scheduler.rejected st.sched));
             ("timeouts", Json.Int (Scheduler.timeouts st.sched));
+            ("coalesced", Json.Int (Scheduler.coalesced st.sched));
+            ("waiting", Json.Int (Scheduler.waiting st.sched));
           ] );
       ( "latency_ms",
         Json.Obj
@@ -421,25 +442,23 @@ let dispatch st conn (req : Protocol.request) =
                (Protocol.err Protocol.Unknown_method
                   (Printf.sprintf "unknown method %S" meth)))
       | Some handler -> (
-          let deadline =
+          let rel_deadline =
             match P.float req.params "deadline_s" with
             | Error _ as e -> e
             | Ok rel -> (
-                match
-                  (rel, st.cfg.default_deadline_s)
-                with
+                match (rel, st.cfg.default_deadline_s) with
                 | None, None -> Ok None
-                | (Some _ as r), _ | None, (Some _ as r) ->
-                    Ok (Option.map (fun d -> Unix.gettimeofday () +. d) r))
+                | (Some _ as r), _ | None, (Some _ as r) -> Ok r)
           in
           match
-            let* work = handler st req.params in
-            let* deadline_s = deadline in
+            let* work, key = handler st req.params in
+            let* rel = rel_deadline in
             let* trace = P.bool req.params "trace" in
             let* progress = P.bool req.params "progress" in
             Ok
               ( work,
-                deadline_s,
+                key,
+                rel,
                 Option.value trace ~default:false,
                 Option.value progress ~default:false )
           with
@@ -447,7 +466,27 @@ let dispatch st conn (req : Protocol.request) =
               reply conn
                 (Protocol.error_response ~id:req.id
                    (Protocol.err Protocol.Bad_request m))
-          | Ok (work, deadline_s, trace, progress) -> (
+          | Ok (work, key, rel_deadline, trace, progress) -> (
+              let deadline_s =
+                Option.map (fun d -> Unix.gettimeofday () +. d) rel_deadline
+              in
+              (* Coalescing is off for traced / progress-streaming
+                 requests (a waiter's envelope would carry someone else's
+                 trace, and progress frames are per-subscription), and
+                 requests only share a slot when their deadline budgets
+                 match — a tight-deadline request must not inherit a
+                 result computed under a laxer one being cancelled late,
+                 nor vice versa. *)
+              let key =
+                if trace || progress then None
+                else
+                  Option.map
+                    (fun k ->
+                      match rel_deadline with
+                      | None -> k
+                      | Some d -> Printf.sprintf "%s|dl%g" k d)
+                    key
+              in
               let id = req.id in
               (* One root context serves both opt-ins: spans accumulate in
                  its buffer for the ["trace"] field, and its trace id is the
@@ -492,11 +531,12 @@ let dispatch st conn (req : Protocol.request) =
                         Span.discard_trace ctx;
                         result)
               in
-              let deliver result =
+              let deliver ~coalesced result =
                 Option.iter Events.unsubscribe subscription;
                 (match close_trace result with
-                | Ok r -> reply conn (Protocol.ok_response ~id r)
-                | Error e -> reply conn (Protocol.error_response ~id e));
+                | Ok r -> reply conn (Protocol.ok_response ~id ~coalesced r)
+                | Error e ->
+                    reply conn (Protocol.error_response ~id ~coalesced e));
                 conn_end conn
               in
               let abandon () =
@@ -506,7 +546,7 @@ let dispatch st conn (req : Protocol.request) =
               in
               match
                 Scheduler.submit st.sched ?deadline_s ~label:req.meth
-                  ?trace:tctx ~work ~deliver ()
+                  ?trace:tctx ?key ~work ~deliver ()
               with
               | Ok () -> ()
               | Error (Scheduler.Overloaded retry_after_s) ->

@@ -5,6 +5,7 @@ let m_hits = Metrics.counter "server.store.hits"
 let m_misses = Metrics.counter "server.store.misses"
 let m_appends = Metrics.counter "server.store.appends"
 let m_compactions = Metrics.counter "server.store.compactions"
+let m_refreshes = Metrics.counter "server.store.refreshes"
 let g_entries = Metrics.gauge "server.store.entries"
 let g_records = Metrics.gauge "server.store.records"
 
@@ -12,18 +13,56 @@ let header = "tiling-store/1"
 
 type t = {
   path : string;
-  mutable oc : out_channel;
+  mutable fd : Unix.file_descr;  (* O_APPEND writer *)
+  lockfd : Unix.file_descr;
+      (* [path ^ ".lock"] sidecar carrying the cross-process advisory
+         lock.  A dedicated file, not the log itself: fcntl locks die
+         with {e any} close of {e any} descriptor on the file within the
+         process, and compaction must close/reopen the log. *)
   lock : Mutex.t;
   tables : (string, float Memo.Table.t) Hashtbl.t;
-  mutable records : int;  (* data lines in the log, dead ones included *)
+  mutable records : int;
+      (* data lines in the log + pending buffer, dead ones included *)
   mutable live : int;
+  mutable read_pos : int;  (* log bytes already folded into [tables] *)
+  mutable stamp : int * int;  (* (st_dev, st_ino): detects log rotation *)
+  pending : Buffer.t;  (* appends not yet written to disk *)
+  mutable pending_records : int;
+  pending_keys : (string * Memo.Key.t, unit) Hashtbl.t;
+      (* keys with an update waiting in [pending].  Folding disk lines
+         must never clobber these: our line lands {e after} everything
+         we fold, so by the log's last-write-wins order ours is newer —
+         critical when a sibling's compaction forces a full re-read of
+         our own older, durable records. *)
   compact_min_dead : int;
-  skipped_on_load : int;
+  mutable skipped : int;
   hits : int Atomic.t;
   misses : int Atomic.t;
   appends : int Atomic.t;
   compactions : int Atomic.t;
 }
+
+(* ------------------------------------------------------------------ *)
+(* Cross-process advisory locking.  fcntl (lockf) locks are per-process:
+   this serialises daemons sharing one TILING_STORE, while in-process
+   callers are already serialised by [t.lock]. *)
+
+let with_file_lock t f =
+  ignore (Unix.lseek t.lockfd 0 Unix.SEEK_SET);
+  Unix.lockf t.lockfd Unix.F_LOCK 0;
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Unix.lseek t.lockfd 0 Unix.SEEK_SET);
+      try Unix.lockf t.lockfd Unix.F_ULOCK 0 with Unix.Unix_error _ -> ())
+    f
+
+let rec write_sub fd s off len =
+  if len > 0 then begin
+    let n = Unix.write_substring fd s off len in
+    write_sub fd s (off + n) (len - n)
+  end
+
+let write_fully fd s = write_sub fd s 0 (String.length s)
 
 (* One record is one line: [r <fingerprint> <v1,v2,..> <cost>].  The
    fingerprint is percent-escaped so whitespace and newlines can never
@@ -119,79 +158,216 @@ let compact_min_default () =
             (Printf.sprintf "TILING_STORE_COMPACT_MIN=%S: expected a positive integer" s))
   | _ -> 1024
 
+(* ------------------------------------------------------------------ *)
+(* Disk <-> tables reconciliation.  Every [_locked] function below runs
+   with both [t.lock] and the cross-process file lock held. *)
+
+let fold_line t line =
+  if line <> "" && line <> header then begin
+    t.records <- t.records + 1;
+    match parse_record line with
+    | Some (fp, key, cost) ->
+        if not (Hashtbl.mem t.pending_keys (fp, key)) then begin
+          let tbl = table_for t fp in
+          if not (Memo.Table.mem tbl key) then t.live <- t.live + 1;
+          Memo.Table.replace tbl key cost
+        end
+    | None -> t.skipped <- t.skipped + 1
+  end
+
+let open_writer path =
+  Unix.openfile path
+    [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT; Unix.O_CLOEXEC ]
+    0o644
+
+(* Another process compacted (temp-file + rename): our descriptor points
+   at the orphaned old log.  Re-open, and start folding the replacement
+   from byte 0 — the rewrite may contain records we have never seen. *)
+let check_rotate_locked t =
+  let rotated =
+    match Unix.stat t.path with
+    | st -> (st.Unix.st_dev, st.Unix.st_ino) <> t.stamp
+    | exception Unix.Unix_error _ -> true
+  in
+  if rotated then begin
+    (try Unix.close t.fd with Unix.Unix_error _ -> ());
+    t.fd <- open_writer t.path;
+    let st = Unix.fstat t.fd in
+    if st.Unix.st_size = 0 then write_fully t.fd (header ^ "\n");
+    let st = Unix.fstat t.fd in
+    t.stamp <- (st.Unix.st_dev, st.Unix.st_ino);
+    t.records <- t.pending_records;
+    t.read_pos <- 0
+  end
+
+(* Fold every byte appended (by anyone) since we last looked.  Writers
+   append whole lines under the file lock, so the region [read_pos, EOF)
+   is complete lines — except after a writer crashed mid-write, in which
+   case the torn tail is skipped and terminated so the next append
+   starts a fresh line. *)
+let read_new_locked t =
+  let data =
+    let ic = open_in_bin t.path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let len = in_channel_length ic in
+        if t.read_pos >= len then ""
+        else begin
+          seek_in ic t.read_pos;
+          really_input_string ic (len - t.read_pos)
+        end)
+  in
+  let n = String.length data in
+  let i = ref 0 in
+  while !i < n do
+    match String.index_from_opt data !i '\n' with
+    | Some j ->
+        fold_line t (String.sub data !i (j - !i));
+        i := j + 1
+    | None ->
+        (* torn tail from a crashed writer *)
+        t.skipped <- t.skipped + 1;
+        write_fully t.fd "\n";
+        i := n
+  done
+
+let write_pending_locked t =
+  if Buffer.length t.pending > 0 then begin
+    (* One write(2) on an O_APPEND descriptor: the kernel serialises the
+       append offset, so even a writer outside our advisory lock could
+       not interleave bytes inside this batch. *)
+    write_fully t.fd (Buffer.contents t.pending);
+    Buffer.clear t.pending;
+    t.pending_records <- 0;
+    Hashtbl.reset t.pending_keys
+  end;
+  (* Own bytes are already in [tables]; never re-read them. *)
+  t.read_pos <- (Unix.fstat t.fd).Unix.st_size
+
+(* Rewrite the log from the live tables through a temp file and an
+   atomic rename.  Runs after [read_new_locked], so [tables] is a
+   superset of every record any process has durably written — compaction
+   never drops a sibling's results. *)
+let compact_locked t =
+  let tmp = t.path ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc (header ^ "\n");
+  Hashtbl.iter
+    (fun fp tbl ->
+      Memo.Table.iter
+        (fun key cost ->
+          output_string oc (record_line ~fingerprint:fp key cost);
+          output_char oc '\n')
+        tbl)
+    t.tables;
+  close_out oc;
+  (try Unix.close t.fd with Unix.Unix_error _ -> ());
+  Sys.rename tmp t.path;
+  t.fd <- open_writer t.path;
+  let st = Unix.fstat t.fd in
+  t.stamp <- (st.Unix.st_dev, st.Unix.st_ino);
+  t.records <- t.live;
+  t.read_pos <- st.Unix.st_size;
+  Atomic.incr t.compactions;
+  Metrics.incr m_compactions
+
+let disk_changed t =
+  match Unix.stat t.path with
+  | st ->
+      (st.Unix.st_dev, st.Unix.st_ino) <> t.stamp
+      || st.Unix.st_size <> t.read_pos
+  | exception Unix.Unix_error _ -> true
+
+(* The store's one reconciliation point: flush our pending appends, fold
+   everyone else's, maybe compact.  The no-op fast path is a single
+   stat(2), so calling this per request is cheap when nothing moved. *)
+let flush_locked t ~compact =
+  let compact_due () = compact && t.records - t.live >= t.compact_min_dead in
+  if Buffer.length t.pending > 0 || disk_changed t || compact_due () then begin
+    Metrics.incr m_refreshes;
+    with_file_lock t (fun () ->
+        check_rotate_locked t;
+        read_new_locked t;
+        write_pending_locked t;
+        if compact_due () then compact_locked t)
+  end
+
 let open_ ?compact_min_dead ~path () =
   let compact_min_dead =
     match compact_min_dead with Some v -> v | None -> compact_min_default ()
   in
-  let exists = Sys.file_exists path in
-  let load () =
-    let tables = Hashtbl.create 16 in
-    let records = ref 0 and live = ref 0 and skipped = ref 0 in
-    if exists then begin
-      let ic = open_in path in
-      (match input_line ic with
-      | h when h = header -> ()
-      | _ ->
-          close_in ic;
-          failwith (Printf.sprintf "%s: not a tiling store (bad header)" path)
-      | exception End_of_file -> close_in ic);
-      (try
-         while true do
-           let line = input_line ic in
-           if line <> "" then begin
-             incr records;
-             match parse_record line with
-             | Some (fp, key, cost) ->
-                 let tbl =
-                   match Hashtbl.find_opt tables fp with
-                   | Some tbl -> tbl
-                   | None ->
-                       let tbl = Memo.Table.create 256 in
-                       Hashtbl.add tables fp tbl;
-                       tbl
-                 in
-                 if not (Memo.Table.mem tbl key) then incr live;
-                 Memo.Table.replace tbl key cost
-             | None -> incr skipped
-           end
-         done
-       with End_of_file -> close_in ic)
-    end;
-    (tables, !records, !live, !skipped)
-  in
-  match load () with
-  | exception Failure m -> Error m
-  | exception Sys_error m -> Error m
-  | tables, records, live, skipped ->
-      let oc =
-        try Ok (open_out_gen [ Open_append; Open_creat ] 0o644 path)
-        with Sys_error m -> Error m
-      in
-      Result.map
-        (fun oc ->
-          if not exists then begin
-            output_string oc (header ^ "\n");
-            flush oc
-          end;
+  let build () =
+    let lockfd =
+      Unix.openfile (path ^ ".lock")
+        [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_CLOEXEC ]
+        0o644
+    in
+    match
+      (* Hold the cross-process lock for the whole load: never a torn
+         read of a sibling's in-progress compaction. *)
+      ignore (Unix.lseek lockfd 0 Unix.SEEK_SET);
+      Unix.lockf lockfd Unix.F_LOCK 0;
+      Fun.protect
+        ~finally:(fun () ->
+          ignore (Unix.lseek lockfd 0 Unix.SEEK_SET);
+          try Unix.lockf lockfd Unix.F_ULOCK 0 with Unix.Unix_error _ -> ())
+        (fun () ->
+          let fd = open_writer path in
+          if (Unix.fstat fd).Unix.st_size = 0 then
+            write_fully fd (header ^ "\n");
           let t =
             {
               path;
-              oc;
+              fd;
+              lockfd;
               lock = Mutex.create ();
-              tables;
-              records;
-              live;
+              tables = Hashtbl.create 16;
+              records = 0;
+              live = 0;
+              read_pos = 0;
+              stamp = (-1, -1);
+              pending = Buffer.create 4096;
+              pending_records = 0;
+              pending_keys = Hashtbl.create 16;
               compact_min_dead;
-              skipped_on_load = skipped;
+              skipped = 0;
               hits = Atomic.make 0;
               misses = Atomic.make 0;
               appends = Atomic.make 0;
               compactions = Atomic.make 0;
             }
           in
-          set_gauges t;
+          let ic = open_in_bin path in
+          let first = try Some (input_line ic) with End_of_file -> None in
+          if first <> Some header then begin
+            close_in_noerr ic;
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            failwith (Printf.sprintf "%s: not a tiling store (bad header)" path)
+          end;
+          (try
+             while true do
+               fold_line t (input_line ic)
+             done
+           with End_of_file -> close_in_noerr ic);
+          let st = Unix.fstat fd in
+          t.read_pos <- st.Unix.st_size;
+          t.stamp <- (st.Unix.st_dev, st.Unix.st_ino);
           t)
-        oc
+    with
+    | t -> t
+    | exception e ->
+        (try Unix.close lockfd with Unix.Unix_error _ -> ());
+        raise e
+  in
+  match build () with
+  | t ->
+      set_gauges t;
+      Ok t
+  | exception Failure m -> Error m
+  | exception Sys_error m -> Error m
+  | exception Unix.Unix_error (e, fn, arg) ->
+      Error (Printf.sprintf "%s %s: %s" fn arg (Unix.error_message e))
 
 let path t = t.path
 
@@ -225,8 +401,10 @@ let append t ~fingerprint key cost =
       if not (Memo.Table.mem tbl key) then t.live <- t.live + 1;
       Memo.Table.replace tbl key cost;
       t.records <- t.records + 1;
-      output_string t.oc (record_line ~fingerprint key cost);
-      output_char t.oc '\n')
+      t.pending_records <- t.pending_records + 1;
+      Hashtbl.replace t.pending_keys (fingerprint, key) ();
+      Buffer.add_string t.pending (record_line ~fingerprint key cost);
+      Buffer.add_char t.pending '\n')
 
 let tier t ~fingerprint =
   {
@@ -234,38 +412,21 @@ let tier t ~fingerprint =
     Memo.save = (fun key cost -> append t ~fingerprint key cost);
   }
 
-(* Rewrite the log from the live tables through a temp file and an atomic
-   rename; callers hold [t.lock]. *)
-let compact_locked t =
-  let tmp = t.path ^ ".tmp" in
-  let oc = open_out tmp in
-  output_string oc (header ^ "\n");
-  Hashtbl.iter
-    (fun fp tbl ->
-      Memo.Table.iter
-        (fun key cost ->
-          output_string oc (record_line ~fingerprint:fp key cost);
-          output_char oc '\n')
-        tbl)
-    t.tables;
-  close_out oc;
-  close_out t.oc;
-  Sys.rename tmp t.path;
-  t.oc <- open_out_gen [ Open_append ] 0o644 t.path;
-  t.records <- t.live;
-  Atomic.incr t.compactions;
-  Metrics.incr m_compactions
-
 let sync t =
   Mutex.protect t.lock (fun () ->
-      if t.records - t.live >= t.compact_min_dead then compact_locked t
-      else flush t.oc;
+      flush_locked t ~compact:true;
+      set_gauges t)
+
+let refresh t =
+  Mutex.protect t.lock (fun () ->
+      flush_locked t ~compact:false;
       set_gauges t)
 
 let close t =
   Mutex.protect t.lock (fun () ->
-      flush t.oc;
-      close_out t.oc)
+      flush_locked t ~compact:false;
+      (try Unix.close t.fd with Unix.Unix_error _ -> ());
+      try Unix.close t.lockfd with Unix.Unix_error _ -> ())
 
 let entries t = Mutex.protect t.lock (fun () -> t.live)
 let records t = Mutex.protect t.lock (fun () -> t.records)
@@ -274,4 +435,4 @@ let hits t = Atomic.get t.hits
 let misses t = Atomic.get t.misses
 let appends t = Atomic.get t.appends
 let compactions t = Atomic.get t.compactions
-let skipped_on_load t = t.skipped_on_load
+let skipped_on_load t = Mutex.protect t.lock (fun () -> t.skipped)

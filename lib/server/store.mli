@@ -19,7 +19,23 @@
       skipped, never fatal;
     - {b periodic compaction}: when enough dead lines accumulate
       (duplicate keys from concurrent same-fingerprint requests), the
-      log is rewritten through a temp file and atomically renamed.
+      log is rewritten through a temp file and atomically renamed;
+    - {b multi-process safe}: several daemons may share one log (the
+      fleet's warm tier, docs/SERVER.md "Fleet mode").  All disk traffic
+      happens under a cross-process advisory lock on a [<path>.lock]
+      sidecar (a dedicated file because fcntl locks die with any close
+      of any descriptor on the locked file, and compaction must reopen
+      the log); appends are batched in memory and land as one
+      [write(2)] on an [O_APPEND] descriptor, so two processes never
+      interleave bytes.  {!sync} and {!refresh} fold records appended
+      by sibling processes into this process's tables, and detect a
+      sibling's compaction (inode change) to re-read the rewritten log
+      — so compaction never drops another process's results.
+
+    The advisory lock is fcntl-based and therefore {e per-process}: two
+    {!t} values for the same path inside one process are not isolated
+    from each other (and don't need to be — they already serialise on
+    their own mutexes and O_APPEND).
 
     All operations are thread-safe.  Store traffic is counted both in
     local atomics (always on, served by [tiler request stats]) and in
@@ -62,11 +78,20 @@ val tier : t -> fingerprint:string -> float Tiling_search.Memo.tier
     {!Tiling_search.Memo.set_tier}. *)
 
 val sync : t -> unit
-(** Flush buffered appends to disk and compact if enough dead records
-    accumulated.  The daemon calls this after every completed request. *)
+(** Flush buffered appends to disk, fold in records appended by other
+    processes sharing the log, and compact if enough dead records
+    accumulated.  The daemon calls this after every completed request.
+    When nothing changed on either side, the cost is one [stat(2)]. *)
+
+val refresh : t -> unit
+(** {!sync} without the compaction trigger: reconcile with the shared
+    log (flush our pending appends, fold in everyone else's).  Search
+    handlers call this before starting work so a fleet worker answers
+    warm even when a sibling process computed the result. *)
 
 val close : t -> unit
-(** {!sync} then close the log.  The store must not be used after. *)
+(** Flush pending appends, then close the log and its lock.  The store
+    must not be used after. *)
 
 (** {2 Introspection (for [stats] and tests)} *)
 
@@ -85,4 +110,5 @@ val appends : t -> int
 val compactions : t -> int
 
 val skipped_on_load : t -> int
-(** Malformed/truncated lines tolerated by the last {!open_}. *)
+(** Malformed/truncated lines tolerated by {!open_} and later
+    refreshes. *)

@@ -1,4 +1,10 @@
 let () =
+  (* Re-entrant hook for the fleet suite's two-process store torture
+     test: with this variable set, the binary is one raw store writer,
+     not the test runner. *)
+  match Sys.getenv_opt "TILING_STORE_TORTURE" with
+  | Some spec -> Test_fleet.store_torture_child spec
+  | None ->
   Alcotest.run "tiling"
     [
       ("intmath", Test_intmath.suite);
@@ -38,4 +44,5 @@ let () =
       ("obs", Test_obs.suite);
       ("fuzz", Test_fuzz.suite);
       ("server", Test_server.suite);
+      ("fleet", Test_fleet.suite);
     ]

@@ -216,7 +216,7 @@ let test_scheduler_backpressure () =
     done;
     Json.Null
   in
-  let deliver _ = Atomic.incr delivered in
+  let deliver ~coalesced:_ _ = Atomic.incr delivered in
   (* first job occupies the worker... *)
   (match Scheduler.submit sched ~work:blocker ~deliver () with
   | Ok () -> ()
@@ -250,7 +250,7 @@ let test_scheduler_backpressure () =
 
 let test_scheduler_retry_hint_tracks_depth () =
   let sched = Scheduler.create ~workers:1 ~capacity:8 () in
-  let deliver _ = () in
+  let deliver ~coalesced:_ _ = () in
   (* seed the latency ring with one completion of measurable duration so
      the hint formula has a p50 to work from *)
   (match
@@ -314,7 +314,7 @@ let test_scheduler_retry_hint_tracks_depth () =
 let test_scheduler_deadlines () =
   let sched = Scheduler.create ~workers:1 ~capacity:8 () in
   let results = Atomic.make [] in
-  let deliver r = Atomic.set results (r :: Atomic.get results) in
+  let deliver ~coalesced:_ r = Atomic.set results (r :: Atomic.get results) in
   let ran = Atomic.make false in
   (* already expired: must fail without running *)
   (match
@@ -356,7 +356,7 @@ let test_scheduler_survives_handler_crash () =
   (match
      Scheduler.submit sched
        ~work:(fun ~cancelled:_ -> failwith "handler bug")
-       ~deliver:(fun r -> Atomic.set got (Some r))
+       ~deliver:(fun ~coalesced:_ r -> Atomic.set got (Some r))
        ()
    with
   | Ok () -> ()
@@ -501,7 +501,7 @@ let test_scheduler_inflight () =
            Thread.yield ()
          done;
          Json.Null)
-       ~deliver:(fun _ -> ())
+       ~deliver:(fun ~coalesced:_ _ -> ())
        ()
    with
   | Ok () -> ()
